@@ -1,0 +1,154 @@
+package edattack_test
+
+import (
+	"testing"
+
+	edattack "github.com/edsec/edattack"
+	"github.com/edsec/edattack/internal/stateest"
+)
+
+// BenchmarkN1Screen118 measures the full N−1 contingency sweep on the
+// 118-bus case (DESIGN.md experiment A4).
+func BenchmarkN1Screen118(b *testing.B) {
+	net, err := edattack.LoadCase("case118")
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := edattack.NewDispatchModel(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := model.Solve(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lodf, err := edattack.ComputeLODF(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ratings := net.Ratings(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := edattack.ScreenN1(lodf, res.Flows, ratings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLODF118 measures the factor-matrix build itself.
+func BenchmarkLODF118(b *testing.B) {
+	net, err := edattack.LoadCase("case118")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := edattack.ComputeLODF(net); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCascade118 measures a full cascading-failure simulation from a
+// stressed 118-bus operating point (DESIGN.md experiment A4).
+func BenchmarkCascade118(b *testing.B) {
+	net, err := edattack.LoadCase("case118")
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := edattack.NewDispatchModel(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := model.Solve(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ratings := net.Ratings(nil)
+	for i := range ratings {
+		ratings[i] *= 0.85
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := edattack.SimulateCascade(net, res.P, ratings, edattack.CascadeOptions{TripThreshold: 1.05}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStateEstimation118 measures a full-telemetry WLS estimation on
+// the 118-bus case (DESIGN.md experiment A5).
+func BenchmarkStateEstimation118(b *testing.B) {
+	net, err := edattack.LoadCase("case118")
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := edattack.NewDispatchModel(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := model.Solve(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est, err := edattack.NewStateEstimator(net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for li, f := range res.Flows {
+			if err := est.Add(edattack.StateMeasurement{
+				Kind: stateest.MeasFlow, Index: li, ValueMW: f, SigmaMW: 1,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := est.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDemandAttack measures the forecast-attack search on the
+// congested 118-bus day (DESIGN.md experiment A3).
+func BenchmarkDemandAttack(b *testing.B) {
+	net, err := edattack.LoadCase("case118")
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := edattack.NewDispatchModel(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ud := map[int]float64{}
+	for _, li := range net.DLRLines() {
+		ud[li] = net.Lines[li].RateMVA * 0.94
+	}
+	k, err := edattack.NewKnowledge(model, ud)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := edattack.FindDemandAttack(k, edattack.DemandAttackOptions{GammaPct: 0.2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMATPOWERRoundTrip measures the case-file codec on the 118-bus
+// case.
+func BenchmarkMATPOWERRoundTrip(b *testing.B) {
+	net, err := edattack.LoadCase("case118")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		text := edattack.FormatMATPOWER(net)
+		if _, err := edattack.ParseMATPOWER(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

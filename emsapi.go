@@ -1,0 +1,64 @@
+package edattack
+
+import (
+	"github.com/edsec/edattack/internal/ems"
+)
+
+// Re-exported EMS substrate types.
+type (
+	// EMSProfile describes one vendor's memory organization.
+	EMSProfile = ems.Profile
+	// EMSProcess is a simulated running EMS with a randomized address
+	// space.
+	EMSProcess = ems.Process
+	// EMSExploit is the attack-time payload (value scan + structural
+	// signature).
+	EMSExploit = ems.Exploit
+	// EMSAttackReport accounts for a full memory-corruption attack.
+	EMSAttackReport = ems.AttackReport
+	// EMSAccuracyReport is one Table IV-style forensics score.
+	EMSAccuracyReport = ems.AccuracyReport
+	// EMSController is the dispatch loop consuming (possibly corrupted)
+	// process memory.
+	EMSController = ems.Controller
+)
+
+// EMSProfiles returns the five vendor profiles evaluated in the paper.
+func EMSProfiles() []EMSProfile {
+	return ems.Profiles()
+}
+
+// EMSProfileByName resolves a vendor profile ("PowerWorld", "NEPLAN",
+// "PowerFactory", "Powertools", "SmartGridToolbox").
+func EMSProfileByName(name string) (EMSProfile, error) {
+	return ems.ProfileByName(name)
+}
+
+// NewEMSProcess builds a randomized EMS process image for a vendor profile
+// and network; distinct seeds model distinct runs (ASLR).
+func NewEMSProcess(profile EMSProfile, net *Network, seed int64) (*EMSProcess, error) {
+	return ems.NewProcess(profile, net, seed)
+}
+
+// NewEMSExploit performs the offline analysis against one process build and
+// packages the structural signature for attack-time use against any run.
+func NewEMSExploit(p *EMSProcess) (*EMSExploit, error) {
+	return ems.NewExploit(p)
+}
+
+// RunMemoryAttack executes the online exploit pipeline: scan, filter with
+// structural predicates, corrupt the DLR values (Section VI).
+func RunMemoryAttack(p *EMSProcess, e *EMSExploit, attack, knownRatings map[int]float64) (*EMSAttackReport, error) {
+	return ems.RunAttack(p, e, attack, knownRatings)
+}
+
+// EMSForensicsAccuracy runs the offline object-recognition pass and scores
+// it against ground truth (one Table IV row).
+func EMSForensicsAccuracy(p *EMSProcess) (*EMSAccuracyReport, error) {
+	return ems.Accuracy(p)
+}
+
+// NewEMSController builds the EMS dispatch loop over a process.
+func NewEMSController(p *EMSProcess) (*EMSController, error) {
+	return ems.NewController(p)
+}

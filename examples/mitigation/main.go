@@ -1,0 +1,128 @@
+// Mitigation: the Section VII defenses against the DLR manipulation attack:
+//
+//  1. the EMS out-of-bound ingest check (why the attacker stays in band),
+//  2. control-command verification (an extended TSV),
+//  3. intrusion-tolerant replication (N-version redundancy),
+//  4. attack-aware (robust) dispatch, and what it costs,
+//  5. parameter-block integrity monitoring (the SGX-style data protection).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	edattack "github.com/edsec/edattack"
+	"github.com/edsec/edattack/internal/ems"
+	"github.com/edsec/edattack/internal/scada"
+)
+
+func main() {
+	net, err := edattack.LoadCase("case3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := edattack.NewDispatchModel(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trueDLR := map[int]float64{1: 160, 2: 150}
+	k, err := edattack.NewKnowledge(model, trueDLR)
+	if err != nil {
+		log.Fatal(err)
+	}
+	attack, err := edattack.FindOptimalAttack(k, edattack.AttackOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attack under test: uᵃ = (%.0f, %.0f), predicted U_cap %.1f%%\n\n",
+		attack.DLR[1], attack.DLR[2], attack.GainPct)
+
+	// 1. Out-of-bound check: the optimal attack passes it by design.
+	validator := scada.NewValidator(net)
+	if validator.Validate(attack.DLR) {
+		fmt.Println("1. ingest bound check:     PASSED by the attacker (stealthy by construction)")
+	}
+	crude := map[int]float64{1: 500, 2: 120}
+	if !validator.Validate(crude) {
+		fmt.Println("   (a crude 500 MW manipulation is caught:", validator.Alarms()[0].Detail, ")")
+	}
+
+	// 2. Command verification: predict the flows of the issued setpoints
+	//    against independently trusted ratings.
+	ev, err := edattack.EvaluateAttack(k, attack.DLR)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alarms, err := scada.VerifyCommands(net, ev.Dispatch.P, net.Ratings(trueDLR))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2. command verification:   %d alarm(s)", len(alarms))
+	for _, a := range alarms {
+		fmt.Printf("  [%s]", a.Detail)
+	}
+	fmt.Println()
+
+	// 3. Replica controller: recompute the dispatch from trusted inputs
+	//    and compare with the (compromised) main controller's output.
+	replica, err := scada.NewReplica(net, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mismatch, err := replica.Check(net.Ratings(trueDLR), ev.Dispatch.P)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if mismatch != nil {
+		fmt.Printf("3. replica controller:     ALARM — %s\n", mismatch.Detail)
+	}
+
+	// 4. Attack-aware dispatch: derate DLR lines so an in-band lie cannot
+	//    push flows past the truth — and measure the economic premium.
+	nominal, err := model.Solve(net.Ratings(trueDLR))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, margin := range []float64{0.02, 0.05} {
+		rob, err := model.SolveRobustRatings(net.Ratings(trueDLR), margin)
+		if err != nil {
+			fmt.Printf("4. robust dispatch %3.0f%%:    infeasible (margin exceeds network slack)\n", 100*margin)
+			continue
+		}
+		fmt.Printf("4. robust dispatch %3.0f%%:    cost $%.0f/h (premium %.2f%% over $%.0f/h)\n",
+			100*margin, rob.Cost, 100*(rob.Cost/nominal.Cost-1), nominal.Cost)
+	}
+
+	// 5. Integrity monitoring: the memory exploit bypasses the legitimate
+	//    update path, so its writes break the parameter fingerprint.
+	profile, err := edattack.EMSProfileByName("PowerWorld")
+	if err != nil {
+		log.Fatal(err)
+	}
+	proc, err := edattack.NewEMSProcess(profile, net, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon := ems.NewIntegrityMonitor(proc)
+	if err := mon.Arm(); err != nil {
+		log.Fatal(err)
+	}
+	exploit, err := edattack.NewEMSExploit(proc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := edattack.RunMemoryAttack(proc, exploit, map[int]float64{1: attack.DLR[1]}, nil); err != nil {
+		log.Fatal(err)
+	}
+	ctrl, err := edattack.NewEMSController(proc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	step, err := ctrl.GuardedStep(mon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if step.TamperDetected {
+		fmt.Println("5. integrity monitor:      ALARM — parameter fingerprint broken, dispatch withheld")
+	}
+}

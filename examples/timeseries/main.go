@@ -1,0 +1,61 @@
+// Timeseries: the paper's Fig. 4 study — when during the day should the
+// attacker strike? Sweeps 24 hours of sinusoidal dynamic ratings and a
+// two-peak demand curve, re-optimizing the attack every 15 minutes, and
+// prints an ASCII view of the attacker-gain curve with its DC-predicted and
+// AC-realized values.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	edattack "github.com/edsec/edattack"
+	"github.com/edsec/edattack/internal/dlr"
+)
+
+func main() {
+	net, err := edattack.LoadCase("case3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := edattack.TimeSeriesConfig{
+		Net:         net,
+		DemandScale: dlr.TwoPeakDemand(0.58, 0.72, 0.78),
+		RatingPatterns: map[int]edattack.Pattern{
+			1: dlr.Sinusoidal(100, 200, 2), // favorable wind early
+			2: dlr.Sinusoidal(100, 200, 9), // offset pattern on the other line
+		},
+		StepMinutes: 15,
+		Attacker:    edattack.AttackerOptimal,
+		ACEvaluate:  true,
+	}
+	steps, err := edattack.RunTimeSeries(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("hour  demand   u^d13  u^d23 | gainDC%  gainAC% | attacker-gain curve")
+	var bestHour, bestGain float64
+	for i, s := range steps {
+		if i%4 != 0 { // print hourly, computed quarter-hourly
+			continue
+		}
+		if !s.Feasible {
+			fmt.Printf("%5.1f  %6.1f   (operator infeasible — alarm)\n", s.Hour, s.DemandMW)
+			continue
+		}
+		bar := strings.Repeat("█", int(s.GainDCPct/2))
+		fmt.Printf("%5.1f  %6.1f  %6.1f %6.1f | %7.2f  %7.2f | %s\n",
+			s.Hour, s.DemandMW, s.TrueDLR[1], s.TrueDLR[2], s.GainDCPct, s.GainACPct, bar)
+		if s.GainDCPct > bestGain {
+			bestGain, bestHour = s.GainDCPct, s.Hour
+		}
+	}
+
+	fmt.Printf("\nbest time of attack: %02.0f:%02.0f with U_cap = %.1f%%\n",
+		bestHour, 60*(bestHour-float64(int(bestHour))), bestGain)
+	fmt.Println("note how the gain tracks *congestion* (demand relative to the true")
+	fmt.Println("ratings), peaking in the evening AND in the early morning when the")
+	fmt.Println("ratings sag — the paper's Section IV-A observation.")
+}

@@ -1,0 +1,70 @@
+package edattack
+
+import (
+	"github.com/edsec/edattack/internal/cascade"
+	"github.com/edsec/edattack/internal/contingency"
+	"github.com/edsec/edattack/internal/core"
+	"github.com/edsec/edattack/internal/grid/matpower"
+	"github.com/edsec/edattack/internal/stateest"
+)
+
+// Re-exported extension types: contingency screening, cascading-failure
+// simulation, state estimation, and the demand-forecast attack variant.
+type (
+	// LODF holds line-outage distribution factors for N−1 screening.
+	LODF = contingency.LODF
+	// N1Report summarizes an N−1 screen.
+	N1Report = contingency.Report
+	// CascadeOptions and CascadeResult drive the cascading-failure
+	// simulator.
+	CascadeOptions = cascade.Options
+	// CascadeResult summarizes a cascade run.
+	CascadeResult = cascade.Result
+	// StateEstimator is the DC WLS estimator with bad-data detection.
+	StateEstimator = stateest.Estimator
+	// StateMeasurement is one telemetered value.
+	StateMeasurement = stateest.Measurement
+	// DemandAttack is the load-forecast manipulation variant.
+	DemandAttack = core.DemandAttack
+	// DemandAttackOptions tunes the forecast-attack search.
+	DemandAttackOptions = core.DemandAttackOptions
+)
+
+// ComputeLODF builds line-outage distribution factors for a network.
+func ComputeLODF(net *Network) (*LODF, error) {
+	return contingency.ComputeLODF(net)
+}
+
+// ScreenN1 runs the full N−1 contingency sweep for an operating point
+// against the given (true) ratings — the quantitative form of the paper's
+// cascading-risk claim.
+func ScreenN1(d *LODF, preFlows, ratings []float64) (*N1Report, error) {
+	return contingency.Screen(d, preFlows, ratings)
+}
+
+// SimulateCascade runs the thermal cascading-failure simulation from an
+// operating point.
+func SimulateCascade(net *Network, dispatchP, trueRatings []float64, o CascadeOptions) (*CascadeResult, error) {
+	return cascade.Simulate(net, dispatchP, trueRatings, o)
+}
+
+// NewStateEstimator builds a DC WLS state estimator for the network.
+func NewStateEstimator(net *Network) (*StateEstimator, error) {
+	return stateest.NewEstimator(net)
+}
+
+// ParseMATPOWER reads a MATPOWER case file into a Network.
+func ParseMATPOWER(src string) (*Network, error) {
+	return matpower.Parse(src)
+}
+
+// FormatMATPOWER renders a Network as MATPOWER case text.
+func FormatMATPOWER(net *Network) string {
+	return matpower.Format(net)
+}
+
+// FindDemandAttack searches for the load-forecast manipulation variant of
+// the attack (Section II's "other parameters" remark).
+func FindDemandAttack(k *Knowledge, o DemandAttackOptions) (*DemandAttack, error) {
+	return core.FindDemandAttack(k, o)
+}

@@ -1,0 +1,227 @@
+package edattack_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	edattack "github.com/edsec/edattack"
+	"github.com/edsec/edattack/internal/stateest"
+)
+
+// TestAttackConsequencePipeline chains the extension layers the way an
+// analyst would: optimal attack → N−1 exposure → cascade impact.
+func TestAttackConsequencePipeline(t *testing.T) {
+	net, err := edattack.LoadCase("case3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := edattack.NewDispatchModel(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud := map[int]float64{1: 130, 2: 120}
+	k, err := edattack.NewKnowledge(model, ud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack, err := edattack.FindOptimalAttack(k, edattack.AttackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueRatings := net.Ratings(ud)
+
+	// N−1: the attacked point is insecure.
+	lodf, err := edattack.ComputeLODF(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := edattack.ScreenN1(lodf, attack.PredictedFlows, trueRatings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InsecureOutages == 0 {
+		t.Fatal("attacked point passes N−1, expected exposure")
+	}
+
+	// Cascade: letting protection act on the violated line causes an
+	// outage.
+	sim, err := edattack.SimulateCascade(net, attack.PredictedP, trueRatings, edattack.CascadeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.LinesOut == 0 || sim.ShedMW == 0 {
+		t.Fatalf("expected cascade impact, got %+v", sim)
+	}
+}
+
+// TestLMPShiftUnderAttack: the manipulation changes congestion patterns
+// and therefore locational prices — the market-impact channel.
+func TestLMPShiftUnderAttack(t *testing.T) {
+	net, err := edattack.LoadCase("case3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := edattack.NewDispatchModel(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest, err := model.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmpHonest, err := model.LMPs(honest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacked, err := model.Solve([]float64{160, 100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmpAttacked, err := model.LMPs(attacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for i := range lmpHonest {
+		if math.Abs(lmpHonest[i]-lmpAttacked[i]) > 0.5 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatalf("LMPs unchanged by the attack: %v vs %v", lmpHonest, lmpAttacked)
+	}
+	if _, err := model.CongestionRent(honest); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.LMPs(nil); err == nil {
+		t.Fatal("want nil-result error")
+	}
+	if _, err := model.CongestionRent(nil); err == nil {
+		t.Fatal("want nil-result error")
+	}
+}
+
+// TestLMPMatchesMarginalCostUncongested: with no congestion every bus LMP
+// equals the marginal unit's cost.
+func TestLMPMatchesMarginalCostUncongested(t *testing.T) {
+	net, err := edattack.LoadCase("case9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := edattack.NewDispatchModel(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := model.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Binding) != 0 {
+		t.Skip("case9 nominal point is congested; LMP uniformity not expected")
+	}
+	lmp, err := model.LMPs(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(lmp); i++ {
+		if math.Abs(lmp[i]-lmp[0]) > 1e-6 {
+			t.Fatalf("uncongested LMPs differ: %v", lmp)
+		}
+	}
+	// And the uniform price equals an interior unit's marginal cost.
+	matched := false
+	for gi := range net.Gens {
+		p := res.P[gi]
+		if p > net.Gens[gi].Pmin+1e-6 && p < net.Gens[gi].Pmax-1e-6 {
+			if math.Abs(net.Gens[gi].MarginalCost(p)-lmp[0]) < 1e-6 {
+				matched = true
+			}
+		}
+	}
+	if !matched {
+		t.Fatalf("no interior unit's marginal cost matches the LMP %v", lmp[0])
+	}
+}
+
+// TestMATPOWERFacade round-trips a case through the facade helpers.
+func TestMATPOWERFacade(t *testing.T) {
+	net, err := edattack.LoadCase("case30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := edattack.FormatMATPOWER(net)
+	if !strings.Contains(text, "mpc.branch") {
+		t.Fatal("missing branch matrix")
+	}
+	back, err := edattack.ParseMATPOWER(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Buses) != len(net.Buses) {
+		t.Fatal("bus count drifted")
+	}
+}
+
+// TestStateEstimatorFacade exercises the estimator through the facade with
+// a consistent measurement set.
+func TestStateEstimatorFacade(t *testing.T) {
+	net, err := edattack.LoadCase("case9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := edattack.NewDispatchModel(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := model.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := edattack.NewStateEstimator(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li, f := range res.Flows {
+		if err := est.Add(edattack.StateMeasurement{
+			Kind: stateest.MeasFlow, Index: li, ValueMW: f, SigmaMW: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol, err := est.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	suspected, _ := sol.BadData(0.99)
+	if suspected {
+		t.Fatal("consistent measurements flagged")
+	}
+}
+
+// TestDemandAttackFacade runs the forecast-attack variant via the facade.
+func TestDemandAttackFacade(t *testing.T) {
+	net, err := edattack.LoadCase("case118")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := edattack.NewDispatchModel(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud := map[int]float64{}
+	for _, li := range net.DLRLines() {
+		ud[li] = net.Lines[li].RateMVA * 0.94
+	}
+	k, err := edattack.NewKnowledge(model, ud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, err := edattack.FindDemandAttack(k, edattack.DemandAttackOptions{GammaPct: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.GainPct <= 0 {
+		t.Fatalf("expected forecast-attack gain, got %v", att.GainPct)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/edsec/edattack
+
+go 1.22

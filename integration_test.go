@@ -1,0 +1,257 @@
+package edattack_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	edattack "github.com/edsec/edattack"
+	"github.com/edsec/edattack/internal/dlr"
+	"github.com/edsec/edattack/internal/ems"
+	"github.com/edsec/edattack/internal/scada"
+)
+
+// TestKillChainEndToEnd drives the paper's full attack chain on one system:
+// SCADA feeds true ratings → attacker computes the bilevel-optimal
+// manipulation → memory exploit implants it in the EMS process → the
+// unmodified controller dispatches into an unsafe state — and the Section
+// VII defenses each detect or bound it.
+func TestKillChainEndToEnd(t *testing.T) {
+	net, err := edattack.LoadCase("case3-fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- 1. SCADA: DLR sensors report today's true ratings. -------------
+	feed := scada.NewFeed(
+		scada.NewDLRSensor(1, dlr.Constant(145), 0, 1),
+		scada.NewDLRSensor(2, dlr.Constant(146), 0, 2),
+	)
+	ud := feed.Snapshot(14)
+	validator := scada.NewValidator(net)
+	if !validator.Validate(ud) {
+		t.Fatalf("true ratings failed the ingest check: %+v", validator.Alarms())
+	}
+
+	// --- 2. The EMS ingests them into its process memory. ---------------
+	profile, err := edattack.EMSProfileByName("PowerWorld")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := edattack.NewEMSProcess(profile, net, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.IngestDLR(ud); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- 3. Attacker: knowledge + bilevel optimization. ------------------
+	model, err := edattack.NewDispatchModel(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := edattack.NewKnowledge(model, ud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack, err := edattack.FindOptimalAttack(k, edattack.AttackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attack.GainPct <= 0 {
+		t.Fatalf("no gain on a congested case: %v", attack.GainPct)
+	}
+	// The manipulation itself passes the ingest plausibility check — the
+	// stealthiness property.
+	if !scada.NewValidator(net).Validate(attack.DLR) {
+		t.Fatal("optimal attack failed the out-of-bound check")
+	}
+
+	// --- 4. Memory exploit implants the manipulation. --------------------
+	exploit, err := edattack.NewEMSExploit(proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := edattack.RunMemoryAttack(proc, exploit, attack.DLR, ud)
+	if err != nil {
+		t.Fatalf("memory attack: %v", err)
+	}
+	if len(rep.Lines) != len(attack.DLR) {
+		t.Fatalf("corrupted %d of %d targets", len(rep.Lines), len(attack.DLR))
+	}
+
+	// --- 5. The legitimate controller now misdispatches. -----------------
+	ctrl, err := edattack.NewEMSController(proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := ctrl.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueRatings := net.Ratings(ud)
+	violated := false
+	for li, f := range result.Flows {
+		if u := trueRatings[li]; u > 0 && math.Abs(f) > u+1e-6 {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Fatal("attacked dispatch violates no true rating")
+	}
+
+	// --- 6. Defenses (Section VII). --------------------------------------
+	// Command verification catches the unsafe setpoints.
+	alarms, err := scada.VerifyCommands(net, result.P, trueRatings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) == 0 {
+		t.Fatal("command verification missed the attack")
+	}
+	// The replica controller flags the divergence.
+	replica, err := scada.NewReplica(net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatch, err := replica.Check(trueRatings, result.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mismatch == nil {
+		t.Fatal("replica controller missed the attack")
+	}
+}
+
+// TestAttackGainConsistencyAcrossLayers: the DC gain predicted by the
+// bilevel model, the gain realized by replaying through the operator's
+// dispatch, and the flow on the corrupted EMS's own dispatch all agree.
+func TestAttackGainConsistencyAcrossLayers(t *testing.T) {
+	net, err := edattack.LoadCase("case3-fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := edattack.NewDispatchModel(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud := map[int]float64{1: 140, 2: 135}
+	k, err := edattack.NewKnowledge(model, ud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack, err := edattack.FindOptimalAttack(k, edattack.AttackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay via the facade.
+	ev, err := edattack.EvaluateAttack(k, attack.DLR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ev.GainPct-attack.GainPct) > 1e-3 {
+		t.Fatalf("replay gain %v != predicted %v", ev.GainPct, attack.GainPct)
+	}
+	// Replay via the corrupted EMS process.
+	profile, err := edattack.EMSProfileByName("NEPLAN") // a float64 vendor
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := edattack.NewEMSProcess(profile, net, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.IngestDLR(ud); err != nil {
+		t.Fatal(err)
+	}
+	exploit, err := edattack.NewEMSExploit(proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := edattack.RunMemoryAttack(proc, exploit, attack.DLR, ud); err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := edattack.NewEMSController(proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li := range attack.PredictedFlows {
+		if math.Abs(res.Flows[li]-attack.PredictedFlows[li]) > 1e-3 {
+			t.Fatalf("EMS flow[%d] = %v, bilevel predicted %v", li, res.Flows[li], attack.PredictedFlows[li])
+		}
+	}
+}
+
+// TestFloat32QuantizationRoundTrip: float32 vendors (PowerWorld) store
+// ratings in single precision; the controller must still dispatch against
+// values within quantization error of the attack vector.
+func TestFloat32QuantizationRoundTrip(t *testing.T) {
+	net, err := edattack.LoadCase("case3-fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, err := edattack.EMSProfileByName("PowerWorld")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := edattack.NewEMSProcess(profile, net, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exploit, err := edattack.NewEMSExploit(proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack := map[int]float64{1: 123.456, 2: 234.567}
+	if _, err := edattack.RunMemoryAttack(proc, exploit, attack, nil); err != nil {
+		t.Fatal(err)
+	}
+	ratings, err := proc.ReadRatings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li, want := range attack {
+		if math.Abs(ratings[li]-want) > 1e-3*want {
+			t.Fatalf("line %d: stored %v, want ≈ %v", li, ratings[li], want)
+		}
+	}
+}
+
+// TestAmbiguousValueWithoutNameField: the Powertools layout has no name
+// member; when two lines share a rating value the exploit must refuse
+// rather than corrupt the wrong object.
+func TestAmbiguousValueWithoutNameField(t *testing.T) {
+	net, err := edattack.LoadCase("case3-fig8") // all three ratings 150
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, err := edattack.EMSProfileByName("Powertools")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := edattack.NewEMSProcess(profile, net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exploit, err := edattack.NewEMSExploit(proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = edattack.RunMemoryAttack(proc, exploit, map[int]float64{1: 120}, nil)
+	if !errors.Is(err, ems.ErrAmbiguous) {
+		t.Fatalf("want ErrAmbiguous, got %v", err)
+	}
+	// After a DLR update gives the target a unique value, the attack
+	// succeeds.
+	if err := proc.IngestDLR(map[int]float64{1: 161}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := edattack.RunMemoryAttack(proc, exploit, map[int]float64{1: 120}, map[int]float64{1: 161}); err != nil {
+		t.Fatalf("unique-value attack failed: %v", err)
+	}
+}

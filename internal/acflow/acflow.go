@@ -1,0 +1,283 @@
+// Package acflow implements a Newton–Raphson AC power flow in polar
+// coordinates. The paper uses MATPOWER's nonlinear computations to measure
+// what a DC-generated attack actually does to the physical system (apparent
+// power flows exceed the DC estimates because of reactive flows and losses);
+// this package plays that role here. See DESIGN.md's substitution table.
+package acflow
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"github.com/edsec/edattack/internal/grid"
+	"github.com/edsec/edattack/internal/mat"
+)
+
+// ErrNoConverge is returned when Newton–Raphson fails to converge.
+var ErrNoConverge = errors.New("acflow: power flow did not converge")
+
+// Options tune the solver.
+type Options struct {
+	// MaxIter caps Newton iterations (default 30).
+	MaxIter int
+	// Tol is the per-unit mismatch tolerance (default 1e-8).
+	Tol float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 30
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	return o
+}
+
+// Result is a converged AC power flow.
+type Result struct {
+	// Vm and Va are per-unit voltage magnitudes and angles (radians),
+	// indexed like Network.Buses.
+	Vm, Va []float64
+	// BusP and BusQ are the net real (MW) and reactive (MVAr) injections
+	// at each bus.
+	BusP, BusQ []float64
+	// FromMVA and ToMVA are the apparent-power flows (MVA) at each line
+	// end; FromMW is the real power entering the line at the From end.
+	FromMVA, ToMVA, FromMW []float64
+	// LineLoadingMVA is max(FromMVA, ToMVA) per line — the quantity
+	// checked against thermal ratings.
+	LineLoadingMVA []float64
+	// LossMW is the total real-power loss.
+	LossMW float64
+	// SlackP is the real power (MW) produced at the slack bus.
+	SlackP float64
+	// Iterations is the Newton iteration count.
+	Iterations int
+}
+
+// Ybus builds the bus admittance matrix in per-unit.
+func Ybus(n *grid.Network) (*mat.CMatrix, error) {
+	nb := len(n.Buses)
+	y := mat.NewC(nb, nb)
+	for li := range n.Lines {
+		l := &n.Lines[li]
+		fi, err := n.BusIndex(l.From)
+		if err != nil {
+			return nil, fmt.Errorf("acflow: %w", err)
+		}
+		ti, err := n.BusIndex(l.To)
+		if err != nil {
+			return nil, fmt.Errorf("acflow: %w", err)
+		}
+		ys := 1 / complex(l.R, l.X)
+		sh := complex(0, l.B/2)
+		y.Add(fi, fi, ys+sh)
+		y.Add(ti, ti, ys+sh)
+		y.Add(fi, ti, -ys)
+		y.Add(ti, fi, -ys)
+	}
+	return y, nil
+}
+
+// Solve runs the power flow for a given per-generator real dispatch (MW).
+// PV-bus units hold their dispatch; the slack bus absorbs losses and any
+// imbalance. Reactive demand is taken from the network; generator reactive
+// output is implicit (no Q-limit switching).
+func Solve(n *grid.Network, dispatch []float64, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	if len(dispatch) != len(n.Gens) {
+		return nil, fmt.Errorf("acflow: %d dispatch values for %d generators", len(dispatch), len(n.Gens))
+	}
+	nb := len(n.Buses)
+	ybus, err := Ybus(n)
+	if err != nil {
+		return nil, err
+	}
+	slack, err := n.SlackIndex()
+	if err != nil {
+		return nil, fmt.Errorf("acflow: %w", err)
+	}
+
+	// Scheduled injections in per-unit.
+	pSched := make([]float64, nb)
+	qSched := make([]float64, nb)
+	for i := range n.Buses {
+		pSched[i] = -n.Buses[i].Pd / n.BaseMVA
+		qSched[i] = -n.Buses[i].Qd / n.BaseMVA
+	}
+	for gi := range n.Gens {
+		bi, err := n.BusIndex(n.Gens[gi].Bus)
+		if err != nil {
+			return nil, fmt.Errorf("acflow: %w", err)
+		}
+		pSched[bi] += dispatch[gi] / n.BaseMVA
+	}
+
+	// Unknown ordering: angles for all non-slack buses, then magnitudes
+	// for PQ buses.
+	var angIdx, magIdx []int
+	for i := range n.Buses {
+		if i != slack {
+			angIdx = append(angIdx, i)
+		}
+		if n.Buses[i].Type == grid.PQ {
+			magIdx = append(magIdx, i)
+		}
+	}
+	vm := make([]float64, nb)
+	va := make([]float64, nb)
+	for i := range n.Buses {
+		vm[i] = 1
+		if n.Buses[i].Type != grid.PQ && n.Buses[i].Vset > 0 {
+			vm[i] = n.Buses[i].Vset
+		}
+	}
+
+	g := func(i, k int) float64 { return real(ybus.At(i, k)) }
+	b := func(i, k int) float64 { return imag(ybus.At(i, k)) }
+	calcPQ := func() (p, q []float64) {
+		p = make([]float64, nb)
+		q = make([]float64, nb)
+		for i := 0; i < nb; i++ {
+			for k := 0; k < nb; k++ {
+				gik, bik := g(i, k), b(i, k)
+				if gik == 0 && bik == 0 {
+					continue
+				}
+				th := va[i] - va[k]
+				c, s := math.Cos(th), math.Sin(th)
+				p[i] += vm[i] * vm[k] * (gik*c + bik*s)
+				q[i] += vm[i] * vm[k] * (gik*s - bik*c)
+			}
+		}
+		return p, q
+	}
+
+	nUnk := len(angIdx) + len(magIdx)
+	var iter int
+	for iter = 0; iter < o.MaxIter; iter++ {
+		p, q := calcPQ()
+		mis := make([]float64, nUnk)
+		for r, i := range angIdx {
+			mis[r] = pSched[i] - p[i]
+		}
+		for r, i := range magIdx {
+			mis[len(angIdx)+r] = qSched[i] - q[i]
+		}
+		if mat.NormInf(mis) < o.Tol {
+			return assemble(n, ybus, vm, va, slack, iter)
+		}
+		jac := mat.New(nUnk, nUnk)
+		for r, i := range angIdx {
+			for c, k := range angIdx {
+				jac.Set(r, c, dPdTheta(i, k, vm, va, g, b, p, q))
+			}
+			for c, k := range magIdx {
+				jac.Set(r, len(angIdx)+c, dPdV(i, k, vm, va, g, b, p))
+			}
+		}
+		for r, i := range magIdx {
+			for c, k := range angIdx {
+				jac.Set(len(angIdx)+r, c, dQdTheta(i, k, vm, va, g, b, p))
+			}
+			for c, k := range magIdx {
+				jac.Set(len(angIdx)+r, len(angIdx)+c, dQdV(i, k, vm, va, g, b, q))
+			}
+		}
+		dx, err := mat.Solve(jac, mis)
+		if err != nil {
+			return nil, fmt.Errorf("acflow: Jacobian solve at iteration %d: %w", iter, err)
+		}
+		for r, i := range angIdx {
+			va[i] += dx[r]
+		}
+		for r, i := range magIdx {
+			vm[i] += dx[len(angIdx)+r]
+			if vm[i] < 0.1 {
+				vm[i] = 0.1 // keep magnitudes physical during iteration
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w after %d iterations", ErrNoConverge, o.MaxIter)
+}
+
+func dPdTheta(i, k int, vm, va []float64, g, b func(int, int) float64, p, q []float64) float64 {
+	if i == k {
+		return -q[i] - b(i, i)*vm[i]*vm[i]
+	}
+	th := va[i] - va[k]
+	return vm[i] * vm[k] * (g(i, k)*math.Sin(th) - b(i, k)*math.Cos(th))
+}
+
+func dPdV(i, k int, vm, va []float64, g, b func(int, int) float64, p []float64) float64 {
+	if i == k {
+		return p[i]/vm[i] + g(i, i)*vm[i]
+	}
+	th := va[i] - va[k]
+	return vm[i] * (g(i, k)*math.Cos(th) + b(i, k)*math.Sin(th))
+}
+
+func dQdTheta(i, k int, vm, va []float64, g, b func(int, int) float64, p []float64) float64 {
+	if i == k {
+		return p[i] - g(i, i)*vm[i]*vm[i]
+	}
+	th := va[i] - va[k]
+	return -vm[i] * vm[k] * (g(i, k)*math.Cos(th) + b(i, k)*math.Sin(th))
+}
+
+func dQdV(i, k int, vm, va []float64, g, b func(int, int) float64, q []float64) float64 {
+	if i == k {
+		return q[i]/vm[i] - b(i, i)*vm[i]
+	}
+	th := va[i] - va[k]
+	return vm[i] * (g(i, k)*math.Sin(th) - b(i, k)*math.Cos(th))
+}
+
+// assemble computes bus injections, line flows, and losses from a converged
+// voltage profile.
+func assemble(n *grid.Network, ybus *mat.CMatrix, vm, va []float64, slack, iters int) (*Result, error) {
+	nb := len(n.Buses)
+	v := make([]complex128, nb)
+	for i := 0; i < nb; i++ {
+		v[i] = cmplx.Rect(vm[i], va[i])
+	}
+	iv, err := ybus.MulVec(v)
+	if err != nil {
+		return nil, fmt.Errorf("acflow: %w", err)
+	}
+	res := &Result{
+		Vm: mat.CloneVec(vm), Va: mat.CloneVec(va),
+		BusP: make([]float64, nb), BusQ: make([]float64, nb),
+		FromMVA: make([]float64, len(n.Lines)), ToMVA: make([]float64, len(n.Lines)),
+		FromMW: make([]float64, len(n.Lines)), LineLoadingMVA: make([]float64, len(n.Lines)),
+		Iterations: iters,
+	}
+	var totalP float64
+	for i := 0; i < nb; i++ {
+		s := v[i] * cmplx.Conj(iv[i])
+		res.BusP[i] = real(s) * n.BaseMVA
+		res.BusQ[i] = imag(s) * n.BaseMVA
+		totalP += res.BusP[i]
+	}
+	res.LossMW = totalP
+	res.SlackP = res.BusP[slack] + n.Buses[slack].Pd
+	for li := range n.Lines {
+		l := &n.Lines[li]
+		fi, _ := n.BusIndex(l.From)
+		ti, _ := n.BusIndex(l.To)
+		ys := 1 / complex(l.R, l.X)
+		sh := complex(0, l.B/2)
+		iFrom := ys*(v[fi]-v[ti]) + sh*v[fi]
+		iTo := ys*(v[ti]-v[fi]) + sh*v[ti]
+		sFrom := v[fi] * cmplx.Conj(iFrom) * complex(n.BaseMVA, 0)
+		sTo := v[ti] * cmplx.Conj(iTo) * complex(n.BaseMVA, 0)
+		res.FromMVA[li] = cmplx.Abs(sFrom)
+		res.ToMVA[li] = cmplx.Abs(sTo)
+		res.FromMW[li] = real(sFrom)
+		res.LineLoadingMVA[li] = math.Max(res.FromMVA[li], res.ToMVA[li])
+	}
+	return res, nil
+}

@@ -1,0 +1,217 @@
+package acflow_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/edsec/edattack/internal/acflow"
+	"github.com/edsec/edattack/internal/dcflow"
+	"github.com/edsec/edattack/internal/grid/cases"
+)
+
+func TestYbusSymmetry(t *testing.T) {
+	n, err := cases.Case9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := acflow.Ybus(n)
+	if err != nil {
+		t.Fatalf("Ybus: %v", err)
+	}
+	for i := 0; i < y.Rows(); i++ {
+		for k := 0; k < y.Cols(); k++ {
+			if y.At(i, k) != y.At(k, i) {
+				t.Fatalf("Ybus not symmetric at (%d,%d)", i, k)
+			}
+		}
+	}
+}
+
+func TestSolveCase9Converges(t *testing.T) {
+	n, err := cases.Case9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classic WSCC operating point: P2 = 163, P3 = 85; slack covers the
+	// rest.
+	res, err := acflow.Solve(n, []float64{0, 163, 85}, acflow.Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Iterations > 10 {
+		t.Fatalf("too many iterations: %d", res.Iterations)
+	}
+	// The slack must produce roughly load + losses − 163 − 85 ≈ 67–72 MW.
+	if res.SlackP < 60 || res.SlackP > 80 {
+		t.Fatalf("slack P = %v, want ≈ 67–72", res.SlackP)
+	}
+	// Losses are small and positive on this well-conditioned case.
+	if res.LossMW < 0 || res.LossMW > 15 {
+		t.Fatalf("losses = %v MW", res.LossMW)
+	}
+	// All voltages near nominal.
+	for i, v := range res.Vm {
+		if v < 0.9 || v > 1.1 {
+			t.Fatalf("bus %d voltage %v out of range", i, v)
+		}
+	}
+}
+
+func TestSolveCase3(t *testing.T) {
+	n, err := cases.Case3(cases.Case3Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := acflow.Solve(n, []float64{120, 180}, acflow.Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// AC real flows must track the DC solution (f12 ≈ -20, f13 ≈ 140,
+	// f23 ≈ 160) within a few MW.
+	want := []float64{-20, 140, 160}
+	for i, w := range want {
+		if math.Abs(res.FromMW[i]-w) > 8 {
+			t.Fatalf("AC flow[%d] = %v, want ≈ %v", i, res.FromMW[i], w)
+		}
+	}
+	// Apparent power exceeds real power (reactive demand at bus 3).
+	if res.FromMVA[1] <= math.Abs(res.FromMW[1]) {
+		t.Fatalf("MVA %v must exceed |MW| %v", res.FromMVA[1], res.FromMW[1])
+	}
+}
+
+func TestPowerBalance(t *testing.T) {
+	n, err := cases.Case9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := acflow.Solve(n, []float64{0, 163, 85}, acflow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum of net bus injections equals total losses.
+	var sum float64
+	for _, p := range res.BusP {
+		sum += p
+	}
+	if math.Abs(sum-res.LossMW) > 1e-6 {
+		t.Fatalf("injection sum %v != losses %v", sum, res.LossMW)
+	}
+	// Generation = demand + losses.
+	gen := res.SlackP + 163 + 85
+	if math.Abs(gen-(n.TotalDemand()+res.LossMW)) > 1e-6 {
+		t.Fatalf("generation %v != demand %v + losses %v", gen, n.TotalDemand(), res.LossMW)
+	}
+}
+
+func TestSolveDispatchLengthError(t *testing.T) {
+	n, err := cases.Case9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acflow.Solve(n, []float64{1}, acflow.Options{}); err == nil {
+		t.Fatal("want dispatch length error")
+	}
+}
+
+func TestNoConvergenceOnAbsurdLoad(t *testing.T) {
+	n, err := cases.Case3(cases.Case3Options{Demand: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acflow.Solve(n, []float64{15000, 15000}, acflow.Options{MaxIter: 10}); err == nil {
+		t.Fatal("want convergence failure on 100× overload")
+	}
+}
+
+// Property: AC real flows converge to DC flows as reactive demand and
+// resistance vanish.
+func TestPropertyACApproachesDC(t *testing.T) {
+	n, err := cases.Case3(cases.Case3Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip resistance and reactive load.
+	for i := range n.Lines {
+		n.Lines[i].R = 0
+	}
+	n.Buses[2].Qd = 0
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p1 := 300 * r.Float64()
+		dispatch := []float64{p1, 300 - p1}
+		acRes, err := acflow.Solve(n, dispatch, acflow.Options{})
+		if err != nil {
+			return false
+		}
+		inj, _ := dcflow.InjectionsFromDispatch(n, dispatch)
+		dcRes, err := dcflow.Solve(n, inj)
+		if err != nil {
+			return false
+		}
+		for i := range n.Lines {
+			if math.Abs(acRes.FromMW[i]-dcRes.Flows[i]) > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: line loading is consistent — loading is the max of the two end
+// MVA values and is non-negative.
+func TestPropertyLoadingConsistency(t *testing.T) {
+	n, err := cases.Case9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := []float64{0, 50 + 200*r.Float64(), 50 + 150*r.Float64()}
+		res, err := acflow.Solve(n, d, acflow.Options{})
+		if err != nil {
+			return false
+		}
+		for i := range n.Lines {
+			want := math.Max(res.FromMVA[i], res.ToMVA[i])
+			if res.LineLoadingMVA[i] != want || res.LineLoadingMVA[i] < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveSynthetic118(t *testing.T) {
+	n, err := cases.Case118()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Proportional dispatch.
+	var cap float64
+	for i := range n.Gens {
+		cap += n.Gens[i].Pmax
+	}
+	d := make([]float64, len(n.Gens))
+	for i := range n.Gens {
+		d[i] = n.TotalDemand() * n.Gens[i].Pmax / cap
+	}
+	res, err := acflow.Solve(n, d, acflow.Options{MaxIter: 50})
+	if err != nil {
+		t.Fatalf("118-bus AC power flow failed: %v", err)
+	}
+	if res.LossMW < 0 {
+		t.Fatalf("negative losses: %v", res.LossMW)
+	}
+}

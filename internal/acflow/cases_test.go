@@ -1,0 +1,79 @@
+package acflow_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/edsec/edattack/internal/acflow"
+	"github.com/edsec/edattack/internal/dcflow"
+	"github.com/edsec/edattack/internal/dispatch"
+	"github.com/edsec/edattack/internal/grid"
+	"github.com/edsec/edattack/internal/grid/cases"
+)
+
+// TestAllCasesACDCConsistency drives every benchmark case through the full
+// operator chain — economic dispatch, DC power flow, AC power flow — and
+// checks the cross-model invariants that hold regardless of case data.
+func TestAllCasesACDCConsistency(t *testing.T) {
+	builders := map[string]func() (*grid.Network, error){
+		"case3":  func() (*grid.Network, error) { return cases.Case3(cases.Case3Options{}) },
+		"case9":  cases.Case9,
+		"case30": cases.Case30,
+		"case57": cases.Case57,
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			n, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := dispatch.BuildModel(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ed, err := m.Solve(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inj, err := dcflow.InjectionsFromDispatch(n, ed.P)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dc, err := dcflow.Solve(n, inj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ac, err := acflow.Solve(n, ed.P, acflow.Options{MaxIter: 60})
+			if err != nil {
+				t.Fatalf("AC power flow: %v", err)
+			}
+			// 1. Dispatch and DC power flow agree on every line.
+			for li := range n.Lines {
+				if math.Abs(ed.Flows[li]-dc.Flows[li]) > 1e-6*(1+math.Abs(dc.Flows[li])) {
+					t.Fatalf("line %d: ED flow %v vs DC flow %v", li, ed.Flows[li], dc.Flows[li])
+				}
+			}
+			// 2. AC real flows track DC: per-line deviation bounded by a
+			// loss/reactive-routing allowance proportional to the flow.
+			for li := range n.Lines {
+				tol := 20 + 0.2*math.Abs(dc.Flows[li])
+				if math.Abs(ac.FromMW[li]-dc.Flows[li]) > tol {
+					t.Fatalf("line %d: AC %v vs DC %v (tol %v)", li, ac.FromMW[li], dc.Flows[li], tol)
+				}
+			}
+			// 3. Losses are positive and small relative to demand.
+			if ac.LossMW < 0 || ac.LossMW > 0.08*n.TotalDemand() {
+				t.Fatalf("losses %v MW implausible for %v MW demand", ac.LossMW, n.TotalDemand())
+			}
+			// 4. Voltages inside a broad band. The synthetic cases model
+			// no shunt compensation, so remote load pockets sag harder
+			// than a planned system would; the check guards against
+			// collapse-level values, not operating-limit violations.
+			for i, v := range ac.Vm {
+				if v < 0.78 || v > 1.15 {
+					t.Fatalf("bus %d voltage %v", i, v)
+				}
+			}
+		})
+	}
+}

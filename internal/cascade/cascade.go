@@ -1,0 +1,329 @@
+// Package cascade simulates thermal cascading failures under the DC model:
+// overloaded lines trip, flows redistribute, islands are balanced by
+// generation scaling and load shedding, and the process repeats until the
+// system stabilizes. The paper's central safety claim is that dispatching
+// against manipulated ratings "can cause the lines to rapidly deteriorate
+// or degrade, increasing their likelihood of tripping. The sudden
+// disconnection of power lines can cause an outage." (Section II); this
+// package turns that into a measurable: load lost when the overloads the
+// attack induced are allowed to trip.
+package cascade
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/edsec/edattack/internal/dcflow"
+	"github.com/edsec/edattack/internal/grid"
+)
+
+// Options tune the simulation.
+type Options struct {
+	// TripThreshold is the loading fraction above which a line trips
+	// (default 1.0 = trip anything over its rating; protection curves in
+	// practice allow brief excursions, so 1.05–1.25 are also realistic).
+	TripThreshold float64
+	// MaxRounds caps redistribution rounds (default 50).
+	MaxRounds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.TripThreshold <= 0 {
+		o.TripThreshold = 1.0
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 50
+	}
+	return o
+}
+
+// TripEvent is one line disconnection.
+type TripEvent struct {
+	// Round is the cascade round (1-based).
+	Round int
+	// Line indexes the original network's Lines.
+	Line int
+	// FlowMW and RatingMW record the overload that tripped it.
+	FlowMW, RatingMW float64
+}
+
+// Result summarizes a cascade.
+type Result struct {
+	// Events lists trips in order.
+	Events []TripEvent
+	// Rounds is the number of redistribution rounds until stability.
+	Rounds int
+	// ShedMW is the total load disconnected to rebalance islands.
+	ShedMW float64
+	// ServedMW is the demand still served at the end.
+	ServedMW float64
+	// Islands is the number of connected components at the end.
+	Islands int
+	// LinesOut is the total number of tripped lines.
+	LinesOut int
+}
+
+// Simulate runs the cascade from an operating point: a per-generator
+// dispatch and the true ratings (entries ≤ 0 never trip).
+func Simulate(n *grid.Network, dispatch []float64, ratings []float64, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	if len(dispatch) != len(n.Gens) {
+		return nil, fmt.Errorf("cascade: %d dispatch values for %d generators", len(dispatch), len(n.Gens))
+	}
+	if len(ratings) != len(n.Lines) {
+		return nil, fmt.Errorf("cascade: %d ratings for %d lines", len(n.Lines), len(ratings))
+	}
+
+	alive := make([]bool, len(n.Lines))
+	for i := range alive {
+		alive[i] = true
+	}
+	gen := make([]float64, len(n.Gens))
+	copy(gen, dispatch)
+	load := make([]float64, len(n.Buses))
+	for i := range n.Buses {
+		load[i] = n.Buses[i].Pd
+	}
+	res := &Result{}
+
+	for round := 1; round <= o.MaxRounds; round++ {
+		flows, islands, shed, err := solveState(n, alive, gen, load)
+		if err != nil {
+			return nil, err
+		}
+		res.ShedMW += shed
+		res.Islands = islands
+		tripped := false
+		for li := range n.Lines {
+			if !alive[li] {
+				continue
+			}
+			u := ratings[li]
+			if u <= 0 {
+				continue
+			}
+			if math.Abs(flows[li]) > o.TripThreshold*u*(1+1e-9) {
+				alive[li] = false
+				tripped = true
+				res.Events = append(res.Events, TripEvent{
+					Round: round, Line: li, FlowMW: flows[li], RatingMW: u,
+				})
+			}
+		}
+		res.Rounds = round
+		if !tripped {
+			break
+		}
+	}
+	res.LinesOut = len(res.Events)
+	for i := range load {
+		res.ServedMW += load[i]
+	}
+	return res, nil
+}
+
+// solveState computes the DC flows over the surviving lines, balancing each
+// island by scaling generation down or shedding load (mutating gen/load),
+// and returns flows indexed like the original lines, the island count, and
+// the load shed this round.
+func solveState(n *grid.Network, alive []bool, gen, load []float64) (flows []float64, islands int, shed float64, err error) {
+	nb := len(n.Buses)
+	// Union-find over surviving lines.
+	parent := make([]int, nb)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for li := range n.Lines {
+		if !alive[li] {
+			continue
+		}
+		fi, e1 := n.BusIndex(n.Lines[li].From)
+		ti, e2 := n.BusIndex(n.Lines[li].To)
+		if e1 != nil || e2 != nil {
+			return nil, 0, 0, fmt.Errorf("cascade: %v %v", e1, e2)
+		}
+		parent[find(fi)] = find(ti)
+	}
+	comps := make(map[int][]int)
+	for i := 0; i < nb; i++ {
+		r := find(i)
+		comps[r] = append(comps[r], i)
+	}
+	islands = len(comps)
+
+	flows = make([]float64, len(n.Lines))
+	for _, buses := range comps {
+		s, err := balanceIsland(n, alive, buses, gen, load)
+		shed += s
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		f, err := islandFlows(n, alive, buses, gen, load)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		for li, v := range f {
+			flows[li] = v
+		}
+	}
+	return flows, islands, shed, nil
+}
+
+// balanceIsland equalizes generation and load within one component by
+// scaling generation (down when surplus, up to Pmax when deficient) and
+// shedding any remaining unserved load proportionally. It returns the MW
+// shed.
+func balanceIsland(n *grid.Network, alive []bool, buses []int, gen, load []float64) (float64, error) {
+	inIsland := make(map[int]bool, len(buses))
+	for _, b := range buses {
+		inIsland[b] = true
+	}
+	var totalGen, totalLoad, capMax float64
+	var genIdx []int
+	for gi := range n.Gens {
+		bi, err := n.BusIndex(n.Gens[gi].Bus)
+		if err != nil {
+			return 0, fmt.Errorf("cascade: %w", err)
+		}
+		if inIsland[bi] {
+			genIdx = append(genIdx, gi)
+			totalGen += gen[gi]
+			capMax += n.Gens[gi].Pmax
+		}
+	}
+	var loadIdx []int
+	for _, b := range buses {
+		if load[b] > 0 {
+			loadIdx = append(loadIdx, b)
+			totalLoad += load[b]
+		}
+	}
+	tol := 1e-6 * (1 + totalLoad)
+	switch {
+	case totalGen > totalLoad+tol:
+		// Surplus: scale generation down (governors back off).
+		scale := 0.0
+		if totalGen > 0 {
+			scale = totalLoad / totalGen
+		}
+		for _, gi := range genIdx {
+			gen[gi] *= scale
+		}
+		return 0, nil
+	case totalGen < totalLoad-tol:
+		// Deficit: ramp running units up proportionally, clamping at
+		// Pmax (primary frequency response), then shed what remains.
+		remaining := totalLoad
+		cur := totalGen
+		for iter := 0; iter < 8 && cur < remaining-tol && cur > 0; iter++ {
+			scale := remaining / cur
+			cur = 0
+			for _, gi := range genIdx {
+				gen[gi] = math.Min(gen[gi]*scale, n.Gens[gi].Pmax)
+				cur += gen[gi]
+			}
+		}
+		if cur >= remaining-tol {
+			return 0, nil
+		}
+		// All clamped units cannot cover the load (or no unit was
+		// running): shed the deficit proportionally.
+		deficit := remaining - cur
+		if capMax > cur && cur < remaining {
+			// Units at zero output but with capacity start up last.
+			extra := math.Min(capMax-cur, deficit)
+			if extra > tol {
+				for _, gi := range genIdx {
+					headroom := n.Gens[gi].Pmax - gen[gi]
+					if headroom > 0 && capMax-cur > 0 {
+						gen[gi] += extra * headroom / (capMax - cur)
+					}
+				}
+				deficit -= extra
+			}
+		}
+		if deficit <= tol {
+			return 0, nil
+		}
+		if totalLoad > 0 {
+			scale := (totalLoad - deficit) / totalLoad
+			for _, b := range loadIdx {
+				load[b] *= scale
+			}
+		}
+		return deficit, nil
+	default:
+		return 0, nil
+	}
+}
+
+// islandFlows solves the island's DC power flow and scatters the flows back
+// to original line indices.
+func islandFlows(n *grid.Network, alive []bool, buses []int, gen, load []float64) (map[int]float64, error) {
+	if len(buses) == 1 {
+		return map[int]float64{}, nil
+	}
+	inIsland := make(map[int]bool, len(buses))
+	for _, b := range buses {
+		inIsland[b] = true
+	}
+	sub := &grid.Network{Name: "island", BaseMVA: n.BaseMVA}
+	busMap := map[int]int{} // original index → sub external ID
+	for _, b := range buses {
+		id := len(sub.Buses) + 1
+		busMap[b] = id
+		typ := grid.PQ
+		if len(sub.Buses) == 0 {
+			typ = grid.Slack
+		}
+		sub.Buses = append(sub.Buses, grid.Bus{ID: id, Type: typ, VnomKV: 100, Vmin: 0.9, Vmax: 1.1})
+	}
+	var lineIdx []int
+	for li := range n.Lines {
+		if !alive[li] {
+			continue
+		}
+		fi, _ := n.BusIndex(n.Lines[li].From)
+		ti, _ := n.BusIndex(n.Lines[li].To)
+		if !inIsland[fi] || !inIsland[ti] {
+			continue
+		}
+		sub.Lines = append(sub.Lines, grid.Line{
+			ID: len(sub.Lines) + 1, From: busMap[fi], To: busMap[ti], X: n.Lines[li].X,
+		})
+		lineIdx = append(lineIdx, li)
+	}
+	// A generator placeholder satisfies validation; injections are passed
+	// explicitly.
+	sub.Gens = []grid.Generator{{ID: 1, Bus: 1, Pmax: 1}}
+	if err := sub.Validate(); err != nil {
+		return nil, fmt.Errorf("cascade: island model: %w", err)
+	}
+	inj := make([]float64, len(sub.Buses))
+	for _, b := range buses {
+		inj[busMap[b]-1] = -load[b]
+	}
+	for gi := range n.Gens {
+		bi, _ := n.BusIndex(n.Gens[gi].Bus)
+		if inIsland[bi] {
+			inj[busMap[bi]-1] += gen[gi]
+		}
+	}
+	res, err := dcflow.Solve(sub, inj)
+	if err != nil {
+		return nil, fmt.Errorf("cascade: island flow: %w", err)
+	}
+	out := make(map[int]float64, len(lineIdx))
+	for si, li := range lineIdx {
+		out[li] = res.Flows[si]
+	}
+	return out, nil
+}

@@ -1,0 +1,174 @@
+package cascade_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/edsec/edattack/internal/cascade"
+	"github.com/edsec/edattack/internal/dispatch"
+	"github.com/edsec/edattack/internal/grid/cases"
+)
+
+func TestNoCascadeAtSafePoint(t *testing.T) {
+	n, err := cases.Case3(cases.Case3Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dispatch.BuildModel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Solve(nil) // respects the 160 MW ratings
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratings := []float64{160, 160, 160}
+	sim, err := cascade.Simulate(n, res.P, ratings, cascade.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.LinesOut != 0 || sim.ShedMW != 0 {
+		t.Fatalf("safe point cascaded: %+v", sim)
+	}
+	if math.Abs(sim.ServedMW-300) > 1e-6 {
+		t.Fatalf("served = %v, want 300", sim.ServedMW)
+	}
+	if sim.Islands != 1 {
+		t.Fatalf("islands = %d", sim.Islands)
+	}
+}
+
+func TestAttackTriggersCascade(t *testing.T) {
+	// Table I row 1: the attacked dispatch pushes 200 MW down line {2,3}
+	// whose true rating is 120 → it trips; the redistribution overloads
+	// line {1,3} (300 MW vs 130) → it trips; bus 3 islands and its whole
+	// 300 MW load is lost. The paper's outage scenario, end to end.
+	n, err := cases.Case3(cases.Case3Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dispatch.BuildModel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacked, err := m.Solve([]float64{160, 100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueRatings := []float64{160, 130, 120}
+	sim, err := cascade.Simulate(n, attacked.P, trueRatings, cascade.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.LinesOut < 2 {
+		t.Fatalf("expected a multi-line cascade, got %+v", sim)
+	}
+	if sim.ShedMW < 250 {
+		t.Fatalf("expected a major outage, shed only %v MW", sim.ShedMW)
+	}
+	if sim.Islands < 2 {
+		t.Fatalf("expected islanding, got %d component(s)", sim.Islands)
+	}
+	// Events are ordered by round.
+	for i := 1; i < len(sim.Events); i++ {
+		if sim.Events[i].Round < sim.Events[i-1].Round {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestTripThresholdTolerance(t *testing.T) {
+	// With a 1.25 protection threshold, a 15% overload survives.
+	n, err := cases.Case3(cases.Case3Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dispatch.BuildModel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Solve(nil) // flows (−20, 140, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueRatings := []float64{160, 130, 145} // f23=160 is ~10% over 145
+	relaxed, err := cascade.Simulate(n, res.P, trueRatings, cascade.Options{TripThreshold: 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed.LinesOut != 0 {
+		t.Fatalf("protection tolerance ignored: %+v", relaxed)
+	}
+	strict, err := cascade.Simulate(n, res.P, trueRatings, cascade.Options{TripThreshold: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.LinesOut == 0 {
+		t.Fatal("strict protection should have tripped the overload")
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	n, err := cases.Case3(cases.Case3Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cascade.Simulate(n, []float64{1}, []float64{1, 2, 3}, cascade.Options{}); err == nil {
+		t.Fatal("want dispatch length error")
+	}
+	if _, err := cascade.Simulate(n, []float64{1, 2}, []float64{1}, cascade.Options{}); err == nil {
+		t.Fatal("want ratings length error")
+	}
+}
+
+func TestCascadeOn118BusAttack(t *testing.T) {
+	// On the 118-bus system, compare cascade impact of the honest vs a
+	// manipulated operating point under tight true ratings.
+	n, err := cases.Case118()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dispatch.BuildModel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest, err := m.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True ratings: DLR lines run 15% below static today.
+	trueRatings := n.Ratings(nil)
+	for _, li := range n.DLRLines() {
+		trueRatings[li] *= 0.85
+	}
+	// The honest operator would dispatch against the true ratings.
+	honestTight, err := m.Solve(trueRatings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simHonest, err := cascade.Simulate(n, honestTight.P, trueRatings, cascade.Options{TripThreshold: 1.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simHonest.LinesOut != 0 {
+		t.Fatalf("honest point must not cascade: %+v", simHonest)
+	}
+	// The deceived operator dispatches against inflated ratings.
+	inflated := n.Ratings(nil)
+	for _, li := range n.DLRLines() {
+		inflated[li] = n.Lines[li].DLRMax
+	}
+	deceived := honest
+	if res, err := m.Solve(inflated); err == nil {
+		deceived = res
+	}
+	simAttacked, err := cascade.Simulate(n, deceived.P, trueRatings, cascade.Options{TripThreshold: 1.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simAttacked.LinesOut < simHonest.LinesOut {
+		t.Fatalf("attacked cascade smaller than honest: %d vs %d", simAttacked.LinesOut, simHonest.LinesOut)
+	}
+	t.Logf("118-bus cascade under attack: %d trips, %.1f MW shed, %d islands",
+		simAttacked.LinesOut, simAttacked.ShedMW, simAttacked.Islands)
+}

@@ -1,0 +1,179 @@
+// Package contingency implements N−1 line-outage screening via line outage
+// distribution factors (LODFs). The paper argues that dispatching against
+// manipulated ratings "significantly increases the possibility of cascading
+// failures and the risk of subsequent emergency actions" (Section I) and
+// cites multiple-element contingency screening as the operator's standard
+// risk lens (Section VIII); this package quantifies that claim: it measures
+// how many single-line outages push some other line past its true rating,
+// before and after an attack.
+package contingency
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/edsec/edattack/internal/dcflow"
+	"github.com/edsec/edattack/internal/grid"
+	"github.com/edsec/edattack/internal/mat"
+)
+
+// ErrIslanding is returned when outaging a line would disconnect the
+// network (LODF undefined).
+var ErrIslanding = errors.New("contingency: outage islands the network")
+
+// LODF holds the line-outage distribution factors of a network: entry
+// (l, k) is the fraction of line k's pre-outage flow that shifts onto line
+// l when k trips.
+type LODF struct {
+	net    *grid.Network
+	factor *mat.Matrix // lines × lines; diagonal set to -1
+	// islanding[k] marks outages that would split the network.
+	islanding []bool
+}
+
+// ComputeLODF builds the factor matrix from the network's PTDF.
+func ComputeLODF(n *grid.Network) (*LODF, error) {
+	ptdf, err := dcflow.PTDF(n)
+	if err != nil {
+		return nil, fmt.Errorf("contingency: %w", err)
+	}
+	nl := len(n.Lines)
+	// ptdfLine(l, k): flow change on l per MW injected at k's From bus
+	// and withdrawn at k's To bus.
+	ptdfLine := func(l, k int) (float64, error) {
+		fk, err := n.BusIndex(n.Lines[k].From)
+		if err != nil {
+			return 0, err
+		}
+		tk, err := n.BusIndex(n.Lines[k].To)
+		if err != nil {
+			return 0, err
+		}
+		return ptdf.At(l, fk) - ptdf.At(l, tk), nil
+	}
+	out := &LODF{
+		net:       n,
+		factor:    mat.New(nl, nl),
+		islanding: make([]bool, nl),
+	}
+	for k := 0; k < nl; k++ {
+		denomBase, err := ptdfLine(k, k)
+		if err != nil {
+			return nil, fmt.Errorf("contingency: %w", err)
+		}
+		denom := 1 - denomBase
+		if math.Abs(denom) < 1e-8 {
+			// A self-PTDF of 1 means the line is a cut edge: its
+			// outage islands the network.
+			out.islanding[k] = true
+			continue
+		}
+		for l := 0; l < nl; l++ {
+			if l == k {
+				out.factor.Set(l, k, -1) // the tripped line carries nothing
+				continue
+			}
+			num, err := ptdfLine(l, k)
+			if err != nil {
+				return nil, fmt.Errorf("contingency: %w", err)
+			}
+			out.factor.Set(l, k, num/denom)
+		}
+	}
+	return out, nil
+}
+
+// Islanding reports whether outaging line k would split the network.
+func (d *LODF) Islanding(k int) bool { return d.islanding[k] }
+
+// Factor returns the LODF entry (l, k).
+func (d *LODF) Factor(l, k int) float64 { return d.factor.At(l, k) }
+
+// PostOutageFlows returns the flows after line k trips, given the
+// pre-outage flows: f'_l = f_l + LODF_{l,k}·f_k.
+func (d *LODF) PostOutageFlows(preFlows []float64, k int) ([]float64, error) {
+	if len(preFlows) != len(d.net.Lines) {
+		return nil, fmt.Errorf("contingency: %d flows for %d lines", len(preFlows), len(d.net.Lines))
+	}
+	if k < 0 || k >= len(d.net.Lines) {
+		return nil, fmt.Errorf("contingency: line index %d out of range", k)
+	}
+	if d.islanding[k] {
+		return nil, fmt.Errorf("line %d: %w", k, ErrIslanding)
+	}
+	out := make([]float64, len(preFlows))
+	fk := preFlows[k]
+	for l := range preFlows {
+		out[l] = preFlows[l] + d.factor.At(l, k)*fk
+	}
+	out[k] = 0
+	return out, nil
+}
+
+// Overload is one post-contingency limit violation.
+type Overload struct {
+	// Outage is the tripped line; Line is the line that overloads.
+	Outage, Line int
+	// FlowMW and RatingMW quantify the violation.
+	FlowMW, RatingMW float64
+	// Pct is 100·(|flow|/rating − 1).
+	Pct float64
+}
+
+// Report summarizes an N−1 screen.
+type Report struct {
+	// Overloads lists every (outage, overloaded line) pair.
+	Overloads []Overload
+	// InsecureOutages is the number of distinct outages causing at least
+	// one overload — the operator's headline N−1 security metric.
+	InsecureOutages int
+	// WorstPct is the largest post-contingency percentage overload.
+	WorstPct float64
+	// IslandingOutages counts outages skipped because they island the
+	// network.
+	IslandingOutages int
+}
+
+// Screen runs the full N−1 sweep: for every non-islanding line outage,
+// compute post-outage flows from the given operating point and compare
+// them against the ratings (entries ≤ 0 unlimited).
+func Screen(d *LODF, preFlows, ratings []float64) (*Report, error) {
+	n := d.net
+	if len(ratings) != len(n.Lines) {
+		return nil, fmt.Errorf("contingency: %d ratings for %d lines", len(ratings), len(n.Lines))
+	}
+	rep := &Report{}
+	insecure := make(map[int]bool)
+	for k := range n.Lines {
+		if d.islanding[k] {
+			rep.IslandingOutages++
+			continue
+		}
+		post, err := d.PostOutageFlows(preFlows, k)
+		if err != nil {
+			return nil, err
+		}
+		for l := range n.Lines {
+			if l == k {
+				continue
+			}
+			u := ratings[l]
+			if u <= 0 {
+				continue
+			}
+			if a := math.Abs(post[l]); a > u*(1+1e-9) {
+				pct := 100 * (a/u - 1)
+				rep.Overloads = append(rep.Overloads, Overload{
+					Outage: k, Line: l, FlowMW: post[l], RatingMW: u, Pct: pct,
+				})
+				insecure[k] = true
+				if pct > rep.WorstPct {
+					rep.WorstPct = pct
+				}
+			}
+		}
+	}
+	rep.InsecureOutages = len(insecure)
+	return rep, nil
+}

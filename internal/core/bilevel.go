@@ -1,0 +1,489 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/edsec/edattack/internal/dispatch"
+	"github.com/edsec/edattack/internal/lp"
+	"github.com/edsec/edattack/internal/milp"
+)
+
+// ineqKind labels one inner-problem inequality row.
+type ineqKind int
+
+const (
+	genUpper ineqKind = iota + 1 // p_i ≤ Pmax_i
+	genLower                     // −p_i ≤ −Pmin_i
+	flowPos                      // M_l·p + f0_l ≤ u_l
+	flowNeg                      // −M_l·p − f0_l ≤ u_l
+)
+
+// ineqRow describes one inner inequality in the KKT system.
+type ineqRow struct {
+	kind ineqKind
+	gen  int // for gen rows
+	line int // for flow rows
+}
+
+// subproblem is one (target line, direction) instance of the paper's
+// decomposition: maximize 100·(dir·f_t/u^d_t − 1) subject to the operator's
+// KKT conditions under manipulated DLR ratings.
+type subproblem struct {
+	k         *Knowledge
+	target    int
+	dir       float64
+	monitored []int // line indices whose flow constraints the inner ED sees
+	dlrOrder  []int // DLR line indices in variable order
+	method    Method
+	bigM      float64
+
+	// variable offsets in the master LP
+	nx, np, ni           int
+	xOff, pOff, sOff     int
+	lamOff, nuIdx, muOff int
+	rows                 []ineqRow
+	lastX                []float64 // heuristic memoization of the last attack vector
+}
+
+// newSubproblem assembles the index bookkeeping for a monitored line set.
+func newSubproblem(k *Knowledge, target int, dir float64, monitored []int, o Options) *subproblem {
+	s := &subproblem{
+		k: k, target: target, dir: dir,
+		monitored: append([]int(nil), monitored...),
+		dlrOrder:  k.Model.Net.DLRLines(),
+		method:    o.Method,
+		bigM:      o.BigM,
+	}
+	ng := len(k.Model.Net.Gens)
+	s.rows = make([]ineqRow, 0, 2*ng+2*len(s.monitored))
+	for i := 0; i < ng; i++ {
+		s.rows = append(s.rows, ineqRow{kind: genUpper, gen: i})
+	}
+	for i := 0; i < ng; i++ {
+		s.rows = append(s.rows, ineqRow{kind: genLower, gen: i})
+	}
+	for _, li := range s.monitored {
+		s.rows = append(s.rows, ineqRow{kind: flowPos, line: li})
+		s.rows = append(s.rows, ineqRow{kind: flowNeg, line: li})
+	}
+	s.nx = len(s.dlrOrder)
+	s.np = ng
+	s.ni = len(s.rows)
+	s.xOff = 0
+	s.pOff = s.nx
+	s.sOff = s.pOff + s.np
+	s.lamOff = s.sOff + s.ni
+	s.nuIdx = s.lamOff + s.ni
+	s.muOff = s.nuIdx + 1 // big-M binaries (if used)
+	return s
+}
+
+// dlrVar returns the master variable index of line li's manipulated rating,
+// or -1 if li is not a DLR line.
+func (s *subproblem) dlrVar(li int) int {
+	for k, l := range s.dlrOrder {
+		if l == li {
+			return s.xOff + k
+		}
+	}
+	return -1
+}
+
+// build constructs the single-level program.
+func (s *subproblem) build() (*milp.Problem, error) {
+	k := s.k
+	net := k.Model.Net
+	gens := net.Gens
+	nvars := s.muOff
+	if s.method == MethodBigM {
+		nvars += s.ni
+	}
+	base := lp.NewProblem(nvars)
+
+	// Variable bounds.
+	for idx, li := range s.dlrOrder {
+		l := &net.Lines[li]
+		if err := base.SetBounds(s.xOff+idx, l.DLRMin, l.DLRMax); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	for i := range gens {
+		if err := base.SetBounds(s.pOff+i, gens[i].Pmin, gens[i].Pmax); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	for j := 0; j < s.ni; j++ {
+		if err := base.SetBounds(s.sOff+j, 0, math.Inf(1)); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if err := base.SetBounds(s.lamOff+j, 0, math.Inf(1)); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	// ν free (default bounds).
+
+	// Objective: maximize 100·dir·f_t/u^d_t (constant −100 added by the
+	// caller). f_t = M_t·p + f0_t.
+	ud := k.TrueDLR[s.target]
+	obj := make([]float64, nvars)
+	mt := k.Model.M.RawRow(s.target)
+	for i := range gens {
+		obj[s.pOff+i] = 100 * s.dir * mt[i] / ud
+	}
+	if err := base.SetObjective(obj, true); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	// Supply-demand balance: Σ p_i = D (eq. 6).
+	idx := make([]int, len(gens))
+	ones := make([]float64, len(gens))
+	for i := range gens {
+		idx[i] = s.pOff + i
+		ones[i] = 1
+	}
+	if _, err := base.AddSparseConstraint(idx, ones, lp.EQ, k.Model.Demand); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	// Primal feasibility with explicit slacks: g_j(p) − h_j(x) + s_j = 0.
+	for j, row := range s.rows {
+		switch row.kind {
+		case genUpper:
+			if _, err := base.AddSparseConstraint(
+				[]int{s.pOff + row.gen, s.sOff + j}, []float64{1, 1},
+				lp.EQ, gens[row.gen].Pmax); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		case genLower:
+			if _, err := base.AddSparseConstraint(
+				[]int{s.pOff + row.gen, s.sOff + j}, []float64{-1, 1},
+				lp.EQ, -gens[row.gen].Pmin); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		case flowPos, flowNeg:
+			sign := 1.0
+			if row.kind == flowNeg {
+				sign = -1
+			}
+			li := row.line
+			mrow := k.Model.M.RawRow(li)
+			cidx := make([]int, 0, len(gens)+2)
+			cval := make([]float64, 0, len(gens)+2)
+			for i := range gens {
+				if mrow[i] != 0 {
+					cidx = append(cidx, s.pOff+i)
+					cval = append(cval, sign*mrow[i])
+				}
+			}
+			cidx = append(cidx, s.sOff+j)
+			cval = append(cval, 1)
+			rhs := -sign * k.Model.Base[li]
+			if xv := s.dlrVar(li); xv >= 0 {
+				cidx = append(cidx, xv)
+				cval = append(cval, -1)
+			} else {
+				rhs += net.Lines[li].RateMVA
+			}
+			if _, err := base.AddSparseConstraint(cidx, cval, lp.EQ, rhs); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		}
+	}
+
+	// Stationarity (eq. 16c): 2a_i·p_i + b_i + ν + λᵀ(∂g/∂p_i) = 0.
+	for i := range gens {
+		cidx := []int{s.pOff + i, s.nuIdx}
+		cval := []float64{2 * gens[i].CostA, 1}
+		for j, row := range s.rows {
+			var coeff float64
+			switch row.kind {
+			case genUpper:
+				if row.gen == i {
+					coeff = 1
+				}
+			case genLower:
+				if row.gen == i {
+					coeff = -1
+				}
+			case flowPos:
+				coeff = k.Model.M.At(row.line, i)
+			case flowNeg:
+				coeff = -k.Model.M.At(row.line, i)
+			}
+			if coeff != 0 {
+				cidx = append(cidx, s.lamOff+j)
+				cval = append(cval, coeff)
+			}
+		}
+		if _, err := base.AddSparseConstraint(cidx, cval, lp.EQ, -gens[i].CostB); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+
+	prob := milp.NewProblem(base)
+	switch s.method {
+	case MethodComplementarity:
+		for j := 0; j < s.ni; j++ {
+			if err := prob.AddComplementarityPair(s.lamOff+j, s.sOff+j); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		}
+	case MethodBigM:
+		// λ_j ≤ M·μ_j and s_j ≤ M·(1−μ_j) with binary μ_j (eq. 16d).
+		for j := 0; j < s.ni; j++ {
+			mu := s.muOff + j
+			if err := prob.SetBinary(mu); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			if _, err := base.AddSparseConstraint(
+				[]int{s.lamOff + j, mu}, []float64{1, -s.bigM}, lp.LE, 0); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			if _, err := base.AddSparseConstraint(
+				[]int{s.sOff + j, mu}, []float64{1, s.bigM}, lp.LE, s.bigM); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", s.method)
+	}
+	return prob, nil
+}
+
+// subResult is a solved subproblem before row-generation verification.
+type subResult struct {
+	gain  float64 // objective including the −100 constant
+	dlr   map[int]float64
+	p     []float64
+	nodes int
+	exact bool
+}
+
+// masterObj converts a realized attacker gain (U_cap percentage on the
+// target) into this subproblem's LP objective scale.
+func (s *subproblem) masterObj(gain float64) float64 {
+	ud := s.k.TrueDLR[s.target]
+	return gain + 100 - 100*s.dir*s.k.Model.Base[s.target]/ud
+}
+
+// heuristic rounds a node relaxation point into a true feasible incumbent:
+// it clamps the relaxation's DLR variables into the plausibility band, runs
+// the operator's actual ED under them, and scores the realized flow on the
+// target line. The resulting (x, p) pair is feasible for the master by
+// construction (the ED solution satisfies its own KKT conditions).
+func (s *subproblem) heuristic(relaxX []float64) (float64, []float64, bool) {
+	net := s.k.Model.Net
+	dlr := make(map[int]float64, s.nx)
+	for idx, li := range s.dlrOrder {
+		dlr[li] = clampToBand(&net.Lines[li], relaxX[s.xOff+idx])
+	}
+	// Relaxations at adjacent nodes usually keep the same attack vector;
+	// skip the (relatively expensive) ED re-solve when x is unchanged.
+	if s.lastX != nil {
+		same := true
+		for idx, li := range s.dlrOrder {
+			if math.Abs(dlr[li]-s.lastX[idx]) > 1e-7 {
+				same = false
+				break
+			}
+		}
+		if same {
+			return 0, nil, false
+		}
+	}
+	s.lastX = make([]float64, s.nx)
+	for idx, li := range s.dlrOrder {
+		s.lastX[idx] = dlr[li]
+	}
+	res, err := s.k.Model.Solve(s.k.ratingsUnder(dlr))
+	if err != nil {
+		return 0, nil, false
+	}
+	ud := s.k.TrueDLR[s.target]
+	obj := 100 * s.dir * (res.Flows[s.target] - s.k.Model.Base[s.target]) / ud
+	point := make([]float64, len(relaxX))
+	for idx, li := range s.dlrOrder {
+		point[s.xOff+idx] = dlr[li]
+	}
+	copy(point[s.pOff:s.pOff+s.np], res.P)
+	return obj, point, true
+}
+
+// solveOnce builds and solves the subproblem for the current monitored set.
+func (s *subproblem) solveOnce(o Options, incumbent *float64) (*subResult, error) {
+	prob, err := s.build()
+	if err != nil {
+		return nil, err
+	}
+	sol, err := milp.SolveWith(prob, milp.Options{
+		MaxNodes:  o.MaxNodes,
+		Incumbent: incumbent,
+		Gap:       o.RelGap,
+		Heuristic: s.heuristic,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: subproblem line %d dir %+g: %w", s.target, s.dir, err)
+	}
+	exact := true
+	switch sol.Status {
+	case milp.Optimal:
+	case milp.Infeasible:
+		return nil, nil // no stealthy manipulation admits a feasible ED here
+	case milp.NodeLimit:
+		if sol.X == nil {
+			return nil, nil // truncated without beating the seed: no improvement found
+		}
+		exact = false
+	default:
+		return nil, fmt.Errorf("core: subproblem line %d dir %+g: unexpected status %v", s.target, s.dir, sol.Status)
+	}
+	dlr := make(map[int]float64, s.nx)
+	for idx, li := range s.dlrOrder {
+		dlr[li] = clampToBand(&s.k.Model.Net.Lines[li], sol.X[s.xOff+idx])
+	}
+	p := make([]float64, s.np)
+	copy(p, sol.X[s.pOff:s.pOff+s.np])
+	// The LP objective covers only the variable part 100·dir·(M_t·p)/u^d;
+	// restore the affine constant 100·dir·f0_t/u^d − 100.
+	ud := s.k.TrueDLR[s.target]
+	gain := sol.Objective + 100*s.dir*s.k.Model.Base[s.target]/ud - 100
+	return &subResult{
+		gain:  gain,
+		dlr:   dlr,
+		p:     p,
+		nodes: sol.Nodes,
+		exact: exact,
+	}, nil
+}
+
+// SolveSubproblem solves one (target, direction) bilevel subproblem,
+// growing the monitored line set by row generation until the predicted
+// dispatch is feasible for the operator's full constraint set.
+func SolveSubproblem(k *Knowledge, target int, dir int, o Options) (*Attack, error) {
+	return solveSubproblemSeeded(k, target, dir, o, nil)
+}
+
+// solveSubproblemSeeded additionally accepts a realized-gain lower bound
+// (U_cap percentage) used to prune the search; a nil seed disables pruning.
+// When the seed is not beaten the function returns (nil, nil).
+func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, seedGain *float64) (*Attack, error) {
+	o = o.withDefaults()
+	if dir != 1 && dir != -1 {
+		return nil, fmt.Errorf("core: direction must be ±1, got %d", dir)
+	}
+	if _, ok := k.TrueDLR[target]; !ok {
+		return nil, fmt.Errorf("core: target line %d is not a DLR line", target)
+	}
+	net := k.Model.Net
+
+	monitored := initialMonitoredSet(k, o)
+	inSet := make(map[int]bool, len(monitored))
+	for _, li := range monitored {
+		inSet[li] = true
+	}
+
+	var totalNodes, rounds int
+	exact := true
+	for round := 0; round < o.MaxRounds; round++ {
+		rounds = round + 1
+		sp := newSubproblem(k, target, float64(dir), monitored, o)
+		var seed *float64
+		if seedGain != nil {
+			v := sp.masterObj(*seedGain)
+			seed = &v
+		}
+		res, err := sp.solveOnce(o, seed)
+		if err != nil {
+			return nil, err
+		}
+		if res == nil {
+			if seedGain != nil {
+				return nil, nil // pruned: nothing beats the seed here
+			}
+			return nil, ErrNoFeasibleAttack
+		}
+		totalNodes += res.nodes
+		exact = exact && res.exact
+
+		// Verify the predicted dispatch against every rated line the
+		// reduced inner problem did not see; add violated rows and
+		// repeat (the master's optimum is then exact for the full ED).
+		flows, err := k.Model.FlowsFor(res.p)
+		if err != nil {
+			return nil, err
+		}
+		ratings := k.ratingsUnder(res.dlr)
+		var violated []int
+		for li := range net.Lines {
+			if inSet[li] {
+				continue
+			}
+			u := ratings[li]
+			if u > 0 && math.Abs(flows[li]) > u+1e-6*(1+u) {
+				violated = append(violated, li)
+			}
+		}
+		if len(violated) == 0 {
+			gain := res.gain
+			if gain < 0 {
+				gain = 0
+			}
+			return &Attack{
+				DLR:            res.dlr,
+				TargetLine:     target,
+				Direction:      dir,
+				GainPct:        gain,
+				PredictedP:     res.p,
+				PredictedFlows: flows,
+				PredictedCost:  k.Model.Cost(res.p),
+				Nodes:          totalNodes,
+				Rounds:         rounds,
+				Exact:          exact,
+			}, nil
+		}
+		for _, li := range violated {
+			inSet[li] = true
+			monitored = append(monitored, li)
+		}
+	}
+	return nil, fmt.Errorf("core: row generation did not converge after %d rounds for line %d dir %+d",
+		o.MaxRounds, target, dir)
+}
+
+// initialMonitoredSet seeds row generation: all DLR lines plus any line
+// binding in the no-attack dispatch (or every rated line when MonitorAll).
+func initialMonitoredSet(k *Knowledge, o Options) []int {
+	net := k.Model.Net
+	if o.MonitorAll {
+		all := make([]int, 0, len(net.Lines))
+		for li := range net.Lines {
+			if net.Ratings(k.TrueDLR)[li] > 0 {
+				all = append(all, li)
+			}
+		}
+		return all
+	}
+	seen := make(map[int]bool)
+	var out []int
+	add := func(li int) {
+		if !seen[li] {
+			seen[li] = true
+			out = append(out, li)
+		}
+	}
+	for _, li := range net.DLRLines() {
+		add(li)
+	}
+	if res, err := k.Model.Solve(k.trueRatings()); err == nil {
+		for _, li := range res.Binding {
+			add(li)
+		}
+	} else if !errors.Is(err, dispatch.ErrInfeasible) {
+		// Solver trouble at seeding time is non-fatal: row generation
+		// will discover any missing constraints.
+		_ = err
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+// Package core implements the paper's primary contribution: optimal
+// generation of dynamic-line-rating (DLR) manipulations against economic
+// dispatch (Sections II–III of "Compromising Security of Economic Dispatch
+// in Power System Operations", DSN 2017).
+//
+// The attacker (leader) picks manipulated ratings uᵃ within the EMS
+// plausibility band [u_min, u_max] for the DLR line set E_D; the operator
+// (follower) then solves DC economic dispatch against the manipulated
+// ratings. The attacker maximizes the worst percentage violation of the
+// *true* dynamic ratings u^d by the resulting flows:
+//
+//	U_cap(f; u^d) = max 100·( max_{l ∈ E_D, dir} dir·f_l / u^d_l − 1 )⁺
+//
+// Following Section III, the bilevel program is split into 2·|E_D|
+// subproblems (one per DLR line and flow direction), each reformulated as a
+// single-level program via the inner problem's KKT conditions. Two
+// reformulations are provided: the paper's big-M MILP and direct
+// complementarity branching (the default, which avoids big-M numerics).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/edsec/edattack/internal/dispatch"
+	"github.com/edsec/edattack/internal/grid"
+)
+
+// ErrNoDLRLines is returned when the network has no DLR-equipped lines to
+// attack.
+var ErrNoDLRLines = errors.New("core: network has no DLR lines")
+
+// ErrNoFeasibleAttack is returned when no stealthy manipulation admits a
+// feasible dispatch (the operator would alarm for every choice).
+var ErrNoFeasibleAttack = errors.New("core: no feasible stealthy attack")
+
+// Knowledge is the attacker's model of the system (Section II-A): network
+// topology, susceptances, generator data and costs, nominal demand — all of
+// which the paper argues are realistically obtainable — plus the current
+// true dynamic ratings u^d of the DLR lines.
+type Knowledge struct {
+	// Model is the attacker's copy of the operator's DC-ED model.
+	Model *dispatch.Model
+	// TrueDLR maps DLR line index → the actual dynamic rating u^d the
+	// attacker will overwrite (and against which violations are scored).
+	TrueDLR map[int]float64
+}
+
+// NewKnowledge validates and bundles attacker knowledge. TrueDLR must have
+// an entry for every DLR line; values must lie inside the line's
+// plausibility band.
+func NewKnowledge(m *dispatch.Model, trueDLR map[int]float64) (*Knowledge, error) {
+	dlr := m.Net.DLRLines()
+	if len(dlr) == 0 {
+		return nil, ErrNoDLRLines
+	}
+	for _, li := range dlr {
+		v, ok := trueDLR[li]
+		if !ok {
+			return nil, fmt.Errorf("core: missing true DLR value for line %d", li)
+		}
+		l := &m.Net.Lines[li]
+		if v <= 0 || v < l.DLRMin-1e-9 || v > l.DLRMax+1e-9 {
+			return nil, fmt.Errorf("core: true DLR %g for line %d outside plausibility band [%g, %g]",
+				v, li, l.DLRMin, l.DLRMax)
+		}
+	}
+	for li := range trueDLR {
+		if li < 0 || li >= len(m.Net.Lines) || !m.Net.Lines[li].HasDLR {
+			return nil, fmt.Errorf("core: TrueDLR entry for non-DLR line %d", li)
+		}
+	}
+	return &Knowledge{Model: m, TrueDLR: trueDLR}, nil
+}
+
+// trueRatings returns the rating vector with DLR lines at their true
+// dynamic values — the yardstick violations are measured against.
+func (k *Knowledge) trueRatings() []float64 {
+	return k.Model.Net.Ratings(k.TrueDLR)
+}
+
+// Attack is one manipulated-rating vector with its predicted consequences.
+type Attack struct {
+	// DLR maps DLR line index → manipulated rating uᵃ.
+	DLR map[int]float64
+	// TargetLine and Direction identify the subproblem that produced the
+	// attack: the DLR line whose capacity violation is maximized, and the
+	// flow direction (+1 From→To, −1 To→From).
+	TargetLine int
+	Direction  int
+	// GainPct is the predicted attacker utility U_cap: the percentage by
+	// which the target line's DC flow exceeds its true rating (clamped at
+	// zero).
+	GainPct float64
+	// PredictedP and PredictedFlows are the dispatch and DC flows the
+	// bilevel model predicts the operator will implement.
+	PredictedP, PredictedFlows []float64
+	// PredictedCost is the operator's generation cost under the attack as
+	// estimated by the DC model.
+	PredictedCost float64
+	// Nodes is the total branch-and-bound node count spent.
+	Nodes int
+	// Rounds is the number of row-generation refinements performed.
+	Rounds int
+	// Exact reports whether the branch-and-bound search completed; false
+	// means a node budget truncated it and GainPct is a (realized,
+	// achievable) lower bound on the optimum.
+	Exact bool
+}
+
+// Method selects the single-level reformulation.
+type Method int
+
+// Reformulation methods.
+const (
+	// MethodComplementarity branches directly on KKT complementarity
+	// pairs (default; no big-M constants).
+	MethodComplementarity Method = iota + 1
+	// MethodBigM is the paper's reformulation: binary μ with
+	// λ ≤ M·μ, slack ≤ M·(1−μ).
+	MethodBigM
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodComplementarity:
+		return "complementarity"
+	case MethodBigM:
+		return "big-M"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options tune attack generation.
+type Options struct {
+	// Method selects the KKT reformulation (default
+	// MethodComplementarity).
+	Method Method
+	// BigM is the big-M constant for MethodBigM (default 1e5, mirroring
+	// the paper's "M is infinity (chosen as a significantly large
+	// number)").
+	BigM float64
+	// MonitorAll includes every rated line's constraints in the inner
+	// problem up front instead of growing the set by row generation.
+	MonitorAll bool
+	// MaxRounds caps row-generation refinements (default 12).
+	MaxRounds int
+	// MaxNodes caps branch-and-bound nodes per subproblem (default
+	// 50000).
+	MaxNodes int
+	// RelGap is the relative optimality gap for pruning (default the
+	// milp package's 1e-9); larger values (e.g. 1e-4) speed up large
+	// cases at a bounded optimality sacrifice.
+	RelGap float64
+	// NoSeed disables warm-starting Algorithm 1's pruning bound with the
+	// greedy vertex attack (seeding is on by default).
+	NoSeed bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Method == 0 {
+		o.Method = MethodComplementarity
+	}
+	if o.BigM == 0 {
+		o.BigM = 1e5
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 12
+	}
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 50000
+	}
+	return o
+}
+
+// ratingsUnder builds the full effective rating vector for a manipulation.
+func (k *Knowledge) ratingsUnder(dlr map[int]float64) []float64 {
+	return k.Model.Net.Ratings(dlr)
+}
+
+// violationGain computes the paper's U_cap for a flow vector: the largest
+// percentage violation of true DLR ratings in either direction, clamped at
+// zero.
+func (k *Knowledge) violationGain(flows []float64) (float64, int, int) {
+	g, line, dir := k.violationMargin(flows)
+	if g <= 0 {
+		return 0, -1, 0
+	}
+	return g, line, dir
+}
+
+// violationMargin is the unclamped variant of violationGain: negative
+// values measure how far the most-loaded DLR line is from violation, which
+// gives search heuristics a gradient inside the safe region.
+func (k *Knowledge) violationMargin(flows []float64) (float64, int, int) {
+	bestGain, bestLine, bestDir := math.Inf(-1), -1, 0
+	for li, ud := range k.TrueDLR {
+		for _, dir := range [2]float64{1, -1} {
+			g := 100 * (dir*flows[li]/ud - 1)
+			if g > bestGain {
+				bestGain, bestLine, bestDir = g, li, int(dir)
+			}
+		}
+	}
+	return bestGain, bestLine, bestDir
+}
+
+// Evaluation is the outcome of running the operator's ED under a specific
+// manipulation — the ground truth the bilevel model predicts.
+type Evaluation struct {
+	// Feasible reports whether the operator's ED admitted the ratings
+	// (false means the manipulation would trip an alarm — not stealthy).
+	Feasible bool
+	// GainPct is U_cap realized under the DC model.
+	GainPct float64
+	// WorstLine and Direction locate the worst violation (-1 when none).
+	WorstLine, Direction int
+	// Dispatch is the operator's resulting ED solution (nil when
+	// infeasible).
+	Dispatch *dispatch.Result
+}
+
+// EvaluateAttack runs the operator's dispatch under manipulated ratings and
+// scores the realized violation of true ratings. It is used to verify
+// bilevel predictions and to score baseline attackers.
+func (k *Knowledge) EvaluateAttack(dlr map[int]float64) (*Evaluation, error) {
+	if bad := k.Model.Net.CheckDLRBounds(dlr); len(bad) > 0 {
+		return nil, fmt.Errorf("core: manipulation rejected by EMS bound check on lines %v", bad)
+	}
+	res, err := k.Model.Solve(k.ratingsUnder(dlr))
+	if errors.Is(err, dispatch.ErrInfeasible) {
+		return &Evaluation{Feasible: false, WorstLine: -1}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	gain, line, dir := k.violationGain(res.Flows)
+	return &Evaluation{
+		Feasible: true, GainPct: gain, WorstLine: line, Direction: dir,
+		Dispatch: res,
+	}, nil
+}
+
+// clampToBand snaps a rating into a line's plausibility band.
+func clampToBand(l *grid.Line, v float64) float64 {
+	return math.Max(l.DLRMin, math.Min(l.DLRMax, v))
+}

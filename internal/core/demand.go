@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/edsec/edattack/internal/dcflow"
+	"github.com/edsec/edattack/internal/mat"
+)
+
+// The paper notes (Section II, threat model) that the same semantic memory
+// attack generalizes beyond line ratings: "other variations of attack
+// generation are possible, for e.g. manipulation of other parameters such
+// as generator/loads/voltage bounds". This file implements the load
+// variation: the attacker corrupts the EMS's in-memory bus demand forecast
+// within a per-bus stealth band while preserving the total (so AGC and
+// frequency monitoring see nothing), the operator dispatches for the fake
+// demand, and the realized flows — driven by the *true* demand — violate
+// true line ratings.
+
+// DemandAttack is a manipulated demand vector with its predicted impact.
+type DemandAttack struct {
+	// Demands is the corrupted per-bus forecast (MW).
+	Demands []float64
+	// GainPct is the realized U_cap against true DLR ratings.
+	GainPct float64
+	// WorstLine and Direction locate the violation.
+	WorstLine, Direction int
+	// Dispatch is the operator's dispatch under the fake forecast.
+	Dispatch []float64
+	// RealizedFlows are the DC flows under the true demand.
+	RealizedFlows []float64
+
+	// margin is the unclamped violation score used to guide the search.
+	margin float64
+}
+
+// DemandAttackOptions tune the search.
+type DemandAttackOptions struct {
+	// GammaPct is the per-bus stealth band (e.g. 0.1 = ±10% of each
+	// bus's true demand). Default 0.1.
+	GammaPct float64
+	// GridPoints and MaxSweeps control the coordinate search (defaults 5
+	// and 4).
+	GridPoints, MaxSweeps int
+}
+
+func (o DemandAttackOptions) withDefaults() DemandAttackOptions {
+	if o.GammaPct <= 0 {
+		o.GammaPct = 0.1
+	}
+	if o.GridPoints < 2 {
+		o.GridPoints = 5
+	}
+	if o.MaxSweeps <= 0 {
+		o.MaxSweeps = 4
+	}
+	return o
+}
+
+// EvaluateDemandAttack replays one corrupted forecast: the operator solves
+// ED for it (against the true DLR ratings it believes are current), then
+// the realized flows are computed under the true demand. Returns nil if
+// the fake forecast makes the ED infeasible (an alarm, not an attack).
+func (k *Knowledge) EvaluateDemandAttack(fake []float64) (*DemandAttack, error) {
+	net := k.Model.Net
+	if len(fake) != len(net.Buses) {
+		return nil, fmt.Errorf("core: %d demands for %d buses", len(fake), len(net.Buses))
+	}
+	trueDemands := make([]float64, len(net.Buses))
+	for i := range net.Buses {
+		trueDemands[i] = net.Buses[i].Pd
+	}
+	defer func() {
+		// Always restore the model to the true demand.
+		_ = k.Model.SetDemands(nil)
+	}()
+	if err := k.Model.SetDemands(fake); err != nil {
+		return nil, err
+	}
+	res, err := k.Model.Solve(k.trueRatings())
+	if err != nil {
+		return nil, nil // infeasible forecast → operator alarms
+	}
+	// Realized flows under the true demand.
+	if err := k.Model.SetDemands(nil); err != nil {
+		return nil, err
+	}
+	flows, err := k.Model.FlowsFor(res.P)
+	if err != nil {
+		return nil, err
+	}
+	gain, line, dir := k.violationGain(flows)
+	margin, _, _ := k.violationMargin(flows)
+	return &DemandAttack{
+		Demands:       mat.CloneVec(fake),
+		GainPct:       gain,
+		WorstLine:     line,
+		Direction:     dir,
+		Dispatch:      res.P,
+		RealizedFlows: flows,
+		margin:        margin,
+	}, nil
+}
+
+// FindDemandAttack searches for a total-preserving forecast corruption.
+// For each DLR line and direction it builds the PTDF-guided extreme
+// candidate — raise the forecast at buses whose injection *unloads* the
+// target line (so the operator under-protects it) and lower it where it
+// loads the line, rescaled to preserve the total — and keeps the best
+// realized violation, refined by shrinking the corruption amplitude.
+func FindDemandAttack(k *Knowledge, o DemandAttackOptions) (*DemandAttack, error) {
+	o = o.withDefaults()
+	net := k.Model.Net
+	nb := len(net.Buses)
+	trueD := make([]float64, nb)
+	var loadBuses []int
+	var total float64
+	for i := range net.Buses {
+		trueD[i] = net.Buses[i].Pd
+		total += trueD[i]
+		if trueD[i] > 0 {
+			loadBuses = append(loadBuses, i)
+		}
+	}
+	if len(loadBuses) < 2 {
+		return nil, fmt.Errorf("core: demand attack needs ≥ 2 load buses, have %d", len(loadBuses))
+	}
+	ptdf, err := dcflow.PTDF(net)
+	if err != nil {
+		return nil, err
+	}
+
+	best, err := k.EvaluateDemandAttack(trueD)
+	if err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return nil, ErrNoFeasibleAttack
+	}
+
+	// Candidate builder: amplitude a ∈ (0, γ], signs from dir·PTDF on the
+	// target line. The realized flow exceeds the believed flow by
+	// dir·ptdf_t·(d̃ − d), so the forecast is raised exactly at the buses
+	// whose (phantom) demand would relieve the target in the operator's
+	// model — the real system never sees that relief.
+	candidate := func(target int, dir float64, amp float64) []float64 {
+		d := mat.CloneVec(trueD)
+		var plus, minus float64
+		for _, b := range loadBuses {
+			s := dir * ptdf.At(target, b)
+			if s > 0 {
+				d[b] = trueD[b] * (1 + amp)
+				plus += d[b] - trueD[b]
+			} else if s < 0 {
+				d[b] = trueD[b] * (1 - amp)
+				minus += trueD[b] - d[b]
+			}
+		}
+		// Rebalance to preserve the total within the stealth band.
+		diff := plus - minus // surplus to remove (or deficit to add)
+		if math.Abs(diff) < 1e-12 {
+			return d
+		}
+		// Scale the larger side down toward truth.
+		if diff > 0 {
+			scale := (plus - diff) / plus
+			for _, b := range loadBuses {
+				if d[b] > trueD[b] {
+					d[b] = trueD[b] + (d[b]-trueD[b])*scale
+				}
+			}
+		} else {
+			scale := (minus + diff) / minus
+			for _, b := range loadBuses {
+				if d[b] < trueD[b] {
+					d[b] = trueD[b] - (trueD[b]-d[b])*scale
+				}
+			}
+		}
+		return d
+	}
+
+	for li := range k.TrueDLR {
+		for _, dir := range [2]float64{1, -1} {
+			for g := 1; g <= o.GridPoints; g++ {
+				amp := o.GammaPct * float64(g) / float64(o.GridPoints)
+				ev, err := k.EvaluateDemandAttack(candidate(li, dir, amp))
+				if err != nil {
+					return nil, err
+				}
+				if ev != nil && ev.margin > best.margin+1e-9 {
+					best = ev
+				}
+			}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/edsec/edattack/internal/dispatch"
+)
+
+// The paper's threat model assumes "an informed attacker" but stresses that
+// the broader setting is "a resource-constrained adversary with only
+// partial (or possibly full) knowledge of [the] system" (Section I-B). This
+// file quantifies that axis: the attacker plans with a *perturbed* model —
+// noisy demand and cost estimates — and the attack is then scored against
+// the true system.
+
+// PartialKnowledgeOptions control the perturbation.
+type PartialKnowledgeOptions struct {
+	// DemandErrPct is the 1-σ relative error on each bus demand estimate
+	// (e.g. 0.05 = 5%).
+	DemandErrPct float64
+	// CostErrPct is the 1-σ relative error on each generator's cost
+	// coefficients.
+	CostErrPct float64
+	// Seed makes the perturbation deterministic.
+	Seed int64
+}
+
+// PerturbedKnowledge builds the attacker's flawed world model: a clone of
+// the true network with noisy demands and costs, sharing the true DLR
+// values (the attacker reads those out of the SCADA feed directly).
+func PerturbedKnowledge(k *Knowledge, o PartialKnowledgeOptions) (*Knowledge, error) {
+	rng := rand.New(rand.NewSource(o.Seed))
+	net := k.Model.Net.Clone()
+	for i := range net.Buses {
+		if net.Buses[i].Pd > 0 && o.DemandErrPct > 0 {
+			net.Buses[i].Pd *= 1 + o.DemandErrPct*rng.NormFloat64()
+			if net.Buses[i].Pd < 0 {
+				net.Buses[i].Pd = 0
+			}
+		}
+	}
+	for i := range net.Gens {
+		if o.CostErrPct > 0 {
+			net.Gens[i].CostA *= 1 + o.CostErrPct*rng.NormFloat64()
+			net.Gens[i].CostB *= 1 + o.CostErrPct*rng.NormFloat64()
+			if net.Gens[i].CostA < 0 {
+				net.Gens[i].CostA = 0
+			}
+			if net.Gens[i].CostB < 0 {
+				net.Gens[i].CostB = 0
+			}
+		}
+	}
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("core: perturbed network invalid: %w", err)
+	}
+	model, err := dispatch.BuildModel(net)
+	if err != nil {
+		return nil, fmt.Errorf("core: perturbed model: %w", err)
+	}
+	return NewKnowledge(model, k.TrueDLR)
+}
+
+// PartialKnowledgeResult reports one sensitivity sample.
+type PartialKnowledgeResult struct {
+	// PlannedGainPct is what the attacker's flawed model predicted.
+	PlannedGainPct float64
+	// RealizedGainPct is what the manipulation achieves against the true
+	// system (0 when the true operator's ED rejects/absorbs it).
+	RealizedGainPct float64
+	// Feasible reports whether the true operator's ED stayed feasible
+	// under the manipulation (false would mean an alarm — a blown cover).
+	Feasible bool
+}
+
+// AttackWithPartialKnowledge plans the optimal attack on the perturbed
+// model and replays it against the true system.
+func AttackWithPartialKnowledge(trueK *Knowledge, o PartialKnowledgeOptions, ao Options) (*PartialKnowledgeResult, error) {
+	fake, err := PerturbedKnowledge(trueK, o)
+	if err != nil {
+		return nil, err
+	}
+	att, err := FindOptimalAttack(fake, ao)
+	if err == ErrNoFeasibleAttack {
+		return &PartialKnowledgeResult{Feasible: true}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	ev, err := trueK.EvaluateAttack(att.DLR)
+	if err != nil {
+		return nil, err
+	}
+	out := &PartialKnowledgeResult{
+		PlannedGainPct: att.GainPct,
+		Feasible:       ev.Feasible,
+	}
+	if ev.Feasible {
+		out.RealizedGainPct = ev.GainPct
+	}
+	return out, nil
+}

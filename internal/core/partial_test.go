@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/edsec/edattack/internal/core"
+)
+
+func TestPerturbedKnowledgeIsDifferentButValid(t *testing.T) {
+	k := knowledge3(t, 130, 120)
+	fake, err := core.PerturbedKnowledge(k, core.PartialKnowledgeOptions{
+		DemandErrPct: 0.1, CostErrPct: 0.1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fake.Model.Net.TotalDemand() == k.Model.Net.TotalDemand() {
+		t.Fatal("perturbation changed nothing")
+	}
+	// The true network must be untouched.
+	if k.Model.Net.TotalDemand() != 300 {
+		t.Fatalf("true network mutated: %v", k.Model.Net.TotalDemand())
+	}
+	// True DLR values carry over (they come from the SCADA feed).
+	if fake.TrueDLR[1] != 130 || fake.TrueDLR[2] != 120 {
+		t.Fatalf("DLR knowledge lost: %v", fake.TrueDLR)
+	}
+}
+
+func TestPartialKnowledgeZeroErrorMatchesFull(t *testing.T) {
+	k := knowledge3(t, 130, 120)
+	res, err := core.AttackWithPartialKnowledge(k,
+		core.PartialKnowledgeOptions{Seed: 1}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100 * (200.0/120 - 1)
+	if !res.Feasible || res.RealizedGainPct < want-1e-3 {
+		t.Fatalf("zero-error attack degraded: %+v (want ≈ %v)", res, want)
+	}
+}
+
+// TestPartialKnowledgeDegradation is the sensitivity shape: on the 3-bus
+// case the optimal strategy is a coarse band vertex, so it is remarkably
+// robust to model error — the realized gain stays positive even with 20%
+// demand/cost noise, supporting the paper's claim that approximate (DC,
+// estimated) knowledge suffices for damaging attacks.
+func TestPartialKnowledgeDegradation(t *testing.T) {
+	k := knowledge3(t, 130, 120)
+	for _, errPct := range []float64{0.05, 0.1, 0.2} {
+		positives := 0
+		samples := 5
+		for s := 0; s < samples; s++ {
+			res, err := core.AttackWithPartialKnowledge(k, core.PartialKnowledgeOptions{
+				DemandErrPct: errPct, CostErrPct: errPct, Seed: int64(100*errPct) + int64(s),
+			}, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Feasible && res.RealizedGainPct > 0 {
+				positives++
+			}
+		}
+		if positives == 0 {
+			t.Fatalf("no attack survived %.0f%% model error", 100*errPct)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package dcflow implements the DC (linearized) power-flow model used both
+// by the operator's economic dispatch and by the paper's attacker:
+//
+//	f_ij = β_ij (θ_i − θ_j),   injections = B·θ
+//
+// with β = 1/x, angles in radians, and powers in MW (per-unit susceptances
+// scaled by the network MVA base). The slack bus angle is fixed at zero.
+// The package also computes power-transfer distribution factors (PTDFs),
+// which the dispatch and attack packages use to express line flows directly
+// in terms of nodal injections.
+package dcflow
+
+import (
+	"fmt"
+
+	"github.com/edsec/edattack/internal/grid"
+	"github.com/edsec/edattack/internal/mat"
+)
+
+// Result is a solved DC power flow.
+type Result struct {
+	// Theta holds the bus voltage angles in radians (slack = 0), indexed
+	// like Network.Buses.
+	Theta []float64
+	// Flows holds the real-power flow in MW on each line, positive in the
+	// From→To direction, indexed like Network.Lines.
+	Flows []float64
+	// SlackInjection is the implied net injection at the slack bus in MW.
+	SlackInjection float64
+}
+
+// Solve computes the DC power flow for the given nodal injections
+// (generation minus demand, in MW, indexed like Network.Buses). The slack
+// bus entry is ignored and implied by balance. The network must have been
+// validated.
+func Solve(n *grid.Network, injections []float64) (*Result, error) {
+	nb := len(n.Buses)
+	if len(injections) != nb {
+		return nil, fmt.Errorf("dcflow: %d injections for %d buses", len(injections), nb)
+	}
+	slack, err := n.SlackIndex()
+	if err != nil {
+		return nil, fmt.Errorf("dcflow: %w", err)
+	}
+	b, err := reducedB(n, slack)
+	if err != nil {
+		return nil, err
+	}
+	rhs := make([]float64, 0, nb-1)
+	for i := 0; i < nb; i++ {
+		if i != slack {
+			rhs = append(rhs, injections[i])
+		}
+	}
+	thetaRed, err := mat.Solve(b, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("dcflow: B-matrix solve: %w", err)
+	}
+	theta := make([]float64, nb)
+	k := 0
+	for i := 0; i < nb; i++ {
+		if i == slack {
+			continue
+		}
+		theta[i] = thetaRed[k]
+		k++
+	}
+	flows, err := Flows(n, theta)
+	if err != nil {
+		return nil, err
+	}
+	// The slack injection balances the (lossless) system.
+	var total float64
+	for i, p := range injections {
+		if i != slack {
+			total += p
+		}
+	}
+	return &Result{Theta: theta, Flows: flows, SlackInjection: -total}, nil
+}
+
+// Flows evaluates the MW flow on every line for the given bus angles.
+func Flows(n *grid.Network, theta []float64) ([]float64, error) {
+	if len(theta) != len(n.Buses) {
+		return nil, fmt.Errorf("dcflow: %d angles for %d buses", len(theta), len(n.Buses))
+	}
+	out := make([]float64, len(n.Lines))
+	for li := range n.Lines {
+		l := &n.Lines[li]
+		fi, err := n.BusIndex(l.From)
+		if err != nil {
+			return nil, fmt.Errorf("dcflow: %w", err)
+		}
+		ti, err := n.BusIndex(l.To)
+		if err != nil {
+			return nil, fmt.Errorf("dcflow: %w", err)
+		}
+		out[li] = n.BaseMVA * l.Susceptance() * (theta[fi] - theta[ti])
+	}
+	return out, nil
+}
+
+// reducedB builds the slack-reduced nodal susceptance matrix scaled so that
+// B·θ yields MW.
+func reducedB(n *grid.Network, slack int) (*mat.Matrix, error) {
+	nb := len(n.Buses)
+	idx := make([]int, nb) // bus index → reduced index (-1 for slack)
+	k := 0
+	for i := 0; i < nb; i++ {
+		if i == slack {
+			idx[i] = -1
+			continue
+		}
+		idx[i] = k
+		k++
+	}
+	b := mat.New(nb-1, nb-1)
+	for li := range n.Lines {
+		l := &n.Lines[li]
+		fi, err := n.BusIndex(l.From)
+		if err != nil {
+			return nil, fmt.Errorf("dcflow: %w", err)
+		}
+		ti, err := n.BusIndex(l.To)
+		if err != nil {
+			return nil, fmt.Errorf("dcflow: %w", err)
+		}
+		beta := n.BaseMVA * l.Susceptance()
+		if idx[fi] >= 0 {
+			b.Add(idx[fi], idx[fi], beta)
+		}
+		if idx[ti] >= 0 {
+			b.Add(idx[ti], idx[ti], beta)
+		}
+		if idx[fi] >= 0 && idx[ti] >= 0 {
+			b.Add(idx[fi], idx[ti], -beta)
+			b.Add(idx[ti], idx[fi], -beta)
+		}
+	}
+	return b, nil
+}
+
+// PTDF computes the lines×buses power-transfer distribution factor matrix:
+// entry (l, i) is the MW flow change on line l per MW injected at bus i and
+// withdrawn at the slack. The slack column is zero.
+func PTDF(n *grid.Network) (*mat.Matrix, error) {
+	nb := len(n.Buses)
+	slack, err := n.SlackIndex()
+	if err != nil {
+		return nil, fmt.Errorf("dcflow: %w", err)
+	}
+	b, err := reducedB(n, slack)
+	if err != nil {
+		return nil, err
+	}
+	f, err := mat.Factor(b)
+	if err != nil {
+		return nil, fmt.Errorf("dcflow: B-matrix factorization: %w", err)
+	}
+	// Solve for the angle response to a unit injection at each non-slack
+	// bus, then map through the flow equations.
+	idx := make([]int, nb)
+	k := 0
+	for i := 0; i < nb; i++ {
+		if i == slack {
+			idx[i] = -1
+			continue
+		}
+		idx[i] = k
+		k++
+	}
+	// thetaResp[j] = angles (reduced) for injection at reduced bus j.
+	thetaResp := make([][]float64, nb-1)
+	e := make([]float64, nb-1)
+	for j := 0; j < nb-1; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := f.Solve(e)
+		if err != nil {
+			return nil, fmt.Errorf("dcflow: PTDF solve: %w", err)
+		}
+		thetaResp[j] = col
+	}
+	ptdf := mat.New(len(n.Lines), nb)
+	for li := range n.Lines {
+		l := &n.Lines[li]
+		fi, _ := n.BusIndex(l.From)
+		ti, _ := n.BusIndex(l.To)
+		beta := n.BaseMVA * l.Susceptance()
+		for busI := 0; busI < nb; busI++ {
+			if busI == slack {
+				continue
+			}
+			j := idx[busI]
+			var thF, thT float64
+			if idx[fi] >= 0 {
+				thF = thetaResp[j][idx[fi]]
+			}
+			if idx[ti] >= 0 {
+				thT = thetaResp[j][idx[ti]]
+			}
+			ptdf.Set(li, busI, beta*(thF-thT))
+		}
+	}
+	return ptdf, nil
+}
+
+// InjectionsFromDispatch assembles the nodal injection vector (MW) from a
+// per-generator dispatch and the network demand. dispatch is indexed like
+// Network.Gens.
+func InjectionsFromDispatch(n *grid.Network, dispatch []float64) ([]float64, error) {
+	if len(dispatch) != len(n.Gens) {
+		return nil, fmt.Errorf("dcflow: %d dispatch values for %d generators", len(dispatch), len(n.Gens))
+	}
+	inj := make([]float64, len(n.Buses))
+	for i := range n.Buses {
+		inj[i] = -n.Buses[i].Pd
+	}
+	for gi := range n.Gens {
+		bi, err := n.BusIndex(n.Gens[gi].Bus)
+		if err != nil {
+			return nil, fmt.Errorf("dcflow: %w", err)
+		}
+		inj[bi] += dispatch[gi]
+	}
+	return inj, nil
+}

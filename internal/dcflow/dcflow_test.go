@@ -1,0 +1,220 @@
+package dcflow_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/edsec/edattack/internal/dcflow"
+	"github.com/edsec/edattack/internal/grid"
+	"github.com/edsec/edattack/internal/grid/cases"
+	"github.com/edsec/edattack/internal/mat"
+)
+
+func case3(t *testing.T) *grid.Network {
+	t.Helper()
+	n, err := cases.Case3(cases.Case3Options{})
+	if err != nil {
+		t.Fatalf("Case3: %v", err)
+	}
+	return n
+}
+
+func TestSolveTwoBus(t *testing.T) {
+	n := &grid.Network{
+		BaseMVA: 100,
+		Buses: []grid.Bus{
+			{ID: 1, Type: grid.Slack},
+			{ID: 2, Type: grid.PQ, Pd: 50},
+		},
+		Lines: []grid.Line{{ID: 1, From: 1, To: 2, X: 0.1}},
+		Gens:  []grid.Generator{{ID: 1, Bus: 1, Pmax: 100}},
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := dcflow.Solve(n, []float64{0, -50})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// All load must flow over the single line from bus 1 to bus 2.
+	if math.Abs(res.Flows[0]-50) > 1e-9 {
+		t.Fatalf("flow = %v, want 50", res.Flows[0])
+	}
+	if math.Abs(res.SlackInjection-50) > 1e-9 {
+		t.Fatalf("slack injection = %v, want 50", res.SlackInjection)
+	}
+}
+
+func TestSolveCase3MatchesPaper(t *testing.T) {
+	// Paper Section IV-A: with (p1, p2) = (120, 180) and d = 300, the
+	// flows are f12 = -20, f13 = 140, f23 = 160.
+	n := case3(t)
+	inj, err := dcflow.InjectionsFromDispatch(n, []float64{120, 180})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dcflow.Solve(n, inj)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	want := []float64{-20, 140, 160}
+	for i, w := range want {
+		if math.Abs(res.Flows[i]-w) > 1e-6 {
+			t.Fatalf("flow[%d] = %v, want %v (all %v)", i, res.Flows[i], w, res.Flows)
+		}
+	}
+}
+
+func TestFlowConservation(t *testing.T) {
+	// Net flow out of every non-slack bus equals its injection.
+	n := case3(t)
+	inj, _ := dcflow.InjectionsFromDispatch(n, []float64{100, 200})
+	res, err := dcflow.Solve(n, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := len(n.Buses)
+	net := make([]float64, nb)
+	for li := range n.Lines {
+		fi, _ := n.BusIndex(n.Lines[li].From)
+		ti, _ := n.BusIndex(n.Lines[li].To)
+		net[fi] += res.Flows[li]
+		net[ti] -= res.Flows[li]
+	}
+	slack, _ := n.SlackIndex()
+	for i := 0; i < nb; i++ {
+		if i == slack {
+			continue
+		}
+		if math.Abs(net[i]-inj[i]) > 1e-7 {
+			t.Fatalf("bus %d: net outflow %v != injection %v", i, net[i], inj[i])
+		}
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	n := case3(t)
+	if _, err := dcflow.Solve(n, []float64{1}); err == nil {
+		t.Fatal("want injection length error")
+	}
+	if _, err := dcflow.Flows(n, []float64{0}); err == nil {
+		t.Fatal("want angle length error")
+	}
+	if _, err := dcflow.InjectionsFromDispatch(n, []float64{1}); err == nil {
+		t.Fatal("want dispatch length error")
+	}
+}
+
+func TestPTDFReproducesFlows(t *testing.T) {
+	n := case3(t)
+	ptdf, err := dcflow.PTDF(n)
+	if err != nil {
+		t.Fatalf("PTDF: %v", err)
+	}
+	inj, _ := dcflow.InjectionsFromDispatch(n, []float64{120, 180})
+	res, _ := dcflow.Solve(n, inj)
+	got, err := ptdf.MulVec(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if math.Abs(got[i]-res.Flows[i]) > 1e-7 {
+			t.Fatalf("PTDF flow[%d] = %v, want %v", i, got[i], res.Flows[i])
+		}
+	}
+}
+
+func TestPTDFSlackColumnZero(t *testing.T) {
+	n := case3(t)
+	ptdf, err := dcflow.PTDF(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slack, _ := n.SlackIndex()
+	for li := 0; li < ptdf.Rows(); li++ {
+		if ptdf.At(li, slack) != 0 {
+			t.Fatalf("PTDF slack column not zero at line %d", li)
+		}
+	}
+}
+
+// Property: on random synthetic networks, PTDF×injections equals the solved
+// flows, and flow conservation holds.
+func TestPropertyPTDFConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, err := cases.Synthetic(cases.SyntheticOptions{
+			Buses: 6 + r.Intn(20), Gens: 2 + r.Intn(4),
+			ExtraLines: 3 + r.Intn(8), DLRLines: 2, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		dispatch := make([]float64, len(n.Gens))
+		for i := range dispatch {
+			dispatch[i] = n.Gens[i].Pmax * r.Float64()
+		}
+		inj, err := dcflow.InjectionsFromDispatch(n, dispatch)
+		if err != nil {
+			return false
+		}
+		res, err := dcflow.Solve(n, inj)
+		if err != nil {
+			return false
+		}
+		ptdf, err := dcflow.PTDF(n)
+		if err != nil {
+			return false
+		}
+		viaPTDF, err := ptdf.MulVec(inj)
+		if err != nil {
+			return false
+		}
+		scale := 1 + mat.NormInf(res.Flows)
+		for i := range viaPTDF {
+			if math.Abs(viaPTDF[i]-res.Flows[i]) > 1e-6*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DC flow is linear — scaling all injections scales all flows.
+func TestPropertyLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, err := cases.Case3(cases.Case3Options{})
+		if err != nil {
+			return false
+		}
+		p1 := 300 * r.Float64()
+		inj, _ := dcflow.InjectionsFromDispatch(n, []float64{p1, 300 - p1})
+		res1, err := dcflow.Solve(n, inj)
+		if err != nil {
+			return false
+		}
+		inj2 := make([]float64, len(inj))
+		for i := range inj {
+			inj2[i] = 2 * inj[i]
+		}
+		res2, err := dcflow.Solve(n, inj2)
+		if err != nil {
+			return false
+		}
+		for i := range res1.Flows {
+			if math.Abs(res2.Flows[i]-2*res1.Flows[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

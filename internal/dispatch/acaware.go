@@ -1,0 +1,55 @@
+package dispatch
+
+import (
+	"fmt"
+
+	"github.com/edsec/edattack/internal/grid"
+)
+
+// SolveACAware runs the operator's production dispatch loop: a DC economic
+// dispatch iteratively tightened against AC feedback until the realized
+// apparent-power loadings respect the (believed) line ratings. This stands
+// in for the AC-OPF the commercial EMS packages run (PowerWorld in the
+// paper's Fig. 8): the operating state it produces is safe *with respect to
+// the ratings the EMS believes* — which is exactly the property the memory
+// attack subverts.
+//
+// believedRatings are the MVA ratings the EMS is working with (possibly
+// corrupted); entries ≤ 0 are unlimited. The returned evaluation is against
+// those same believed ratings.
+func (m *Model) SolveACAware(net *grid.Network, believedRatings []float64, maxIter int) (*Result, *ACEvaluation, error) {
+	if len(believedRatings) != len(net.Lines) {
+		return nil, nil, fmt.Errorf("dispatch: %d ratings for %d lines", len(believedRatings), len(net.Lines))
+	}
+	if maxIter <= 0 {
+		maxIter = 6
+	}
+	eff := make([]float64, len(believedRatings))
+	copy(eff, believedRatings)
+	var lastRes *Result
+	var lastEv *ACEvaluation
+	for iter := 0; iter < maxIter; iter++ {
+		res, err := m.Solve(eff)
+		if err != nil {
+			return nil, nil, err
+		}
+		ev, err := EvaluateAC(net, res.P, believedRatings)
+		if err != nil {
+			return nil, nil, err
+		}
+		lastRes, lastEv = res, ev
+		if len(ev.Violations) == 0 {
+			return res, ev, nil
+		}
+		// Tighten each violated line's DC limit by the MVA excess plus
+		// a small margin, so the next dispatch leaves reactive headroom.
+		for _, v := range ev.Violations {
+			excess := v.LoadingMVA - v.RatingMVA
+			eff[v.Line] -= 1.1 * excess
+			if eff[v.Line] < 0.1*believedRatings[v.Line] {
+				eff[v.Line] = 0.1 * believedRatings[v.Line]
+			}
+		}
+	}
+	return lastRes, lastEv, nil
+}

@@ -1,0 +1,149 @@
+package dispatch_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/edsec/edattack/internal/dispatch"
+	"github.com/edsec/edattack/internal/grid/cases"
+)
+
+func TestSolveACAwareRespectsRatings(t *testing.T) {
+	// With demand headroom, the AC-aware loop must converge to a state
+	// whose realized loadings respect the believed ratings.
+	n, err := cases.Case3(cases.Case3Options{Rating: 150, Demand: 280, QdRatio: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dispatch.BuildModel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	believed := []float64{150, 150, 150}
+	res, ev, err := m.SolveACAware(n, believed, 0)
+	if err != nil {
+		t.Fatalf("SolveACAware: %v", err)
+	}
+	if len(ev.Violations) != 0 {
+		t.Fatalf("AC-aware dispatch still violates: %+v", ev.Violations)
+	}
+	var total float64
+	for _, p := range res.P {
+		total += p
+	}
+	if math.Abs(total-280) > 1e-5 {
+		t.Fatalf("balance broken: %v", total)
+	}
+}
+
+func TestSolveACAwareCorruptedRatings(t *testing.T) {
+	// Under corrupted ratings the loop keeps the system "safe" only
+	// against the lie: true-rating violations appear.
+	n, err := cases.Case3(cases.Case3Options{Rating: 150, Demand: 280, QdRatio: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dispatch.BuildModel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := []float64{150, 120, 240}
+	res, evBelieved, err := m.SolveACAware(n, corrupted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evBelieved.Violations) != 0 {
+		t.Fatalf("dispatch violates its own believed ratings: %+v", evBelieved.Violations)
+	}
+	evTrue, err := dispatch.EvaluateAC(n, res.P, []float64{150, 150, 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evTrue.Violations) == 0 {
+		t.Fatal("corrupted ratings produced no true violation")
+	}
+}
+
+func TestSolveACAwareBadInput(t *testing.T) {
+	n, err := cases.Case3(cases.Case3Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dispatch.BuildModel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.SolveACAware(n, []float64{1}, 0); err == nil {
+		t.Fatal("want ratings length error")
+	}
+}
+
+func TestSolveRobustRatings(t *testing.T) {
+	n, err := cases.Case3(cases.Case3Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dispatch.BuildModel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []float64{160, 160, 160}
+	res, err := m.SolveRobustRatings(base, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, li := range n.DLRLines() {
+		if math.Abs(res.Flows[li]) > 160*0.97+1e-6 {
+			t.Fatalf("derated limit exceeded on line %d: %v", li, res.Flows[li])
+		}
+	}
+	if _, err := m.SolveRobustRatings([]float64{1}, 0.05); err == nil {
+		t.Fatal("want length error")
+	}
+	if _, err := m.SolveRobustRatings(base, -0.1); err == nil {
+		t.Fatal("want margin error")
+	}
+}
+
+func TestConstraintGenerationWarmStartConsistency(t *testing.T) {
+	// Re-solving the same model with different rating vectors must give
+	// identical results whether the binding-set cache is warm or cold.
+	n, err := cases.Case118()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := dispatch.BuildModel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratings := n.Ratings(nil)
+	tight := make([]float64, len(ratings))
+	for i := range ratings {
+		tight[i] = ratings[i] * 0.97
+	}
+	// Warm path: nominal solve first, then the tight one.
+	if _, err := warm.Solve(ratings); err != nil {
+		t.Fatal(err)
+	}
+	warmRes, err := warm.Solve(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold path: fresh model, tight solve directly.
+	cold, err := dispatch.BuildModel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, err := cold.Solve(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(warmRes.Cost-coldRes.Cost) > 1e-6*(1+coldRes.Cost) {
+		t.Fatalf("warm %v != cold %v", warmRes.Cost, coldRes.Cost)
+	}
+	for i := range warmRes.P {
+		if math.Abs(warmRes.P[i]-coldRes.P[i]) > 1e-4 {
+			t.Fatalf("dispatch differs at gen %d: %v vs %v", i, warmRes.P[i], coldRes.P[i])
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package dispatch
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/edsec/edattack/internal/acflow"
+	"github.com/edsec/edattack/internal/grid"
+)
+
+// Violation records one line whose realized loading exceeds a rating.
+type Violation struct {
+	// Line indexes Net.Lines.
+	Line int
+	// LoadingMVA is the realized apparent-power loading.
+	LoadingMVA float64
+	// RatingMVA is the rating that was exceeded.
+	RatingMVA float64
+	// Pct is the percentage overload, 100·(loading/rating − 1).
+	Pct float64
+}
+
+// ACEvaluation is the nonlinear "ground truth" for a DC dispatch: what the
+// paper measures with MATPOWER after the EMS issues the (possibly
+// manipulated) setpoints.
+type ACEvaluation struct {
+	// Flow is the AC result underlying the evaluation.
+	Flow *acflow.Result
+	// ActualP is the realized per-generator output (slack-bus units
+	// absorb losses and imbalance).
+	ActualP []float64
+	// Cost is the realized generation cost in $/h.
+	Cost float64
+	// Violations lists lines exceeding the supplied ratings, worst first
+	// not guaranteed — iterate and compare Pct.
+	Violations []Violation
+	// WorstPct is the largest percentage overload (0 when none).
+	WorstPct float64
+}
+
+// EvaluateAC runs an AC power flow with the given dispatch and checks the
+// realized line loadings against ratings (MVA, indexed like Net.Lines;
+// entries ≤ 0 are unlimited). This is the paper's measurement of attack
+// impact: DC-optimal dispatches computed under manipulated ratings produce
+// AC flows that exceed the true ratings.
+func EvaluateAC(n *grid.Network, dispatch []float64, ratings []float64) (*ACEvaluation, error) {
+	if len(ratings) != len(n.Lines) {
+		return nil, fmt.Errorf("dispatch: %d ratings for %d lines", len(ratings), len(n.Lines))
+	}
+	res, err := acflow.Solve(n, dispatch, acflow.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: AC evaluation: %w", err)
+	}
+	slack, err := n.SlackIndex()
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: %w", err)
+	}
+	slackBusID := n.Buses[slack].ID
+
+	actual := make([]float64, len(n.Gens))
+	copy(actual, dispatch)
+	// Slack-bus units jointly produce SlackP; split proportionally to
+	// capacity.
+	slackGens := n.GensAtBus(slackBusID)
+	if len(slackGens) > 0 {
+		var cap float64
+		for _, gi := range slackGens {
+			cap += n.Gens[gi].Pmax
+		}
+		for _, gi := range slackGens {
+			share := 1.0 / float64(len(slackGens))
+			if cap > 0 {
+				share = n.Gens[gi].Pmax / cap
+			}
+			actual[gi] = res.SlackP * share
+		}
+	}
+	ev := &ACEvaluation{Flow: res, ActualP: actual}
+	for gi := range n.Gens {
+		ev.Cost += n.Gens[gi].Cost(actual[gi])
+	}
+	for li := range n.Lines {
+		u := ratings[li]
+		if u <= 0 {
+			continue
+		}
+		loading := res.LineLoadingMVA[li]
+		if loading > u {
+			pct := 100 * (loading/u - 1)
+			ev.Violations = append(ev.Violations, Violation{
+				Line: li, LoadingMVA: loading, RatingMVA: u, Pct: pct,
+			})
+			ev.WorstPct = math.Max(ev.WorstPct, pct)
+		}
+	}
+	return ev, nil
+}

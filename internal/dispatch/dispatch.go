@@ -1,0 +1,396 @@
+// Package dispatch implements the system operator's economic dispatch (ED):
+// the DC optimal power flow of Section II of the paper, in both linear-cost
+// (LP) and convex-quadratic-cost (QP) forms, plus the nonlinear (AC)
+// evaluation pass used to measure what a dispatch actually does to the
+// physical system.
+//
+// The DC-ED is formulated in PTDF (shift-factor) space: with nodal balance
+// eliminated, line flows are affine in the generator outputs,
+//
+//	f = M·p + f₀,
+//
+// which keeps the KKT systems used by the bilevel attack generator small.
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/edsec/edattack/internal/dcflow"
+	"github.com/edsec/edattack/internal/grid"
+	"github.com/edsec/edattack/internal/lp"
+	"github.com/edsec/edattack/internal/mat"
+	"github.com/edsec/edattack/internal/qp"
+)
+
+// ErrInfeasible is returned when no dispatch satisfies the constraints —
+// operationally, the condition under which the EMS raises an alarm instead
+// of dispatching (the attacker must avoid triggering this).
+var ErrInfeasible = errors.New("dispatch: economic dispatch infeasible")
+
+// Model is the affine DC-ED model: flows as a function of generator output,
+// plus cost data. Build once per (topology, demand) pair; ratings can vary
+// per solve.
+type Model struct {
+	// Net is the underlying network.
+	Net *grid.Network
+	// M is the lines×gens flow-sensitivity matrix (PTDF × generator
+	// incidence).
+	M *mat.Matrix
+	// Base is the MW flow on each line when all generators are at zero
+	// (load served implicitly by the slack, per PTDF reference).
+	Base []float64
+	// Demand is the total MW demand the dispatch must serve.
+	Demand float64
+	// ptdf is retained to rebuild Base under demand overrides.
+	ptdf *mat.Matrix
+	// lastBinding warm-starts constraint generation across solves.
+	lastBinding []int
+}
+
+// BuildModel assembles the affine model for the network's nominal demand.
+func BuildModel(n *grid.Network) (*Model, error) {
+	ptdf, err := dcflow.PTDF(n)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: %w", err)
+	}
+	m := mat.New(len(n.Lines), len(n.Gens))
+	for gi := range n.Gens {
+		bi, err := n.BusIndex(n.Gens[gi].Bus)
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: %w", err)
+		}
+		for li := 0; li < len(n.Lines); li++ {
+			m.Set(li, gi, ptdf.At(li, bi))
+		}
+	}
+	mod := &Model{Net: n, M: m, ptdf: ptdf}
+	if err := mod.SetDemands(nil); err != nil {
+		return nil, err
+	}
+	return mod, nil
+}
+
+// SetDemands overrides the per-bus demand (MW, indexed like Net.Buses) and
+// recomputes the base flows. nil restores the network's nominal demand.
+func (m *Model) SetDemands(demands []float64) error {
+	n := m.Net
+	d := make([]float64, len(n.Buses))
+	if demands == nil {
+		for i := range n.Buses {
+			d[i] = n.Buses[i].Pd
+		}
+	} else {
+		if len(demands) != len(n.Buses) {
+			return fmt.Errorf("dispatch: %d demands for %d buses", len(demands), len(n.Buses))
+		}
+		copy(d, demands)
+	}
+	neg := make([]float64, len(d))
+	var total float64
+	for i, v := range d {
+		neg[i] = -v
+		total += v
+	}
+	base, err := m.ptdf.MulVec(neg)
+	if err != nil {
+		return fmt.Errorf("dispatch: %w", err)
+	}
+	m.Base = base
+	m.Demand = total
+	return nil
+}
+
+// FlowsFor evaluates the DC line flows for a dispatch p.
+func (m *Model) FlowsFor(p []float64) ([]float64, error) {
+	mp, err := m.M.MulVec(p)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: %w", err)
+	}
+	return mat.AxPlusY(1, mp, m.Base), nil
+}
+
+// Cost evaluates the total generation cost (including constant terms) for a
+// dispatch p.
+func (m *Model) Cost(p []float64) float64 {
+	var c float64
+	for i := range m.Net.Gens {
+		c += m.Net.Gens[i].Cost(p[i])
+	}
+	return c
+}
+
+// HasQuadraticCost reports whether any unit has a strictly convex cost.
+func (m *Model) HasQuadraticCost() bool {
+	for i := range m.Net.Gens {
+		if m.Net.Gens[i].CostA > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Result is a solved economic dispatch.
+type Result struct {
+	// P is the MW output per generator.
+	P []float64
+	// Flows is the DC MW flow per line under P.
+	Flows []float64
+	// Cost is the total generation cost in $/h (including constant
+	// terms).
+	Cost float64
+	// LineDuals holds the shadow price of each line's rating constraint
+	// (λ⁺ − λ⁻, nonzero only when congested). Indexed like Net.Lines;
+	// entries for unlimited lines are zero.
+	LineDuals []float64
+	// Binding lists indices of lines whose rating constraint is active
+	// (within tolerance) in either direction.
+	Binding []int
+}
+
+// Solve runs the DC economic dispatch against the given effective line
+// ratings (MW, indexed like Net.Lines; entries ≤ 0 mean unlimited). When
+// ratings is nil the network's static/DLR defaults are used.
+//
+// Internally the flow constraints are generated lazily: the dispatch is
+// solved over a growing subset of line limits until no omitted line is
+// violated, which is equivalent to the full problem (omitted constraints
+// are slack with zero multipliers) and far faster on meshed systems where
+// few lines ever bind.
+func (m *Model) Solve(ratings []float64) (*Result, error) {
+	if ratings == nil {
+		ratings = m.Net.Ratings(nil)
+	}
+	if len(ratings) != len(m.Net.Lines) {
+		return nil, fmt.Errorf("dispatch: %d ratings for %d lines", len(ratings), len(m.Net.Lines))
+	}
+	solveSubset := m.solveLP
+	if m.HasQuadraticCost() {
+		solveSubset = m.solveQP
+	}
+	// Seed with the lines that bound the previous solve on this model —
+	// across bilevel nodes and time steps the binding set is stable.
+	included := make([]int, 0, len(m.lastBinding)+8)
+	inSet := make([]bool, len(m.Net.Lines))
+	for _, li := range m.lastBinding {
+		if li < len(inSet) && !inSet[li] && ratings[li] > 0 {
+			inSet[li] = true
+			included = append(included, li)
+		}
+	}
+	maxRounds := len(m.Net.Lines) + 2
+	for round := 0; round < maxRounds; round++ {
+		res, err := solveSubset(ratings, included)
+		if err != nil {
+			return nil, err
+		}
+		violated := false
+		for li, f := range res.Flows {
+			u := ratings[li]
+			if u > 0 && !inSet[li] && math.Abs(f) > u*(1+1e-9)+1e-9 {
+				inSet[li] = true
+				included = append(included, li)
+				violated = true
+			}
+		}
+		if !violated {
+			m.lastBinding = append(m.lastBinding[:0], res.Binding...)
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("dispatch: constraint generation did not converge after %d rounds", maxRounds)
+}
+
+// solveLP handles purely linear costs via the simplex solver, enforcing
+// flow limits only for the included line subset.
+func (m *Model) solveLP(ratings []float64, included []int) (*Result, error) {
+	gens := m.Net.Gens
+	ng := len(gens)
+	prob := lp.NewProblem(ng)
+	c := make([]float64, ng)
+	for i := range gens {
+		c[i] = gens[i].CostB
+		if err := prob.SetBounds(i, gens[i].Pmin, gens[i].Pmax); err != nil {
+			return nil, fmt.Errorf("dispatch: %w", err)
+		}
+	}
+	if err := prob.SetObjective(c, false); err != nil {
+		return nil, fmt.Errorf("dispatch: %w", err)
+	}
+	ones := make([]float64, ng)
+	for i := range ones {
+		ones[i] = 1
+	}
+	if _, err := prob.AddConstraint(ones, lp.EQ, m.Demand); err != nil {
+		return nil, fmt.Errorf("dispatch: %w", err)
+	}
+	type rowRef struct {
+		line int
+		dir  float64 // +1 upper, −1 lower
+		row  int
+	}
+	var refs []rowRef
+	for _, li := range included {
+		u := ratings[li]
+		if u <= 0 {
+			continue
+		}
+		row := m.M.Row(li)
+		r1, err := prob.AddConstraint(row, lp.LE, u-m.Base[li])
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: %w", err)
+		}
+		refs = append(refs, rowRef{li, 1, r1})
+		negRow := make([]float64, ng)
+		for j, v := range row {
+			negRow[j] = -v
+		}
+		r2, err := prob.AddConstraint(negRow, lp.LE, u+m.Base[li])
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: %w", err)
+		}
+		refs = append(refs, rowRef{li, -1, r2})
+	}
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: %w", err)
+	}
+	switch sol.Status {
+	case lp.Optimal:
+	case lp.Infeasible:
+		return nil, ErrInfeasible
+	default:
+		return nil, fmt.Errorf("dispatch: unexpected LP status %v", sol.Status)
+	}
+	res, err := m.assemble(sol.X, ratings)
+	if err != nil {
+		return nil, err
+	}
+	for _, ref := range refs {
+		// Dual of the ≤ row is ≤ 0 under the lp sign convention; a
+		// congested line has negative dual. Flip to a conventional
+		// non-negative congestion price signed by direction.
+		res.LineDuals[ref.line] += -sol.Dual[ref.row] * ref.dir
+	}
+	return res, nil
+}
+
+// solveQP handles convex quadratic costs via the active-set solver,
+// enforcing flow limits only for the included line subset.
+func (m *Model) solveQP(ratings []float64, included []int) (*Result, error) {
+	gens := m.Net.Gens
+	ng := len(gens)
+	prob := qp.NewProblem(ng)
+	for i := range gens {
+		if err := prob.SetQuadCoeff(i, i, 2*gens[i].CostA); err != nil {
+			return nil, fmt.Errorf("dispatch: %w", err)
+		}
+		if err := prob.SetLinCoeff(i, gens[i].CostB); err != nil {
+			return nil, fmt.Errorf("dispatch: %w", err)
+		}
+		if err := prob.SetBounds(i, gens[i].Pmin, gens[i].Pmax); err != nil {
+			return nil, fmt.Errorf("dispatch: %w", err)
+		}
+	}
+	ones := make([]float64, ng)
+	for i := range ones {
+		ones[i] = 1
+	}
+	if _, err := prob.AddEquality(ones, m.Demand); err != nil {
+		return nil, fmt.Errorf("dispatch: %w", err)
+	}
+	type rowRef struct {
+		line int
+		dir  float64
+		row  int
+	}
+	var refs []rowRef
+	for _, li := range included {
+		u := ratings[li]
+		if u <= 0 {
+			continue
+		}
+		row := m.M.Row(li)
+		r1, err := prob.AddInequality(row, u-m.Base[li])
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: %w", err)
+		}
+		refs = append(refs, rowRef{li, 1, r1})
+		negRow := make([]float64, ng)
+		for j, v := range row {
+			negRow[j] = -v
+		}
+		r2, err := prob.AddInequality(negRow, u+m.Base[li])
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: %w", err)
+		}
+		refs = append(refs, rowRef{li, -1, r2})
+	}
+	sol, err := qp.Solve(prob)
+	if err != nil {
+		if errors.Is(err, qp.ErrInfeasible) {
+			return nil, ErrInfeasible
+		}
+		return nil, fmt.Errorf("dispatch: %w", err)
+	}
+	res, err := m.assemble(sol.X, ratings)
+	if err != nil {
+		return nil, err
+	}
+	for _, ref := range refs {
+		res.LineDuals[ref.line] += sol.IneqDual[ref.row] * ref.dir
+	}
+	return res, nil
+}
+
+// assemble computes flows, cost, and binding-set metadata for a dispatch.
+func (m *Model) assemble(p []float64, ratings []float64) (*Result, error) {
+	flows, err := m.FlowsFor(p)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		P:         mat.CloneVec(p),
+		Flows:     flows,
+		Cost:      m.Cost(p),
+		LineDuals: make([]float64, len(m.Net.Lines)),
+	}
+	const bindTol = 1e-5
+	for li := range m.Net.Lines {
+		u := ratings[li]
+		if u <= 0 {
+			continue
+		}
+		if math.Abs(flows[li])-u > -bindTol*(1+u) {
+			res.Binding = append(res.Binding, li)
+		}
+	}
+	return res, nil
+}
+
+// SolveRobust is the "attack-aware dispatch" mitigation sketched in Section
+// VII: ratings on DLR lines are derated by the given margin (e.g. 0.15 for
+// 15%) before dispatching, bounding the violation an in-band rating
+// manipulation can cause. It derates the network's static/DLR defaults; use
+// SolveRobustRatings to derate a specific rating snapshot.
+func (m *Model) SolveRobust(margin float64) (*Result, error) {
+	return m.SolveRobustRatings(m.Net.Ratings(nil), margin)
+}
+
+// SolveRobustRatings derates the DLR lines of an explicit rating snapshot
+// by margin and dispatches against the result.
+func (m *Model) SolveRobustRatings(ratings []float64, margin float64) (*Result, error) {
+	if margin < 0 || margin >= 1 {
+		return nil, fmt.Errorf("dispatch: robust margin %g outside [0, 1)", margin)
+	}
+	if len(ratings) != len(m.Net.Lines) {
+		return nil, fmt.Errorf("dispatch: %d ratings for %d lines", len(ratings), len(m.Net.Lines))
+	}
+	derated := make([]float64, len(ratings))
+	copy(derated, ratings)
+	for _, li := range m.Net.DLRLines() {
+		derated[li] *= 1 - margin
+	}
+	return m.Solve(derated)
+}

@@ -1,0 +1,386 @@
+package dispatch_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/edsec/edattack/internal/dispatch"
+	"github.com/edsec/edattack/internal/grid/cases"
+	"github.com/edsec/edattack/internal/mat"
+)
+
+func model3(t *testing.T) *dispatch.Model {
+	t.Helper()
+	n, err := cases.Case3(cases.Case3Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dispatch.BuildModel(n)
+	if err != nil {
+		t.Fatalf("BuildModel: %v", err)
+	}
+	return m
+}
+
+func TestCase3NoAttackMatchesPaper(t *testing.T) {
+	// Paper Section IV-A: with all ratings 160 and d = 300, the optimal
+	// generation is (p1, p2) = (120, 180) with flows (-20, 140, 160).
+	m := model3(t)
+	res, err := m.Solve(nil)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if math.Abs(res.P[0]-120) > 1e-5 || math.Abs(res.P[1]-180) > 1e-5 {
+		t.Fatalf("dispatch = %v, want [120 180]", res.P)
+	}
+	want := []float64{-20, 140, 160}
+	for i, w := range want {
+		if math.Abs(res.Flows[i]-w) > 1e-5 {
+			t.Fatalf("flow[%d] = %v, want %v", i, res.Flows[i], w)
+		}
+	}
+	// Line {2,3} is the congested one.
+	found := false
+	for _, li := range res.Binding {
+		if li == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("line {2,3} not binding: %v", res.Binding)
+	}
+	if res.LineDuals[2] == 0 {
+		t.Fatal("congested line must have a nonzero shadow price")
+	}
+	// Cost: b·p1·2 + b·p2 with b = 10 → 2·10·120 + 10·180 = 4200.
+	if math.Abs(res.Cost-4200) > 1e-4 {
+		t.Fatalf("cost = %v, want 4200", res.Cost)
+	}
+}
+
+func TestCase3ManipulatedRatings(t *testing.T) {
+	// Under attack ratings ua = (·, 100, 200) the cheap generator G2 is
+	// allowed to push 200 MW down line {2,3}.
+	m := model3(t)
+	ratings := []float64{160, 100, 200}
+	res, err := m.Solve(ratings)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if math.Abs(res.Flows[2]-200) > 1e-5 {
+		t.Fatalf("flow on {2,3} = %v, want 200", res.Flows[2])
+	}
+	if math.Abs(res.Flows[1]-100) > 1e-5 {
+		t.Fatalf("flow on {1,3} = %v, want 100", res.Flows[1])
+	}
+}
+
+func TestInfeasibleWhenRatingsTooTight(t *testing.T) {
+	m := model3(t)
+	_, err := m.Solve([]float64{10, 10, 10})
+	if !errors.Is(err, dispatch.ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestQuadraticCase9(t *testing.T) {
+	n, err := cases.Case9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dispatch.BuildModel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Solve(nil)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	var total float64
+	for _, p := range res.P {
+		total += p
+	}
+	if math.Abs(total-n.TotalDemand()) > 1e-5 {
+		t.Fatalf("supply %v != demand %v", total, n.TotalDemand())
+	}
+	// With no congestion at this load level, marginal costs must be
+	// (nearly) equal across interior units.
+	var mcs []float64
+	for i := range n.Gens {
+		p := res.P[i]
+		if p > n.Gens[i].Pmin+1e-4 && p < n.Gens[i].Pmax-1e-4 {
+			mcs = append(mcs, n.Gens[i].MarginalCost(p))
+		}
+	}
+	for i := 1; i < len(mcs); i++ {
+		if math.Abs(mcs[i]-mcs[0]) > 1e-3 {
+			t.Fatalf("marginal costs diverge: %v", mcs)
+		}
+	}
+}
+
+func TestSetDemands(t *testing.T) {
+	m := model3(t)
+	d := []float64{0, 0, 150}
+	if err := m.SetDemands(d); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, p := range res.P {
+		total += p
+	}
+	if math.Abs(total-150) > 1e-6 {
+		t.Fatalf("supply %v != 150", total)
+	}
+	if err := m.SetDemands(nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Demand != 300 {
+		t.Fatalf("demand restore = %v", m.Demand)
+	}
+	if err := m.SetDemands([]float64{1}); err == nil {
+		t.Fatal("want demand length error")
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	m := model3(t)
+	if _, err := m.Solve([]float64{1}); err == nil {
+		t.Fatal("want ratings length error")
+	}
+	if _, err := m.SolveRobust(1.5); err == nil {
+		t.Fatal("want margin range error")
+	}
+}
+
+func TestSolveRobustTightensDLRLines(t *testing.T) {
+	m := model3(t)
+	// Note: case3 must deliver 300 MW over the two DLR lines into bus 3,
+	// so any margin above 1/15 ≈ 6.7% is infeasible — itself a meaningful
+	// observation about the cost of this mitigation.
+	if _, err := m.SolveRobust(0.2); !errors.Is(err, dispatch.ErrInfeasible) {
+		t.Fatalf("20%% margin should be infeasible on case3, got %v", err)
+	}
+	res, err := m.SolveRobust(0.05)
+	if err != nil {
+		t.Fatalf("SolveRobust: %v", err)
+	}
+	// DLR lines derated to 152; flows must respect that.
+	for _, li := range m.Net.DLRLines() {
+		if math.Abs(res.Flows[li]) > 152+1e-6 {
+			t.Fatalf("robust dispatch exceeds derated rating on line %d: %v", li, res.Flows[li])
+		}
+	}
+}
+
+func TestFlowsForMatchesSolve(t *testing.T) {
+	m := model3(t)
+	res, err := m.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := m.FlowsFor(res.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range flows {
+		if math.Abs(flows[i]-res.Flows[i]) > 1e-9 {
+			t.Fatal("FlowsFor mismatch")
+		}
+	}
+	if _, err := m.FlowsFor([]float64{1}); err == nil {
+		t.Fatal("want length error")
+	}
+}
+
+func TestEvaluateACCase3(t *testing.T) {
+	n, err := cases.Case3(cases.Case3Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dispatch.BuildModel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attacked dispatch: ratings (160, 100, 200) push 200 MW down {2,3};
+	// the true rating is 160, so the AC evaluation must flag a violation.
+	res, err := m.Solve([]float64{160, 100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueRatings := []float64{160, 160, 160}
+	ev, err := dispatch.EvaluateAC(n, res.P, trueRatings)
+	if err != nil {
+		t.Fatalf("EvaluateAC: %v", err)
+	}
+	if len(ev.Violations) == 0 {
+		t.Fatal("attacked dispatch must violate true ratings under AC")
+	}
+	if ev.WorstPct < 20 {
+		t.Fatalf("worst violation = %v%%, want ≥ 20%% (DC predicts 25%%)", ev.WorstPct)
+	}
+	// The AC-realized cost exceeds the DC estimate (losses are served by
+	// the expensive slack unit).
+	if ev.Cost <= res.Cost {
+		t.Fatalf("AC cost %v must exceed DC cost %v", ev.Cost, res.Cost)
+	}
+	if _, err := dispatch.EvaluateAC(n, res.P, []float64{1}); err == nil {
+		t.Fatal("want ratings length error")
+	}
+}
+
+func TestEvaluateACNoViolationsNominal(t *testing.T) {
+	n, err := cases.Case3(cases.Case3Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dispatch.BuildModel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate against generous ratings: no violations expected.
+	generous := []float64{300, 300, 300}
+	ev, err := dispatch.EvaluateAC(n, res.P, generous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Violations) != 0 || ev.WorstPct != 0 {
+		t.Fatalf("unexpected violations: %+v", ev.Violations)
+	}
+}
+
+func TestCase118Feasible(t *testing.T) {
+	n, err := cases.Case118()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dispatch.BuildModel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Solve(nil)
+	if err != nil {
+		t.Fatalf("118-bus ED failed: %v", err)
+	}
+	var total float64
+	for _, p := range res.P {
+		total += p
+	}
+	if math.Abs(total-n.TotalDemand()) > 1e-4 {
+		t.Fatalf("supply %v != demand %v", total, n.TotalDemand())
+	}
+	// Ratings respected.
+	ratings := n.Ratings(nil)
+	for li, f := range res.Flows {
+		if u := ratings[li]; u > 0 && math.Abs(f) > u+1e-4 {
+			t.Fatalf("line %d flow %v exceeds rating %v", li, f, u)
+		}
+	}
+}
+
+// Property: for random demands and rating scalings on case9, any returned
+// dispatch is feasible (balance, bounds, flow limits), and cost decreases
+// weakly as ratings are relaxed.
+func TestPropertyDispatchFeasibilityAndMonotonicity(t *testing.T) {
+	n, err := cases.Case9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dispatch.BuildModel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRatings := n.Ratings(nil)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		scale := 0.55 + 0.6*r.Float64()
+		ratings := make([]float64, len(baseRatings))
+		for i := range ratings {
+			ratings[i] = baseRatings[i] * scale
+		}
+		res, err := m.Solve(ratings)
+		if errors.Is(err, dispatch.ErrInfeasible) {
+			return true // tight ratings may legitimately be infeasible
+		}
+		if err != nil {
+			return false
+		}
+		var total float64
+		for i, p := range res.P {
+			if p < n.Gens[i].Pmin-1e-6 || p > n.Gens[i].Pmax+1e-6 {
+				return false
+			}
+			total += p
+		}
+		if math.Abs(total-n.TotalDemand()) > 1e-5 {
+			return false
+		}
+		for li, fl := range res.Flows {
+			if u := ratings[li]; u > 0 && math.Abs(fl) > u+1e-5 {
+				return false
+			}
+		}
+		// Relaxing ratings cannot increase cost.
+		relaxed := make([]float64, len(ratings))
+		for i := range ratings {
+			relaxed[i] = ratings[i] * 1.3
+		}
+		res2, err := m.Solve(relaxed)
+		if err != nil {
+			return false
+		}
+		return res2.Cost <= res.Cost+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LP and QP agree when quadratic terms are (effectively) zero.
+func TestPropertyLPQPConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		demand := 150 + 200*r.Float64()
+		nLP, err := cases.Case3(cases.Case3Options{Demand: demand})
+		if err != nil {
+			return false
+		}
+		mLP, err := dispatch.BuildModel(nLP)
+		if err != nil {
+			return false
+		}
+		resLP, errLP := mLP.Solve(nil)
+
+		nQP := nLP.Clone()
+		for i := range nQP.Gens {
+			nQP.Gens[i].CostA = 1e-7 // force the QP path
+		}
+		if err := nQP.Validate(); err != nil {
+			return false
+		}
+		mQP, err := dispatch.BuildModel(nQP)
+		if err != nil {
+			return false
+		}
+		resQP, errQP := mQP.Solve(nil)
+		if errLP != nil || errQP != nil {
+			return errors.Is(errLP, dispatch.ErrInfeasible) == errors.Is(errQP, dispatch.ErrInfeasible)
+		}
+		return math.Abs(resLP.Cost-resQP.Cost) < 1e-2*(1+math.Abs(resLP.Cost)) &&
+			mat.NormInf(mat.Sub(resLP.P, resQP.P)) < 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

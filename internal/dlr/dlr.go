@@ -1,0 +1,158 @@
+// Package dlr models dynamic line ratings and daily demand: the time-varying
+// inputs of the paper's 24-hour studies (Fig. 4a). It provides the sinusoidal
+// rating patterns the paper uses directly, a simplified IEEE-738-style
+// thermal model tying ratings to weather (ambient temperature and wind), and
+// the classic two-peak daily demand curve.
+package dlr
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pattern maps an hour of day (0 ≤ h < 24, fractional) to a value.
+type Pattern func(hour float64) float64
+
+// Sinusoidal returns the paper's Fig. 4a-style DLR pattern: a sinusoid
+// between min and max with the given phase offset in hours. Favorable
+// weather (wind, cool air) raises capacity during part of the day.
+func Sinusoidal(min, max, phaseHours float64) Pattern {
+	mid := (min + max) / 2
+	amp := (max - min) / 2
+	return func(hour float64) float64 {
+		return mid + amp*math.Sin(2*math.Pi*(hour-phaseHours)/24)
+	}
+}
+
+// TwoPeakDemand returns the canonical daily load curve with morning and
+// evening peaks (the paper's aggregate demand pattern): a base load plus two
+// Gaussian bumps centered at 8:30 and 19:00.
+func TwoPeakDemand(base, morningPeak, eveningPeak float64) Pattern {
+	bump := func(h, center, width float64) float64 {
+		d := h - center
+		// Wrap midnight so the curve is 24h-periodic.
+		if d > 12 {
+			d -= 24
+		}
+		if d < -12 {
+			d += 24
+		}
+		return math.Exp(-d * d / (2 * width * width))
+	}
+	return func(hour float64) float64 {
+		return base +
+			(morningPeak-base)*bump(hour, 8.5, 2.2) +
+			(eveningPeak-base)*bump(hour, 19, 2.8)
+	}
+}
+
+// Constant returns a flat pattern.
+func Constant(v float64) Pattern {
+	return func(float64) float64 { return v }
+}
+
+// Clamp limits a pattern to [lo, hi].
+func (p Pattern) Clamp(lo, hi float64) Pattern {
+	return func(hour float64) float64 {
+		v := p(hour)
+		return math.Max(lo, math.Min(hi, v))
+	}
+}
+
+// Scale multiplies a pattern by s.
+func (p Pattern) Scale(s float64) Pattern {
+	return func(hour float64) float64 { return s * p(hour) }
+}
+
+// Sample evaluates the pattern on a uniform grid with the given step in
+// minutes, starting at hour 0. It returns the sampled hours and values.
+func (p Pattern) Sample(stepMinutes float64) (hours, values []float64, err error) {
+	if stepMinutes <= 0 || stepMinutes > 24*60 {
+		return nil, nil, fmt.Errorf("dlr: invalid step %g minutes", stepMinutes)
+	}
+	n := int(24*60/stepMinutes + 1e-9)
+	hours = make([]float64, 0, n)
+	values = make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		h := float64(i) * stepMinutes / 60
+		hours = append(hours, h)
+		values = append(values, p(h))
+	}
+	return hours, values, nil
+}
+
+// Weather is the ambient condition at a line.
+type Weather struct {
+	// AmbientC is air temperature in °C.
+	AmbientC float64
+	// WindMS is wind speed in m/s (perpendicular component).
+	WindMS float64
+}
+
+// ThermalParams describe a conductor for the simplified IEEE-738-style
+// rating computation.
+type ThermalParams struct {
+	// MaxConductorC is the maximum allowed conductor temperature in °C
+	// (typically 75–100).
+	MaxConductorC float64
+	// ResistancePerKm is AC resistance in Ω/km at operating temperature.
+	ResistancePerKm float64
+	// VoltageKV is the line-to-line voltage.
+	VoltageKV float64
+	// DiameterM is the conductor diameter in meters.
+	DiameterM float64
+}
+
+// DefaultConductor returns parameters of a typical 230 kV ACSR conductor.
+func DefaultConductor(voltageKV float64) ThermalParams {
+	return ThermalParams{
+		MaxConductorC:   85,
+		ResistancePerKm: 0.073e-3 * 1000, // 0.073 Ω/km
+		VoltageKV:       voltageKV,
+		DiameterM:       0.0281,
+	}
+}
+
+// ThermalRatingMVA computes a simplified steady-state thermal rating: the
+// ampacity at which Joule heating balances convective plus radiative
+// cooling, converted to three-phase MVA. The model keeps the structure of
+// IEEE Std 738 (forced convection grows with wind, cooling grows with the
+// conductor–air temperature difference) without its full film-property
+// tables; see DESIGN.md's substitution notes.
+func ThermalRatingMVA(w Weather, p ThermalParams) float64 {
+	dT := p.MaxConductorC - w.AmbientC
+	if dT <= 0 {
+		return 0
+	}
+	// Convective cooling coefficient (W/m·K): still-air floor plus a
+	// wind-driven term ~ sqrt(v), the dominant sensitivity in IEEE 738.
+	hConv := 3.0 + 5.5*math.Sqrt(math.Max(0, w.WindMS))
+	qConv := hConv * dT * math.Pi * p.DiameterM // W/m
+	// Radiative cooling, linearized around typical temperatures.
+	qRad := 0.0178 * p.DiameterM * (math.Pow((p.MaxConductorC+273)/100, 4) - math.Pow((w.AmbientC+273)/100, 4))
+	qTotal := qConv + qRad
+	// Ampacity from I²R = qTotal per meter.
+	rPerM := p.ResistancePerKm / 1000
+	amps := math.Sqrt(qTotal / rPerM)
+	// Three-phase MVA.
+	return math.Sqrt(3) * p.VoltageKV * amps / 1000
+}
+
+// DiurnalWeather returns a deterministic 24-hour weather pattern: coolest
+// just before dawn, hottest mid-afternoon; wind picking up in the afternoon
+// with a phase controlled by windPhase.
+func DiurnalWeather(minC, maxC, maxWindMS, windPhase float64) func(hour float64) Weather {
+	return func(hour float64) Weather {
+		t := (minC+maxC)/2 - (maxC-minC)/2*math.Cos(2*math.Pi*(hour-5)/24)
+		w := maxWindMS / 2 * (1 + math.Sin(2*math.Pi*(hour-windPhase)/24))
+		return Weather{AmbientC: t, WindMS: w}
+	}
+}
+
+// WeatherDrivenRating composes a weather pattern with the thermal model to
+// produce a physically grounded DLR pattern.
+func WeatherDrivenRating(weather func(hour float64) Weather, params ThermalParams) Pattern {
+	return func(hour float64) float64 {
+		return ThermalRatingMVA(weather(hour), params)
+	}
+}

@@ -1,0 +1,185 @@
+package dlr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSinusoidalRange(t *testing.T) {
+	p := Sinusoidal(100, 200, 6)
+	for h := 0.0; h < 24; h += 0.25 {
+		v := p(h)
+		if v < 100-1e-9 || v > 200+1e-9 {
+			t.Fatalf("value %v at hour %v outside [100, 200]", v, h)
+		}
+	}
+	// Peak one quarter-period after the phase offset.
+	if math.Abs(p(12)-200) > 1e-9 {
+		t.Fatalf("peak = %v at hour 12, want 200", p(12))
+	}
+	// At the phase offset the sinusoid crosses its midpoint; a quarter
+	// period earlier it bottoms out.
+	if math.Abs(p(6)-150) > 1e-9 {
+		t.Fatalf("p(6) = %v, want 150 (phase 6)", p(6))
+	}
+	if math.Abs(p(0)-100) > 1e-9 {
+		t.Fatalf("p(0) = %v, want 100", p(0))
+	}
+}
+
+func TestTwoPeakDemandShape(t *testing.T) {
+	p := TwoPeakDemand(200, 280, 300)
+	// Two local maxima near 8:30 and 19:00.
+	if p(8.5) <= p(3) || p(19) <= p(14) {
+		t.Fatalf("demand peaks missing: %v@8.5 %v@3 %v@19 %v@14", p(8.5), p(3), p(19), p(14))
+	}
+	// Evening peak is the daily max.
+	maxV := 0.0
+	for h := 0.0; h < 24; h += 0.05 {
+		maxV = math.Max(maxV, p(h))
+	}
+	if math.Abs(maxV-p(19)) > 1.0 {
+		t.Fatalf("max %v not at evening peak %v", maxV, p(19))
+	}
+	// Midnight wrap-around continuity.
+	if math.Abs(p(0.001)-p(23.999)) > 0.5 {
+		t.Fatalf("discontinuity at midnight: %v vs %v", p(0.001), p(23.999))
+	}
+}
+
+func TestConstantClampScale(t *testing.T) {
+	c := Constant(50)
+	if c(13) != 50 {
+		t.Fatal("Constant")
+	}
+	cl := Sinusoidal(0, 300, 0).Clamp(100, 200)
+	for h := 0.0; h < 24; h += 0.5 {
+		if cl(h) < 100 || cl(h) > 200 {
+			t.Fatalf("clamp failed at %v: %v", h, cl(h))
+		}
+	}
+	s := Constant(50).Scale(2)
+	if s(0) != 100 {
+		t.Fatal("Scale")
+	}
+}
+
+func TestSample(t *testing.T) {
+	hours, values, err := Constant(7).Sample(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hours) != 96 || len(values) != 96 {
+		t.Fatalf("15-minute day = %d samples, want 96", len(hours))
+	}
+	if hours[1] != 0.25 || values[95] != 7 {
+		t.Fatalf("sample grid wrong: %v %v", hours[1], values[95])
+	}
+	if _, _, err := Constant(1).Sample(0); err == nil {
+		t.Fatal("want step error")
+	}
+	if _, _, err := Constant(1).Sample(100000); err == nil {
+		t.Fatal("want step error")
+	}
+}
+
+func TestThermalRatingMonotonicity(t *testing.T) {
+	p := DefaultConductor(230)
+	cool := ThermalRatingMVA(Weather{AmbientC: 10, WindMS: 3}, p)
+	hot := ThermalRatingMVA(Weather{AmbientC: 40, WindMS: 3}, p)
+	calm := ThermalRatingMVA(Weather{AmbientC: 25, WindMS: 0}, p)
+	windy := ThermalRatingMVA(Weather{AmbientC: 25, WindMS: 8}, p)
+	if cool <= hot {
+		t.Fatalf("cooler air must raise the rating: %v vs %v", cool, hot)
+	}
+	if windy <= calm {
+		t.Fatalf("wind must raise the rating: %v vs %v", windy, calm)
+	}
+	// Sanity: a 230 kV line rates in the hundreds of MVA.
+	if cool < 100 || cool > 3000 {
+		t.Fatalf("implausible rating %v MVA", cool)
+	}
+}
+
+func TestThermalRatingZeroAboveMaxTemp(t *testing.T) {
+	p := DefaultConductor(230)
+	if r := ThermalRatingMVA(Weather{AmbientC: 90, WindMS: 5}, p); r != 0 {
+		t.Fatalf("rating must vanish when ambient exceeds conductor limit, got %v", r)
+	}
+}
+
+func TestDiurnalWeather(t *testing.T) {
+	w := DiurnalWeather(10, 35, 6, 10)
+	dawn := w(5)
+	noonish := w(17)
+	if dawn.AmbientC >= noonish.AmbientC {
+		t.Fatalf("afternoon must be warmer than dawn: %v vs %v", dawn.AmbientC, noonish.AmbientC)
+	}
+	for h := 0.0; h < 24; h += 0.5 {
+		if w(h).WindMS < 0 {
+			t.Fatalf("negative wind at %v", h)
+		}
+	}
+}
+
+func TestWeatherDrivenRating(t *testing.T) {
+	pattern := WeatherDrivenRating(DiurnalWeather(10, 35, 6, 10), DefaultConductor(230))
+	// Rating must vary over the day and stay positive.
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for h := 0.0; h < 24; h += 0.25 {
+		v := pattern(h)
+		if v <= 0 {
+			t.Fatalf("non-positive rating at hour %v", h)
+		}
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	if maxV/minV < 1.1 {
+		t.Fatalf("diurnal rating variation too small: [%v, %v]", minV, maxV)
+	}
+}
+
+// Property: sinusoidal patterns stay within their band for random bands and
+// phases, and are 24h periodic.
+func TestPropertySinusoidal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lo := 50 + 100*r.Float64()
+		hi := lo + 10 + 100*r.Float64()
+		phase := 24 * r.Float64()
+		p := Sinusoidal(lo, hi, phase)
+		for i := 0; i < 50; i++ {
+			h := 24 * r.Float64()
+			v := p(h)
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+			if math.Abs(p(h)-p(h+24)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: thermal rating is monotone in ambient temperature and wind.
+func TestPropertyThermalMonotone(t *testing.T) {
+	params := DefaultConductor(345)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ta := 0 + 40*r.Float64()
+		wind := 10 * r.Float64()
+		base := ThermalRatingMVA(Weather{AmbientC: ta, WindMS: wind}, params)
+		hotter := ThermalRatingMVA(Weather{AmbientC: ta + 5, WindMS: wind}, params)
+		windier := ThermalRatingMVA(Weather{AmbientC: ta, WindMS: wind + 2}, params)
+		return hotter <= base+1e-9 && windier >= base-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

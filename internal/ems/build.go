@@ -1,0 +1,382 @@
+package ems
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/edsec/edattack/internal/grid"
+)
+
+// Process is a simulated running EMS: a randomized address space populated
+// with the vendor's object graph for a loaded network model, plus the
+// ground truth that tests and accuracy tables are scored against.
+type Process struct {
+	// Image is the simulated address space.
+	Image *Image
+	// Profile is the vendor memory organization.
+	Profile Profile
+	// Bin is the loaded binary (code + vtables).
+	Bin *Binary
+	// Net is the power system model the EMS operates on.
+	Net *grid.Network
+
+	// Ground truth (what offline analysis recovers, and what accuracy is
+	// measured against).
+	lineObjs, busObjs, genObjs []uint64
+	decoyObjs                  []uint64
+	ratingAddrs                []uint64 // per line index
+	listHead                   uint64
+	ptrArray                   uint64
+
+	heap      []*Region
+	heapOff   int
+	rng       *rand.Rand
+	taint     []taintRange
+	stringsRg *Region
+	strOff    int
+}
+
+type taintRange struct{ start, end uint64 }
+
+const _heapAlign = 16
+
+// profileSeed derives a stable per-vendor seed (FNV-1a) for binary content.
+func profileSeed(name string) int64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return int64(h & 0x7FFF_FFFF_FFFF_FFFF)
+}
+
+// NewProcess builds a randomized EMS process image for the given vendor
+// profile and network. Distinct seeds yield distinct address layouts
+// (ASLR), which is precisely why the paper's exploit cannot use absolute
+// addresses.
+func NewProcess(profile Profile, net *grid.Network, seed int64) (*Process, error) {
+	for _, c := range []Class{profile.LineClass, profile.BusClass, profile.GenClass} {
+		if err := c.validate(); err != nil {
+			return nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := &Process{
+		Image:   NewImage(),
+		Profile: profile,
+		Net:     net,
+		rng:     rng,
+	}
+	page := func(v uint64) uint64 { return v &^ 0xFFF }
+	textBase := page(0x0000_0001_4000_0000 + uint64(rng.Int63n(1<<28)))
+	rdataBase := page(textBase + 0x0100_0000 + uint64(rng.Int63n(1<<24)))
+	classes := []Class{profile.LineClass, profile.BusClass, profile.GenClass}
+	// The binary's *content* (function bodies, vtable slot assignment) is
+	// fixed per vendor — only its load address varies run to run. Derive
+	// it from a profile-keyed seed so signatures extracted offline
+	// transfer to any future run, exactly as with a real executable.
+	binRng := rand.New(rand.NewSource(profileSeed(profile.Name)))
+	bin, err := buildBinary(p.Image, binRng, textBase, rdataBase, classes, profile.DecoyVTables)
+	if err != nil {
+		return nil, fmt.Errorf("ems: loading binary: %w", err)
+	}
+	p.Bin = bin
+
+	// Strings region (read-only, like .rdata string literals).
+	strBase := page(rdataBase + uint64(bin.RData.Size()) + 0x10_0000 + uint64(rng.Int63n(1<<22)))
+	strSize := 32 * (len(net.Lines) + len(net.Buses) + len(net.Gens) + 4)
+	p.stringsRg, err = p.Image.Map(".strings", strBase, strSize, PermRead)
+	if err != nil {
+		return nil, fmt.Errorf("ems: strings region: %w", err)
+	}
+
+	// Instantiate the component objects in interleaved order, as a real
+	// model-loading pass would.
+	if err := p.populate(); err != nil {
+		return nil, err
+	}
+	if err := p.scatterDecoyValues(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// alloc carves an aligned object from the chunked heap, mapping new chunks
+// on demand at randomized addresses (the paper's VirtualAlloc behavior).
+func (p *Process) alloc(size int) (uint64, error) {
+	chunk := p.Profile.ChunkBytes
+	if chunk == 0 {
+		chunk = 0x1000
+	}
+	if size > chunk {
+		return 0, fmt.Errorf("ems: allocation of %d exceeds chunk size %d", size, chunk)
+	}
+	need := (size + _heapAlign - 1) &^ (_heapAlign - 1)
+	if len(p.heap) == 0 || p.heapOff+need > p.heap[len(p.heap)-1].Size() {
+		base := (0x0000_0002_0000_0000 + uint64(p.rng.Int63n(1<<33))) &^ 0xFFFF
+		rg, err := p.Image.Map(fmt.Sprintf("heap%d", len(p.heap)), base, chunk, PermRead|PermWrite)
+		if err != nil {
+			// Extremely unlikely overlap: retry once at another base.
+			base = (0x0000_0003_0000_0000 + uint64(p.rng.Int63n(1<<33))) &^ 0xFFFF
+			rg, err = p.Image.Map(fmt.Sprintf("heap%d", len(p.heap)), base, chunk, PermRead|PermWrite)
+			if err != nil {
+				return 0, fmt.Errorf("ems: heap chunk: %w", err)
+			}
+		}
+		p.heap = append(p.heap, rg)
+		p.heapOff = 0
+	}
+	rg := p.heap[len(p.heap)-1]
+	addr := rg.Base + uint64(p.heapOff)
+	p.heapOff += need
+	return addr, nil
+}
+
+// newObject allocates and initializes an instance of a class.
+func (p *Process) newObject(c *Class, name string) (uint64, error) {
+	addr, err := p.alloc(c.Size)
+	if err != nil {
+		return 0, err
+	}
+	// Scratch fill so uninitialized bytes look like real heap garbage.
+	junk := make([]byte, c.Size)
+	for i := range junk {
+		junk[i] = byte(p.rng.Intn(256))
+	}
+	if err := p.Image.Write(addr, junk); err != nil {
+		return 0, err
+	}
+	for _, f := range c.Fields {
+		switch f.Kind {
+		case FieldVfptr:
+			if err := p.Image.WriteU64(addr+uint64(f.Offset), p.Bin.VTables[c.Name]); err != nil {
+				return 0, err
+			}
+		case FieldConstU32:
+			if err := p.Image.WriteU32(addr+uint64(f.Offset), f.Const); err != nil {
+				return 0, err
+			}
+		case FieldPrev, FieldNext:
+			if err := p.Image.WriteU64(addr+uint64(f.Offset), 0); err != nil {
+				return 0, err
+			}
+		case FieldNamePtr:
+			sAddr, err := p.internString(name)
+			if err != nil {
+				return 0, err
+			}
+			if err := p.Image.WriteU64(addr+uint64(f.Offset), sAddr); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return addr, nil
+}
+
+// internString stores a NUL-terminated string in the read-only strings
+// region and returns its address.
+func (p *Process) internString(s string) (uint64, error) {
+	b := append([]byte(s), 0)
+	off := p.strOff
+	if off+len(b) > p.stringsRg.Size() {
+		return 0, fmt.Errorf("ems: strings region exhausted")
+	}
+	copy(p.stringsRg.data[off:], b)
+	p.strOff += len(b)
+	return p.stringsRg.Base + uint64(off), nil
+}
+
+// populate builds the full object graph: lines, buses, generators, decoys,
+// and the container (linked list or pointer array).
+func (p *Process) populate() error {
+	net := p.Net
+	lineF := p.Profile.LineClass.FieldByKind(FieldRating)
+	if lineF == nil {
+		return fmt.Errorf("ems: line class %q has no rating field", p.Profile.LineClass.Name)
+	}
+
+	decoyClass := simpleClass("TDecoy", 0x40, 4)
+	// Register a decoy vtable for instances by borrowing one of the
+	// binary's decoy vtable addresses.
+	decoyVT := uint64(0)
+	if n := len(p.Bin.VTableAddrs); n > 3 {
+		decoyVT = p.Bin.VTableAddrs[3]
+	}
+
+	var err error
+	for i := range net.Lines {
+		name := fmt.Sprintf("LINE_%d_%d", net.Lines[i].From, net.Lines[i].To)
+		addr, e := p.newObject(&p.Profile.LineClass, name)
+		if e != nil {
+			return e
+		}
+		p.lineObjs = append(p.lineObjs, addr)
+		rAddr := addr + uint64(lineF.Offset)
+		p.ratingAddrs = append(p.ratingAddrs, rAddr)
+		if e := p.storeRating(rAddr, net.Lines[i].RateMVA); e != nil {
+			return e
+		}
+		// Interleave unrelated allocations so line objects are not
+		// contiguous.
+		if p.Profile.DecoyInstances > 0 && i%2 == 0 {
+			if dAddr, e := p.newObject(&decoyClass, ""); e == nil && decoyVT != 0 {
+				_ = p.Image.WriteU64(dAddr, decoyVT)
+				p.decoyObjs = append(p.decoyObjs, dAddr)
+			}
+		}
+	}
+	for i := range net.Buses {
+		addr, e := p.newObject(&p.Profile.BusClass, fmt.Sprintf("BUS_%d", net.Buses[i].ID))
+		if e != nil {
+			return e
+		}
+		p.busObjs = append(p.busObjs, addr)
+	}
+	for i := range net.Gens {
+		addr, e := p.newObject(&p.Profile.GenClass, fmt.Sprintf("GEN_%d", net.Gens[i].ID))
+		if e != nil {
+			return e
+		}
+		p.genObjs = append(p.genObjs, addr)
+	}
+	for d := len(p.decoyObjs); d < p.Profile.DecoyInstances; d++ {
+		dAddr, e := p.newObject(&decoyClass, "")
+		if e != nil {
+			return e
+		}
+		if decoyVT != 0 {
+			_ = p.Image.WriteU64(dAddr, decoyVT)
+		}
+		p.decoyObjs = append(p.decoyObjs, dAddr)
+	}
+
+	switch p.Profile.Storage {
+	case StorageLinkedList:
+		err = p.linkObjects(p.lineObjs, &p.Profile.LineClass)
+		if err == nil {
+			err = p.linkObjects(p.busObjs, &p.Profile.BusClass)
+		}
+		if err == nil {
+			err = p.linkObjects(p.genObjs, &p.Profile.GenClass)
+		}
+		if len(p.lineObjs) > 0 {
+			p.listHead = p.lineObjs[0]
+		}
+	case StoragePtrArray:
+		arrAddr, e := p.alloc(_ptrSize * (len(p.lineObjs) + 1))
+		if e != nil {
+			return e
+		}
+		p.ptrArray = arrAddr
+		for i, o := range p.lineObjs {
+			if e := p.Image.WriteU64(arrAddr+uint64(i*_ptrSize), o); e != nil {
+				return e
+			}
+		}
+	default:
+		return fmt.Errorf("ems: unknown storage kind %v", p.Profile.Storage)
+	}
+	return err
+}
+
+// linkObjects wires a circular doubly linked list through prev/next fields.
+func (p *Process) linkObjects(objs []uint64, c *Class) error {
+	prevF, nextF := c.FieldByKind(FieldPrev), c.FieldByKind(FieldNext)
+	if prevF == nil || nextF == nil || len(objs) == 0 {
+		return nil
+	}
+	n := len(objs)
+	for i, o := range objs {
+		prev := objs[(i-1+n)%n]
+		next := objs[(i+1)%n]
+		if err := p.Image.WriteU64(o+uint64(prevF.Offset), prev); err != nil {
+			return err
+		}
+		if err := p.Image.WriteU64(o+uint64(nextF.Offset), next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// storeRating writes a rating (in MVA) to an address in the vendor's
+// encoding (per-unit float, 32- or 64-bit).
+func (p *Process) storeRating(addr uint64, mva float64) error {
+	pu := mva / p.Net.BaseMVA
+	if p.Profile.Rating64 {
+		return p.Image.WriteF64(addr, pu)
+	}
+	return p.Image.WriteF32(addr, float32(pu))
+}
+
+// loadRating reads a rating back in MVA.
+func (p *Process) loadRating(addr uint64) (float64, error) {
+	if p.Profile.Rating64 {
+		v, err := p.Image.ReadF64(addr)
+		return v * p.Net.BaseMVA, err
+	}
+	v, err := p.Image.ReadF32(addr)
+	return float64(v) * p.Net.BaseMVA, err
+}
+
+// scatterDecoyValues copies rating byte patterns into unrelated writable
+// memory: stale buffers, report caches, UI state — the reason a naive value
+// scan returns hundreds of hits (Table III).
+func (p *Process) scatterDecoyValues() error {
+	if p.Profile.DecoyValueCopies == 0 || len(p.ratingAddrs) == 0 {
+		return nil
+	}
+	noiseSize := 0x8000
+	base := (0x0000_0007_0000_0000 + uint64(p.rng.Int63n(1<<32))) &^ 0xFFFF
+	noise, err := p.Image.Map("noise", base, noiseSize, PermRead|PermWrite)
+	if err != nil {
+		return fmt.Errorf("ems: noise region: %w", err)
+	}
+	for i := range noise.data {
+		noise.data[i] = byte(p.rng.Intn(256))
+	}
+	width := 4
+	if p.Profile.Rating64 {
+		width = 8
+	}
+	for c := 0; c < p.Profile.DecoyValueCopies; c++ {
+		src := p.ratingAddrs[p.rng.Intn(len(p.ratingAddrs))]
+		b, err := p.Image.Read(src, width)
+		if err != nil {
+			return err
+		}
+		off := p.rng.Intn(noiseSize - width)
+		copy(noise.data[off:], b)
+	}
+	return nil
+}
+
+// RatingAddr returns the ground-truth address of a line's rating (tests and
+// accuracy scoring only — the exploit must find it itself).
+func (p *Process) RatingAddr(lineIdx int) (uint64, error) {
+	if lineIdx < 0 || lineIdx >= len(p.ratingAddrs) {
+		return 0, fmt.Errorf("ems: line index %d out of range", lineIdx)
+	}
+	return p.ratingAddrs[lineIdx], nil
+}
+
+// ReadRatings returns the rating of every line as the EMS software itself
+// would read them from its objects (post-corruption these are the attacked
+// values).
+func (p *Process) ReadRatings() ([]float64, error) {
+	out := make([]float64, len(p.ratingAddrs))
+	for i, addr := range p.ratingAddrs {
+		v, err := p.loadRating(addr)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ObjectCounts returns the ground-truth instance counts (line, bus, gen,
+// decoy) for accuracy scoring.
+func (p *Process) ObjectCounts() (lines, buses, gens, decoys int) {
+	return len(p.lineObjs), len(p.busObjs), len(p.genObjs), len(p.decoyObjs)
+}

@@ -1,0 +1,81 @@
+package ems
+
+import (
+	"fmt"
+
+	"github.com/edsec/edattack/internal/dispatch"
+)
+
+// Controller is the EMS's economic-dispatch loop: each Step reads the line
+// ratings out of the process's live objects — the memory the exploit
+// corrupts — and dispatches against them. It is the victim side of the
+// paper's Fig. 8 case study: after corruption, the *legitimate, unmodified*
+// control code produces unsafe setpoints because its in-memory parameters
+// lie.
+type Controller struct {
+	proc  *Process
+	model *dispatch.Model
+}
+
+// NewController builds the dispatch loop over a process.
+func NewController(p *Process) (*Controller, error) {
+	model, err := dispatch.BuildModel(p.Net)
+	if err != nil {
+		return nil, fmt.Errorf("ems: controller model: %w", err)
+	}
+	return &Controller{proc: p, model: model}, nil
+}
+
+// Model exposes the controller's dispatch model (for evaluation harnesses).
+func (c *Controller) Model() *dispatch.Model { return c.model }
+
+// Step runs one economic-dispatch cycle using the ratings currently in
+// process memory.
+func (c *Controller) Step() (*dispatch.Result, error) {
+	ratings, err := c.proc.ReadRatings()
+	if err != nil {
+		return nil, fmt.Errorf("ems: controller rating read: %w", err)
+	}
+	res, err := c.model.Solve(ratings)
+	if err != nil {
+		return nil, fmt.Errorf("ems: controller dispatch: %w", err)
+	}
+	return res, nil
+}
+
+// StepAndEvaluate runs one cycle and then measures the dispatch against the
+// supplied true ratings under the nonlinear (AC) model — the pre/post
+// comparison of Fig. 8.
+func (c *Controller) StepAndEvaluate(trueRatings []float64) (*dispatch.Result, *dispatch.ACEvaluation, error) {
+	res, err := c.Step()
+	if err != nil {
+		return nil, nil, err
+	}
+	ev, err := dispatch.EvaluateAC(c.proc.Net, res.P, trueRatings)
+	if err != nil {
+		return res, nil, err
+	}
+	return res, ev, nil
+}
+
+// StepACAware runs the production dispatch loop — DC dispatch iteratively
+// tightened against AC feedback so realized loadings respect whatever
+// ratings the process memory currently holds — and then scores the result
+// against the supplied true ratings. This is the Fig. 8 comparison: the
+// pre-attack state is safe by construction; after memory corruption the
+// same loop keeps the system "safe" only against the lying ratings.
+func (c *Controller) StepACAware(trueRatings []float64) (*dispatch.Result, *dispatch.ACEvaluation, error) {
+	believed, err := c.proc.ReadRatings()
+	if err != nil {
+		return nil, nil, fmt.Errorf("ems: controller rating read: %w", err)
+	}
+	res, _, err := c.model.SolveACAware(c.proc.Net, believed, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ems: AC-aware dispatch: %w", err)
+	}
+	ev, err := dispatch.EvaluateAC(c.proc.Net, res.P, trueRatings)
+	if err != nil {
+		return res, nil, err
+	}
+	return res, ev, nil
+}

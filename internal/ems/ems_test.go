@@ -1,0 +1,355 @@
+package ems
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/edsec/edattack/internal/grid"
+	"github.com/edsec/edattack/internal/grid/cases"
+)
+
+func case3Net(t testing.TB) *grid.Network {
+	t.Helper()
+	n, err := cases.Case3(cases.Case3Options{Rating: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func newProc(t testing.TB, profile Profile, seed int64) *Process {
+	t.Helper()
+	p, err := NewProcess(profile, case3Net(t), seed)
+	if err != nil {
+		t.Fatalf("NewProcess(%s): %v", profile.Name, err)
+	}
+	return p
+}
+
+func TestProcessGroundTruth(t *testing.T) {
+	for _, profile := range Profiles() {
+		p := newProc(t, profile, 1)
+		lines, buses, gens, _ := p.ObjectCounts()
+		if lines != 3 || buses != 3 || gens != 2 {
+			t.Fatalf("%s: counts %d/%d/%d, want 3/3/2", profile.Name, lines, buses, gens)
+		}
+		ratings, err := p.ReadRatings()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range ratings {
+			if math.Abs(r-150) > 1e-4 {
+				t.Fatalf("%s: rating[%d] = %v, want 150", profile.Name, i, r)
+			}
+		}
+	}
+}
+
+func TestASLRChangesAddresses(t *testing.T) {
+	profile := PowerWorldProfile()
+	p1 := newProc(t, profile, 1)
+	p2 := newProc(t, profile, 2)
+	a1, _ := p1.RatingAddr(0)
+	a2, _ := p2.RatingAddr(0)
+	if a1 == a2 {
+		t.Fatal("distinct seeds must randomize object addresses")
+	}
+	if p1.Bin.Text.Base == p2.Bin.Text.Base {
+		t.Fatal("distinct seeds must randomize the binary load address")
+	}
+}
+
+func TestBinaryContentStableAcrossRuns(t *testing.T) {
+	// A vendor's binary content is fixed — only load addresses change.
+	profile := PowerWorldProfile()
+	p1 := newProc(t, profile, 1)
+	p2 := newProc(t, profile, 2)
+	vt1 := p1.Bin.VTables[profile.LineClass.Name] - p1.Bin.RData.Base
+	vt2 := p2.Bin.VTables[profile.LineClass.Name] - p2.Bin.RData.Base
+	if vt1 != vt2 {
+		t.Fatalf("vtable layout differs across runs: %#x vs %#x", vt1, vt2)
+	}
+	fn1, _ := p1.Image.ReadU64(p1.Bin.VTables[profile.LineClass.Name])
+	fn2, _ := p2.Image.ReadU64(p2.Bin.VTables[profile.LineClass.Name])
+	if fn1-p1.Bin.Text.Base != fn2-p2.Bin.Text.Base {
+		t.Fatal("vtable slot 0 must reference the same function across runs")
+	}
+}
+
+func TestCodeIsNotWritable(t *testing.T) {
+	p := newProc(t, PowerWorldProfile(), 3)
+	if err := p.Image.WriteU32(p.Bin.Text.Base, 0x90909090); !errors.Is(err, ErrPermission) {
+		t.Fatalf("code write must be denied, got %v", err)
+	}
+	vt := p.Bin.VTables[p.Profile.LineClass.Name]
+	if err := p.Image.WriteU64(vt, 0x41414141); !errors.Is(err, ErrPermission) {
+		t.Fatalf("vtable write must be denied, got %v", err)
+	}
+}
+
+func TestValueScanIsNoisy(t *testing.T) {
+	// The naive scan must return many more hits than true rating fields —
+	// Table III's core observation.
+	p := newProc(t, PowerWorldProfile(), 4)
+	e, err := NewExploit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := e.FindCandidates(p, 150)
+	if len(cands) <= 3 {
+		t.Fatalf("value scan found only %d hits; decoys missing", len(cands))
+	}
+	recognized := e.Filter(p, cands)
+	if len(recognized) != 3 {
+		t.Fatalf("signature kept %d candidates, want exactly the 3 true ratings", len(recognized))
+	}
+	for _, c := range recognized {
+		found := false
+		for li := range p.Net.Lines {
+			if a, _ := p.RatingAddr(li); a == c {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("recognized candidate %#x is not a true rating", c)
+		}
+	}
+}
+
+func TestSignatureTransfersAcrossRuns(t *testing.T) {
+	// Build the signature offline on one process; apply it online to a
+	// different run (different ASLR layout) — the paper's central claim.
+	for _, profile := range Profiles() {
+		offline := newProc(t, profile, 10)
+		e, err := NewExploit(offline)
+		if err != nil {
+			t.Fatalf("%s: %v", profile.Name, err)
+		}
+		victim := newProc(t, profile, 99)
+		cands := e.FindCandidates(victim, 150)
+		recognized := e.Filter(victim, cands)
+		if len(recognized) != 3 {
+			t.Fatalf("%s: cross-run recognition = %d, want 3", profile.Name, len(recognized))
+		}
+	}
+}
+
+func TestRunAttackFig8(t *testing.T) {
+	// The Fig. 8 case study: corrupt line {1,3} 150→120 and line {2,3}
+	// 150→240 in PowerWorld memory, then watch the controller dispatch
+	// into an unsafe state.
+	p := newProc(t, PowerWorldProfile(), 8)
+	e, err := NewExploit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueRatings := []float64{150, 150, 150}
+
+	// Pre-attack: dispatch respects the 150 MW ratings.
+	pre, err := ctrl.Step()
+	if err != nil {
+		t.Fatalf("pre-attack step: %v", err)
+	}
+	for li, f := range pre.Flows {
+		if math.Abs(f) > 150+1e-6 {
+			t.Fatalf("pre-attack flow %v exceeds rating on line %d", f, li)
+		}
+	}
+
+	rep, err := RunAttack(p, e, map[int]float64{1: 120, 2: 240}, nil)
+	if err != nil {
+		t.Fatalf("RunAttack: %v", err)
+	}
+	if len(rep.Lines) != 2 {
+		t.Fatalf("attack touched %d lines, want 2", len(rep.Lines))
+	}
+	for _, lr := range rep.Lines {
+		if lr.Report.Recognized != lr.Report.Correct {
+			t.Fatalf("line %d: recognized %d != correct %d",
+				lr.Report.Line, lr.Report.Recognized, lr.Report.Correct)
+		}
+		if lr.Report.Hits <= lr.Report.Relevant {
+			t.Fatalf("line %d: expected noisy scan, hits=%d relevant=%d",
+				lr.Report.Line, lr.Report.Hits, lr.Report.Relevant)
+		}
+	}
+
+	// The EMS now reads the corrupted values...
+	ratings, err := p.ReadRatings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ratings[1]-120) > 1e-4 || math.Abs(ratings[2]-240) > 1e-4 {
+		t.Fatalf("post-attack ratings = %v, want [150 120 240]", ratings)
+	}
+	// ...and produces a dispatch that violates the true 150 MW limit.
+	post, err := ctrl.Step()
+	if err != nil {
+		t.Fatalf("post-attack step: %v", err)
+	}
+	violated := false
+	for li, f := range post.Flows {
+		if math.Abs(f) > trueRatings[li]+1e-6 {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Fatalf("post-attack dispatch %v violates no true rating", post.Flows)
+	}
+}
+
+func TestRunAttackUnknownLine(t *testing.T) {
+	p := newProc(t, PowerWorldProfile(), 8)
+	e, err := NewExploit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunAttack(p, e, map[int]float64{9: 100}, nil); err == nil {
+		t.Fatal("want unknown-line error")
+	}
+}
+
+func TestRunAttackWithKnownRatings(t *testing.T) {
+	// After a DLR update the static value is stale; the attacker must
+	// search for the *current* dynamic value.
+	p := newProc(t, PowerWorldProfile(), 12)
+	if err := p.IngestDLR(map[int]float64{1: 165}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewExploit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunAttack(p, e, map[int]float64{1: 130}, map[int]float64{1: 165})
+	if err != nil {
+		t.Fatalf("RunAttack: %v", err)
+	}
+	if rep.Lines[0].OldMVA != 165 {
+		t.Fatalf("searched value %v, want 165", rep.Lines[0].OldMVA)
+	}
+	ratings, _ := p.ReadRatings()
+	if math.Abs(ratings[1]-130) > 1e-4 {
+		t.Fatalf("post-attack rating = %v, want 130", ratings[1])
+	}
+}
+
+func TestTaintNarrowsScan(t *testing.T) {
+	p := newProc(t, PowerWorldProfile(), 21)
+	if err := p.IngestDLR(map[int]float64{0: 150, 1: 150, 2: 150}); err != nil {
+		t.Fatal(err)
+	}
+	if p.TaintCount() != 3 {
+		t.Fatalf("taint ranges = %d, want 3", p.TaintCount())
+	}
+	e, err := NewExploit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := e.FindCandidates(p, 150)
+	e.UseTaint = true
+	narrowed := e.FindCandidates(p, 150)
+	if len(narrowed) != 3 {
+		t.Fatalf("tainted scan = %d hits, want 3", len(narrowed))
+	}
+	if len(noisy) <= len(narrowed) {
+		t.Fatalf("taint must narrow the scan: %d vs %d", len(noisy), len(narrowed))
+	}
+	p.ClearTaint()
+	if p.TaintCount() != 0 {
+		t.Fatal("ClearTaint")
+	}
+	if p.Tainted(0x1234) {
+		t.Fatal("nothing is tainted after clear")
+	}
+}
+
+func TestIngestDLRErrors(t *testing.T) {
+	p := newProc(t, PowerWorldProfile(), 5)
+	if err := p.IngestDLR(map[int]float64{42: 100}); err == nil {
+		t.Fatal("want range error")
+	}
+}
+
+func TestForensicsAccuracyAllProfiles(t *testing.T) {
+	// Table IV: every profile's instances are recognized with 100%
+	// accuracy, and the vtable counts match the vendor's program scale.
+	for _, profile := range Profiles() {
+		p := newProc(t, profile, 31)
+		rep, err := Accuracy(p)
+		if err != nil {
+			t.Fatalf("%s: %v", profile.Name, err)
+		}
+		if rep.AccuracyPct != 100 {
+			t.Fatalf("%s: accuracy %v%%, want 100%%", profile.Name, rep.AccuracyPct)
+		}
+		if rep.Lines != rep.TrueLines || rep.Buses != rep.TrueBuses || rep.Gens != rep.TrueGens {
+			t.Fatalf("%s: %s", profile.Name, rep)
+		}
+		wantVT := profile.DecoyVTables + 3
+		if rep.VTables != wantVT {
+			t.Fatalf("%s: vtables %d, want %d", profile.Name, rep.VTables, wantVT)
+		}
+		if rep.String() == "" {
+			t.Fatal("empty report string")
+		}
+	}
+}
+
+func TestSignatureString(t *testing.T) {
+	p := newProc(t, PowerWorldProfile(), 7)
+	sig, err := BuildLineSignature(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig.Preds) < 3 {
+		t.Fatalf("PowerWorld signature has %d predicates, want ≥ 3 kinds", len(sig.Preds))
+	}
+	if sig.String() == "" {
+		t.Fatal("empty signature rendering")
+	}
+	for _, pred := range sig.Preds {
+		if pred.String() == "" {
+			t.Fatal("empty predicate rendering")
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	if _, err := ProfileByName("PowerWorld"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProfileByName("NoSuchEMS"); err == nil {
+		t.Fatal("want unknown-profile error")
+	}
+	if StorageLinkedList.String() == "" || StoragePtrArray.String() == "" || StorageKind(9).String() == "" {
+		t.Fatal("storage kind strings")
+	}
+}
+
+func TestControllerRejectsInfeasibleMemoryState(t *testing.T) {
+	// Corrupting ratings to absurdly low values makes the ED infeasible —
+	// the EMS alarms, which is why the paper's attacker stays in-band.
+	p := newProc(t, PowerWorldProfile(), 16)
+	e, err := NewExploit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := e.Filter(p, e.FindCandidates(p, 150))
+	for _, c := range cands {
+		if err := e.Corrupt(p, c, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ctrl.Step(); err == nil {
+		t.Fatal("controller must fail on infeasible corrupted ratings")
+	}
+}

@@ -1,0 +1,175 @@
+package ems
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ObjectInfo is one heap instance recognized by the offline analysis.
+type ObjectInfo struct {
+	// Addr is the object base address.
+	Addr uint64
+	// Class is the recovered class name ("" for unknown-vtable objects).
+	Class string
+}
+
+// Analysis is the result of the offline memory-forensics pass (the paper's
+// Table IV evaluates its accuracy): recovered vtables and classified heap
+// instances.
+type Analysis struct {
+	// VTableCount is the number of virtual-function tables discovered in
+	// read-only data.
+	VTableCount int
+	// Objects lists classified heap instances.
+	Objects []ObjectInfo
+	// ByClass counts instances per recovered class name.
+	ByClass map[string]int
+}
+
+// Analyze performs offline forensics on a process image, using only what a
+// real analyst has: the readable address space and the loaded binary's
+// read-only sections. It discovers vtables (pointer arrays in read-only
+// data whose entries land in executable memory) and classifies heap objects
+// by their leading vfptr.
+func Analyze(p *Process) (*Analysis, error) {
+	im := p.Image
+
+	// 1. Discover vtables: scan read-only data for runs of ≥2 pointers
+	// into executable regions.
+	var exec []*Region
+	var rodata []*Region
+	var writable []*Region
+	for _, r := range im.Regions() {
+		switch {
+		case r.Perm&PermExec != 0:
+			exec = append(exec, r)
+		case r.Perm&PermWrite != 0:
+			writable = append(writable, r)
+		case r.Perm&PermRead != 0:
+			rodata = append(rodata, r)
+		}
+	}
+	inExec := func(addr uint64) bool {
+		for _, r := range exec {
+			if addr >= r.Base && addr < r.End() {
+				return true
+			}
+		}
+		return false
+	}
+	vtables := make(map[uint64]bool)
+	for _, r := range rodata {
+		n := r.Size() / _ptrSize
+		runStart, runLen := -1, 0
+		for i := 0; i <= n; i++ {
+			ok := false
+			if i < n {
+				addr := r.Base + uint64(i*_ptrSize)
+				if v, err := im.ReadU64(addr); err == nil && inExec(v) {
+					ok = true
+				}
+			}
+			if ok {
+				if runStart < 0 {
+					runStart = i
+				}
+				runLen++
+				continue
+			}
+			if runLen >= 2 {
+				vtables[r.Base+uint64(runStart*_ptrSize)] = true
+			}
+			runStart, runLen = -1, 0
+		}
+	}
+
+	// 2. Classify heap objects: aligned slots whose first quadword is a
+	// discovered vtable address.
+	classOf := make(map[uint64]string, len(p.Bin.VTables))
+	for name, addr := range p.Bin.VTables {
+		classOf[addr] = name
+	}
+	a := &Analysis{VTableCount: len(vtables), ByClass: make(map[string]int)}
+	for _, r := range writable {
+		for off := 0; off+_ptrSize <= r.Size(); off += _heapAlign {
+			addr := r.Base + uint64(off)
+			v, err := im.ReadU64(addr)
+			if err != nil || !vtables[v] {
+				continue
+			}
+			name := classOf[v]
+			a.Objects = append(a.Objects, ObjectInfo{Addr: addr, Class: name})
+			key := name
+			if key == "" {
+				key = "<unknown>"
+			}
+			a.ByClass[key]++
+		}
+	}
+	sort.Slice(a.Objects, func(i, j int) bool { return a.Objects[i].Addr < a.Objects[j].Addr })
+	return a, nil
+}
+
+// AccuracyReport scores an analysis against the process ground truth — one
+// row of the paper's Table IV.
+type AccuracyReport struct {
+	// EMS is the vendor name.
+	EMS string
+	// VTables is the number of vtables discovered.
+	VTables int
+	// Lines, Buses, Gens are the recognized instance counts.
+	Lines, Buses, Gens int
+	// TrueLines, TrueBuses, TrueGens are the ground-truth counts.
+	TrueLines, TrueBuses, TrueGens int
+	// AccuracyPct is the fraction of line/bus/gen instances whose class
+	// was correctly recovered, in percent.
+	AccuracyPct float64
+}
+
+// Accuracy runs Analyze and scores it against the ground truth.
+func Accuracy(p *Process) (*AccuracyReport, error) {
+	a, err := Analyze(p)
+	if err != nil {
+		return nil, err
+	}
+	rep := &AccuracyReport{
+		EMS:     p.Profile.Name,
+		VTables: a.VTableCount,
+	}
+	rep.TrueLines, rep.TrueBuses, rep.TrueGens, _ = p.ObjectCounts()
+	rep.Lines = a.ByClass[p.Profile.LineClass.Name]
+	rep.Buses = a.ByClass[p.Profile.BusClass.Name]
+	rep.Gens = a.ByClass[p.Profile.GenClass.Name]
+
+	// Accuracy: recognized ∧ correctly placed, against ground truth.
+	truth := make(map[uint64]string, len(p.lineObjs)+len(p.busObjs)+len(p.genObjs))
+	for _, o := range p.lineObjs {
+		truth[o] = p.Profile.LineClass.Name
+	}
+	for _, o := range p.busObjs {
+		truth[o] = p.Profile.BusClass.Name
+	}
+	for _, o := range p.genObjs {
+		truth[o] = p.Profile.GenClass.Name
+	}
+	correct := 0
+	for _, obj := range a.Objects {
+		if want, ok := truth[obj.Addr]; ok && want == obj.Class {
+			correct++
+		}
+	}
+	total := len(truth)
+	if total > 0 {
+		rep.AccuracyPct = 100 * float64(correct) / float64(total)
+	}
+	return rep, nil
+}
+
+// String renders the report as a Table IV-style row.
+func (r *AccuracyReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s vfTable=%-6d Line=%d/%d Bus=%d/%d Gen=%d/%d Accuracy=%.0f%%",
+		r.EMS, r.VTables, r.Lines, r.TrueLines, r.Buses, r.TrueBuses, r.Gens, r.TrueGens, r.AccuracyPct)
+	return b.String()
+}

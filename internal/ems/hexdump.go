@@ -1,0 +1,115 @@
+package ems
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders the forensic artifacts the paper presents in Fig. 8:
+// hexdump panels of the memory regions holding the sensitive parameters,
+// before and after corruption, with the changed words highlighted.
+
+// HexDump renders n bytes at addr in the classic 16-byte-row format used by
+// the paper's figures. Unreadable ranges render as an error note rather
+// than failing, since dump tooling must degrade gracefully.
+func HexDump(im *Image, addr uint64, n int) string {
+	var b strings.Builder
+	for row := 0; row < n; row += 16 {
+		rowAddr := addr + uint64(row)
+		fmt.Fprintf(&b, "%012x ", rowAddr)
+		count := 16
+		if n-row < 16 {
+			count = n - row
+		}
+		data, err := im.Read(rowAddr, count)
+		if err != nil {
+			fmt.Fprintf(&b, " <unmapped: %v>\n", err)
+			continue
+		}
+		for i := 0; i < 16; i++ {
+			if i == 8 {
+				b.WriteByte(' ')
+			}
+			if i < len(data) {
+				fmt.Fprintf(&b, " %02x", data[i])
+			} else {
+				b.WriteString("   ")
+			}
+		}
+		b.WriteString("  |")
+		for _, c := range data {
+			if c >= 0x20 && c <= 0x7E {
+				b.WriteByte(c)
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// Snapshot captures the bytes of a range for later diffing.
+type Snapshot struct {
+	// Addr is the captured range's start.
+	Addr uint64
+	// Data is the captured content.
+	Data []byte
+}
+
+// Capture snapshots n bytes at addr.
+func Capture(im *Image, addr uint64, n int) (*Snapshot, error) {
+	data, err := im.Read(addr, n)
+	if err != nil {
+		return nil, fmt.Errorf("ems: capture: %w", err)
+	}
+	return &Snapshot{Addr: addr, Data: data}, nil
+}
+
+// DiffEntry is one changed byte range between two snapshots.
+type DiffEntry struct {
+	// Addr is the start of the changed run.
+	Addr uint64
+	// Before and After are the differing bytes.
+	Before, After []byte
+}
+
+// Diff compares a snapshot against the current memory content and returns
+// the changed runs — the paper's Fig. 8 presentation reduces to exactly
+// this: which words of the parameter block moved.
+func (s *Snapshot) Diff(im *Image) ([]DiffEntry, error) {
+	now, err := im.Read(s.Addr, len(s.Data))
+	if err != nil {
+		return nil, fmt.Errorf("ems: diff: %w", err)
+	}
+	var out []DiffEntry
+	i := 0
+	for i < len(s.Data) {
+		if s.Data[i] == now[i] {
+			i++
+			continue
+		}
+		start := i
+		for i < len(s.Data) && s.Data[i] != now[i] {
+			i++
+		}
+		out = append(out, DiffEntry{
+			Addr:   s.Addr + uint64(start),
+			Before: append([]byte(nil), s.Data[start:i]...),
+			After:  append([]byte(nil), now[start:i]...),
+		})
+	}
+	return out, nil
+}
+
+// FormatDiff renders diff entries as paper-style annotations.
+func FormatDiff(entries []DiffEntry) string {
+	if len(entries) == 0 {
+		return "(no changes)\n"
+	}
+	var b strings.Builder
+	for _, e := range entries {
+		fmt.Fprintf(&b, "%012x: % x → % x\n", e.Addr, e.Before, e.After)
+	}
+	return b.String()
+}

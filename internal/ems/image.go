@@ -1,0 +1,264 @@
+// Package ems simulates the victim side of the paper's attack
+// implementation (Sections V–VI): a running Energy Management System
+// process whose heap holds the power-system model — line objects with
+// vfptrs into read-only code, doubly linked lists, per-vendor memory
+// layouts — together with the offline forensics (object recognition,
+// structural signature extraction) and the online exploit (value scan,
+// predicate filtering, targeted corruption of DLR values).
+//
+// The original work targeted PowerWorld, NEPLAN, PowerFactory, PowerTools,
+// and SmartGridToolbox binaries on Windows. Reproducing that requires the
+// proprietary binaries, so this package builds a process substrate
+// exhibiting every structural property the paper's signatures rely on:
+// per-run address randomization, read-only code and vtables, writable data,
+// chunked heap allocation, and vendor-specific object layouts. See
+// DESIGN.md's substitution table.
+package ems
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Perm is a page-permission bitmask.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+)
+
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermRead != 0 {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Access errors.
+var (
+	ErrBadAddress   = errors.New("ems: address not mapped")
+	ErrPermission   = errors.New("ems: permission denied")
+	ErrRegionExists = errors.New("ems: region overlaps an existing mapping")
+)
+
+// Region is one contiguous mapped range of the simulated address space.
+type Region struct {
+	// Name labels the region (".text", ".rdata", "heap0", ...).
+	Name string
+	// Base is the starting virtual address.
+	Base uint64
+	// Perm is the page protection.
+	Perm Perm
+	data []byte
+}
+
+// Size returns the region length in bytes.
+func (r *Region) Size() int { return len(r.data) }
+
+// End returns one past the last mapped address.
+func (r *Region) End() uint64 { return r.Base + uint64(len(r.data)) }
+
+// Image is a simulated process address space.
+type Image struct {
+	regions []*Region
+}
+
+// NewImage returns an empty address space.
+func NewImage() *Image { return &Image{} }
+
+// Map adds a region of the given size; the content starts zeroed.
+func (im *Image) Map(name string, base uint64, size int, perm Perm) (*Region, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("ems: region %q has non-positive size %d", name, size)
+	}
+	end := base + uint64(size)
+	for _, r := range im.regions {
+		if base < r.End() && r.Base < end {
+			return nil, fmt.Errorf("ems: %q at [%#x, %#x) overlaps %q: %w",
+				name, base, end, r.Name, ErrRegionExists)
+		}
+	}
+	reg := &Region{Name: name, Base: base, Perm: perm, data: make([]byte, size)}
+	im.regions = append(im.regions, reg)
+	sort.Slice(im.regions, func(a, b int) bool { return im.regions[a].Base < im.regions[b].Base })
+	return reg, nil
+}
+
+// Regions returns the mapped regions in address order.
+func (im *Image) Regions() []*Region {
+	out := make([]*Region, len(im.regions))
+	copy(out, im.regions)
+	return out
+}
+
+// find locates the region containing [addr, addr+n).
+func (im *Image) find(addr uint64, n int) (*Region, error) {
+	for _, r := range im.regions {
+		if addr >= r.Base && addr+uint64(n) <= r.End() {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("ems: [%#x, %#x): %w", addr, addr+uint64(n), ErrBadAddress)
+}
+
+// Read copies n bytes at addr. It requires read permission.
+func (im *Image) Read(addr uint64, n int) ([]byte, error) {
+	r, err := im.find(addr, n)
+	if err != nil {
+		return nil, err
+	}
+	if r.Perm&PermRead == 0 {
+		return nil, fmt.Errorf("ems: read of %s region %q at %#x: %w", r.Perm, r.Name, addr, ErrPermission)
+	}
+	off := addr - r.Base
+	out := make([]byte, n)
+	copy(out, r.data[off:off+uint64(n)])
+	return out, nil
+}
+
+// Write stores bytes at addr. It requires write permission — corrupting
+// code or vtables fails exactly as W^X would make it fail on the real
+// system.
+func (im *Image) Write(addr uint64, b []byte) error {
+	r, err := im.find(addr, len(b))
+	if err != nil {
+		return err
+	}
+	if r.Perm&PermWrite == 0 {
+		return fmt.Errorf("ems: write to %s region %q at %#x: %w", r.Perm, r.Name, addr, ErrPermission)
+	}
+	copy(r.data[addr-r.Base:], b)
+	return nil
+}
+
+// ReadU32 reads a little-endian uint32.
+func (im *Image) ReadU32(addr uint64) (uint32, error) {
+	b, err := im.Read(addr, 4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+// ReadU64 reads a little-endian uint64.
+func (im *Image) ReadU64(addr uint64) (uint64, error) {
+	b, err := im.Read(addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// ReadF32 reads a little-endian float32.
+func (im *Image) ReadF32(addr uint64) (float32, error) {
+	v, err := im.ReadU32(addr)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float32frombits(v), nil
+}
+
+// ReadF64 reads a little-endian float64.
+func (im *Image) ReadF64(addr uint64) (float64, error) {
+	v, err := im.ReadU64(addr)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(v), nil
+}
+
+// WriteU32 stores a little-endian uint32.
+func (im *Image) WriteU32(addr uint64, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return im.Write(addr, b[:])
+}
+
+// WriteU64 stores a little-endian uint64.
+func (im *Image) WriteU64(addr uint64, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return im.Write(addr, b[:])
+}
+
+// WriteF32 stores a little-endian float32.
+func (im *Image) WriteF32(addr uint64, v float32) error {
+	return im.WriteU32(addr, math.Float32bits(v))
+}
+
+// WriteF64 stores a little-endian float64.
+func (im *Image) WriteF64(addr uint64, v float64) error {
+	return im.WriteU64(addr, math.Float64bits(v))
+}
+
+// Scan searches every readable region for the byte pattern and returns the
+// addresses of all matches — the exploit's first, noisy step (Table III's
+// "#Hits" column counts these).
+func (im *Image) Scan(pattern []byte) []uint64 {
+	var hits []uint64
+	if len(pattern) == 0 {
+		return hits
+	}
+	for _, r := range im.regions {
+		if r.Perm&PermRead == 0 {
+			continue
+		}
+		data := r.data
+		for off := 0; off+len(pattern) <= len(data); off++ {
+			if data[off] != pattern[0] {
+				continue
+			}
+			match := true
+			for k := 1; k < len(pattern); k++ {
+				if data[off+k] != pattern[k] {
+					match = false
+					break
+				}
+			}
+			if match {
+				hits = append(hits, r.Base+uint64(off))
+			}
+		}
+	}
+	return hits
+}
+
+// ScanWritable is Scan restricted to writable regions — the only hits the
+// exploit can act on.
+func (im *Image) ScanWritable(pattern []byte) []uint64 {
+	var hits []uint64
+	for _, addr := range im.Scan(pattern) {
+		if r, err := im.find(addr, 1); err == nil && r.Perm&PermWrite != 0 {
+			hits = append(hits, addr)
+		}
+	}
+	return hits
+}
+
+// F32Bytes returns the little-endian byte pattern of a float32 value —
+// e.g. 1.5 → 00 00 C0 3F, the paper's 0x3FC00000 example.
+func F32Bytes(v float32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+	return b[:]
+}
+
+// F64Bytes returns the little-endian byte pattern of a float64 value.
+func F64Bytes(v float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return b[:]
+}

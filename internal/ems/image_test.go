@@ -1,0 +1,158 @@
+package ems
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestMapAndRW(t *testing.T) {
+	im := NewImage()
+	r, err := im.Map("heap", 0x1000, 0x100, PermRead|PermWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 0x100 || r.End() != 0x1100 {
+		t.Fatalf("region geometry: %d %#x", r.Size(), r.End())
+	}
+	if err := im.WriteU32(0x1010, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := im.ReadU32(0x1010)
+	if err != nil || v != 0xDEADBEEF {
+		t.Fatalf("roundtrip: %#x %v", v, err)
+	}
+}
+
+func TestMapOverlapRejected(t *testing.T) {
+	im := NewImage()
+	if _, err := im.Map("a", 0x1000, 0x100, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := im.Map("b", 0x1080, 0x100, PermRead); !errors.Is(err, ErrRegionExists) {
+		t.Fatalf("want ErrRegionExists, got %v", err)
+	}
+	if _, err := im.Map("c", 0x1000, -1, PermRead); err == nil {
+		t.Fatal("want size error")
+	}
+}
+
+func TestUnmappedAccess(t *testing.T) {
+	im := NewImage()
+	if _, err := im.Read(0x5000, 4); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("want ErrBadAddress, got %v", err)
+	}
+	if err := im.Write(0x5000, []byte{1}); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("want ErrBadAddress, got %v", err)
+	}
+}
+
+func TestWXPermissions(t *testing.T) {
+	im := NewImage()
+	if _, err := im.Map(".text", 0x1000, 0x100, PermRead|PermExec); err != nil {
+		t.Fatal(err)
+	}
+	// Code is not writable — W^X holds.
+	if err := im.WriteU32(0x1000, 1); !errors.Is(err, ErrPermission) {
+		t.Fatalf("want ErrPermission writing code, got %v", err)
+	}
+	// Unreadable region cannot be read.
+	if _, err := im.Map("guard", 0x3000, 0x100, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := im.Read(0x3000, 4); !errors.Is(err, ErrPermission) {
+		t.Fatalf("want ErrPermission, got %v", err)
+	}
+}
+
+func TestReadSpanningEnd(t *testing.T) {
+	im := NewImage()
+	if _, err := im.Map("a", 0x1000, 0x10, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := im.Read(0x100C, 8); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("cross-boundary read must fail, got %v", err)
+	}
+}
+
+func TestFloatRoundtrips(t *testing.T) {
+	im := NewImage()
+	if _, err := im.Map("h", 0x1000, 0x40, PermRead|PermWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.WriteF32(0x1000, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	f32, err := im.ReadF32(0x1000)
+	if err != nil || f32 != 1.5 {
+		t.Fatalf("f32 roundtrip: %v %v", f32, err)
+	}
+	// The paper's canonical example: 1.5f is 0x3FC00000.
+	u, _ := im.ReadU32(0x1000)
+	if u != 0x3FC00000 {
+		t.Fatalf("1.5f bits = %#x, want 0x3FC00000", u)
+	}
+	if err := im.WriteF64(0x1008, 2.4); err != nil {
+		t.Fatal(err)
+	}
+	f64, err := im.ReadF64(0x1008)
+	if err != nil || f64 != 2.4 {
+		t.Fatalf("f64 roundtrip: %v %v", f64, err)
+	}
+	if err := im.WriteU64(0x1010, 0x123456789A); err != nil {
+		t.Fatal(err)
+	}
+	u64, err := im.ReadU64(0x1010)
+	if err != nil || u64 != 0x123456789A {
+		t.Fatalf("u64 roundtrip: %#x %v", u64, err)
+	}
+}
+
+func TestScan(t *testing.T) {
+	im := NewImage()
+	if _, err := im.Map("rw", 0x1000, 0x100, PermRead|PermWrite); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := im.Map("ro", 0x3000, 0x100, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := im.Map("na", 0x5000, 0x100, 0); err != nil {
+		t.Fatal(err)
+	}
+	pat := F32Bytes(1.5)
+	_ = im.WriteF32(0x1004, 1.5)
+	_ = im.WriteF32(0x1050, 1.5)
+	// Plant a copy in the read-only region directly.
+	ro := im.Regions()[1]
+	copy(ro.data[0x10:], pat)
+
+	hits := im.Scan(pat)
+	if len(hits) != 3 {
+		t.Fatalf("Scan hits = %v, want 3", hits)
+	}
+	w := im.ScanWritable(pat)
+	if len(w) != 2 {
+		t.Fatalf("ScanWritable hits = %v, want 2", w)
+	}
+	if len(im.Scan(nil)) != 0 {
+		t.Fatal("empty pattern must yield nothing")
+	}
+}
+
+func TestF32F64Bytes(t *testing.T) {
+	if !bytes.Equal(F32Bytes(1.5), []byte{0x00, 0x00, 0xC0, 0x3F}) {
+		t.Fatalf("F32Bytes(1.5) = % X", F32Bytes(1.5))
+	}
+	if len(F64Bytes(2.5)) != 8 {
+		t.Fatal("F64Bytes width")
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if (PermRead | PermWrite).String() != "rw-" {
+		t.Fatalf("Perm string = %q", (PermRead | PermWrite).String())
+	}
+	if (PermRead | PermExec).String() != "r-x" {
+		t.Fatalf("Perm string = %q", (PermRead | PermExec).String())
+	}
+}

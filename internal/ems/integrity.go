@@ -1,0 +1,100 @@
+package ems
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"github.com/edsec/edattack/internal/dispatch"
+)
+
+// IntegrityMonitor implements the paper's first mitigation (Section VII-i,
+// "protection of sensitive data"): the sensitive parameter block is
+// fingerprinted after each *legitimate* update, and the control loop
+// verifies the fingerprint before consuming the parameters. A memory
+// corruption that bypasses the update path — exactly what the exploit does
+// — breaks the fingerprint.
+//
+// The monitor watches the line-rating fields of a process. In a hardened
+// deployment the baseline would live in an enclave (the paper suggests
+// SGX); here it lives outside the simulated address space, which models the
+// same trust split.
+type IntegrityMonitor struct {
+	proc     *Process
+	baseline [32]byte
+	armed    bool
+}
+
+// NewIntegrityMonitor attaches a monitor to a process. Call Arm after every
+// legitimate parameter update.
+func NewIntegrityMonitor(p *Process) *IntegrityMonitor {
+	return &IntegrityMonitor{proc: p}
+}
+
+// snapshot hashes the current bytes of every rating field.
+func (m *IntegrityMonitor) snapshot() ([32]byte, error) {
+	h := sha256.New()
+	width := 4
+	if m.proc.Profile.Rating64 {
+		width = 8
+	}
+	for _, addr := range m.proc.ratingAddrs {
+		b, err := m.proc.Image.Read(addr, width)
+		if err != nil {
+			return [32]byte{}, fmt.Errorf("ems: integrity snapshot: %w", err)
+		}
+		h.Write(b)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out, nil
+}
+
+// Arm records the current parameter block as the trusted baseline.
+func (m *IntegrityMonitor) Arm() error {
+	s, err := m.snapshot()
+	if err != nil {
+		return err
+	}
+	m.baseline = s
+	m.armed = true
+	return nil
+}
+
+// Check reports whether the parameter block still matches the baseline.
+// It returns an error when the monitor was never armed.
+func (m *IntegrityMonitor) Check() (intact bool, err error) {
+	if !m.armed {
+		return false, fmt.Errorf("ems: integrity monitor not armed")
+	}
+	s, err := m.snapshot()
+	if err != nil {
+		return false, err
+	}
+	return s == m.baseline, nil
+}
+
+// GuardedStep is the hardened control loop: verify the parameter block,
+// then dispatch. It refuses to dispatch on a fingerprint mismatch.
+func (c *Controller) GuardedStep(m *IntegrityMonitor) (*ControllerStepResult, error) {
+	intact, err := m.Check()
+	if err != nil {
+		return nil, err
+	}
+	if !intact {
+		return &ControllerStepResult{TamperDetected: true}, nil
+	}
+	res, err := c.Step()
+	if err != nil {
+		return nil, err
+	}
+	return &ControllerStepResult{Dispatch: res}, nil
+}
+
+// ControllerStepResult is the outcome of a guarded control cycle.
+type ControllerStepResult struct {
+	// TamperDetected means the integrity check failed and no dispatch was
+	// issued.
+	TamperDetected bool
+	// Dispatch is the issued dispatch when the check passed.
+	Dispatch *dispatch.Result
+}

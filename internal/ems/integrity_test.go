@@ -1,0 +1,66 @@
+package ems
+
+import (
+	"testing"
+)
+
+func TestIntegrityMonitorDetectsCorruption(t *testing.T) {
+	p := newProc(t, PowerWorldProfile(), 61)
+	mon := NewIntegrityMonitor(p)
+	if _, err := mon.Check(); err == nil {
+		t.Fatal("unarmed monitor must error")
+	}
+	if err := mon.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	intact, err := mon.Check()
+	if err != nil || !intact {
+		t.Fatalf("fresh process flagged: %v %v", intact, err)
+	}
+
+	ctrl, err := NewController(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := ctrl.GuardedStep(mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.TamperDetected || step.Dispatch == nil {
+		t.Fatalf("clean guarded step failed: %+v", step)
+	}
+
+	// Legitimate DLR update + re-arm keeps the loop running.
+	if err := p.IngestDLR(map[int]float64{1: 158}); err != nil {
+		t.Fatal(err)
+	}
+	intact, err = mon.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intact {
+		t.Fatal("update without re-arm must change the fingerprint")
+	}
+	if err := mon.Arm(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The exploit's out-of-band write is caught before dispatch.
+	e, err := NewExploit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunAttack(p, e, map[int]float64{2: 240}, nil); err != nil {
+		t.Fatal(err)
+	}
+	step, err = ctrl.GuardedStep(mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !step.TamperDetected {
+		t.Fatal("guarded controller dispatched on corrupted parameters")
+	}
+	if step.Dispatch != nil {
+		t.Fatal("dispatch issued despite tampering")
+	}
+}

@@ -1,0 +1,191 @@
+package ems
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FieldKind describes the role of one class member.
+type FieldKind int
+
+// Field kinds.
+const (
+	// FieldVfptr is the virtual-function-table pointer (always offset 0
+	// in our single-inheritance layouts).
+	FieldVfptr FieldKind = iota + 1
+	// FieldRating is the target parameter: the line's dynamic rating.
+	FieldRating
+	// FieldPrev and FieldNext are doubly-linked-list pointers.
+	FieldPrev
+	FieldNext
+	// FieldNamePtr points to a NUL-terminated identifier string.
+	FieldNamePtr
+	// FieldConstU32 holds a fixed 32-bit constant (status flags etc.).
+	FieldConstU32
+	// FieldScratch is uninitialized/irrelevant storage.
+	FieldScratch
+)
+
+// Field is one member of a class layout.
+type Field struct {
+	// Name is the member identifier (for diagnostics).
+	Name string
+	// Kind is the member role.
+	Kind FieldKind
+	// Offset is the byte offset within the object.
+	Offset int
+	// Size is the member size in bytes.
+	Size int
+	// Const is the value for FieldConstU32 members.
+	Const uint32
+}
+
+// Class is an object layout, the unit the forensics pass recovers.
+type Class struct {
+	// Name is the (reverse-engineered) class name, e.g. "TTRLine".
+	Name string
+	// Size is the instance size in bytes.
+	Size int
+	// NumVirtuals is the vtable entry count.
+	NumVirtuals int
+	// Fields are the member layouts.
+	Fields []Field
+}
+
+// FieldByKind returns the first field of the given kind, or nil.
+func (c *Class) FieldByKind(k FieldKind) *Field {
+	for i := range c.Fields {
+		if c.Fields[i].Kind == k {
+			return &c.Fields[i]
+		}
+	}
+	return nil
+}
+
+// validate checks field bounds and overlaps loosely (fields must fit).
+func (c *Class) validate() error {
+	if c.Size <= 0 {
+		return fmt.Errorf("ems: class %q has size %d", c.Name, c.Size)
+	}
+	if c.NumVirtuals <= 0 {
+		return fmt.Errorf("ems: class %q has no virtual functions", c.Name)
+	}
+	for _, f := range c.Fields {
+		if f.Offset < 0 || f.Offset+f.Size > c.Size {
+			return fmt.Errorf("ems: class %q field %q [%d,%d) outside size %d",
+				c.Name, f.Name, f.Offset, f.Offset+f.Size, c.Size)
+		}
+	}
+	if c.FieldByKind(FieldVfptr) == nil {
+		return fmt.Errorf("ems: class %q has no vfptr", c.Name)
+	}
+	return nil
+}
+
+// Binary is the simulated loaded executable: read-only code and read-only
+// vtable data, with the symbol-level ground truth an offline analyst would
+// reconstruct.
+type Binary struct {
+	// Text and RData are the executable and read-only data regions.
+	Text, RData *Region
+	// VTables maps class name → vtable address in RData.
+	VTables map[string]uint64
+	// VTableAddrs is every vtable address (including decoy classes), the
+	// denominator of Table IV's vfTable column.
+	VTableAddrs []uint64
+	// FuncPrologue maps function address → its first instruction bytes
+	// (the content a code-pointer predicate pins).
+	FuncPrologue map[uint64][]byte
+}
+
+// prologues are realistic IA-32/x86-64 function openings; the paper's
+// example pins "53 56 8B F2" (push ebx; push esi; mov esi, edx).
+var _prologues = [][]byte{
+	{0x53, 0x56, 0x8B, 0xF2},             // push ebx; push esi; mov esi,edx
+	{0x55, 0x8B, 0xEC},                   // push ebp; mov ebp,esp
+	{0x53, 0x56, 0x57, 0x8B, 0xD8},       // push ebx/esi/edi; mov ebx,eax
+	{0x48, 0x83, 0xEC, 0x28},             // sub rsp, 0x28
+	{0x40, 0x53, 0x48, 0x83, 0xEC, 0x20}, // push rbx; sub rsp,0x20
+	{0x56, 0x57, 0x8B, 0xF9},             // push esi; push edi; mov edi,ecx
+}
+
+const (
+	_ptrSize      = 8
+	_funcBlobSize = 48
+)
+
+// buildBinary lays out a code section with a pool of functions and one
+// vtable per class (real and decoy) in read-only data.
+func buildBinary(im *Image, rng *rand.Rand, textBase, rdataBase uint64, classes []Class, decoyVTables int) (*Binary, error) {
+	// Function pool: enough for every class to draw distinct-ish entries,
+	// shared across decoy vtables like real programs share impls.
+	poolSize := 64
+	for _, c := range classes {
+		poolSize += c.NumVirtuals
+	}
+	textSize := poolSize * _funcBlobSize
+	text, err := im.Map(".text", textBase, textSize, PermRead|PermExec)
+	if err != nil {
+		return nil, err
+	}
+	funcAddrs := make([]uint64, poolSize)
+	prologue := make(map[uint64][]byte, poolSize)
+	for i := 0; i < poolSize; i++ {
+		addr := text.Base + uint64(i*_funcBlobSize)
+		p := _prologues[rng.Intn(len(_prologues))]
+		blob := make([]byte, _funcBlobSize)
+		copy(blob, p)
+		for k := len(p); k < _funcBlobSize; k++ {
+			blob[k] = byte(rng.Intn(256))
+		}
+		copy(text.data[i*_funcBlobSize:], blob)
+		funcAddrs[i] = addr
+		prologue[addr] = append([]byte(nil), p...)
+	}
+
+	// Vtables: the named classes first, then decoys.
+	totalVT := len(classes) + decoyVTables
+	entries := 0
+	for _, c := range classes {
+		entries += c.NumVirtuals
+	}
+	entries += decoyVTables * 4
+	// One RTTI/offset-to-top slot precedes each vtable's function array,
+	// as in real C++ ABIs; it also delimits adjacent vtables.
+	entries += totalVT
+	rdata, err := im.Map(".rdata", rdataBase, entries*_ptrSize+16, PermRead)
+	if err != nil {
+		return nil, err
+	}
+	bin := &Binary{
+		Text: text, RData: rdata,
+		VTables:      make(map[string]uint64, len(classes)),
+		VTableAddrs:  make([]uint64, 0, totalVT),
+		FuncPrologue: prologue,
+	}
+	off := 0
+	writePtr := func(p uint64) {
+		for k := 0; k < _ptrSize; k++ {
+			rdata.data[off+k] = byte(p >> (8 * k))
+		}
+		off += _ptrSize
+	}
+	for _, c := range classes {
+		writePtr(0) // RTTI slot
+		vt := rdata.Base + uint64(off)
+		bin.VTables[c.Name] = vt
+		bin.VTableAddrs = append(bin.VTableAddrs, vt)
+		for v := 0; v < c.NumVirtuals; v++ {
+			writePtr(funcAddrs[rng.Intn(poolSize)])
+		}
+	}
+	for d := 0; d < decoyVTables; d++ {
+		writePtr(0) // RTTI slot
+		vt := rdata.Base + uint64(off)
+		bin.VTableAddrs = append(bin.VTableAddrs, vt)
+		for v := 0; v < 4; v++ {
+			writePtr(funcAddrs[rng.Intn(poolSize)])
+		}
+	}
+	return bin, nil
+}

@@ -1,0 +1,197 @@
+package ems
+
+import "fmt"
+
+// StorageKind is how a vendor's EMS organizes its component objects.
+type StorageKind int
+
+// Storage kinds.
+const (
+	// StorageLinkedList keeps objects on a doubly linked list (PowerWorld
+	// style — the paper's Fig. 7b).
+	StorageLinkedList StorageKind = iota + 1
+	// StoragePtrArray keeps a contiguous array of object pointers.
+	StoragePtrArray
+)
+
+func (s StorageKind) String() string {
+	switch s {
+	case StorageLinkedList:
+		return "linked-list"
+	case StoragePtrArray:
+		return "pointer-array"
+	default:
+		return fmt.Sprintf("StorageKind(%d)", int(s))
+	}
+}
+
+// Profile describes one vendor's memory organization: class layouts, rating
+// encoding, container choice, and the amount of unrelated state that makes
+// naive value scanning noisy.
+type Profile struct {
+	// Name identifies the EMS package.
+	Name string
+	// LineClass, BusClass, and GenClass are the vendor's object layouts.
+	LineClass, BusClass, GenClass Class
+	// Rating64 selects float64 rating storage (float32 otherwise).
+	Rating64 bool
+	// Storage selects the object container.
+	Storage StorageKind
+	// ChunkBytes is the heap-chunk allocation size (PowerWorld allocates
+	// 0x13FFF0-byte blocks via VirtualAlloc per the paper); 0 means one
+	// object per allocation region cluster.
+	ChunkBytes int
+	// DecoyVTables is how many unrelated classes the loaded binary
+	// carries (Table IV's vfTable column).
+	DecoyVTables int
+	// DecoyInstances is how many heap objects of decoy classes exist.
+	DecoyInstances int
+	// DecoyValueCopies is how many stray copies of rating-like float
+	// patterns litter the heap (drives Table III's #Hits ≫ #Relevant).
+	DecoyValueCopies int
+}
+
+// lineClass builds a vendor line-object layout with the rating at the given
+// offset.
+func lineClass(name string, size, ratingOff, ratingSize, numVirt int, withList bool, nameOff int) Class {
+	c := Class{
+		Name: name, Size: size, NumVirtuals: numVirt,
+		Fields: []Field{
+			{Name: "vfptr", Kind: FieldVfptr, Offset: 0, Size: _ptrSize},
+			{Name: "rating", Kind: FieldRating, Offset: ratingOff, Size: ratingSize},
+		},
+	}
+	if withList {
+		c.Fields = append(c.Fields,
+			Field{Name: "prev", Kind: FieldPrev, Offset: _ptrSize, Size: _ptrSize},
+			Field{Name: "next", Kind: FieldNext, Offset: 2 * _ptrSize, Size: _ptrSize},
+		)
+	}
+	if nameOff > 0 {
+		c.Fields = append(c.Fields,
+			Field{Name: "name", Kind: FieldNamePtr, Offset: nameOff, Size: _ptrSize})
+	}
+	// A fixed status word gives the intra-class predicate something to
+	// pin (the paper's "candidate_addr + 0x08 stores 0x00000001").
+	c.Fields = append(c.Fields,
+		Field{Name: "status", Kind: FieldConstU32, Offset: size - 8, Size: 4, Const: 1})
+	return c
+}
+
+func simpleClass(name string, size, numVirt int) Class {
+	return Class{
+		Name: name, Size: size, NumVirtuals: numVirt,
+		Fields: []Field{
+			{Name: "vfptr", Kind: FieldVfptr, Offset: 0, Size: _ptrSize},
+			{Name: "status", Kind: FieldConstU32, Offset: size - 8, Size: 4, Const: 1},
+		},
+	}
+}
+
+// Profiles returns the five vendor profiles evaluated in the paper
+// (Section VI, Tables III–IV), each with a distinct memory organization.
+func Profiles() []Profile {
+	return []Profile{
+		PowerWorldProfile(),
+		NEPLANProfile(),
+		PowerFactoryProfile(),
+		PowerToolsProfile(),
+		SmartGridToolboxProfile(),
+	}
+}
+
+// PowerWorldProfile mimics the paper's primary target: float32 ratings at
+// offset 0x24 of TTRLine objects on a doubly linked list, with large
+// VirtualAlloc'd heap chunks and a very large program-wide vtable count.
+func PowerWorldProfile() Profile {
+	return Profile{
+		Name:      "PowerWorld",
+		LineClass: lineClass("TTRLine", 0x60, 0x24, 4, 8, true, 0x30),
+		BusClass:  lineClass("TBus", 0x50, 0x20, 4, 6, true, 0x28),
+		GenClass:  lineClass("TGen", 0x58, 0x28, 4, 6, true, 0x30),
+		Rating64:  false,
+		Storage:   StorageLinkedList,
+		// The paper reports 0x13FFF0-byte VirtualAlloc blocks; scaled
+		// down so tests stay light while preserving multi-object chunks.
+		ChunkBytes:       0x4000,
+		DecoyVTables:     8527 - 3,
+		DecoyInstances:   600,
+		DecoyValueCopies: 140,
+	}
+}
+
+// NEPLANProfile uses float64 ratings in larger objects on a linked list.
+func NEPLANProfile() Profile {
+	return Profile{
+		Name:             "NEPLAN",
+		LineClass:        lineClass("CNepLine", 0x80, 0x30, 8, 10, true, 0x48),
+		BusClass:         lineClass("CNepNode", 0x70, 0x28, 8, 8, true, 0x40),
+		GenClass:         lineClass("CNepGen", 0x78, 0x38, 8, 8, true, 0x48),
+		Rating64:         true,
+		Storage:          StorageLinkedList,
+		ChunkBytes:       0x8000,
+		DecoyVTables:     6549 - 3,
+		DecoyInstances:   400,
+		DecoyValueCopies: 90,
+	}
+}
+
+// PowerFactoryProfile stores objects behind a pointer array.
+func PowerFactoryProfile() Profile {
+	return Profile{
+		Name:             "PowerFactory",
+		LineClass:        lineClass("ElmLne", 0x70, 0x18, 8, 12, false, 0x50),
+		BusClass:         lineClass("ElmTerm", 0x60, 0x20, 8, 10, false, 0x48),
+		GenClass:         lineClass("ElmSym", 0x68, 0x28, 8, 10, false, 0x50),
+		Rating64:         true,
+		Storage:          StoragePtrArray,
+		ChunkBytes:       0,
+		DecoyVTables:     110 - 3,
+		DecoyInstances:   120,
+		DecoyValueCopies: 60,
+	}
+}
+
+// PowerToolsProfile mimics the open-source Powertools package: lean C++
+// objects, few virtuals, float64 matrices (the paper's Fig. 8c corrupts its
+// branch-table doubles).
+func PowerToolsProfile() Profile {
+	return Profile{
+		Name:             "Powertools",
+		LineClass:        lineClass("Arc", 0x48, 0x20, 8, 2, true, 0),
+		BusClass:         lineClass("Node", 0x40, 0x18, 8, 2, true, 0),
+		GenClass:         lineClass("Gen", 0x40, 0x20, 8, 2, true, 0),
+		Rating64:         true,
+		Storage:          StorageLinkedList,
+		ChunkBytes:       0x2000,
+		DecoyVTables:     0, // the paper reports only 3 vtables total
+		DecoyInstances:   30,
+		DecoyValueCopies: 25,
+	}
+}
+
+// SmartGridToolboxProfile is the open-source C++14 library target.
+func SmartGridToolboxProfile() Profile {
+	return Profile{
+		Name:             "SmartGridToolbox",
+		LineClass:        lineClass("CommonBranch", 0x68, 0x28, 8, 6, false, 0x40),
+		BusClass:         lineClass("Bus", 0x58, 0x20, 8, 6, false, 0x38),
+		GenClass:         lineClass("GenericGen", 0x60, 0x30, 8, 6, false, 0x40),
+		Rating64:         true,
+		Storage:          StoragePtrArray,
+		ChunkBytes:       0,
+		DecoyVTables:     194 - 3,
+		DecoyInstances:   150,
+		DecoyValueCopies: 45,
+	}
+}
+
+// ProfileByName resolves a vendor profile by (case-sensitive) name.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("ems: unknown EMS profile %q", name)
+}

@@ -1,0 +1,234 @@
+package ems
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Predicate is one structural memory invariant checked against a candidate
+// rating address at attack time. Predicates are address-relative: they
+// survive ASLR and run-to-run heap layout changes, which is the central
+// point of the paper's Table II.
+type Predicate interface {
+	// Check reports whether the candidate address satisfies the invariant
+	// in the given image.
+	Check(im *Image, cand uint64) bool
+	// String renders the predicate in the paper's pointer-expression
+	// notation.
+	String() string
+}
+
+// IntraClassPredicate pins a fixed-offset sibling member: "candidate_addr +
+// off stores the 32-bit constant c" (Table II, left column).
+type IntraClassPredicate struct {
+	// Off is the byte offset from the candidate (rating) address.
+	Off int64
+	// Const is the expected 32-bit value.
+	Const uint32
+}
+
+// Check implements Predicate.
+func (p *IntraClassPredicate) Check(im *Image, cand uint64) bool {
+	v, err := im.ReadU32(uint64(int64(cand) + p.Off))
+	return err == nil && v == p.Const
+}
+
+func (p *IntraClassPredicate) String() string {
+	return fmt.Sprintf("*(cand%+#x) == %#x", p.Off, p.Const)
+}
+
+// StringFieldPredicate pins a sibling char* member: the pointer at the
+// given offset must land in readable memory holding printable ASCII
+// ("type(&line-rating + 0x0C) == string" in Table II).
+type StringFieldPredicate struct {
+	// Off is the byte offset from the candidate to the char* member.
+	Off int64
+	// MinLen is the minimum printable run demanded.
+	MinLen int
+}
+
+// Check implements Predicate.
+func (p *StringFieldPredicate) Check(im *Image, cand uint64) bool {
+	ptr, err := im.ReadU64(uint64(int64(cand) + p.Off))
+	if err != nil {
+		return false
+	}
+	n := p.MinLen
+	if n <= 0 {
+		n = 3
+	}
+	b, err := im.Read(ptr, n)
+	if err != nil {
+		return false
+	}
+	for _, c := range b {
+		if c < 0x20 || c > 0x7E {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *StringFieldPredicate) String() string {
+	return fmt.Sprintf("type(*(cand%+#x)) == string", p.Off)
+}
+
+// CodePointerPredicate follows the object's vfptr into its vtable and
+// demands that a virtual-function slot point at known instruction bytes:
+// "*(*(cand - ratingOff) + idx·8) starts with the function prologue"
+// (Table II, middle column). Code is read-only, so the pinned bytes are
+// stable across runs while every address involved is relative.
+type CodePointerPredicate struct {
+	// RatingOff is the rating field's offset within the object (so the
+	// object base is cand − RatingOff).
+	RatingOff int64
+	// Slot is the vtable entry index.
+	Slot int
+	// Prologue is the expected leading instruction bytes.
+	Prologue []byte
+}
+
+// Check implements Predicate.
+func (p *CodePointerPredicate) Check(im *Image, cand uint64) bool {
+	objBase := uint64(int64(cand) - p.RatingOff)
+	vt, err := im.ReadU64(objBase)
+	if err != nil {
+		return false
+	}
+	fn, err := im.ReadU64(vt + uint64(p.Slot*_ptrSize))
+	if err != nil {
+		return false
+	}
+	got, err := im.Read(fn, len(p.Prologue))
+	if err != nil {
+		return false
+	}
+	return bytes.Equal(got, p.Prologue)
+}
+
+func (p *CodePointerPredicate) String() string {
+	return fmt.Sprintf("*(*(cand-%#x)+%#x) == % X", p.RatingOff, p.Slot*_ptrSize, p.Prologue)
+}
+
+// ListCyclePredicate is the data-pointer pattern (Table II, right column):
+// with the object base A = cand − RatingOff, it verifies the doubly
+// linked-list invariants A.prev.next == A and A.next.prev == A.
+type ListCyclePredicate struct {
+	// RatingOff is the rating field's offset within the object.
+	RatingOff int64
+	// PrevOff and NextOff are the list-pointer offsets within the object.
+	PrevOff, NextOff int64
+}
+
+// Check implements Predicate.
+func (p *ListCyclePredicate) Check(im *Image, cand uint64) bool {
+	a := uint64(int64(cand) - p.RatingOff)
+	prev, err := im.ReadU64(uint64(int64(a) + p.PrevOff))
+	if err != nil {
+		return false
+	}
+	next, err := im.ReadU64(uint64(int64(a) + p.NextOff))
+	if err != nil {
+		return false
+	}
+	prevNext, err := im.ReadU64(uint64(int64(prev) + p.NextOff))
+	if err != nil {
+		return false
+	}
+	nextPrev, err := im.ReadU64(uint64(int64(next) + p.PrevOff))
+	if err != nil {
+		return false
+	}
+	return prevNext == a && nextPrev == a
+}
+
+func (p *ListCyclePredicate) String() string {
+	return fmt.Sprintf("A=cand-%#x: *(*(A%+#x)%+#x)==A && *(*(A%+#x)%+#x)==A",
+		p.RatingOff, p.PrevOff, p.NextOff, p.NextOff, p.PrevOff)
+}
+
+// Signature is the conjunction of structural predicates identifying the
+// true rating among value-scan candidates.
+type Signature struct {
+	// Class is the object class the signature targets.
+	Class string
+	// Preds are checked conjunctively.
+	Preds []Predicate
+}
+
+// Check reports whether every predicate holds.
+func (s *Signature) Check(im *Image, cand uint64) bool {
+	for _, p := range s.Preds {
+		if !p.Check(im, cand) {
+			return false
+		}
+	}
+	return true
+}
+
+// String lists the predicates.
+func (s *Signature) String() string {
+	out := fmt.Sprintf("signature(%s):", s.Class)
+	for _, p := range s.Preds {
+		out += "\n  " + p.String()
+	}
+	return out
+}
+
+// BuildLineSignature performs the offline signature-extraction stage: from
+// the vendor layout and the loaded binary it derives address-relative
+// predicates around the line-rating field. In the paper this knowledge
+// comes from binary reverse engineering ([26]); here it comes from the
+// process's class metadata, which plays the same role.
+func BuildLineSignature(p *Process) (*Signature, error) {
+	c := &p.Profile.LineClass
+	rating := c.FieldByKind(FieldRating)
+	if rating == nil {
+		return nil, fmt.Errorf("ems: class %q has no rating field", c.Name)
+	}
+	sig := &Signature{Class: c.Name}
+
+	// Intra-class: the fixed status word.
+	if f := c.FieldByKind(FieldConstU32); f != nil {
+		sig.Preds = append(sig.Preds, &IntraClassPredicate{
+			Off:   int64(f.Offset - rating.Offset),
+			Const: f.Const,
+		})
+	}
+	// Intra-class: the name string member, when present.
+	if f := c.FieldByKind(FieldNamePtr); f != nil {
+		sig.Preds = append(sig.Preds, &StringFieldPredicate{
+			Off:    int64(f.Offset - rating.Offset),
+			MinLen: 4,
+		})
+	}
+	// Code-pointer: pin the first virtual function's prologue. The
+	// prologue bytes are read from the (read-only) binary now, at
+	// analysis time — at attack time only the predicate runs.
+	vt, ok := p.Bin.VTables[c.Name]
+	if !ok {
+		return nil, fmt.Errorf("ems: no vtable for class %q", c.Name)
+	}
+	fn, err := p.Image.ReadU64(vt)
+	if err != nil {
+		return nil, fmt.Errorf("ems: reading vtable slot 0: %w", err)
+	}
+	prologue, ok := p.Bin.FuncPrologue[fn]
+	if !ok {
+		return nil, fmt.Errorf("ems: unknown function at %#x", fn)
+	}
+	sig.Preds = append(sig.Preds, &CodePointerPredicate{
+		RatingOff: int64(rating.Offset),
+		Slot:      0,
+		Prologue:  prologue,
+	})
+	// Data-pointer: linked-list cycle, when the vendor uses lists.
+	if prevF, nextF := c.FieldByKind(FieldPrev), c.FieldByKind(FieldNext); prevF != nil && nextF != nil {
+		sig.Preds = append(sig.Preds, &ListCyclePredicate{
+			RatingOff: int64(rating.Offset),
+			PrevOff:   int64(prevF.Offset),
+			NextOff:   int64(nextF.Offset),
+		})
+	}
+	return sig, nil
+}

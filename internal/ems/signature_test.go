@@ -1,0 +1,191 @@
+package ems
+
+import (
+	"testing"
+)
+
+// sigFixture builds a tiny hand-rolled image exercising each predicate kind
+// in isolation.
+type sigFixture struct {
+	im      *Image
+	obj     uint64 // object base
+	rating  uint64 // rating address (obj + 8)
+	vtable  uint64
+	fn      uint64
+	strAddr uint64
+}
+
+func newSigFixture(t *testing.T) *sigFixture {
+	t.Helper()
+	im := NewImage()
+	text, err := im.Map(".text", 0x1000, 0x100, PermRead|PermExec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdata, err := im.Map(".rdata", 0x3000, 0x100, PermRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := im.Map("heap", 0x10000, 0x1000, PermRead|PermWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = heap
+	f := &sigFixture{
+		im:      im,
+		obj:     0x10040,
+		vtable:  rdata.Base + 0x10,
+		fn:      0x1000,
+		strAddr: rdata.Base + 0x80,
+	}
+	f.rating = f.obj + 8
+	// Function prologue bytes at fn (written at "load time", directly
+	// into the region backing — the Image API rightly refuses W on r-x).
+	copy(text.data, []byte{0x53, 0x56, 0x8B, 0xF2})
+	// Vtable slot 0 → fn (write directly into the region data since
+	// .rdata is read-only at the Image API level).
+	copy(rdata.data[0x10:], leU64(f.fn))
+	// Name string.
+	copy(rdata.data[0x80:], append([]byte("LINE_1_3"), 0))
+	// Object: vfptr at +0, rating at +8 (f32 1.5), const at +16,
+	// name ptr at +24, prev at +32, next at +40.
+	if err := im.WriteU64(f.obj, f.vtable); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.WriteF32(f.rating, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.WriteU32(f.obj+16, 0x00000001); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.WriteU64(f.obj+24, f.strAddr); err != nil {
+		t.Fatal(err)
+	}
+	// Self-linked list node (prev = next = obj).
+	if err := im.WriteU64(f.obj+32, f.obj); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.WriteU64(f.obj+40, f.obj); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func leU64(v uint64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b
+}
+
+func TestIntraClassPredicate(t *testing.T) {
+	f := newSigFixture(t)
+	p := &IntraClassPredicate{Off: 8, Const: 1} // rating+8 = obj+16
+	if !p.Check(f.im, f.rating) {
+		t.Fatal("predicate must hold at the true rating")
+	}
+	if p.Check(f.im, f.rating+4) {
+		t.Fatal("predicate must fail off-target")
+	}
+	if p.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestStringFieldPredicate(t *testing.T) {
+	f := newSigFixture(t)
+	p := &StringFieldPredicate{Off: 16, MinLen: 4} // rating+16 = obj+24
+	if !p.Check(f.im, f.rating) {
+		t.Fatal("predicate must hold for a printable string")
+	}
+	// Point the name pointer at binary junk → fail.
+	if err := f.im.WriteU64(f.obj+24, f.obj); err != nil { // vfptr bytes are not ASCII
+		t.Fatal(err)
+	}
+	if p.Check(f.im, f.rating) {
+		t.Fatal("predicate must fail on non-ASCII target")
+	}
+	// Dangling pointer → fail, not crash.
+	if err := f.im.WriteU64(f.obj+24, 0xDEAD0000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Check(f.im, f.rating) {
+		t.Fatal("predicate must fail on unmapped target")
+	}
+	if p.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestCodePointerPredicate(t *testing.T) {
+	f := newSigFixture(t)
+	p := &CodePointerPredicate{RatingOff: 8, Slot: 0, Prologue: []byte{0x53, 0x56, 0x8B, 0xF2}}
+	if !p.Check(f.im, f.rating) {
+		t.Fatal("predicate must hold")
+	}
+	wrong := &CodePointerPredicate{RatingOff: 8, Slot: 0, Prologue: []byte{0x90, 0x90}}
+	if wrong.Check(f.im, f.rating) {
+		t.Fatal("wrong prologue must fail")
+	}
+	// Candidate whose "object base" has no valid vfptr.
+	if p.Check(f.im, f.rating+0x100) {
+		t.Fatal("junk candidate must fail")
+	}
+	if p.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestListCyclePredicate(t *testing.T) {
+	f := newSigFixture(t)
+	p := &ListCyclePredicate{RatingOff: 8, PrevOff: 32, NextOff: 40}
+	if !p.Check(f.im, f.rating) {
+		t.Fatal("self-linked node must satisfy the cycle invariant")
+	}
+	// Break the cycle.
+	if err := f.im.WriteU64(f.obj+40, f.obj+0x100); err != nil {
+		t.Fatal(err)
+	}
+	if p.Check(f.im, f.rating) {
+		t.Fatal("broken cycle must fail")
+	}
+	if p.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestSignatureConjunction(t *testing.T) {
+	f := newSigFixture(t)
+	sig := &Signature{
+		Class: "T",
+		Preds: []Predicate{
+			&IntraClassPredicate{Off: 8, Const: 1},
+			&CodePointerPredicate{RatingOff: 8, Slot: 0, Prologue: []byte{0x53, 0x56}},
+		},
+	}
+	if !sig.Check(f.im, f.rating) {
+		t.Fatal("conjunction must hold")
+	}
+	sig.Preds = append(sig.Preds, &IntraClassPredicate{Off: 8, Const: 99})
+	if sig.Check(f.im, f.rating) {
+		t.Fatal("one failing predicate must fail the conjunction")
+	}
+}
+
+func TestCorruptDeniedOnReadOnly(t *testing.T) {
+	// The exploit can only write to writable pages; attempting to corrupt
+	// a value that happens to live in .rdata must fail.
+	n := case3Net(t)
+	p, err := NewProcess(PowerWorldProfile(), n, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewExploit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Corrupt(p, p.Bin.RData.Base, 120); err == nil {
+		t.Fatal("corrupting read-only data must fail")
+	}
+}

@@ -1,0 +1,42 @@
+package ems
+
+import "fmt"
+
+// IngestDLR is the EMS's legitimate update path: SCADA-delivered dynamic
+// ratings (MVA, keyed by line index) are written into the line objects. The
+// write set is taint-tracked — the offline analysis uses exactly this to
+// narrow the sensitive-region search (the "memory taint tracking" stage of
+// the paper's Fig. 6).
+func (p *Process) IngestDLR(values map[int]float64) error {
+	width := 4
+	if p.Profile.Rating64 {
+		width = 8
+	}
+	for li, v := range values {
+		if li < 0 || li >= len(p.ratingAddrs) {
+			return fmt.Errorf("ems: IngestDLR: line index %d out of range", li)
+		}
+		addr := p.ratingAddrs[li]
+		if err := p.storeRating(addr, v); err != nil {
+			return fmt.Errorf("ems: IngestDLR: %w", err)
+		}
+		p.taint = append(p.taint, taintRange{start: addr, end: addr + uint64(width)})
+	}
+	return nil
+}
+
+// Tainted reports whether an address lies inside any input-derived range.
+func (p *Process) Tainted(addr uint64) bool {
+	for _, t := range p.taint {
+		if addr >= t.start && addr < t.end {
+			return true
+		}
+	}
+	return false
+}
+
+// TaintCount returns the number of recorded taint ranges.
+func (p *Process) TaintCount() int { return len(p.taint) }
+
+// ClearTaint forgets the recorded ranges (e.g. between analysis phases).
+func (p *Process) ClearTaint() { p.taint = nil }

@@ -1,0 +1,196 @@
+// Package cases provides the benchmark networks used throughout the
+// repository: the paper's 3-bus example (Fig. 3), the classic WSCC 9-bus
+// system, and deterministic synthetic meshed networks up to the 118-bus
+// scale used for the paper's scalability study (Section IV-B).
+//
+// The original evaluation used the IEEE 118-bus MATPOWER case; its exact
+// parameter tables are not redistributable here, so Case118 builds a
+// 118-bus synthetic system of the same size class whose ratings are
+// calibrated against an economic dispatch so congestion patterns are
+// realistic (see DESIGN.md, substitution table).
+package cases
+
+import (
+	"math"
+	"sort"
+
+	"github.com/edsec/edattack/internal/grid"
+)
+
+// Case3Options parameterize the paper's three-bus example.
+type Case3Options struct {
+	// Rating is the common line rating in MW (paper uses 160 in Section
+	// IV-A and 150 in the Fig. 8 case study).
+	Rating float64
+	// Demand is the load at bus 3 in MW (paper: 300).
+	Demand float64
+	// DLRMin and DLRMax bound manipulated dynamic ratings (paper: 100,
+	// 200).
+	DLRMin, DLRMax float64
+	// B2Cost is the linear cost of generator 2; generator 1 costs twice
+	// as much per MWh (paper: b1 = 2·b2 = 2b > 0).
+	B2Cost float64
+	// QdRatio is the reactive demand as a fraction of real demand
+	// (default 0.328, i.e. power factor ≈ 0.95).
+	QdRatio float64
+}
+
+func (o Case3Options) withDefaults() Case3Options {
+	if o.Rating == 0 {
+		o.Rating = 160
+	}
+	if o.Demand == 0 {
+		o.Demand = 300
+	}
+	if o.DLRMin == 0 {
+		o.DLRMin = 100
+	}
+	if o.DLRMax == 0 {
+		o.DLRMax = 200
+	}
+	if o.B2Cost == 0 {
+		o.B2Cost = 10
+	}
+	if o.QdRatio == 0 {
+		o.QdRatio = 0.328
+	}
+	return o
+}
+
+// Case3 builds the paper's three-bus network (Fig. 3): generators G1, G2 at
+// buses 1 and 2, a 300 MW load at bus 3, three identical lines with
+// z = 0.002 + j0.05 pu, and DLR devices on lines {1,3} and {2,3}.
+func Case3(opts Case3Options) (*grid.Network, error) {
+	o := opts.withDefaults()
+	n := &grid.Network{
+		Name:    "case3",
+		BaseMVA: 100,
+		Buses: []grid.Bus{
+			{ID: 1, Name: "B1", Type: grid.Slack, VnomKV: 230, Vmin: 0.9, Vmax: 1.1, Vset: 1.0},
+			{ID: 2, Name: "B2", Type: grid.PV, VnomKV: 230, Vmin: 0.9, Vmax: 1.1, Vset: 1.0},
+			{ID: 3, Name: "B3", Type: grid.PQ, Pd: o.Demand, Qd: o.Demand * o.QdRatio, VnomKV: 230, Vmin: 0.9, Vmax: 1.1, Vset: 1.0},
+		},
+		Lines: []grid.Line{
+			{ID: 1, From: 1, To: 2, R: 0.002, X: 0.05, RateMVA: o.Rating},
+			{ID: 2, From: 1, To: 3, R: 0.002, X: 0.05, RateMVA: o.Rating,
+				HasDLR: true, DLRMin: o.DLRMin, DLRMax: o.DLRMax},
+			{ID: 3, From: 2, To: 3, R: 0.002, X: 0.05, RateMVA: o.Rating,
+				HasDLR: true, DLRMin: o.DLRMin, DLRMax: o.DLRMax},
+		},
+		Gens: []grid.Generator{
+			{ID: 1, Bus: 1, Pmin: 0, Pmax: 300, Qmin: -200, Qmax: 200, CostB: 2 * o.B2Cost},
+			{ID: 2, Bus: 2, Pmin: 0, Pmax: 300, Qmin: -200, Qmax: 200, CostB: o.B2Cost},
+		},
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Case9 builds the classic WSCC/IEEE 9-bus system with MATPOWER-style
+// quadratic generation costs. Lines 4–5 and 8–9 carry DLR devices.
+func Case9() (*grid.Network, error) {
+	rate := 250.0
+	n := &grid.Network{
+		Name:    "case9",
+		BaseMVA: 100,
+		Buses: []grid.Bus{
+			{ID: 1, Type: grid.Slack, VnomKV: 345, Vmin: 0.9, Vmax: 1.1, Vset: 1.0},
+			{ID: 2, Type: grid.PV, VnomKV: 345, Vmin: 0.9, Vmax: 1.1, Vset: 1.0},
+			{ID: 3, Type: grid.PV, VnomKV: 345, Vmin: 0.9, Vmax: 1.1, Vset: 1.0},
+			{ID: 4, Type: grid.PQ, VnomKV: 345, Vmin: 0.9, Vmax: 1.1, Vset: 1.0},
+			{ID: 5, Type: grid.PQ, Pd: 90, Qd: 30, VnomKV: 345, Vmin: 0.9, Vmax: 1.1, Vset: 1.0},
+			{ID: 6, Type: grid.PQ, VnomKV: 345, Vmin: 0.9, Vmax: 1.1, Vset: 1.0},
+			{ID: 7, Type: grid.PQ, Pd: 100, Qd: 35, VnomKV: 345, Vmin: 0.9, Vmax: 1.1, Vset: 1.0},
+			{ID: 8, Type: grid.PQ, VnomKV: 345, Vmin: 0.9, Vmax: 1.1, Vset: 1.0},
+			{ID: 9, Type: grid.PQ, Pd: 125, Qd: 50, VnomKV: 345, Vmin: 0.9, Vmax: 1.1, Vset: 1.0},
+		},
+		Lines: []grid.Line{
+			{ID: 1, From: 1, To: 4, R: 0, X: 0.0576, RateMVA: rate},
+			{ID: 2, From: 4, To: 5, R: 0.017, X: 0.092, B: 0.158, RateMVA: rate,
+				HasDLR: true, DLRMin: 0.6 * rate, DLRMax: 1.4 * rate},
+			{ID: 3, From: 5, To: 6, R: 0.039, X: 0.17, B: 0.358, RateMVA: rate},
+			{ID: 4, From: 3, To: 6, R: 0, X: 0.0586, RateMVA: rate},
+			{ID: 5, From: 6, To: 7, R: 0.0119, X: 0.1008, B: 0.209, RateMVA: rate},
+			{ID: 6, From: 7, To: 8, R: 0.0085, X: 0.072, B: 0.149, RateMVA: rate},
+			{ID: 7, From: 8, To: 2, R: 0, X: 0.0625, RateMVA: rate},
+			{ID: 8, From: 8, To: 9, R: 0.032, X: 0.161, B: 0.306, RateMVA: rate,
+				HasDLR: true, DLRMin: 0.6 * rate, DLRMax: 1.4 * rate},
+			{ID: 9, From: 9, To: 4, R: 0.01, X: 0.085, B: 0.176, RateMVA: rate},
+		},
+		Gens: []grid.Generator{
+			{ID: 1, Bus: 1, Pmin: 10, Pmax: 250, Qmin: -300, Qmax: 300, CostA: 0.11, CostB: 5, CostC: 150},
+			{ID: 2, Bus: 2, Pmin: 10, Pmax: 300, Qmin: -300, Qmax: 300, CostA: 0.085, CostB: 1.2, CostC: 600},
+			{ID: 3, Bus: 3, Pmin: 10, Pmax: 270, Qmin: -300, Qmax: 300, CostA: 0.1225, CostB: 1, CostC: 335},
+		},
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// meritOrderDispatch solves the flow-unconstrained economic dispatch by
+// equal-marginal-cost (λ) bisection: each unit produces
+// clamp((λ − b)/(2a), [Pmin, Pmax]), with linear-cost units treated as
+// merit-order blocks. It is used for rating calibration in the synthetic
+// case generator.
+func meritOrderDispatch(gens []grid.Generator, demand float64) []float64 {
+	out := make([]float64, len(gens))
+	atLambda := func(lambda float64) float64 {
+		var total float64
+		for i := range gens {
+			g := &gens[i]
+			var p float64
+			if g.CostA > 0 {
+				p = (lambda - g.CostB) / (2 * g.CostA)
+			} else if lambda >= g.CostB {
+				p = g.Pmax
+			} else {
+				p = g.Pmin
+			}
+			p = math.Max(g.Pmin, math.Min(g.Pmax, p))
+			out[i] = p
+			total += p
+		}
+		return total
+	}
+	lo, hi := 0.0, 1.0
+	for atLambda(hi) < demand && hi < 1e9 {
+		hi *= 2
+	}
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if atLambda(mid) < demand {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	total := atLambda(hi)
+	// Linear-cost blocks make atLambda a step function; shed any excess
+	// from the most expensive marginal units so supply matches demand.
+	excess := total - demand
+	if excess > 1e-9 {
+		order := make([]int, len(gens))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ga, gb := &gens[order[a]], &gens[order[b]]
+			return ga.MarginalCost(out[order[a]]) > gb.MarginalCost(out[order[b]])
+		})
+		for _, i := range order {
+			if excess <= 1e-9 {
+				break
+			}
+			red := math.Min(excess, out[i]-gens[i].Pmin)
+			if red > 0 {
+				out[i] -= red
+				excess -= red
+			}
+		}
+	}
+	return out
+}

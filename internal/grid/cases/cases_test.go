@@ -1,0 +1,182 @@
+package cases
+
+import (
+	"math"
+	"testing"
+
+	"github.com/edsec/edattack/internal/grid"
+)
+
+func TestCase3Defaults(t *testing.T) {
+	n, err := Case3(Case3Options{})
+	if err != nil {
+		t.Fatalf("Case3: %v", err)
+	}
+	if len(n.Buses) != 3 || len(n.Lines) != 3 || len(n.Gens) != 2 {
+		t.Fatalf("dims: %d buses %d lines %d gens", len(n.Buses), len(n.Lines), len(n.Gens))
+	}
+	if n.TotalDemand() != 300 {
+		t.Fatalf("demand = %v", n.TotalDemand())
+	}
+	// b1 = 2·b2 per the paper.
+	if n.Gens[0].CostB != 2*n.Gens[1].CostB {
+		t.Fatalf("cost relation broken: %v vs %v", n.Gens[0].CostB, n.Gens[1].CostB)
+	}
+	// DLR on lines {1,3} and {2,3} only.
+	dlr := n.DLRLines()
+	if len(dlr) != 2 || dlr[0] != 1 || dlr[1] != 2 {
+		t.Fatalf("DLR lines = %v, want [1 2]", dlr)
+	}
+	// β = 1/0.05 = 20.
+	if math.Abs(n.Lines[0].Susceptance()-20) > 1e-12 {
+		t.Fatalf("susceptance = %v", n.Lines[0].Susceptance())
+	}
+}
+
+func TestCase3Fig8Variant(t *testing.T) {
+	n, err := Case3(Case3Options{Rating: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range n.Lines {
+		if n.Lines[i].RateMVA != 150 {
+			t.Fatalf("rating[%d] = %v", i, n.Lines[i].RateMVA)
+		}
+	}
+}
+
+func TestCase9(t *testing.T) {
+	n, err := Case9()
+	if err != nil {
+		t.Fatalf("Case9: %v", err)
+	}
+	if len(n.Buses) != 9 || len(n.Lines) != 9 || len(n.Gens) != 3 {
+		t.Fatalf("dims: %d/%d/%d", len(n.Buses), len(n.Lines), len(n.Gens))
+	}
+	if n.TotalDemand() != 315 {
+		t.Fatalf("demand = %v, want 315", n.TotalDemand())
+	}
+	if got := len(n.DLRLines()); got != 2 {
+		t.Fatalf("DLR lines = %d, want 2", got)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a, err := Case118()
+	if err != nil {
+		t.Fatalf("Case118: %v", err)
+	}
+	b, err := Case118()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Lines) != len(b.Lines) {
+		t.Fatal("non-deterministic line count")
+	}
+	for i := range a.Lines {
+		if a.Lines[i].RateMVA != b.Lines[i].RateMVA || a.Lines[i].X != b.Lines[i].X {
+			t.Fatalf("line %d differs between runs", i)
+		}
+	}
+}
+
+func TestCase118Shape(t *testing.T) {
+	n, err := Case118()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Buses) != 118 {
+		t.Fatalf("buses = %d", len(n.Buses))
+	}
+	if len(n.Gens) < 54 {
+		t.Fatalf("gens = %d, want ≥ 54", len(n.Gens))
+	}
+	if len(n.Lines) != 118+68 {
+		t.Fatalf("lines = %d, want 186", len(n.Lines))
+	}
+	if got := len(n.DLRLines()); got != 8 {
+		t.Fatalf("DLR lines = %d, want 8", got)
+	}
+	// Quadratic costs on every unit (Section IV-B).
+	for i := range n.Gens {
+		if n.Gens[i].CostA <= 0 {
+			t.Fatalf("generator %d has non-quadratic cost", i)
+		}
+	}
+	// Capacity must exceed demand with margin.
+	if n.TotalCapacity() < 1.2*n.TotalDemand() {
+		t.Fatalf("capacity %v too tight for demand %v", n.TotalCapacity(), n.TotalDemand())
+	}
+}
+
+func TestCase30AndCase57(t *testing.T) {
+	for _, build := range []func() (*grid.Network, error){Case30, Case57} {
+		n, err := build()
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("validate: %v", err)
+		}
+	}
+}
+
+func TestSyntheticRejectsBadOptions(t *testing.T) {
+	if _, err := Synthetic(SyntheticOptions{Buses: 2, Gens: 1}); err == nil {
+		t.Fatal("want bus count error")
+	}
+	if _, err := Synthetic(SyntheticOptions{Buses: 5, Gens: 0}); err == nil {
+		t.Fatal("want gen count error")
+	}
+	if _, err := Synthetic(SyntheticOptions{Buses: 5, Gens: 9}); err == nil {
+		t.Fatal("want gen count error")
+	}
+}
+
+func TestMeritOrderDispatch(t *testing.T) {
+	gens := []grid.Generator{
+		{Pmin: 0, Pmax: 100, CostA: 0.1, CostB: 10},
+		{Pmin: 0, Pmax: 100, CostA: 0.1, CostB: 20},
+	}
+	d := meritOrderDispatch(gens, 100)
+	if math.Abs(d[0]+d[1]-100) > 1e-6 {
+		t.Fatalf("dispatch sum = %v", d[0]+d[1])
+	}
+	// The cheaper unit must carry more.
+	if d[0] <= d[1] {
+		t.Fatalf("merit order violated: %v", d)
+	}
+	// Equal marginal cost at the interior optimum.
+	mc0 := 2*0.1*d[0] + 10
+	mc1 := 2*0.1*d[1] + 20
+	if math.Abs(mc0-mc1) > 1e-3 {
+		t.Fatalf("marginal costs differ: %v vs %v", mc0, mc1)
+	}
+}
+
+func TestMeritOrderLinearCosts(t *testing.T) {
+	gens := []grid.Generator{
+		{Pmin: 0, Pmax: 100, CostB: 10},
+		{Pmin: 0, Pmax: 100, CostB: 20},
+	}
+	d := meritOrderDispatch(gens, 150)
+	if math.Abs(d[0]-100) > 1e-3 || math.Abs(d[1]-50) > 1 {
+		t.Fatalf("linear merit order = %v, want [100 ~50]", d)
+	}
+}
+
+func TestSyntheticDLRLinesAreTight(t *testing.T) {
+	// DLR lines are calibrated close to their economic flows, so their
+	// rating headroom must be materially smaller than non-DLR lines'.
+	n, err := Case118()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, li := range n.DLRLines() {
+		l := &n.Lines[li]
+		if l.DLRMin >= l.RateMVA || l.DLRMax <= l.RateMVA {
+			t.Fatalf("line %d: static rating %v outside DLR band [%v, %v]",
+				li, l.RateMVA, l.DLRMin, l.DLRMax)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package cases
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/edsec/edattack/internal/dcflow"
+	"github.com/edsec/edattack/internal/grid"
+)
+
+// SyntheticOptions parameterize the deterministic synthetic case generator.
+type SyntheticOptions struct {
+	// Name labels the generated network.
+	Name string
+	// Buses is the number of buses (≥ 3).
+	Buses int
+	// Gens is the number of generators (≥ 1, ≤ Buses).
+	Gens int
+	// ExtraLines is the number of chord lines added on top of the
+	// connectivity ring.
+	ExtraLines int
+	// DLRLines is how many of the most-loaded lines get DLR devices.
+	DLRLines int
+	// Seed makes generation deterministic.
+	Seed int64
+	// LoadFactor scales total demand relative to total generation
+	// capacity (default 0.55).
+	LoadFactor float64
+	// RatingMargin scales non-DLR line ratings relative to the calibrated
+	// economic flows (default 1.45).
+	RatingMargin float64
+	// DLRTightness scales DLR line static ratings relative to their
+	// calibrated economic flows (default 1.08, i.e. nearly congested).
+	DLRTightness float64
+}
+
+func (o SyntheticOptions) withDefaults() SyntheticOptions {
+	if o.LoadFactor == 0 {
+		o.LoadFactor = 0.55
+	}
+	if o.RatingMargin == 0 {
+		o.RatingMargin = 1.45
+	}
+	if o.DLRTightness == 0 {
+		o.DLRTightness = 1.08
+	}
+	if o.Name == "" {
+		o.Name = fmt.Sprintf("synthetic%d", o.Buses)
+	}
+	return o
+}
+
+// Synthetic generates a deterministic, connected, meshed network whose line
+// ratings are calibrated against a flow-unconstrained economic dispatch so
+// that the system is ED-feasible at nominal demand while the DLR lines run
+// close to their limits (congestion-prone, as the paper assumes for DLR
+// deployment sites).
+func Synthetic(opts SyntheticOptions) (*grid.Network, error) {
+	o := opts.withDefaults()
+	if o.Buses < 3 {
+		return nil, fmt.Errorf("cases: synthetic network needs ≥ 3 buses, got %d", o.Buses)
+	}
+	if o.Gens < 1 || o.Gens > o.Buses {
+		return nil, fmt.Errorf("cases: invalid generator count %d for %d buses", o.Gens, o.Buses)
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	n := &grid.Network{Name: o.Name, BaseMVA: 100}
+
+	// Buses: IDs 1..Buses, bus 1 slack.
+	genBuses := pickDistinct(rng, o.Buses, o.Gens)
+	isGenBus := make(map[int]bool, o.Gens)
+	for _, b := range genBuses {
+		isGenBus[b] = true
+	}
+	for i := 1; i <= o.Buses; i++ {
+		typ := grid.PQ
+		if i == 1 {
+			typ = grid.Slack
+		} else if isGenBus[i] {
+			typ = grid.PV
+		}
+		n.Buses = append(n.Buses, grid.Bus{
+			ID: i, Type: typ, VnomKV: 138, Vmin: 0.94, Vmax: 1.06, Vset: 1.0,
+		})
+	}
+
+	// Generators with quadratic costs (Section IV-B uses convex quadratic
+	// costs for the 118-bus study).
+	var totalCap float64
+	for gi, b := range genBuses {
+		pmax := 100 + 350*rng.Float64()
+		totalCap += pmax
+		n.Gens = append(n.Gens, grid.Generator{
+			ID: gi + 1, Bus: b,
+			Pmin: 0, Pmax: pmax,
+			Qmin: -0.6 * pmax, Qmax: 0.6 * pmax,
+			CostA: 0.004 + 0.045*rng.Float64(),
+			CostB: 5 + 30*rng.Float64(),
+			CostC: 50 + 400*rng.Float64(),
+		})
+	}
+	// Make bus 1 a generator bus if the draw missed it, so the slack can
+	// balance AC losses.
+	if !isGenBus[1] {
+		pmax := 250.0
+		totalCap += pmax
+		n.Gens = append(n.Gens, grid.Generator{
+			ID: len(n.Gens) + 1, Bus: 1,
+			Pmin: 0, Pmax: pmax, Qmin: -150, Qmax: 150,
+			CostA: 0.02, CostB: 18, CostC: 100,
+		})
+	}
+
+	// Loads: every non-generator bus plus roughly a third of generator
+	// buses, scaled to LoadFactor × capacity.
+	weights := make([]float64, o.Buses)
+	var wsum float64
+	for i := 0; i < o.Buses; i++ {
+		id := i + 1
+		if !isGenBus[id] || rng.Float64() < 0.35 {
+			weights[i] = 0.3 + rng.Float64()
+			wsum += weights[i]
+		}
+	}
+	totalLoad := o.LoadFactor * totalCap
+	for i := 0; i < o.Buses; i++ {
+		if weights[i] == 0 {
+			continue
+		}
+		pd := totalLoad * weights[i] / wsum
+		n.Buses[i].Pd = pd
+		n.Buses[i].Qd = pd * (0.25 + 0.15*rng.Float64())
+	}
+
+	// Topology: connectivity ring plus random chords, no duplicates.
+	type edge struct{ f, t int }
+	seen := make(map[edge]bool)
+	addLine := func(f, t int) bool {
+		if f == t {
+			return false
+		}
+		if f > t {
+			f, t = t, f
+		}
+		e := edge{f, t}
+		if seen[e] {
+			return false
+		}
+		seen[e] = true
+		x := 0.02 + 0.13*rng.Float64()
+		n.Lines = append(n.Lines, grid.Line{
+			ID: len(n.Lines) + 1, From: f, To: t,
+			R: x / 10, X: x, B: 0.02 + 0.05*rng.Float64(),
+		})
+		return true
+	}
+	for i := 1; i <= o.Buses; i++ {
+		next := i%o.Buses + 1
+		addLine(i, next)
+	}
+	// Chord supply is finite on small networks; cap attempts so a request
+	// for more chords than exist degrades to "as many as possible".
+	added, attempts := 0, 0
+	for added < o.ExtraLines && attempts < 50*(o.ExtraLines+1) {
+		attempts++
+		f := 1 + rng.Intn(o.Buses)
+		span := 2 + rng.Intn(o.Buses/2)
+		t := (f+span-1)%o.Buses + 1
+		if addLine(f, t) {
+			added++
+		}
+	}
+
+	// Temporarily unlimited ratings for calibration.
+	for i := range n.Lines {
+		n.Lines[i].RateMVA = 0
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("cases: synthetic network invalid before calibration: %w", err)
+	}
+
+	// Calibrate ratings against the flow-unconstrained economic dispatch.
+	dispatch := meritOrderDispatch(n.Gens, n.TotalDemand())
+	inj, err := dcflow.InjectionsFromDispatch(n, dispatch)
+	if err != nil {
+		return nil, fmt.Errorf("cases: calibration injections: %w", err)
+	}
+	res, err := dcflow.Solve(n, inj)
+	if err != nil {
+		return nil, fmt.Errorf("cases: calibration power flow: %w", err)
+	}
+	absFlows := make([]float64, len(res.Flows))
+	var maxFlow float64
+	for i, f := range res.Flows {
+		absFlows[i] = math.Abs(f)
+		if absFlows[i] > maxFlow {
+			maxFlow = absFlows[i]
+		}
+	}
+	floor := 0.12 * maxFlow
+
+	// The DLR set is the most-loaded lines: "These lines will be the ones
+	// that are routinely prone to congestion and hence receive priority
+	// DLR implementation" (Section II-B).
+	order := make([]int, len(n.Lines))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return absFlows[order[a]] > absFlows[order[b]] })
+	dlrSet := make(map[int]bool, o.DLRLines)
+	for k := 0; k < o.DLRLines && k < len(order); k++ {
+		dlrSet[order[k]] = true
+	}
+	for i := range n.Lines {
+		base := math.Max(absFlows[i]*o.RatingMargin, floor)
+		if dlrSet[i] {
+			base = math.Max(absFlows[i]*o.DLRTightness, floor)
+			n.Lines[i].HasDLR = true
+			n.Lines[i].DLRMin = 0.75 * base
+			n.Lines[i].DLRMax = 1.6 * base
+		}
+		n.Lines[i].RateMVA = base
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("cases: synthetic network invalid after calibration: %w", err)
+	}
+	return n, nil
+}
+
+// pickDistinct returns count distinct bus IDs in [1, nBuses], deterministic
+// for a given rng state.
+func pickDistinct(rng *rand.Rand, nBuses, count int) []int {
+	perm := rng.Perm(nBuses)
+	out := make([]int, count)
+	for i := 0; i < count; i++ {
+		out[i] = perm[i] + 1
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Case30 builds a 30-bus synthetic meshed system.
+func Case30() (*grid.Network, error) {
+	return Synthetic(SyntheticOptions{
+		Name: "case30sy", Buses: 30, Gens: 6, ExtraLines: 12, DLRLines: 4, Seed: 30,
+	})
+}
+
+// Case57 builds a 57-bus synthetic meshed system.
+func Case57() (*grid.Network, error) {
+	return Synthetic(SyntheticOptions{
+		Name: "case57sy", Buses: 57, Gens: 7, ExtraLines: 24, DLRLines: 5, Seed: 57,
+	})
+}
+
+// Case118 builds the 118-bus synthetic system used for the paper's
+// scalability study (Section IV-B): 54 generators with convex quadratic
+// costs and 186 lines, with DLR devices on the eight most congestion-prone
+// lines.
+func Case118() (*grid.Network, error) {
+	return Synthetic(SyntheticOptions{
+		Name: "case118sy", Buses: 118, Gens: 54, ExtraLines: 68, DLRLines: 8, Seed: 118,
+	})
+}

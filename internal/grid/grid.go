@@ -1,0 +1,353 @@
+// Package grid models transmission networks: buses, lines (branches),
+// generators, per-unit conventions, and the dynamic-line-rating (DLR)
+// metadata the attack in this repository targets. It is the shared
+// vocabulary of the power-flow, dispatch, and attack packages.
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// BusType classifies a bus for power-flow purposes.
+type BusType int
+
+// Bus types.
+const (
+	PQ BusType = iota + 1 // load bus: P and Q specified
+	PV                    // generator bus: P and |V| specified
+	Slack
+)
+
+func (t BusType) String() string {
+	switch t {
+	case PQ:
+		return "PQ"
+	case PV:
+		return "PV"
+	case Slack:
+		return "slack"
+	default:
+		return fmt.Sprintf("BusType(%d)", int(t))
+	}
+}
+
+// Bus is one network node.
+type Bus struct {
+	// ID is the external (case-file) identifier, typically 1-based.
+	ID int
+	// Name is an optional human label.
+	Name string
+	// Type is the power-flow role of the bus.
+	Type BusType
+	// Pd and Qd are the real (MW) and reactive (MVAr) demand.
+	Pd, Qd float64
+	// VnomKV is the nominal voltage in kV.
+	VnomKV float64
+	// Vmin and Vmax are per-unit voltage bounds.
+	Vmin, Vmax float64
+	// Vset is the per-unit voltage setpoint for PV/slack buses.
+	Vset float64
+}
+
+// Line is one transmission branch between two buses.
+type Line struct {
+	// ID is the external identifier.
+	ID int
+	// From and To are external bus IDs.
+	From, To int
+	// R, X, and B are the per-unit series resistance, series reactance,
+	// and total line-charging susceptance.
+	R, X, B float64
+	// RateMVA is the static thermal rating uˢ in MVA (MW under the DC
+	// approximation). Zero means unlimited.
+	RateMVA float64
+	// HasDLR marks the line as equipped with dynamic line rating sensors;
+	// these are the ratings the paper's attacker may overwrite.
+	HasDLR bool
+	// DLRMin and DLRMax are the plausibility bounds [u_min, u_max]
+	// enforced by the EMS on dynamic ratings; an attacker must stay
+	// inside them to remain stealthy. Ignored when HasDLR is false.
+	DLRMin, DLRMax float64
+}
+
+// Susceptance returns the DC susceptance β = 1/X of the line.
+func (l *Line) Susceptance() float64 {
+	if l.X == 0 {
+		return 0
+	}
+	return 1 / l.X
+}
+
+// Generator is one dispatchable unit.
+type Generator struct {
+	// ID is the external identifier.
+	ID int
+	// Bus is the external ID of the bus the unit connects to.
+	Bus int
+	// Pmin and Pmax bound real power output in MW.
+	Pmin, Pmax float64
+	// Qmin and Qmax bound reactive power output in MVAr.
+	Qmin, Qmax float64
+	// CostA, CostB, CostC define the generation cost
+	// C(p) = CostA·p² + CostB·p + CostC in $/h with p in MW.
+	CostA, CostB, CostC float64
+}
+
+// Cost evaluates the unit's cost function at output p (MW).
+func (g *Generator) Cost(p float64) float64 {
+	return g.CostA*p*p + g.CostB*p + g.CostC
+}
+
+// MarginalCost evaluates dC/dp at output p (MW).
+func (g *Generator) MarginalCost(p float64) float64 {
+	return 2*g.CostA*p + g.CostB
+}
+
+// Network is a complete transmission system model.
+type Network struct {
+	// Name identifies the case (e.g. "case3", "case118sy").
+	Name string
+	// BaseMVA is the per-unit power base.
+	BaseMVA float64
+	// Buses, Lines, and Gens are the model components. Do not mutate the
+	// slices while concurrently reading the network.
+	Buses []Bus
+	Lines []Line
+	Gens  []Generator
+
+	busIdx map[int]int
+}
+
+// Validation errors.
+var (
+	ErrNoSlack      = errors.New("grid: network has no slack bus")
+	ErrNotConnected = errors.New("grid: network is not connected")
+)
+
+// Validate checks structural invariants: unique IDs, resolvable references,
+// exactly one slack bus, positive reactances, and connectedness. It also
+// (re)builds the internal index maps and must be called after construction
+// or mutation before using index-based lookups.
+func (n *Network) Validate() error {
+	if n.BaseMVA <= 0 {
+		return fmt.Errorf("grid: BaseMVA must be positive, got %g", n.BaseMVA)
+	}
+	if len(n.Buses) == 0 {
+		return errors.New("grid: network has no buses")
+	}
+	n.busIdx = make(map[int]int, len(n.Buses))
+	slackCount := 0
+	for i := range n.Buses {
+		b := &n.Buses[i]
+		if _, dup := n.busIdx[b.ID]; dup {
+			return fmt.Errorf("grid: duplicate bus ID %d", b.ID)
+		}
+		n.busIdx[b.ID] = i
+		if b.Type == Slack {
+			slackCount++
+		}
+		if b.Vmin > b.Vmax && b.Vmax != 0 {
+			return fmt.Errorf("grid: bus %d has Vmin %g > Vmax %g", b.ID, b.Vmin, b.Vmax)
+		}
+	}
+	if slackCount == 0 {
+		return ErrNoSlack
+	}
+	if slackCount > 1 {
+		return fmt.Errorf("grid: %d slack buses, want exactly 1", slackCount)
+	}
+	lineIDs := make(map[int]bool, len(n.Lines))
+	for i := range n.Lines {
+		l := &n.Lines[i]
+		if lineIDs[l.ID] {
+			return fmt.Errorf("grid: duplicate line ID %d", l.ID)
+		}
+		lineIDs[l.ID] = true
+		if _, ok := n.busIdx[l.From]; !ok {
+			return fmt.Errorf("grid: line %d references unknown bus %d", l.ID, l.From)
+		}
+		if _, ok := n.busIdx[l.To]; !ok {
+			return fmt.Errorf("grid: line %d references unknown bus %d", l.ID, l.To)
+		}
+		if l.From == l.To {
+			return fmt.Errorf("grid: line %d is a self-loop at bus %d", l.ID, l.From)
+		}
+		if l.X <= 0 {
+			return fmt.Errorf("grid: line %d has non-positive reactance %g", l.ID, l.X)
+		}
+		if l.HasDLR {
+			if l.DLRMin < 0 || l.DLRMax < l.DLRMin {
+				return fmt.Errorf("grid: line %d has invalid DLR bounds [%g, %g]", l.ID, l.DLRMin, l.DLRMax)
+			}
+		}
+	}
+	genIDs := make(map[int]bool, len(n.Gens))
+	for i := range n.Gens {
+		g := &n.Gens[i]
+		if genIDs[g.ID] {
+			return fmt.Errorf("grid: duplicate generator ID %d", g.ID)
+		}
+		genIDs[g.ID] = true
+		if _, ok := n.busIdx[g.Bus]; !ok {
+			return fmt.Errorf("grid: generator %d references unknown bus %d", g.ID, g.Bus)
+		}
+		if g.Pmin > g.Pmax {
+			return fmt.Errorf("grid: generator %d has Pmin %g > Pmax %g", g.ID, g.Pmin, g.Pmax)
+		}
+		if g.CostA < 0 {
+			return fmt.Errorf("grid: generator %d has negative quadratic cost %g", g.ID, g.CostA)
+		}
+	}
+	if !n.connected() {
+		return ErrNotConnected
+	}
+	return nil
+}
+
+// connected reports whether every bus is reachable over the line set.
+func (n *Network) connected() bool {
+	if len(n.Buses) == 0 {
+		return true
+	}
+	adj := make([][]int, len(n.Buses))
+	for i := range n.Lines {
+		f := n.busIdx[n.Lines[i].From]
+		t := n.busIdx[n.Lines[i].To]
+		adj[f] = append(adj[f], t)
+		adj[t] = append(adj[t], f)
+	}
+	seen := make([]bool, len(n.Buses))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == len(n.Buses)
+}
+
+// BusIndex returns the dense 0-based index for an external bus ID.
+func (n *Network) BusIndex(id int) (int, error) {
+	if n.busIdx == nil {
+		return 0, errors.New("grid: Validate must be called before index lookups")
+	}
+	i, ok := n.busIdx[id]
+	if !ok {
+		return 0, fmt.Errorf("grid: unknown bus ID %d", id)
+	}
+	return i, nil
+}
+
+// SlackIndex returns the dense index of the slack bus.
+func (n *Network) SlackIndex() (int, error) {
+	for i := range n.Buses {
+		if n.Buses[i].Type == Slack {
+			return i, nil
+		}
+	}
+	return 0, ErrNoSlack
+}
+
+// DLRLines returns the indices (into Lines) of DLR-equipped lines, i.e. the
+// attack surface E_D of the paper.
+func (n *Network) DLRLines() []int {
+	var out []int
+	for i := range n.Lines {
+		if n.Lines[i].HasDLR {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// GensAtBus returns the indices (into Gens) of units at the given external
+// bus ID.
+func (n *Network) GensAtBus(busID int) []int {
+	var out []int
+	for i := range n.Gens {
+		if n.Gens[i].Bus == busID {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TotalDemand returns the aggregate real-power demand in MW.
+func (n *Network) TotalDemand() float64 {
+	var s float64
+	for i := range n.Buses {
+		s += n.Buses[i].Pd
+	}
+	return s
+}
+
+// TotalCapacity returns the aggregate Pmax over all generators in MW.
+func (n *Network) TotalCapacity() float64 {
+	var s float64
+	for i := range n.Gens {
+		s += n.Gens[i].Pmax
+	}
+	return s
+}
+
+// Clone returns a deep copy of the network. The copy must be Validated
+// before index lookups.
+func (n *Network) Clone() *Network {
+	c := &Network{
+		Name:    n.Name,
+		BaseMVA: n.BaseMVA,
+		Buses:   make([]Bus, len(n.Buses)),
+		Lines:   make([]Line, len(n.Lines)),
+		Gens:    make([]Generator, len(n.Gens)),
+	}
+	copy(c.Buses, n.Buses)
+	copy(c.Lines, n.Lines)
+	copy(c.Gens, n.Gens)
+	return c
+}
+
+// Ratings returns the effective rating of every line: the static rating for
+// non-DLR lines and the supplied dynamic values for DLR lines. dlr maps line
+// index → dynamic rating; DLR lines absent from the map fall back to their
+// static rating.
+func (n *Network) Ratings(dlr map[int]float64) []float64 {
+	out := make([]float64, len(n.Lines))
+	for i := range n.Lines {
+		out[i] = n.Lines[i].RateMVA
+		if n.Lines[i].HasDLR {
+			if v, ok := dlr[i]; ok {
+				out[i] = v
+			}
+		}
+	}
+	return out
+}
+
+// CheckDLRBounds verifies that each proposed dynamic rating lies within the
+// line's plausibility band. This is the EMS-side "out-of-bound" check the
+// paper's attacker must pass to stay stealthy. It returns the indices of
+// offending lines.
+func (n *Network) CheckDLRBounds(dlr map[int]float64) []int {
+	var bad []int
+	for i, v := range dlr {
+		if i < 0 || i >= len(n.Lines) {
+			bad = append(bad, i)
+			continue
+		}
+		l := &n.Lines[i]
+		if !l.HasDLR || v < l.DLRMin-1e-9 || v > l.DLRMax+1e-9 || math.IsNaN(v) {
+			bad = append(bad, i)
+		}
+	}
+	return bad
+}

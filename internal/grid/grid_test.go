@@ -1,0 +1,188 @@
+package grid
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// twoBus returns a minimal valid network for mutation-based tests.
+func twoBus() *Network {
+	return &Network{
+		Name:    "twobus",
+		BaseMVA: 100,
+		Buses: []Bus{
+			{ID: 1, Type: Slack, VnomKV: 138, Vmin: 0.9, Vmax: 1.1},
+			{ID: 2, Type: PQ, Pd: 50, VnomKV: 138, Vmin: 0.9, Vmax: 1.1},
+		},
+		Lines: []Line{
+			{ID: 1, From: 1, To: 2, X: 0.1, RateMVA: 100, HasDLR: true, DLRMin: 50, DLRMax: 150},
+		},
+		Gens: []Generator{
+			{ID: 1, Bus: 1, Pmin: 0, Pmax: 100, CostB: 10},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	n := twoBus()
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Network)
+	}{
+		{"zero base", func(n *Network) { n.BaseMVA = 0 }},
+		{"no buses", func(n *Network) { n.Buses = nil; n.Lines = nil; n.Gens = nil }},
+		{"dup bus", func(n *Network) { n.Buses = append(n.Buses, Bus{ID: 1, Type: PQ}) }},
+		{"no slack", func(n *Network) { n.Buses[0].Type = PQ }},
+		{"two slacks", func(n *Network) { n.Buses[1].Type = Slack }},
+		{"dup line", func(n *Network) { n.Lines = append(n.Lines, Line{ID: 1, From: 1, To: 2, X: 0.1}) }},
+		{"line bad from", func(n *Network) { n.Lines[0].From = 99 }},
+		{"line bad to", func(n *Network) { n.Lines[0].To = 99 }},
+		{"self loop", func(n *Network) { n.Lines[0].To = 1 }},
+		{"zero reactance", func(n *Network) { n.Lines[0].X = 0 }},
+		{"bad DLR bounds", func(n *Network) { n.Lines[0].DLRMax = 10 }},
+		{"dup gen", func(n *Network) { n.Gens = append(n.Gens, Generator{ID: 1, Bus: 1}) }},
+		{"gen bad bus", func(n *Network) { n.Gens[0].Bus = 99 }},
+		{"gen inverted P", func(n *Network) { n.Gens[0].Pmin = 200 }},
+		{"gen negative a", func(n *Network) { n.Gens[0].CostA = -1 }},
+		{"bus inverted V", func(n *Network) { n.Buses[0].Vmin = 1.2 }},
+		{"disconnected", func(n *Network) {
+			n.Buses = append(n.Buses, Bus{ID: 3, Type: PQ, VnomKV: 138, Vmin: 0.9, Vmax: 1.1})
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			n := twoBus()
+			tt.mutate(n)
+			if err := n.Validate(); err == nil {
+				t.Fatalf("Validate accepted invalid network (%s)", tt.name)
+			}
+		})
+	}
+}
+
+func TestBusIndex(t *testing.T) {
+	n := twoBus()
+	if _, err := n.BusIndex(1); err == nil {
+		t.Fatal("BusIndex before Validate must error")
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	i, err := n.BusIndex(2)
+	if err != nil || i != 1 {
+		t.Fatalf("BusIndex(2) = %d, %v", i, err)
+	}
+	if _, err := n.BusIndex(42); err == nil {
+		t.Fatal("BusIndex(42) must error")
+	}
+}
+
+func TestSlackIndex(t *testing.T) {
+	n := twoBus()
+	i, err := n.SlackIndex()
+	if err != nil || i != 0 {
+		t.Fatalf("SlackIndex = %d, %v", i, err)
+	}
+	n.Buses[0].Type = PQ
+	if _, err := n.SlackIndex(); !errors.Is(err, ErrNoSlack) {
+		t.Fatalf("want ErrNoSlack, got %v", err)
+	}
+}
+
+func TestDLRLinesAndGensAtBus(t *testing.T) {
+	n := twoBus()
+	if got := n.DLRLines(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("DLRLines = %v", got)
+	}
+	if got := n.GensAtBus(1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("GensAtBus(1) = %v", got)
+	}
+	if got := n.GensAtBus(2); len(got) != 0 {
+		t.Fatalf("GensAtBus(2) = %v", got)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	n := twoBus()
+	if n.TotalDemand() != 50 {
+		t.Fatalf("TotalDemand = %v", n.TotalDemand())
+	}
+	if n.TotalCapacity() != 100 {
+		t.Fatalf("TotalCapacity = %v", n.TotalCapacity())
+	}
+}
+
+func TestClone(t *testing.T) {
+	n := twoBus()
+	c := n.Clone()
+	c.Buses[0].Pd = 999
+	c.Lines[0].RateMVA = 1
+	c.Gens[0].Pmax = 1
+	if n.Buses[0].Pd == 999 || n.Lines[0].RateMVA == 1 || n.Gens[0].Pmax == 1 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestRatings(t *testing.T) {
+	n := twoBus()
+	r := n.Ratings(nil)
+	if r[0] != 100 {
+		t.Fatalf("static fallback = %v", r[0])
+	}
+	r = n.Ratings(map[int]float64{0: 123})
+	if r[0] != 123 {
+		t.Fatalf("dlr override = %v", r[0])
+	}
+}
+
+func TestCheckDLRBounds(t *testing.T) {
+	n := twoBus()
+	if bad := n.CheckDLRBounds(map[int]float64{0: 100}); len(bad) != 0 {
+		t.Fatalf("in-bounds rating rejected: %v", bad)
+	}
+	if bad := n.CheckDLRBounds(map[int]float64{0: 200}); len(bad) != 1 {
+		t.Fatal("out-of-bounds rating accepted")
+	}
+	if bad := n.CheckDLRBounds(map[int]float64{0: math.NaN()}); len(bad) != 1 {
+		t.Fatal("NaN rating accepted")
+	}
+	if bad := n.CheckDLRBounds(map[int]float64{7: 100}); len(bad) != 1 {
+		t.Fatal("unknown line accepted")
+	}
+}
+
+func TestGeneratorCost(t *testing.T) {
+	g := Generator{CostA: 2, CostB: 3, CostC: 5}
+	if g.Cost(10) != 2*100+3*10+5 {
+		t.Fatalf("Cost = %v", g.Cost(10))
+	}
+	if g.MarginalCost(10) != 43 {
+		t.Fatalf("MarginalCost = %v", g.MarginalCost(10))
+	}
+}
+
+func TestLineSusceptance(t *testing.T) {
+	l := Line{X: 0.05}
+	if math.Abs(l.Susceptance()-20) > 1e-12 {
+		t.Fatalf("Susceptance = %v", l.Susceptance())
+	}
+	l.X = 0
+	if l.Susceptance() != 0 {
+		t.Fatal("zero-X susceptance must be 0")
+	}
+}
+
+func TestBusTypeString(t *testing.T) {
+	for _, bt := range []BusType{PQ, PV, Slack, BusType(9)} {
+		if bt.String() == "" {
+			t.Fatal("empty BusType string")
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package matpower_test
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/edsec/edattack/internal/dispatch"
+	"github.com/edsec/edattack/internal/grid/cases"
+	"github.com/edsec/edattack/internal/grid/matpower"
+)
+
+// _case9m is the classic WSCC 9-bus case in MATPOWER format.
+const _case9m = `function mpc = case9
+% WSCC 9-bus test case
+mpc.version = '2';
+mpc.baseMVA = 100;
+
+mpc.bus = [
+	1	3	0	0	0	0	1	1	0	345	1	1.1	0.9;
+	2	2	0	0	0	0	1	1	0	345	1	1.1	0.9;
+	3	2	0	0	0	0	1	1	0	345	1	1.1	0.9;
+	4	1	0	0	0	0	1	1	0	345	1	1.1	0.9;
+	5	1	90	30	0	0	1	1	0	345	1	1.1	0.9;
+	6	1	0	0	0	0	1	1	0	345	1	1.1	0.9;
+	7	1	100	35	0	0	1	1	0	345	1	1.1	0.9;
+	8	1	0	0	0	0	1	1	0	345	1	1.1	0.9;
+	9	1	125	50	0	0	1	1	0	345	1	1.1	0.9;
+];
+
+mpc.gen = [
+	1	72.3	27.03	300	-300	1.04	100	1	250	10;
+	2	163	6.54	300	-300	1.025	100	1	300	10;
+	3	85	-10.95	300	-300	1.025	100	1	270	10;
+];
+
+mpc.branch = [
+	1	4	0	0.0576	0	250	250	250	0	0	1	-360	360;
+	4	5	0.017	0.092	0.158	250	250	250	0	0	1	-360	360;
+	5	6	0.039	0.17	0.358	150	150	150	0	0	1	-360	360;
+	3	6	0	0.0586	0	300	300	300	0	0	1	-360	360;
+	6	7	0.0119	0.1008	0.209	150	150	150	0	0	1	-360	360;
+	7	8	0.0085	0.072	0.149	250	250	250	0	0	1	-360	360;
+	8	2	0	0.0625	0	250	250	250	0	0	1	-360	360;
+	8	9	0.032	0.161	0.306	250	250	250	0	0	1	-360	360;
+	9	4	0.01	0.085	0.176	250	250	250	0	0	1	-360	360;
+];
+
+mpc.gencost = [
+	2	1500	0	3	0.11	5	150;
+	2	2000	0	3	0.085	1.2	600;
+	2	3000	0	3	0.1225	1	335;
+];
+`
+
+func TestParseCase9(t *testing.T) {
+	n, err := matpower.Parse(_case9m)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if n.Name != "case9" {
+		t.Fatalf("name = %q", n.Name)
+	}
+	if n.BaseMVA != 100 {
+		t.Fatalf("baseMVA = %v", n.BaseMVA)
+	}
+	if len(n.Buses) != 9 || len(n.Lines) != 9 || len(n.Gens) != 3 {
+		t.Fatalf("dims %d/%d/%d", len(n.Buses), len(n.Lines), len(n.Gens))
+	}
+	if n.TotalDemand() != 315 {
+		t.Fatalf("demand = %v", n.TotalDemand())
+	}
+	slack, err := n.SlackIndex()
+	if err != nil || n.Buses[slack].ID != 1 {
+		t.Fatalf("slack: %v %v", slack, err)
+	}
+	// Branch 3 (5-6) carries the 150 MVA rating and gen 2's cost is the
+	// quadratic from gencost row 2.
+	if n.Lines[2].RateMVA != 150 {
+		t.Fatalf("rate = %v", n.Lines[2].RateMVA)
+	}
+	if n.Gens[1].CostA != 0.085 || n.Gens[1].CostB != 1.2 || n.Gens[1].CostC != 600 {
+		t.Fatalf("gencost: %+v", n.Gens[1])
+	}
+}
+
+func TestParsedCaseDispatches(t *testing.T) {
+	n, err := matpower.Parse(_case9m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dispatch.BuildModel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Solve(nil)
+	if err != nil {
+		t.Fatalf("dispatch on parsed case: %v", err)
+	}
+	var total float64
+	for _, p := range res.P {
+		total += p
+	}
+	if math.Abs(total-315) > 1e-5 {
+		t.Fatalf("supply = %v", total)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig, err := cases.Case118()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := matpower.Format(orig)
+	back, err := matpower.Parse(text)
+	if err != nil {
+		t.Fatalf("round-trip parse: %v", err)
+	}
+	if len(back.Buses) != len(orig.Buses) || len(back.Lines) != len(orig.Lines) || len(back.Gens) != len(orig.Gens) {
+		t.Fatalf("round-trip dims: %d/%d/%d vs %d/%d/%d",
+			len(back.Buses), len(back.Lines), len(back.Gens),
+			len(orig.Buses), len(orig.Lines), len(orig.Gens))
+	}
+	if math.Abs(back.TotalDemand()-orig.TotalDemand()) > 1e-6 {
+		t.Fatalf("demand drifted: %v vs %v", back.TotalDemand(), orig.TotalDemand())
+	}
+	for li := range orig.Lines {
+		if math.Abs(back.Lines[li].X-orig.Lines[li].X) > 1e-12 {
+			t.Fatalf("line %d X drifted", li)
+		}
+		if math.Abs(back.Lines[li].RateMVA-orig.Lines[li].RateMVA) > 1e-9 {
+			t.Fatalf("line %d rating drifted", li)
+		}
+	}
+	for gi := range orig.Gens {
+		if math.Abs(back.Gens[gi].CostA-orig.Gens[gi].CostA) > 1e-12 ||
+			math.Abs(back.Gens[gi].CostB-orig.Gens[gi].CostB) > 1e-12 {
+			t.Fatalf("gen %d cost drifted", gi)
+		}
+	}
+	// Note: HasDLR/DLR bands are edattack extensions with no MATPOWER
+	// column; they are expected to be lost in this format.
+}
+
+func TestParseOutOfServiceBranchSkipped(t *testing.T) {
+	// Flip branch 2's status to 0: it must not appear, and the network
+	// must stay connected via the rest of the ring.
+	text := strings.Replace(_case9m,
+		"4	5	0.017	0.092	0.158	250	250	250	0	0	1",
+		"4	5	0.017	0.092	0.158	250	250	250	0	0	0", 1)
+	n, err := matpower.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Lines) != 8 {
+		t.Fatalf("lines = %d, want 8", len(n.Lines))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"function mpc = x\nmpc.baseMVA = 100;\n", // no matrices
+		"function mpc = x\nmpc.baseMVA = oops;\nmpc.bus = [1];\n",
+		strings.Replace(_case9m, "mpc.baseMVA = 100;", "", 1),
+		strings.Replace(_case9m, "345	1	1.1	0.9;", "345	1	1.1	bogus;", 1),
+	}
+	for i, src := range bad {
+		if _, err := matpower.Parse(src); !errors.Is(err, matpower.ErrBadFormat) {
+			t.Fatalf("case %d: want ErrBadFormat, got %v", i, err)
+		}
+	}
+}
+
+func TestParseRejectsInvalidNetwork(t *testing.T) {
+	// Two slack buses parse fine but fail network validation.
+	text := strings.Replace(_case9m,
+		"2	2	0	0	0	0	1	1	0	345	1	1.1	0.9;",
+		"2	3	0	0	0	0	1	1	0	345	1	1.1	0.9;", 1)
+	if _, err := matpower.Parse(text); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+func TestFormatPreservesDLRFreeSemantics(t *testing.T) {
+	n, err := cases.Case3(cases.Case3Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := matpower.Format(n)
+	if !strings.Contains(text, "function mpc = case3") {
+		t.Fatal("missing header")
+	}
+	back, err := matpower.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b1 = 2·b2 preserved through gencost.
+	if back.Gens[0].CostB != 2*back.Gens[1].CostB {
+		t.Fatalf("costs drifted: %v vs %v", back.Gens[0].CostB, back.Gens[1].CostB)
+	}
+}

@@ -1,0 +1,236 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs with general (two-sided) variable bounds:
+//
+//	minimize    cᵀx
+//	subject to  aᵢᵀx {≤,=,≥} bᵢ   for each constraint row i
+//	            l ≤ x ≤ u         (entries may be ±Inf)
+//
+// It is the workhorse under the economic-dispatch, MILP, and bilevel attack
+// packages. The implementation is a bounded-variable tableau simplex with
+// artificial variables (so the basis inverse is always available for dual
+// prices), Dantzig pricing, and a Bland's-rule fallback to guarantee
+// termination on degenerate problems.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is the sense of a linear constraint.
+type Relation int
+
+// Constraint senses.
+const (
+	LE Relation = iota + 1 // aᵀx ≤ b
+	GE                     // aᵀx ≥ b
+	EQ                     // aᵀx = b
+)
+
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota + 1
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// ErrIterLimit is returned when the simplex exceeds its iteration budget.
+var ErrIterLimit = errors.New("lp: iteration limit exceeded")
+
+// Constraint is one linear constraint row. Coeffs must have one entry per
+// problem variable.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Relation
+	RHS    float64
+}
+
+// Problem is a linear program under construction. The zero value is not
+// usable; create problems with NewProblem.
+type Problem struct {
+	nvars    int
+	c        []float64
+	maximize bool
+	lower    []float64
+	upper    []float64
+	rows     []Constraint
+}
+
+// NewProblem returns a problem with n variables, objective 0, and default
+// bounds (-Inf, +Inf).
+func NewProblem(n int) *Problem {
+	p := &Problem{
+		nvars: n,
+		c:     make([]float64, n),
+		lower: make([]float64, n),
+		upper: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		p.lower[i] = math.Inf(-1)
+		p.upper[i] = math.Inf(1)
+	}
+	return p
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return p.nvars }
+
+// NumConstraints returns the number of constraint rows.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// SetObjective sets the linear objective. If maximize is true the problem is
+// max cᵀx; internally it is negated.
+func (p *Problem) SetObjective(c []float64, maximize bool) error {
+	if len(c) != p.nvars {
+		return fmt.Errorf("lp: objective has %d coefficients, want %d", len(c), p.nvars)
+	}
+	copy(p.c, c)
+	p.maximize = maximize
+	return nil
+}
+
+// SetObjectiveCoeff sets a single objective coefficient.
+func (p *Problem) SetObjectiveCoeff(j int, v float64) error {
+	if j < 0 || j >= p.nvars {
+		return fmt.Errorf("lp: objective index %d out of range [0,%d)", j, p.nvars)
+	}
+	p.c[j] = v
+	return nil
+}
+
+// SetMaximize toggles between maximization and minimization.
+func (p *Problem) SetMaximize(maximize bool) { p.maximize = maximize }
+
+// IsMaximize reports whether the problem maximizes its objective.
+func (p *Problem) IsMaximize() bool { return p.maximize }
+
+// SetBounds sets the bounds of variable j. Use ±Inf for unbounded sides.
+func (p *Problem) SetBounds(j int, lo, hi float64) error {
+	if j < 0 || j >= p.nvars {
+		return fmt.Errorf("lp: bound index %d out of range [0,%d)", j, p.nvars)
+	}
+	if lo > hi {
+		return fmt.Errorf("lp: variable %d has lower bound %g > upper bound %g", j, lo, hi)
+	}
+	p.lower[j] = lo
+	p.upper[j] = hi
+	return nil
+}
+
+// Bounds returns the bounds of variable j.
+func (p *Problem) Bounds(j int) (lo, hi float64) { return p.lower[j], p.upper[j] }
+
+// AddConstraint appends a dense constraint row and returns its index.
+func (p *Problem) AddConstraint(coeffs []float64, rel Relation, rhs float64) (int, error) {
+	if len(coeffs) != p.nvars {
+		return 0, fmt.Errorf("lp: constraint has %d coefficients, want %d", len(coeffs), p.nvars)
+	}
+	switch rel {
+	case LE, GE, EQ:
+	default:
+		return 0, fmt.Errorf("lp: invalid relation %v", rel)
+	}
+	row := make([]float64, p.nvars)
+	copy(row, coeffs)
+	p.rows = append(p.rows, Constraint{Coeffs: row, Rel: rel, RHS: rhs})
+	return len(p.rows) - 1, nil
+}
+
+// AddSparseConstraint appends a constraint given as index→coefficient pairs.
+func (p *Problem) AddSparseConstraint(idx []int, coeffs []float64, rel Relation, rhs float64) (int, error) {
+	if len(idx) != len(coeffs) {
+		return 0, fmt.Errorf("lp: sparse constraint has %d indices but %d coefficients", len(idx), len(coeffs))
+	}
+	row := make([]float64, p.nvars)
+	for k, j := range idx {
+		if j < 0 || j >= p.nvars {
+			return 0, fmt.Errorf("lp: sparse constraint index %d out of range [0,%d)", j, p.nvars)
+		}
+		row[j] += coeffs[k]
+	}
+	return p.AddConstraint(row, rel, rhs)
+}
+
+// Solution is the result of a successful Solve call.
+type Solution struct {
+	// Status reports whether the problem was solved to optimality, proven
+	// infeasible, or proven unbounded.
+	Status Status
+	// X is the optimal primal point (valid only when Status == Optimal).
+	X []float64
+	// Objective is the optimal objective in the user's sense (maximized
+	// objectives are reported as maximized).
+	Objective float64
+	// Dual holds one dual price per constraint row: the marginal change of
+	// the minimized objective per unit increase of the row's RHS.
+	Dual []float64
+	// ReducedCost holds the reduced cost of each structural variable under
+	// the minimization form.
+	ReducedCost []float64
+	// Iterations is the total simplex pivot count across both phases.
+	Iterations int
+}
+
+// Options tune the simplex.
+type Options struct {
+	// MaxIter caps total pivots across both phases (default 50000).
+	MaxIter int
+	// Tol is the numeric tolerance for pricing and feasibility
+	// (default 1e-9).
+	Tol float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 50000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	return o
+}
+
+// Solve solves the problem with default options.
+func Solve(p *Problem) (*Solution, error) {
+	return SolveWith(p, Options{})
+}
+
+// SolveWith solves the problem with explicit options.
+func SolveWith(p *Problem, opts Options) (*Solution, error) {
+	opts = opts.withDefaults()
+	s, err := newSimplex(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}

@@ -1,0 +1,207 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomLP builds a random feasible bounded LP: box-bounded variables with a
+// handful of ≤/≥/= rows anchored at a known interior point so feasibility is
+// guaranteed.
+func randomLP(r *rand.Rand) (*Problem, []float64) {
+	n := 2 + r.Intn(6)
+	m := 1 + r.Intn(5)
+	p := NewProblem(n)
+	x0 := make([]float64, n)
+	c := make([]float64, n)
+	for j := 0; j < n; j++ {
+		lo := -5 + 10*r.Float64()
+		hi := lo + 0.5 + 5*r.Float64()
+		_ = p.SetBounds(j, lo, hi)
+		x0[j] = lo + (hi-lo)*r.Float64()
+		c[j] = -2 + 4*r.Float64()
+	}
+	_ = p.SetObjective(c, r.Intn(2) == 0)
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = -1 + 2*r.Float64()
+		}
+		act := Dot(row, x0)
+		switch r.Intn(3) {
+		case 0:
+			_, _ = p.AddConstraint(row, LE, act+r.Float64())
+		case 1:
+			_, _ = p.AddConstraint(row, GE, act-r.Float64())
+		default:
+			_, _ = p.AddConstraint(row, EQ, act)
+		}
+	}
+	return p, x0
+}
+
+// Dot is a tiny local helper (kept here to avoid an import cycle with mat).
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Property: random anchored LPs are feasible and the solution satisfies all
+// constraints and bounds.
+func TestPropertyFeasibility(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, _ := randomLP(r)
+		sol, err := Solve(p)
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		for j := 0; j < p.NumVars(); j++ {
+			lo, hi := p.Bounds(j)
+			if sol.X[j] < lo-1e-6 || sol.X[j] > hi+1e-6 {
+				return false
+			}
+		}
+		for _, row := range p.rows {
+			act := Dot(row.Coeffs, sol.X)
+			switch row.Rel {
+			case LE:
+				if act > row.RHS+1e-6 {
+					return false
+				}
+			case GE:
+				if act < row.RHS-1e-6 {
+					return false
+				}
+			case EQ:
+				if math.Abs(act-row.RHS) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the solver's optimum is at least as good as the feasible anchor
+// point used to build the instance.
+func TestPropertyAnchorDominated(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, x0 := randomLP(r)
+		sol, err := Solve(p)
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		anchorObj := Dot(p.c, x0)
+		if p.maximize {
+			return sol.Objective >= anchorObj-1e-6
+		}
+		return sol.Objective <= anchorObj+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (strong duality for the bounded simplex): for minimization,
+//
+//	cᵀx* = yᵀb + dᵀx* − Σᵢ yᵢ·(bᵢ − aᵢᵀx*)
+//
+// where y are the row duals and d the structural reduced costs. The last sum
+// removes the slack contribution for inequality rows.
+func TestPropertyDualIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, _ := randomLP(r)
+		p.SetMaximize(false)
+		sol, err := Solve(p)
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		lhs := Dot(p.c, sol.X)
+		rhs := Dot(sol.ReducedCost, sol.X)
+		for i, row := range p.rows {
+			act := Dot(row.Coeffs, sol.X)
+			rhs += sol.Dual[i] * row.RHS
+			rhs -= sol.Dual[i] * (row.RHS - act)
+		}
+		return math.Abs(lhs-rhs) <= 1e-5*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: complementary slackness — strictly slack rows carry (near-)zero
+// duals and variables strictly inside their bounds carry (near-)zero reduced
+// costs.
+func TestPropertyComplementarySlackness(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, _ := randomLP(r)
+		sol, err := Solve(p)
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		for i, row := range p.rows {
+			act := Dot(row.Coeffs, sol.X)
+			gap := math.Abs(row.RHS - act)
+			if row.Rel != EQ && gap > 1e-4 && math.Abs(sol.Dual[i]) > 1e-5 {
+				return false
+			}
+		}
+		for j := 0; j < p.NumVars(); j++ {
+			lo, hi := p.Bounds(j)
+			if sol.X[j] > lo+1e-4 && sol.X[j] < hi-1e-4 && math.Abs(sol.ReducedCost[j]) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dual feasibility signs — for a minimization, a ≤ row must have a
+// non-positive effect when relaxed... concretely the dual of a ≤ row is ≤ 0
+// and of a ≥ row is ≥ 0 under our sign convention (marginal objective per
+// unit RHS increase).
+func TestPropertyDualSigns(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, _ := randomLP(r)
+		p.SetMaximize(false)
+		sol, err := Solve(p)
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		for i, row := range p.rows {
+			switch row.Rel {
+			case LE:
+				// Raising the RHS of a ≤ row enlarges the feasible set:
+				// the minimum cannot increase.
+				if sol.Dual[i] > 1e-6 {
+					return false
+				}
+			case GE:
+				if sol.Dual[i] < -1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

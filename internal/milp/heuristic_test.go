@@ -1,0 +1,107 @@
+package milp
+
+import (
+	"math"
+	"testing"
+
+	"github.com/edsec/edattack/internal/lp"
+)
+
+// TestHeuristicSeedsIncumbent: a heuristic that returns a known feasible
+// point must become the incumbent when the tree search is truncated
+// immediately.
+func TestHeuristicSeedsIncumbent(t *testing.T) {
+	// Root relaxation is fractional (a=1, b=0.5), so MaxNodes=1 truncates
+	// before any integral leaf is reached.
+	base := lp.NewProblem(2)
+	_ = base.SetObjective([]float64{3, 2}, true)
+	_, _ = base.AddConstraint([]float64{2, 2}, lp.LE, 3)
+	p := NewProblem(base)
+	_ = p.SetBinary(0)
+	_ = p.SetBinary(1)
+	called := 0
+	sol, err := SolveWith(p, Options{
+		MaxNodes: 1,
+		Heuristic: func(x []float64) (float64, []float64, bool) {
+			called++
+			// Offer the feasible rounding (1, 0) with objective 3.
+			return 3, []float64{1, 0}, true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called == 0 {
+		t.Fatal("heuristic never invoked")
+	}
+	if sol.Status != NodeLimit {
+		t.Fatalf("status = %v, want node-limit", sol.Status)
+	}
+	if sol.X == nil || math.Abs(sol.Objective-3) > 1e-9 {
+		t.Fatalf("incumbent not adopted: %+v", sol)
+	}
+	if sol.X[0] != 1 || sol.X[1] != 0 {
+		t.Fatalf("incumbent point = %v", sol.X)
+	}
+}
+
+// TestHeuristicDoesNotDegradeOptimum: a weak heuristic must not displace
+// the true optimum found by the search.
+func TestHeuristicDoesNotDegradeOptimum(t *testing.T) {
+	base := lp.NewProblem(2)
+	_ = base.SetObjective([]float64{3, 2}, true)
+	_, _ = base.AddConstraint([]float64{1, 1}, lp.LE, 2)
+	p := NewProblem(base)
+	_ = p.SetBinary(0)
+	_ = p.SetBinary(1)
+	sol, err := SolveWith(p, Options{
+		Heuristic: func(x []float64) (float64, []float64, bool) {
+			return 2, []float64{0, 1}, true // feasible but suboptimal
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-5) > 1e-9 {
+		t.Fatalf("got %v / %v, want optimal 5", sol.Status, sol.Objective)
+	}
+}
+
+// TestHeuristicDeclines: a heuristic returning ok=false leaves the search
+// unchanged.
+func TestHeuristicDeclines(t *testing.T) {
+	base := lp.NewProblem(1)
+	_ = base.SetObjective([]float64{1}, true)
+	p := NewProblem(base)
+	_ = p.SetBinary(0)
+	sol, err := SolveWith(p, Options{
+		Heuristic: func(x []float64) (float64, []float64, bool) { return 0, nil, false },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-1) > 1e-9 {
+		t.Fatalf("got %v / %v", sol.Status, sol.Objective)
+	}
+}
+
+// TestMinimizationHeuristic: incumbent comparison respects the sense.
+func TestMinimizationHeuristic(t *testing.T) {
+	base := lp.NewProblem(2)
+	_ = base.SetObjective([]float64{3, 2}, false)
+	_, _ = base.AddConstraint([]float64{1, 1}, lp.GE, 1)
+	p := NewProblem(base)
+	_ = p.SetBinary(0)
+	_ = p.SetBinary(1)
+	sol, err := SolveWith(p, Options{
+		Heuristic: func(x []float64) (float64, []float64, bool) {
+			return 3, []float64{1, 0}, true // worse than the optimum 2
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-2) > 1e-9 {
+		t.Fatalf("got %v / %v, want optimal 2", sol.Status, sol.Objective)
+	}
+}

@@ -1,0 +1,353 @@
+// Package milp implements a branch-and-bound solver on top of the lp
+// package. It supports two kinds of combinatorial structure, both needed by
+// the bilevel attack generator:
+//
+//   - binary variables — used for the paper's big-M MILP reformulation of
+//     the KKT complementary-slackness conditions (Section III, eq. 16–17);
+//   - complementarity pairs (x_a · x_b = 0 with x_a, x_b ≥ 0) — used for
+//     direct complementarity branching, which avoids big-M constants and
+//     their numeric pitfalls.
+//
+// The search is depth-first with best-incumbent pruning; branching picks the
+// most fractional binary or the most violated complementarity pair.
+package milp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/edsec/edattack/internal/lp"
+)
+
+// Status is the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota + 1
+	Infeasible
+	Unbounded
+	NodeLimit // search truncated; Solution carries the best incumbent
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case NodeLimit:
+		return "node-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// ErrBadPair is returned when a complementarity pair references variables
+// that may go negative.
+var ErrBadPair = errors.New("milp: complementarity pair variables must have non-negative lower bounds")
+
+// Problem couples an LP relaxation with integrality/complementarity
+// structure.
+type Problem struct {
+	// Base is the LP relaxation. The solver temporarily mutates variable
+	// bounds during the search and restores them afterwards; the problem
+	// must not be shared concurrently.
+	Base *lp.Problem
+
+	binaries []int
+	pairs    [][2]int
+}
+
+// NewProblem wraps an LP relaxation.
+func NewProblem(base *lp.Problem) *Problem {
+	return &Problem{Base: base}
+}
+
+// SetBinary declares variable j binary (bounds forced to [0, 1]).
+func (p *Problem) SetBinary(j int) error {
+	if err := p.Base.SetBounds(j, 0, 1); err != nil {
+		return fmt.Errorf("milp: %w", err)
+	}
+	p.binaries = append(p.binaries, j)
+	return nil
+}
+
+// AddComplementarityPair requires x_a · x_b = 0. Both variables must have
+// non-negative lower bounds.
+func (p *Problem) AddComplementarityPair(a, b int) error {
+	for _, j := range [2]int{a, b} {
+		lo, _ := p.Base.Bounds(j)
+		if lo < 0 {
+			return fmt.Errorf("variable %d has lower bound %g: %w", j, lo, ErrBadPair)
+		}
+	}
+	p.pairs = append(p.pairs, [2]int{a, b})
+	return nil
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	// Status reports optimality, infeasibility, unboundedness, or a
+	// truncated search.
+	Status Status
+	// X is the best integral/complementary point found (nil if none).
+	X []float64
+	// Objective is the objective at X in the problem's own sense.
+	Objective float64
+	// Nodes is the number of branch-and-bound nodes solved.
+	Nodes int
+}
+
+// Options tune the search.
+type Options struct {
+	// MaxNodes caps branch-and-bound nodes (default 200000).
+	MaxNodes int
+	// IntTol is the integrality/complementarity tolerance (default 1e-6).
+	IntTol float64
+	// Gap is the relative optimality gap at which a node is pruned
+	// against the incumbent (default 1e-9).
+	Gap float64
+	// Incumbent, when non-nil, seeds the search with a known feasible
+	// objective value for pruning (e.g. from a heuristic attack).
+	Incumbent *float64
+	// Heuristic, when non-nil, is invoked with each node relaxation's
+	// point and may return a feasible objective and point to update the
+	// incumbent even though the relaxation point itself is fractional or
+	// non-complementary. The returned point is trusted to be feasible
+	// for the caller's problem semantics.
+	Heuristic func(relaxX []float64) (obj float64, point []float64, ok bool)
+	// LP are the options for each relaxation solve.
+	LP lp.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 200000
+	}
+	if o.IntTol <= 0 {
+		o.IntTol = 1e-6
+	}
+	if o.Gap <= 0 {
+		o.Gap = 1e-9
+	}
+	return o
+}
+
+// Solve runs branch and bound with default options.
+func Solve(p *Problem) (*Solution, error) {
+	return SolveWith(p, Options{})
+}
+
+// boundFix is one temporary variable-bound restriction along a branch.
+type boundFix struct {
+	j      int
+	lo, hi float64
+}
+
+// node is one open branch-and-bound node: the list of bound fixes from the
+// root.
+type node struct {
+	fixes []boundFix
+}
+
+// SolveWith runs branch and bound with explicit options.
+func SolveWith(p *Problem, opts Options) (*Solution, error) {
+	o := opts.withDefaults()
+	maximize := p.isMaximize()
+
+	// Save original bounds of every variable we may touch, to restore on
+	// exit.
+	type saved struct{ lo, hi float64 }
+	touched := make(map[int]saved)
+	touch := func(j int) {
+		if _, ok := touched[j]; !ok {
+			lo, hi := p.Base.Bounds(j)
+			touched[j] = saved{lo, hi}
+		}
+	}
+	for _, j := range p.binaries {
+		touch(j)
+	}
+	for _, pr := range p.pairs {
+		touch(pr[0])
+		touch(pr[1])
+	}
+	defer func() {
+		for j, s := range touched {
+			_ = p.Base.SetBounds(j, s.lo, s.hi)
+		}
+	}()
+
+	better := func(a, b float64) bool {
+		if maximize {
+			return a > b
+		}
+		return a < b
+	}
+
+	var incumbent []float64
+	incObj := math.Inf(1)
+	if maximize {
+		incObj = math.Inf(-1)
+	}
+	if o.Incumbent != nil {
+		incObj = *o.Incumbent
+	}
+
+	stack := []node{{}}
+	nodes := 0
+	for len(stack) > 0 {
+		if nodes >= o.MaxNodes {
+			return truncated(incumbent, incObj, nodes), nil
+		}
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+
+		// Apply this node's fixes on top of the originals.
+		for j, s := range touched {
+			if err := p.Base.SetBounds(j, s.lo, s.hi); err != nil {
+				return nil, fmt.Errorf("milp: restoring bounds: %w", err)
+			}
+		}
+		applyOK := true
+		for _, f := range cur.fixes {
+			if err := p.Base.SetBounds(f.j, f.lo, f.hi); err != nil {
+				applyOK = false // conflicting fixes → infeasible branch
+				break
+			}
+		}
+		if !applyOK {
+			continue
+		}
+		rel, err := lp.SolveWith(p.Base, o.LP)
+		if err != nil {
+			return nil, fmt.Errorf("milp: node %d relaxation: %w", nodes, err)
+		}
+		switch rel.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			if nodes == 1 && len(p.binaries) == 0 && len(p.pairs) == 0 {
+				return &Solution{Status: Unbounded, Nodes: nodes}, nil
+			}
+			// An unbounded relaxation cannot be pruned by bound;
+			// treat as an error since our problems are always
+			// bounded.
+			return nil, fmt.Errorf("milp: node %d relaxation unbounded", nodes)
+		}
+		// Primal heuristic: let the caller round the relaxation point
+		// into a known-feasible incumbent.
+		if o.Heuristic != nil {
+			if hObj, hPoint, ok := o.Heuristic(rel.X); ok {
+				if incumbent == nil && o.Incumbent == nil || better(hObj, incObj) {
+					incObj = hObj
+					incumbent = append([]float64(nil), hPoint...)
+				}
+			}
+		}
+
+		// Bound pruning.
+		if incumbent != nil || o.Incumbent != nil {
+			gapTol := o.Gap * (1 + math.Abs(incObj))
+			if maximize && rel.Objective <= incObj+gapTol {
+				continue
+			}
+			if !maximize && rel.Objective >= incObj-gapTol {
+				continue
+			}
+		}
+
+		// Pick a branching target.
+		bj := p.mostFractionalBinary(rel.X, o.IntTol)
+		pa, pb := p.mostViolatedPair(rel.X, o.IntTol)
+		switch {
+		case bj >= 0:
+			// Branch on the binary: floor child and ceil child.
+			// Push the "round toward relaxation value" child last so
+			// DFS explores it first.
+			lo := cur.child(boundFix{bj, 0, 0})
+			hi := cur.child(boundFix{bj, 1, 1})
+			if rel.X[bj] >= 0.5 {
+				stack = append(stack, lo, hi)
+			} else {
+				stack = append(stack, hi, lo)
+			}
+		case pa >= 0:
+			// Branch on the complementarity pair: fix one side to
+			// zero. Explore first the child that zeroes the smaller
+			// value.
+			ca := cur.child(boundFix{pa, 0, 0})
+			cb := cur.child(boundFix{pb, 0, 0})
+			if rel.X[pa] <= rel.X[pb] {
+				stack = append(stack, cb, ca)
+			} else {
+				stack = append(stack, ca, cb)
+			}
+		default:
+			// Integral and complementary: candidate incumbent.
+			if incumbent == nil || better(rel.Objective, incObj) {
+				incumbent = append([]float64(nil), rel.X...)
+				incObj = rel.Objective
+			}
+		}
+	}
+	if incumbent == nil {
+		return &Solution{Status: Infeasible, Nodes: nodes}, nil
+	}
+	return &Solution{Status: Optimal, X: incumbent, Objective: incObj, Nodes: nodes}, nil
+}
+
+// truncated builds the node-limit result.
+func truncated(x []float64, obj float64, nodes int) *Solution {
+	s := &Solution{Status: NodeLimit, Nodes: nodes}
+	if x != nil {
+		s.X = x
+		s.Objective = obj
+	}
+	return s
+}
+
+// child extends the fix list functionally (copy-on-write so siblings don't
+// alias).
+func (n node) child(f boundFix) node {
+	fixes := make([]boundFix, len(n.fixes)+1)
+	copy(fixes, n.fixes)
+	fixes[len(n.fixes)] = f
+	return node{fixes: fixes}
+}
+
+// mostFractionalBinary returns the binary variable farthest from
+// integrality, or -1 when all are integral.
+func (p *Problem) mostFractionalBinary(x []float64, tol float64) int {
+	best, bestFrac := -1, tol
+	for _, j := range p.binaries {
+		frac := math.Abs(x[j] - math.Round(x[j]))
+		if frac > bestFrac {
+			best, bestFrac = j, frac
+		}
+	}
+	return best
+}
+
+// mostViolatedPair returns the complementarity pair with the largest
+// violation x_a·x_b, or (-1, -1) when all pairs are complementary.
+func (p *Problem) mostViolatedPair(x []float64, tol float64) (int, int) {
+	bestA, bestB := -1, -1
+	bestViol := tol
+	for _, pr := range p.pairs {
+		v := math.Min(x[pr[0]], x[pr[1]])
+		if v > bestViol {
+			bestA, bestB, bestViol = pr[0], pr[1], v
+		}
+	}
+	return bestA, bestB
+}
+
+func (p *Problem) isMaximize() bool {
+	return p.Base.IsMaximize()
+}

@@ -1,0 +1,289 @@
+package milp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/edsec/edattack/internal/lp"
+)
+
+const tol = 1e-6
+
+func TestKnapsack(t *testing.T) {
+	// max 10a + 13b + 7c, 3a + 4b + 2c ≤ 6, binary → a=c=1 (obj 17)
+	// beats b+c (20... check: b+c weight 6 ≤ 6, obj 20). So optimum is
+	// b=1, c=1 → 20.
+	base := lp.NewProblem(3)
+	_ = base.SetObjective([]float64{10, 13, 7}, true)
+	_, _ = base.AddConstraint([]float64{3, 4, 2}, lp.LE, 6)
+	p := NewProblem(base)
+	for j := 0; j < 3; j++ {
+		if err := p.SetBinary(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-20) > tol {
+		t.Fatalf("objective = %v, want 20", sol.Objective)
+	}
+	if math.Abs(sol.X[1]-1) > tol || math.Abs(sol.X[2]-1) > tol || math.Abs(sol.X[0]) > tol {
+		t.Fatalf("x = %v, want [0 1 1]", sol.X)
+	}
+}
+
+func TestBinaryInfeasible(t *testing.T) {
+	// a + b = 1.5 with a, b binary has fractional-only solutions... no:
+	// 1.5 cannot be hit by {0,1}+{0,1}. Infeasible.
+	base := lp.NewProblem(2)
+	_ = base.SetObjective([]float64{1, 1}, true)
+	_, _ = base.AddConstraint([]float64{1, 1}, lp.EQ, 1.5)
+	p := NewProblem(base)
+	_ = p.SetBinary(0)
+	_ = p.SetBinary(1)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestComplementarityPair(t *testing.T) {
+	// max x + y s.t. x ≤ 3, y ≤ 5, x·y = 0 → pick y=5, x=0.
+	base := lp.NewProblem(2)
+	_ = base.SetObjective([]float64{1, 1}, true)
+	_ = base.SetBounds(0, 0, 3)
+	_ = base.SetBounds(1, 0, 5)
+	p := NewProblem(base)
+	if err := p.AddComplementarityPair(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-5) > tol {
+		t.Fatalf("got %v obj %v, want optimal 5", sol.Status, sol.Objective)
+	}
+	if sol.X[0]*sol.X[1] > tol {
+		t.Fatalf("complementarity violated: %v", sol.X)
+	}
+}
+
+func TestComplementarityPairRejectsNegative(t *testing.T) {
+	base := lp.NewProblem(2)
+	_ = base.SetBounds(0, -1, 1)
+	_ = base.SetBounds(1, 0, 1)
+	p := NewProblem(base)
+	if err := p.AddComplementarityPair(0, 1); !errors.Is(err, ErrBadPair) {
+		t.Fatalf("want ErrBadPair, got %v", err)
+	}
+}
+
+func TestBoundsRestoredAfterSolve(t *testing.T) {
+	base := lp.NewProblem(2)
+	_ = base.SetObjective([]float64{1, 1}, true)
+	_ = base.SetBounds(0, 0, 7)
+	_ = base.SetBounds(1, 0, 9)
+	_, _ = base.AddConstraint([]float64{1, 1}, lp.LE, 10)
+	p := NewProblem(base)
+	_ = p.AddComplementarityPair(0, 1)
+	if _, err := Solve(p); err != nil {
+		t.Fatal(err)
+	}
+	lo0, hi0 := base.Bounds(0)
+	lo1, hi1 := base.Bounds(1)
+	if lo0 != 0 || hi0 != 7 || lo1 != 0 || hi1 != 9 {
+		t.Fatalf("bounds not restored: [%v %v] [%v %v]", lo0, hi0, lo1, hi1)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A 12-variable knapsack with MaxNodes 1 must truncate.
+	n := 12
+	base := lp.NewProblem(n)
+	c := make([]float64, n)
+	w := make([]float64, n)
+	for j := 0; j < n; j++ {
+		c[j] = float64(j + 1)
+		w[j] = float64(n - j)
+	}
+	_ = base.SetObjective(c, true)
+	_, _ = base.AddConstraint(w, lp.LE, 20)
+	p := NewProblem(base)
+	for j := 0; j < n; j++ {
+		_ = p.SetBinary(j)
+	}
+	sol, err := SolveWith(p, Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != NodeLimit {
+		t.Fatalf("status = %v, want node-limit", sol.Status)
+	}
+}
+
+func TestIncumbentSeedPrunes(t *testing.T) {
+	// Seeding with the known optimum must prune aggressively but still
+	// return a correct (possibly equal) result.
+	base := lp.NewProblem(3)
+	_ = base.SetObjective([]float64{10, 13, 7}, true)
+	_, _ = base.AddConstraint([]float64{3, 4, 2}, lp.LE, 6)
+	p := NewProblem(base)
+	for j := 0; j < 3; j++ {
+		_ = p.SetBinary(j)
+	}
+	seed := 19.5 // just below the optimum 20
+	sol, err := SolveWith(p, Options{Incumbent: &seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-20) > tol {
+		t.Fatalf("got %v / %v, want optimal 20", sol.Status, sol.Objective)
+	}
+}
+
+func TestMinimizationSense(t *testing.T) {
+	// min 3a + 2b s.t. a + b ≥ 1, binary → b=1, obj 2.
+	base := lp.NewProblem(2)
+	_ = base.SetObjective([]float64{3, 2}, false)
+	_, _ = base.AddConstraint([]float64{1, 1}, lp.GE, 1)
+	p := NewProblem(base)
+	_ = p.SetBinary(0)
+	_ = p.SetBinary(1)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-2) > tol {
+		t.Fatalf("got %v / %v, want optimal 2", sol.Status, sol.Objective)
+	}
+}
+
+func TestPureLPPassThrough(t *testing.T) {
+	// No binaries, no pairs: B&B reduces to one LP solve.
+	base := lp.NewProblem(1)
+	_ = base.SetObjective([]float64{1}, true)
+	_ = base.SetBounds(0, 0, 4)
+	p := NewProblem(base)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.Nodes != 1 || math.Abs(sol.Objective-4) > tol {
+		t.Fatalf("got %+v", sol)
+	}
+}
+
+func TestUnboundedRoot(t *testing.T) {
+	base := lp.NewProblem(1)
+	_ = base.SetObjective([]float64{1}, true)
+	_ = base.SetBounds(0, 0, math.Inf(1))
+	p := NewProblem(base)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for _, s := range []Status{Optimal, Infeasible, Unbounded, NodeLimit, Status(9)} {
+		if s.String() == "" {
+			t.Fatal("empty status string")
+		}
+	}
+}
+
+// bruteKnapsack enumerates all binary points for the reference optimum.
+func bruteKnapsack(c, w []float64, cap float64) float64 {
+	n := len(c)
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		var obj, wt float64
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				obj += c[j]
+				wt += w[j]
+			}
+		}
+		if wt <= cap && obj > best {
+			best = obj
+		}
+	}
+	return best
+}
+
+// Property: B&B matches brute-force enumeration on random small knapsacks.
+func TestPropertyKnapsackAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(8)
+		c := make([]float64, n)
+		w := make([]float64, n)
+		for j := 0; j < n; j++ {
+			c[j] = 1 + 9*r.Float64()
+			w[j] = 1 + 9*r.Float64()
+		}
+		cap := 0.4 * float64(n) * 5
+		base := lp.NewProblem(n)
+		_ = base.SetObjective(c, true)
+		_, _ = base.AddConstraint(w, lp.LE, cap)
+		p := NewProblem(base)
+		for j := 0; j < n; j++ {
+			_ = p.SetBinary(j)
+		}
+		sol, err := Solve(p)
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		want := bruteKnapsack(c, w, cap)
+		return math.Abs(sol.Objective-want) < 1e-5*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: complementarity branching yields points with x_a·x_b ≈ 0 and an
+// objective no worse than either single-sided restriction.
+func TestPropertyComplementarity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// max c1 x + c2 y s.t. x + y ≤ k, x·y = 0 → optimum is
+		// max(c1, c2)·min(k, ub) when coefficients positive.
+		c1, c2 := 1+4*r.Float64(), 1+4*r.Float64()
+		k := 1 + 9*r.Float64()
+		base := lp.NewProblem(2)
+		_ = base.SetObjective([]float64{c1, c2}, true)
+		_ = base.SetBounds(0, 0, 8)
+		_ = base.SetBounds(1, 0, 8)
+		_, _ = base.AddConstraint([]float64{1, 1}, lp.LE, k)
+		p := NewProblem(base)
+		_ = p.AddComplementarityPair(0, 1)
+		sol, err := Solve(p)
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		if sol.X[0]*sol.X[1] > 1e-5 {
+			return false
+		}
+		want := math.Max(c1, c2) * math.Min(k, 8)
+		return math.Abs(sol.Objective-want) < 1e-5*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+package qp
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/edsec/edattack/internal/mat"
+)
+
+// activeSet runs the primal active-set iteration.
+type activeSet struct {
+	p    *Problem
+	rows []ineqRow
+	x    []float64
+	opts Options
+	work []int // indices into rows forming the working set
+}
+
+// run iterates: solve the equality-constrained QP on the working set, then
+// either take a (possibly blocked) step, drop a constraint with a negative
+// multiplier, or declare optimality.
+func (s *activeSet) run() (*Solution, error) {
+	tol := s.opts.Tol
+	// Seed the working set with constraints active at the start point.
+	for i := range s.rows {
+		if len(s.work) >= s.p.n-len(s.p.aeq) {
+			break // keep the working set small enough for independence
+		}
+		if s.rows[i].h-s.rows[i].value(s.x) < tol {
+			if s.tryKKT(append(append([]int{}, s.work...), i)) {
+				s.work = append(s.work, i)
+			}
+		}
+	}
+	for iter := 0; iter < s.opts.MaxIter; iter++ {
+		xStar, nu, lam, err := s.solveKKT(s.work)
+		if err != nil {
+			// Dependent working set: drop the newest row and retry.
+			if len(s.work) == 0 {
+				return nil, fmt.Errorf("qp: KKT solve failed with empty working set: %w", err)
+			}
+			s.work = s.work[:len(s.work)-1]
+			continue
+		}
+		d := mat.Sub(xStar, s.x)
+		if mat.NormInf(d) < tol {
+			// Candidate optimum: check multiplier signs.
+			minIdx, minVal := -1, -tol
+			for k := range s.work {
+				if lam[k] < minVal {
+					minVal, minIdx = lam[k], k
+				}
+			}
+			if minIdx < 0 {
+				sol := s.assemble(nu, lam)
+				sol.Iterations = iter + 1
+				return sol, nil
+			}
+			s.work = append(s.work[:minIdx], s.work[minIdx+1:]...)
+			continue
+		}
+		// Ratio test against rows not in the working set.
+		alpha, blocking := 1.0, -1
+		for i := range s.rows {
+			if s.inWork(i) {
+				continue
+			}
+			gd := s.rows[i].dirDot(d)
+			if gd <= tol {
+				continue
+			}
+			slack := s.rows[i].h - s.rows[i].value(s.x)
+			if slack < 0 {
+				slack = 0
+			}
+			if a := slack / gd; a < alpha {
+				alpha, blocking = a, i
+			}
+		}
+		for j := range s.x {
+			s.x[j] += alpha * d[j]
+		}
+		if blocking >= 0 {
+			cand := append(append([]int{}, s.work...), blocking)
+			if s.tryKKT(cand) {
+				s.work = append(s.work, blocking)
+			} else if len(s.work) > 0 {
+				// The blocking gradient is dependent on the working
+				// set; make room by dropping the oldest row.
+				s.work = s.work[1:]
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w (after %d iterations)", ErrIterLimit, s.opts.MaxIter)
+}
+
+func (s *activeSet) inWork(i int) bool {
+	for _, w := range s.work {
+		if w == i {
+			return true
+		}
+	}
+	return false
+}
+
+// tryKKT reports whether the KKT matrix for the given working set is
+// nonsingular.
+func (s *activeSet) tryKKT(work []int) bool {
+	_, _, _, err := s.solveKKT(work)
+	return err == nil
+}
+
+// solveKKT solves the equality-constrained QP
+//
+//	min ½xᵀHx + cᵀx   s.t.  Aeq·x = beq,  rows[w]·x = h[w] for w ∈ work
+//
+// returning the minimizer and the multipliers (ν for equalities, λ for
+// working-set rows).
+func (s *activeSet) solveKKT(work []int) (x, nu, lam []float64, err error) {
+	n := s.p.n
+	me := len(s.p.aeq)
+	mw := len(work)
+	dim := n + me + mw
+	kkt := mat.New(dim, dim)
+	rhs := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			kkt.Set(i, j, s.p.h.At(i, j))
+		}
+		rhs[i] = -s.p.c[i]
+	}
+	for e := 0; e < me; e++ {
+		for j, v := range s.p.aeq[e] {
+			kkt.Set(n+e, j, v)
+			kkt.Set(j, n+e, v)
+		}
+		rhs[n+e] = s.p.beq[e]
+	}
+	for k, w := range work {
+		r := &s.rows[w]
+		if r.g != nil {
+			for j, v := range r.g {
+				kkt.Set(n+me+k, j, v)
+				kkt.Set(j, n+me+k, v)
+			}
+		} else {
+			kkt.Set(n+me+k, r.idx, r.sign)
+			kkt.Set(r.idx, n+me+k, r.sign)
+		}
+		rhs[n+me+k] = r.h
+	}
+	sol, err := mat.Solve(kkt, rhs)
+	if err != nil {
+		if errors.Is(err, mat.ErrSingular) {
+			return nil, nil, nil, err
+		}
+		return nil, nil, nil, fmt.Errorf("qp: KKT solve: %w", err)
+	}
+	return sol[:n], sol[n : n+me], sol[n+me:], nil
+}
+
+// assemble scatters working-set multipliers back to per-row duals.
+func (s *activeSet) assemble(nu, lam []float64) *Solution {
+	p := s.p
+	sol := &Solution{
+		X:         mat.CloneVec(s.x),
+		EqDual:    mat.CloneVec(nu),
+		IneqDual:  make([]float64, len(p.gin)),
+		LowerDual: make([]float64, p.n),
+		UpperDual: make([]float64, p.n),
+	}
+	for k, w := range s.work {
+		r := &s.rows[w]
+		l := lam[k]
+		if l < 0 {
+			l = 0 // within tolerance of zero
+		}
+		switch r.kind {
+		case kindUser:
+			sol.IneqDual[r.idx] = l
+		case kindLower:
+			sol.LowerDual[r.idx] = l
+		case kindUpper:
+			sol.UpperDual[r.idx] = l
+		}
+	}
+	hx, _ := p.h.MulVec(sol.X)
+	sol.Objective = 0.5*mat.Dot(sol.X, hx) + mat.Dot(p.c, sol.X)
+	return sol
+}

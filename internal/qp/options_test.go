@@ -1,0 +1,36 @@
+package qp
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxIter != 2000 || o.Tol != 1e-8 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o = Options{MaxIter: 3, Tol: 1e-5}.withDefaults()
+	if o.MaxIter != 3 || o.Tol != 1e-5 {
+		t.Fatalf("overrides lost: %+v", o)
+	}
+}
+
+func TestIterLimitSurfaces(t *testing.T) {
+	// With a one-iteration budget on a constrained problem the solver
+	// must report ErrIterLimit.
+	p := NewProblem(3)
+	for i := 0; i < 3; i++ {
+		_ = p.SetQuadCoeff(i, i, 2)
+		_ = p.SetLinCoeff(i, -4)
+		_ = p.SetBounds(i, 0, 1)
+	}
+	_, _ = p.AddInequality([]float64{1, 1, 1}, 1.5)
+	_, err := SolveWith(p, Options{MaxIter: 1})
+	if err == nil {
+		t.Skip("solved in one iteration; nothing to assert")
+	}
+	if !errors.Is(err, ErrIterLimit) {
+		t.Fatalf("want ErrIterLimit, got %v", err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package scada simulates the telemetry path between field devices and the
+// EMS — DLR sensors reporting dynamic ratings — plus the operator-side
+// defenses discussed in Section VII of the paper: the out-of-bound
+// plausibility check that the attacker must stay within, command
+// verification (an extended TSV), and intrusion-tolerant replication
+// (N-version redundancy).
+package scada
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/edsec/edattack/internal/dcflow"
+	"github.com/edsec/edattack/internal/dispatch"
+	"github.com/edsec/edattack/internal/dlr"
+	"github.com/edsec/edattack/internal/grid"
+)
+
+// Measurement is one sensor report.
+type Measurement struct {
+	// Line is the reported line's index.
+	Line int
+	// Hour is the time of day.
+	Hour float64
+	// RatingMVA is the reported dynamic rating.
+	RatingMVA float64
+}
+
+// DLRSensor simulates one field device computing a line's dynamic rating
+// from local weather and reporting it over SCADA.
+type DLRSensor struct {
+	// Line is the instrumented line's index.
+	Line int
+	// Pattern is the true rating process.
+	Pattern dlr.Pattern
+	// NoisePct is the 1-sigma relative measurement noise (e.g. 0.01).
+	NoisePct float64
+
+	rng *rand.Rand
+}
+
+// NewDLRSensor builds a sensor with deterministic noise.
+func NewDLRSensor(line int, pattern dlr.Pattern, noisePct float64, seed int64) *DLRSensor {
+	return &DLRSensor{
+		Line: line, Pattern: pattern, NoisePct: noisePct,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Report produces the measurement for a time of day.
+func (s *DLRSensor) Report(hour float64) Measurement {
+	v := s.Pattern(hour)
+	if s.NoisePct > 0 {
+		v *= 1 + s.NoisePct*s.rng.NormFloat64()
+	}
+	return Measurement{Line: s.Line, Hour: hour, RatingMVA: v}
+}
+
+// Feed aggregates the DLR sensors of a control area.
+type Feed struct {
+	sensors []*DLRSensor
+}
+
+// NewFeed bundles sensors.
+func NewFeed(sensors ...*DLRSensor) *Feed {
+	return &Feed{sensors: append([]*DLRSensor(nil), sensors...)}
+}
+
+// Snapshot reports every sensor at the given hour as a line→rating map —
+// the u^d values the EMS ingests (and the attacker later overwrites).
+func (f *Feed) Snapshot(hour float64) map[int]float64 {
+	out := make(map[int]float64, len(f.sensors))
+	for _, s := range f.sensors {
+		m := s.Report(hour)
+		out[m.Line] = m.RatingMVA
+	}
+	return out
+}
+
+// Alarm is one operator-side alert.
+type Alarm struct {
+	// Kind classifies the alert.
+	Kind AlarmKind
+	// Line is the affected line (-1 when not line-specific).
+	Line int
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// AlarmKind classifies alarms.
+type AlarmKind int
+
+// Alarm kinds.
+const (
+	// AlarmOutOfBound flags a rating outside the plausibility band.
+	AlarmOutOfBound AlarmKind = iota + 1
+	// AlarmCommandUnsafe flags a dispatch whose predicted flows violate
+	// trusted ratings.
+	AlarmCommandUnsafe
+	// AlarmReplicaMismatch flags main/replica dispatch divergence.
+	AlarmReplicaMismatch
+)
+
+func (k AlarmKind) String() string {
+	switch k {
+	case AlarmOutOfBound:
+		return "out-of-bound"
+	case AlarmCommandUnsafe:
+		return "command-unsafe"
+	case AlarmReplicaMismatch:
+		return "replica-mismatch"
+	default:
+		return fmt.Sprintf("AlarmKind(%d)", int(k))
+	}
+}
+
+// Validator is the EMS ingest check: dynamic ratings outside each line's
+// plausibility band trip an alarm. The paper's attacker deliberately stays
+// inside the band ("the in-memory parameter manipulations are still within
+// acceptable limits and hence pass the typical out-of-bound checks").
+type Validator struct {
+	net    *grid.Network
+	alarms []Alarm
+}
+
+// NewValidator builds a validator for a network.
+func NewValidator(net *grid.Network) *Validator {
+	return &Validator{net: net}
+}
+
+// Validate checks a rating snapshot; it returns true when everything is in
+// band, recording alarms otherwise.
+func (v *Validator) Validate(ratings map[int]float64) bool {
+	bad := v.net.CheckDLRBounds(ratings)
+	for _, li := range bad {
+		detail := fmt.Sprintf("line %d rating out of plausibility band", li)
+		v.alarms = append(v.alarms, Alarm{Kind: AlarmOutOfBound, Line: li, Detail: detail})
+	}
+	return len(bad) == 0
+}
+
+// Alarms returns the recorded alerts.
+func (v *Validator) Alarms() []Alarm {
+	return append([]Alarm(nil), v.alarms...)
+}
+
+// VerifyCommands is the Section VII "control command verification"
+// mitigation: before setpoints reach the generators, predict their DC flows
+// and check them against independently trusted ratings. It returns the
+// violations found (empty means the command is safe).
+func VerifyCommands(net *grid.Network, setpoints []float64, trustedRatings []float64) ([]Alarm, error) {
+	if len(trustedRatings) != len(net.Lines) {
+		return nil, fmt.Errorf("scada: %d ratings for %d lines", len(trustedRatings), len(net.Lines))
+	}
+	inj, err := dcflow.InjectionsFromDispatch(net, setpoints)
+	if err != nil {
+		return nil, fmt.Errorf("scada: %w", err)
+	}
+	res, err := dcflow.Solve(net, inj)
+	if err != nil {
+		return nil, fmt.Errorf("scada: %w", err)
+	}
+	var alarms []Alarm
+	for li, f := range res.Flows {
+		u := trustedRatings[li]
+		if u > 0 && math.Abs(f) > u*(1+1e-9) {
+			alarms = append(alarms, Alarm{
+				Kind: AlarmCommandUnsafe, Line: li,
+				Detail: fmt.Sprintf("predicted flow %.1f MW exceeds trusted rating %.1f MW", f, u),
+			})
+		}
+	}
+	return alarms, nil
+}
+
+// Replica is the Section VII intrusion-tolerant replication mitigation: an
+// N-version controller that recomputes the dispatch from independently
+// sourced inputs and compares against the main EMS's output. A material
+// mismatch reveals that the main controller (or its memory) is compromised.
+type Replica struct {
+	model *dispatch.Model
+	// TolMW is the per-generator mismatch tolerance.
+	TolMW float64
+}
+
+// NewReplica builds the replica controller for a network.
+func NewReplica(net *grid.Network, tolMW float64) (*Replica, error) {
+	m, err := dispatch.BuildModel(net)
+	if err != nil {
+		return nil, fmt.Errorf("scada: replica model: %w", err)
+	}
+	if tolMW <= 0 {
+		tolMW = 0.5
+	}
+	return &Replica{model: m, TolMW: tolMW}, nil
+}
+
+// Check recomputes the dispatch under trusted ratings and compares it with
+// the main controller's setpoints. It returns a mismatch alarm when the two
+// diverge beyond tolerance.
+func (r *Replica) Check(trustedRatings []float64, mainSetpoints []float64) (*Alarm, error) {
+	res, err := r.model.Solve(trustedRatings)
+	if err != nil {
+		return nil, fmt.Errorf("scada: replica dispatch: %w", err)
+	}
+	if len(mainSetpoints) != len(res.P) {
+		return nil, fmt.Errorf("scada: %d setpoints for %d generators", len(mainSetpoints), len(res.P))
+	}
+	worst, worstIdx := 0.0, -1
+	for i := range res.P {
+		if d := math.Abs(res.P[i] - mainSetpoints[i]); d > worst {
+			worst, worstIdx = d, i
+		}
+	}
+	if worst > r.TolMW {
+		return &Alarm{
+			Kind: AlarmReplicaMismatch, Line: -1,
+			Detail: fmt.Sprintf("generator %d setpoint differs by %.1f MW from replica", worstIdx, worst),
+		}, nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,165 @@
+package scada_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/edsec/edattack/internal/dispatch"
+	"github.com/edsec/edattack/internal/dlr"
+	"github.com/edsec/edattack/internal/grid"
+	"github.com/edsec/edattack/internal/grid/cases"
+	"github.com/edsec/edattack/internal/scada"
+)
+
+func net3(t *testing.T) *grid.Network {
+	t.Helper()
+	n, err := cases.Case3(cases.Case3Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestSensorNoiseless(t *testing.T) {
+	s := scada.NewDLRSensor(1, dlr.Constant(160), 0, 1)
+	m := s.Report(12)
+	if m.Line != 1 || m.Hour != 12 || m.RatingMVA != 160 {
+		t.Fatalf("measurement = %+v", m)
+	}
+}
+
+func TestSensorNoiseBounded(t *testing.T) {
+	s := scada.NewDLRSensor(0, dlr.Constant(100), 0.01, 7)
+	for i := 0; i < 100; i++ {
+		m := s.Report(float64(i) / 4)
+		if math.Abs(m.RatingMVA-100) > 6 {
+			t.Fatalf("noise too large: %v", m.RatingMVA)
+		}
+	}
+}
+
+func TestFeedSnapshot(t *testing.T) {
+	f := scada.NewFeed(
+		scada.NewDLRSensor(1, dlr.Constant(150), 0, 1),
+		scada.NewDLRSensor(2, dlr.Constant(170), 0, 2),
+	)
+	snap := f.Snapshot(9)
+	if len(snap) != 2 || snap[1] != 150 || snap[2] != 170 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestValidatorPassesInBand(t *testing.T) {
+	v := scada.NewValidator(net3(t))
+	if !v.Validate(map[int]float64{1: 150, 2: 180}) {
+		t.Fatal("in-band ratings rejected")
+	}
+	if len(v.Alarms()) != 0 {
+		t.Fatal("unexpected alarms")
+	}
+}
+
+func TestValidatorCatchesOutOfBand(t *testing.T) {
+	v := scada.NewValidator(net3(t))
+	if v.Validate(map[int]float64{1: 900}) {
+		t.Fatal("out-of-band rating accepted")
+	}
+	alarms := v.Alarms()
+	if len(alarms) != 1 || alarms[0].Kind != scada.AlarmOutOfBound || alarms[0].Line != 1 {
+		t.Fatalf("alarms = %+v", alarms)
+	}
+}
+
+func TestVerifyCommandsFlagsUnsafeDispatch(t *testing.T) {
+	n := net3(t)
+	m, err := dispatch.BuildModel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attacked ratings (160, 100, 200) produce a dispatch pushing 200 MW
+	// down line {2,3}; trusted ratings say 160.
+	res, err := m.Solve([]float64{160, 100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms, err := scada.VerifyCommands(n, res.P, []float64{160, 160, 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) == 0 {
+		t.Fatal("command verifier missed the unsafe dispatch")
+	}
+	if alarms[0].Kind != scada.AlarmCommandUnsafe {
+		t.Fatalf("alarm kind = %v", alarms[0].Kind)
+	}
+	// The nominal dispatch is safe.
+	nominal, err := m.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms, err = scada.VerifyCommands(n, nominal.P, []float64{160, 160, 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) != 0 {
+		t.Fatalf("nominal dispatch flagged: %+v", alarms)
+	}
+	if _, err := scada.VerifyCommands(n, nominal.P, []float64{1}); err == nil {
+		t.Fatal("want ratings length error")
+	}
+}
+
+func TestReplicaDetectsCompromise(t *testing.T) {
+	n := net3(t)
+	m, err := dispatch.BuildModel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica, err := scada.NewReplica(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trusted := []float64{160, 160, 160}
+
+	// Clean main controller: no mismatch.
+	clean, err := m.Solve(trusted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarm, err := replica.Check(trusted, clean.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alarm != nil {
+		t.Fatalf("false positive: %+v", alarm)
+	}
+
+	// Compromised main controller (dispatched under corrupted ratings).
+	bad, err := m.Solve([]float64{160, 100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarm, err = replica.Check(trusted, bad.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alarm == nil || alarm.Kind != scada.AlarmReplicaMismatch {
+		t.Fatalf("replica missed the compromise: %+v", alarm)
+	}
+
+	if _, err := replica.Check(trusted, []float64{1}); err == nil {
+		t.Fatal("want setpoint length error")
+	}
+}
+
+func TestAlarmKindString(t *testing.T) {
+	kinds := []scada.AlarmKind{
+		scada.AlarmOutOfBound, scada.AlarmCommandUnsafe,
+		scada.AlarmReplicaMismatch, scada.AlarmKind(9),
+	}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Fatal("empty alarm kind string")
+		}
+	}
+}

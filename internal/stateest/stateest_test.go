@@ -1,0 +1,295 @@
+package stateest_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/edsec/edattack/internal/dcflow"
+	"github.com/edsec/edattack/internal/dispatch"
+	"github.com/edsec/edattack/internal/grid"
+	"github.com/edsec/edattack/internal/grid/cases"
+	"github.com/edsec/edattack/internal/stateest"
+)
+
+// measureSystem telemeters every line flow and bus injection of an
+// operating point, with optional Gaussian noise.
+func measureSystem(t testing.TB, n *grid.Network, dispatchP []float64, sigma float64, seed int64) *stateest.Estimator {
+	t.Helper()
+	est, err := stateest.NewEstimator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := dcflow.InjectionsFromDispatch(n, dispatchP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dcflow.Solve(n, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	noise := func() float64 {
+		if sigma == 0 {
+			return 0
+		}
+		return sigma * rng.NormFloat64()
+	}
+	slack, _ := n.SlackIndex()
+	for li := range n.Lines {
+		if err := est.Add(stateest.Measurement{
+			Kind: stateest.MeasFlow, Index: li,
+			ValueMW: res.Flows[li] + noise(), SigmaMW: math.Max(sigma, 0.5),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for bi := range n.Buses {
+		v := inj[bi]
+		if bi == slack {
+			v = res.SlackInjection
+		}
+		if err := est.Add(stateest.Measurement{
+			Kind: stateest.MeasInjection, Index: bi,
+			ValueMW: v + noise(), SigmaMW: math.Max(sigma, 0.5),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return est
+}
+
+func TestPerfectMeasurementsRecoverState(t *testing.T) {
+	n, err := cases.Case9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := measureSystem(t, n, []float64{67, 163, 85}, 0, 1)
+	sol, err := est.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.J > 1e-12 {
+		t.Fatalf("perfect measurements must have zero residual, J = %v", sol.J)
+	}
+	inj, _ := dcflow.InjectionsFromDispatch(n, []float64{67, 163, 85})
+	truth, _ := dcflow.Solve(n, inj)
+	for li := range n.Lines {
+		if math.Abs(sol.Flows[li]-truth.Flows[li]) > 1e-8 {
+			t.Fatalf("flow[%d] = %v, want %v", li, sol.Flows[li], truth.Flows[li])
+		}
+	}
+}
+
+func TestNoisyMeasurementsPassChiSquare(t *testing.T) {
+	n, err := cases.Case9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := measureSystem(t, n, []float64{67, 163, 85}, 1.0, 7)
+	sol, err := est.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	suspected, _ := sol.BadData(0.99)
+	if suspected {
+		t.Fatalf("clean noisy measurements flagged: J = %v, dof = %d", sol.J, sol.DOF)
+	}
+}
+
+func TestFDIDetected(t *testing.T) {
+	// A crude single-measurement FDI attack is caught by the chi-square
+	// test, and the largest normalized residual points at it — the
+	// classical defense the paper's attack sidesteps entirely.
+	n, err := cases.Case9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := stateest.NewEstimator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, _ := dcflow.InjectionsFromDispatch(n, []float64{67, 163, 85})
+	res, _ := dcflow.Solve(n, inj)
+	corrupted := 3
+	for li := range n.Lines {
+		v := res.Flows[li]
+		if li == corrupted {
+			v += 60 // the injected lie
+		}
+		_ = est.Add(stateest.Measurement{Kind: stateest.MeasFlow, Index: li, ValueMW: v, SigmaMW: 1})
+	}
+	slack, _ := n.SlackIndex()
+	for bi := range n.Buses {
+		v := inj[bi]
+		if bi == slack {
+			v = res.SlackInjection
+		}
+		_ = est.Add(stateest.Measurement{Kind: stateest.MeasInjection, Index: bi, ValueMW: v, SigmaMW: 1})
+	}
+	sol, err := est.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	suspected, worst := sol.BadData(0.99)
+	if !suspected {
+		t.Fatalf("FDI not detected: J = %v vs crit %v", sol.J, stateest.ChiSquareCritical(sol.DOF, 0.99))
+	}
+	if worst != corrupted {
+		t.Fatalf("largest residual at %d, want %d", worst, corrupted)
+	}
+}
+
+// TestRatingAttackInvisibleToStateEstimation is the paper's core contrast:
+// after the memory attack, the *dispatch* is unsafe, but every measurement
+// is consistent with the true physical state — state estimation and bad
+// data detection see a perfectly healthy system.
+func TestRatingAttackInvisibleToStateEstimation(t *testing.T) {
+	n, err := cases.Case3(cases.Case3Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dispatch.BuildModel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Table I row 1 attack: dispatch under manipulated ratings.
+	attacked, err := m.Solve([]float64{160, 100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The physical system realizes this dispatch; line {2,3} carries
+	// 200 MW against a true 120 MW rating — an unsafe state.
+	if math.Abs(attacked.Flows[2]-200) > 1e-6 {
+		t.Fatalf("setup: f23 = %v", attacked.Flows[2])
+	}
+	// SCADA measures the real system faithfully (small sensor noise).
+	est := measureSystem(t, n, attacked.P, 0.5, 3)
+	sol, err := est.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	suspected, _ := sol.BadData(0.99)
+	if suspected {
+		t.Fatalf("state estimation flagged the rating attack (J = %v) — it should not", sol.J)
+	}
+	// The estimator even confirms the overload is real — the data is
+	// consistent; the *parameters* were the lie.
+	if sol.Flows[2] < 190 {
+		t.Fatalf("estimated f23 = %v, want ≈ 200", sol.Flows[2])
+	}
+}
+
+func TestUnobservable(t *testing.T) {
+	n, err := cases.Case9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := stateest.NewEstimator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single measurement cannot determine 8 angles.
+	_ = est.Add(stateest.Measurement{Kind: stateest.MeasFlow, Index: 0, ValueMW: 10, SigmaMW: 1})
+	if _, err := est.Solve(); !errors.Is(err, stateest.ErrUnobservable) {
+		t.Fatalf("want ErrUnobservable, got %v", err)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	n, err := cases.Case9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := stateest.NewEstimator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := est.Add(stateest.Measurement{Kind: stateest.MeasFlow, Index: 99, ValueMW: 1, SigmaMW: 1}); err == nil {
+		t.Fatal("want line range error")
+	}
+	if err := est.Add(stateest.Measurement{Kind: stateest.MeasInjection, Index: 99, ValueMW: 1, SigmaMW: 1}); err == nil {
+		t.Fatal("want bus range error")
+	}
+	if err := est.Add(stateest.Measurement{Kind: stateest.MeasFlow, Index: 0, ValueMW: 1, SigmaMW: 0}); err == nil {
+		t.Fatal("want sigma error")
+	}
+	if err := est.Add(stateest.Measurement{Kind: stateest.MeasKind(9), Index: 0, ValueMW: 1, SigmaMW: 1}); err == nil {
+		t.Fatal("want kind error")
+	}
+	_ = est.Add(stateest.Measurement{Kind: stateest.MeasFlow, Index: 0, ValueMW: 1, SigmaMW: 1})
+	if est.Count() != 1 {
+		t.Fatal("Count")
+	}
+	est.Reset()
+	if est.Count() != 0 {
+		t.Fatal("Reset")
+	}
+}
+
+func TestChiSquareCritical(t *testing.T) {
+	// Spot-check against table values: χ²(10, 0.99) ≈ 23.2,
+	// χ²(1, 0.95) ≈ 3.84.
+	if v := stateest.ChiSquareCritical(10, 0.99); math.Abs(v-23.2) > 0.8 {
+		t.Fatalf("χ²(10, .99) ≈ %v, want ≈ 23.2", v)
+	}
+	if v := stateest.ChiSquareCritical(1, 0.95); math.Abs(v-3.84) > 0.4 {
+		t.Fatalf("χ²(1, .95) ≈ %v, want ≈ 3.84", v)
+	}
+	if stateest.ChiSquareCritical(0, 0.99) != 0 {
+		t.Fatal("dof 0")
+	}
+}
+
+func TestMeasKindString(t *testing.T) {
+	for _, k := range []stateest.MeasKind{stateest.MeasFlow, stateest.MeasInjection, stateest.MeasKind(9)} {
+		if k.String() == "" {
+			t.Fatal("empty kind string")
+		}
+	}
+}
+
+// Property: for random dispatches with full telemetry and no noise, the
+// estimator reproduces the exact flows on case9.
+func TestPropertyExactRecovery(t *testing.T) {
+	n, err := cases.Case9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := []float64{0, 80 + 150*r.Float64(), 50 + 150*r.Float64()}
+		inj, err := dcflow.InjectionsFromDispatch(n, d)
+		if err != nil {
+			return false
+		}
+		truth, err := dcflow.Solve(n, inj)
+		if err != nil {
+			return false
+		}
+		est, err := stateest.NewEstimator(n)
+		if err != nil {
+			return false
+		}
+		for li := range n.Lines {
+			_ = est.Add(stateest.Measurement{
+				Kind: stateest.MeasFlow, Index: li, ValueMW: truth.Flows[li], SigmaMW: 1,
+			})
+		}
+		sol, err := est.Solve()
+		if err != nil {
+			return false
+		}
+		for li := range n.Lines {
+			if math.Abs(sol.Flows[li]-truth.Flows[li]) > 1e-7*(1+math.Abs(truth.Flows[li])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

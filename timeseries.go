@@ -1,0 +1,246 @@
+package edattack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/edsec/edattack/internal/core"
+	"github.com/edsec/edattack/internal/dispatch"
+	"github.com/edsec/edattack/internal/dlr"
+)
+
+// Pattern re-exports the dlr daily pattern type.
+type Pattern = dlr.Pattern
+
+// AttackerKind selects the attacker model for a time-series study.
+type AttackerKind int
+
+// Attacker kinds.
+const (
+	// AttackerNone runs the operator only (baseline curves).
+	AttackerNone AttackerKind = iota + 1
+	// AttackerOptimal runs the paper's Algorithm 1 at every step.
+	AttackerOptimal
+	// AttackerGreedy runs the vertex heuristic at every step.
+	AttackerGreedy
+	// AttackerCoordinate runs coordinate ascent at every step (the
+	// scalable choice for large cases).
+	AttackerCoordinate
+)
+
+func (k AttackerKind) String() string {
+	switch k {
+	case AttackerNone:
+		return "none"
+	case AttackerOptimal:
+		return "optimal"
+	case AttackerGreedy:
+		return "greedy"
+	case AttackerCoordinate:
+		return "coordinate"
+	default:
+		return fmt.Sprintf("AttackerKind(%d)", int(k))
+	}
+}
+
+// TimeSeriesConfig drives the 24-hour studies behind Figs. 4 and 5.
+type TimeSeriesConfig struct {
+	// Net is the system under study (not mutated; an internal clone is).
+	Net *Network
+	// DemandScale multiplies every bus's nominal demand over the day
+	// (nil = constant 1).
+	DemandScale Pattern
+	// RatingPatterns gives the true dynamic rating process u^d(t) per DLR
+	// line index. Values are clamped into each line's plausibility band.
+	RatingPatterns map[int]Pattern
+	// StepMinutes is the sampling interval (default 15, as in the paper).
+	StepMinutes float64
+	// Attacker selects the attacker model (default AttackerOptimal).
+	Attacker AttackerKind
+	// AttackOptions tunes AttackerOptimal.
+	AttackOptions AttackOptions
+	// Coordinate tunes AttackerCoordinate.
+	Coordinate core.CoordinateOptions
+	// ACEvaluate additionally measures each attacked dispatch under the
+	// nonlinear model (Figs. 4b/4c and 5 "MATPOWER" curves).
+	ACEvaluate bool
+	// RobustMarginPct, when positive, runs the operator *baseline* with
+	// the Section VII attack-aware dispatch (DLR lines derated by this
+	// margin), so the series records the mitigation's cost premium over
+	// the day (NoAttackCost column). The attacker columns still model an
+	// unhardened operator; combine with AttackerNone for a pure
+	// mitigation-cost study.
+	RobustMarginPct float64
+}
+
+// TimeStep is one row of a time-series study.
+type TimeStep struct {
+	// Hour is the time of day.
+	Hour float64
+	// DemandMW is the aggregate demand at this step.
+	DemandMW float64
+	// TrueDLR is u^d per DLR line.
+	TrueDLR map[int]float64
+	// Feasible reports whether the no-attack ED was feasible (when it is
+	// not, the operator alarms regardless of any attack).
+	Feasible bool
+	// NoAttackCost is the operator's cost without manipulation.
+	NoAttackCost float64
+	// Attack is the attacker's chosen manipulation (nil when none found
+	// or Attacker is AttackerNone).
+	Attack *Attack
+	// GainDCPct and CostDC are the bilevel-model (DC) predictions.
+	GainDCPct, CostDC float64
+	// GainACPct and CostAC are the realized nonlinear values (when
+	// ACEvaluate is set).
+	GainACPct, CostAC float64
+	// FlowDCDLR and LoadingACDLR record per-DLR-line DC flow and AC MVA
+	// loading under attack (Fig. 4b's curves).
+	FlowDCDLR, LoadingACDLR map[int]float64
+}
+
+// RunTimeSeries sweeps a day, re-solving the operator's dispatch and the
+// attacker's problem at every step.
+func RunTimeSeries(cfg TimeSeriesConfig) ([]TimeStep, error) {
+	if cfg.Net == nil {
+		return nil, errors.New("edattack: TimeSeriesConfig.Net is nil")
+	}
+	if cfg.StepMinutes == 0 {
+		cfg.StepMinutes = 15
+	}
+	if cfg.Attacker == 0 {
+		cfg.Attacker = AttackerOptimal
+	}
+	net := cfg.Net.Clone()
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("edattack: %w", err)
+	}
+	dlrLines := net.DLRLines()
+	if len(dlrLines) == 0 {
+		return nil, core.ErrNoDLRLines
+	}
+	for _, li := range dlrLines {
+		if cfg.RatingPatterns[li] == nil {
+			return nil, fmt.Errorf("edattack: missing rating pattern for DLR line %d", li)
+		}
+	}
+	model, err := dispatch.BuildModel(net)
+	if err != nil {
+		return nil, err
+	}
+	nominalPd := make([]float64, len(net.Buses))
+	nominalQd := make([]float64, len(net.Buses))
+	for i := range net.Buses {
+		nominalPd[i] = net.Buses[i].Pd
+		nominalQd[i] = net.Buses[i].Qd
+	}
+
+	hours, _, err := dlr.Constant(0).Sample(cfg.StepMinutes)
+	if err != nil {
+		return nil, fmt.Errorf("edattack: %w", err)
+	}
+	steps := make([]TimeStep, 0, len(hours))
+	for _, h := range hours {
+		scale := 1.0
+		if cfg.DemandScale != nil {
+			scale = cfg.DemandScale(h)
+		}
+		demands := make([]float64, len(net.Buses))
+		for i := range net.Buses {
+			demands[i] = nominalPd[i] * scale
+			net.Buses[i].Pd = demands[i]
+			net.Buses[i].Qd = nominalQd[i] * scale
+		}
+		if err := model.SetDemands(demands); err != nil {
+			return nil, err
+		}
+		ud := make(map[int]float64, len(dlrLines))
+		for _, li := range dlrLines {
+			l := &net.Lines[li]
+			v := cfg.RatingPatterns[li](h)
+			ud[li] = math.Max(l.DLRMin, math.Min(l.DLRMax, v))
+		}
+		step := TimeStep{
+			Hour:     h,
+			DemandMW: model.Demand,
+			TrueDLR:  ud,
+		}
+		k, err := core.NewKnowledge(model, ud)
+		if err != nil {
+			return nil, err
+		}
+		// Operator baseline under true ratings.
+		baseRatings := net.Ratings(ud)
+		if cfg.RobustMarginPct > 0 {
+			for _, li := range dlrLines {
+				baseRatings[li] *= 1 - cfg.RobustMarginPct
+			}
+		}
+		base, err := model.Solve(baseRatings)
+		switch {
+		case errors.Is(err, dispatch.ErrInfeasible):
+			step.Feasible = false
+			steps = append(steps, step)
+			continue
+		case err != nil:
+			return nil, err
+		}
+		step.Feasible = true
+		step.NoAttackCost = base.Cost
+
+		var att *Attack
+		switch cfg.Attacker {
+		case AttackerNone:
+		case AttackerOptimal:
+			att, err = core.FindOptimalAttack(k, cfg.AttackOptions)
+		case AttackerGreedy:
+			att, err = core.GreedyVertexAttack(k)
+		case AttackerCoordinate:
+			att, err = core.CoordinateAscentAttack(k, cfg.Coordinate)
+		default:
+			return nil, fmt.Errorf("edattack: unknown attacker kind %v", cfg.Attacker)
+		}
+		if err != nil && !errors.Is(err, core.ErrNoFeasibleAttack) {
+			return nil, fmt.Errorf("edattack: attacker at hour %.2f: %w", h, err)
+		}
+		if att == nil {
+			steps = append(steps, step)
+			continue
+		}
+		step.Attack = att
+		step.GainDCPct = att.GainPct
+		step.CostDC = att.PredictedCost
+		step.FlowDCDLR = make(map[int]float64, len(dlrLines))
+		for _, li := range dlrLines {
+			step.FlowDCDLR[li] = att.PredictedFlows[li]
+		}
+		if cfg.ACEvaluate {
+			// True ratings vector restricted to DLR lines: the
+			// attacker's utility is scored against u^d there.
+			ratings := make([]float64, len(net.Lines))
+			for _, li := range dlrLines {
+				ratings[li] = ud[li]
+			}
+			ev, err := dispatch.EvaluateAC(net, att.PredictedP, ratings)
+			if err == nil {
+				step.GainACPct = ev.WorstPct
+				step.CostAC = ev.Cost
+				step.LoadingACDLR = make(map[int]float64, len(dlrLines))
+				for _, li := range dlrLines {
+					step.LoadingACDLR[li] = ev.Flow.LineLoadingMVA[li]
+				}
+			}
+			// AC divergence is reported as zeroed fields rather than
+			// aborting the sweep: a non-converging corner case is a
+			// data point, not a harness failure.
+		}
+		steps = append(steps, step)
+	}
+	// Restore the clone's nominal demands (callers may reuse cfg.Net).
+	for i := range net.Buses {
+		net.Buses[i].Pd = nominalPd[i]
+		net.Buses[i].Qd = nominalQd[i]
+	}
+	return steps, nil
+}
