@@ -1,0 +1,36 @@
+# Development entry points. `make check` is the PR gate.
+
+GO ?= go
+
+.PHONY: check vet build test race telemetry bench bench-baseline clean
+
+## check: full PR gate — vet, build, race-enabled tests, and a doubled run
+## of the telemetry suite (span/journal determinism under repetition).
+check: vet build race telemetry
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+telemetry:
+	$(GO) test -run TestTelemetry -count=2 ./...
+
+## bench: the paper-experiment and substrate benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+## bench-baseline: re-record the solver-work baseline (BENCH_solver.json)
+## for the budgeted case30/case118 attacks.
+bench-baseline:
+	BENCH_SOLVER=1 $(GO) test -run TestRecordSolverBaseline .
+
+clean:
+	$(GO) clean ./...

@@ -5,6 +5,8 @@
 package edattack_test
 
 import (
+	"encoding/json"
+	"os"
 	"testing"
 
 	edattack "github.com/edsec/edattack"
@@ -458,6 +460,78 @@ func BenchmarkMILPKnapsack(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// TestRecordSolverBaseline records MILP node counts and simplex iteration
+// totals for the budgeted case30/case118 attacks into BENCH_solver.json, so
+// future performance PRs have a solver-work baseline to diff against. The
+// numbers are deterministic (same budgets as BenchmarkFig5aTimeOfAttack118),
+// so the file only changes when solver behavior does. Gated behind
+// BENCH_SOLVER=1 because it rewrites a checked-in artifact:
+//
+//	BENCH_SOLVER=1 go test -run TestRecordSolverBaseline
+func TestRecordSolverBaseline(t *testing.T) {
+	if os.Getenv("BENCH_SOLVER") == "" {
+		t.Skip("set BENCH_SOLVER=1 to (re)record BENCH_solver.json")
+	}
+	type record struct {
+		Case              string  `json:"case"`
+		DLRLines          int     `json:"dlr_lines"`
+		Subproblems       int     `json:"subproblems"`
+		Pruned            int     `json:"pruned"`
+		MILPNodes         int     `json:"milp_nodes"`
+		SimplexIterations int     `json:"simplex_iterations"`
+		RowGenRounds      int     `json:"rowgen_rounds"`
+		GainPct           float64 `json:"gain_pct"`
+	}
+	opts := edattack.AttackOptions{MaxNodes: 40, RelGap: 1e-3}
+	var records []record
+	for _, name := range []string{"case30", "case118"} {
+		net, err := edattack.LoadCase(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := edattack.NewDispatchModel(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ud := map[int]float64{}
+		for _, li := range net.DLRLines() {
+			ud[li] = net.Lines[li].RateMVA
+		}
+		k, err := edattack.NewKnowledge(model, ud)
+		if err != nil {
+			t.Fatal(err)
+		}
+		att, err := edattack.FindOptimalAttack(k, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if att.Stats == nil {
+			t.Fatalf("%s: attack carries no SolverStats", name)
+		}
+		records = append(records, record{
+			Case:              name,
+			DLRLines:          len(net.DLRLines()),
+			Subproblems:       att.Stats.Subproblems,
+			Pruned:            att.Stats.Pruned,
+			MILPNodes:         att.Stats.Nodes,
+			SimplexIterations: att.Stats.SimplexIterations,
+			RowGenRounds:      att.Stats.Rounds,
+			GainPct:           att.GainPct,
+		})
+	}
+	out, err := json.MarshalIndent(map[string]any{
+		"note":    "solver-work baseline for budgeted attacks (MaxNodes 40, RelGap 1e-3); regenerate with BENCH_SOLVER=1 go test -run TestRecordSolverBaseline",
+		"records": records,
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_solver.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_solver.json: %s", out)
 }
 
 // BenchmarkEMSProcessBuild measures victim-process construction (heap

@@ -6,6 +6,7 @@
 //
 //	edattack -case case3 [-method complementarity|bigm] [-nodes N]
 //	         [-ud line=value,...] [-baselines] [-ac]
+//	         [-trace spans.jsonl] [-metrics metrics.json] [-debug localhost:6060]
 package main
 
 import (
@@ -15,8 +16,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	edattack "github.com/edsec/edattack"
+	"github.com/edsec/edattack/internal/cliobs"
 )
 
 func main() {
@@ -33,7 +36,20 @@ func run() error {
 	udFlag := flag.String("ud", "", "true DLR values as line=value,... (default: static ratings)")
 	baselines := flag.Bool("baselines", false, "also run greedy and random baselines")
 	acEval := flag.Bool("ac", false, "evaluate the attack under the nonlinear (AC) model")
+	tracePath := flag.String("trace", "", "write a JSONL span trace of the bilevel solves to this file")
+	metricsPath := flag.String("metrics", "", "write a JSON solver-metrics snapshot to this file on exit")
+	debugAddr := flag.String("debug", "", "serve pprof/expvar/metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	obs, err := cliobs.Init(*tracePath, *metricsPath, *debugAddr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := obs.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "edattack:", cerr)
+		}
+	}()
 
 	net, err := edattack.LoadCase(*caseName)
 	if err != nil {
@@ -69,7 +85,8 @@ func run() error {
 		return err
 	}
 
-	opts := edattack.AttackOptions{MaxNodes: *maxNodes}
+	opts := edattack.AttackOptions{MaxNodes: *maxNodes, Metrics: obs.Metrics, Tracer: obs.Tracer}
+	model.Metrics = obs.Metrics
 	switch *method {
 	case "complementarity":
 		opts.Method = edattack.MethodComplementarity
@@ -126,4 +143,8 @@ func printAttack(net *edattack.Network, k *edattack.Knowledge, label string, att
 			li, l.From, l.To, k.TrueDLR[li], att.DLR[li], l.DLRMin, l.DLRMax)
 	}
 	fmt.Printf("  predicted defender cost: $%.0f/h, B&B nodes: %d\n", att.PredictedCost, att.Nodes)
+	if s := att.Stats; s != nil {
+		fmt.Printf("  solver: %d subproblems (%d pruned), %d simplex pivots, %d row-gen rounds, %v\n",
+			s.Subproblems, s.Pruned, s.SimplexIterations, s.Rounds, s.WallTime.Round(time.Microsecond))
+	}
 }

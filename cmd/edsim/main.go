@@ -7,6 +7,7 @@
 //
 //	edsim -case case3 [-step 15] [-attacker optimal|greedy|coordinate]
 //	      [-nodes N] [-ac] [-o out.csv]
+//	      [-trace spans.jsonl] [-metrics metrics.json] [-debug localhost:6060]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	edattack "github.com/edsec/edattack"
+	"github.com/edsec/edattack/internal/cliobs"
 	"github.com/edsec/edattack/internal/dlr"
 )
 
@@ -34,7 +36,20 @@ func run() error {
 	maxNodes := flag.Int("nodes", 0, "node budget per subproblem for the optimal attacker")
 	acEval := flag.Bool("ac", true, "evaluate attacks under the nonlinear model")
 	outPath := flag.String("o", "", "write CSV here instead of stdout")
+	tracePath := flag.String("trace", "", "write a JSONL span trace of the bilevel solves to this file")
+	metricsPath := flag.String("metrics", "", "write a JSON solver-metrics snapshot to this file on exit")
+	debugAddr := flag.String("debug", "", "serve pprof/expvar/metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	obs, err := cliobs.Init(*tracePath, *metricsPath, *debugAddr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := obs.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "edsim:", cerr)
+		}
+	}()
 
 	net, err := edattack.LoadCase(*caseName)
 	if err != nil {
@@ -48,7 +63,7 @@ func run() error {
 		RatingPatterns: map[int]edattack.Pattern{},
 		StepMinutes:    *step,
 		ACEvaluate:     *acEval,
-		AttackOptions:  edattack.AttackOptions{MaxNodes: *maxNodes},
+		AttackOptions:  edattack.AttackOptions{MaxNodes: *maxNodes, Metrics: obs.Metrics, Tracer: obs.Tracer},
 	}
 	dlrLines := net.DLRLines()
 	for i, li := range dlrLines {

@@ -6,6 +6,7 @@
 //
 //	repro -exp table1|fig4|fig5|table3|table4|fig8|ablation|baselines|all
 //	      [-steps N] [-nodes N]
+//	      [-trace spans.jsonl] [-metrics metrics.json] [-debug localhost:6060]
 package main
 
 import (
@@ -15,11 +16,23 @@ import (
 	"time"
 
 	edattack "github.com/edsec/edattack"
+	"github.com/edsec/edattack/internal/cliobs"
 	"github.com/edsec/edattack/internal/core"
 	"github.com/edsec/edattack/internal/dispatch"
 	"github.com/edsec/edattack/internal/dlr"
 	"github.com/edsec/edattack/internal/grid/cases"
 )
+
+// obs carries the -trace/-metrics/-debug sinks to every experiment; its
+// fields are nil (and therefore free) when the flags are absent.
+var obs = &cliobs.Setup{}
+
+// withObs injects the command-line observability sinks into attack options.
+func withObs(o edattack.AttackOptions) edattack.AttackOptions {
+	o.Metrics = obs.Metrics
+	o.Tracer = obs.Tracer
+	return o
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -32,7 +45,20 @@ func run() error {
 	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, table3, table4, fig8, ablation, baselines, all")
 	steps := flag.Int("steps", 0, "time steps per day for fig4/fig5 (0 = default)")
 	nodes := flag.Int("nodes", 120, "node budget per bilevel subproblem on large cases")
+	tracePath := flag.String("trace", "", "write a JSONL span trace of the bilevel solves to this file")
+	metricsPath := flag.String("metrics", "", "write a JSON solver-metrics snapshot to this file on exit")
+	debugAddr := flag.String("debug", "", "serve pprof/expvar/metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	var err error
+	if obs, err = cliobs.Init(*tracePath, *metricsPath, *debugAddr); err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := obs.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "repro:", cerr)
+		}
+	}()
 
 	runs := map[string]func() error{
 		"table1":    table1,
@@ -80,7 +106,7 @@ func table1() error {
 		if err != nil {
 			return err
 		}
-		att, err := edattack.FindOptimalAttack(k, edattack.AttackOptions{})
+		att, err := edattack.FindOptimalAttack(k, withObs(edattack.AttackOptions{}))
 		if err != nil {
 			return err
 		}
@@ -108,9 +134,10 @@ func fig4(steps int) error {
 			1: dlr.Sinusoidal(100, 200, 2),
 			2: dlr.Sinusoidal(100, 200, 9),
 		},
-		StepMinutes: 24 * 60 / float64(steps),
-		Attacker:    edattack.AttackerOptimal,
-		ACEvaluate:  true,
+		StepMinutes:   24 * 60 / float64(steps),
+		Attacker:      edattack.AttackerOptimal,
+		AttackOptions: withObs(edattack.AttackOptions{}),
+		ACEvaluate:    true,
 	}
 	rows, err := edattack.RunTimeSeries(cfg)
 	if err != nil {
@@ -135,7 +162,7 @@ func fig5(steps, nodes int) error {
 		RatingPatterns: map[int]edattack.Pattern{},
 		StepMinutes:    24 * 60 / float64(steps),
 		Attacker:       edattack.AttackerOptimal,
-		AttackOptions:  edattack.AttackOptions{MaxNodes: nodes, RelGap: 1e-3},
+		AttackOptions:  withObs(edattack.AttackOptions{MaxNodes: nodes, RelGap: 1e-3}),
 		ACEvaluate:     true,
 	}
 	for i, li := range net.DLRLines() {
@@ -306,10 +333,10 @@ func ablation() error {
 	}
 	variants := []variant{
 		{"complementarity branching", func() (*edattack.Attack, error) {
-			return edattack.FindOptimalAttack(k, edattack.AttackOptions{Method: edattack.MethodComplementarity})
+			return edattack.FindOptimalAttack(k, withObs(edattack.AttackOptions{Method: edattack.MethodComplementarity}))
 		}},
 		{"big-M MILP (paper)", func() (*edattack.Attack, error) {
-			return edattack.FindOptimalAttack(k, edattack.AttackOptions{Method: edattack.MethodBigM})
+			return edattack.FindOptimalAttack(k, withObs(edattack.AttackOptions{Method: edattack.MethodBigM}))
 		}},
 		{"coordinate ascent", func() (*edattack.Attack, error) {
 			return edattack.CoordinateAscentAttack(k, edattack.CoordinateOptions{})
@@ -358,7 +385,7 @@ func baselines() error {
 			return core.CoordinateAscentAttack(k, core.CoordinateOptions{GridPoints: 5, MaxSweeps: 3})
 		}},
 		{"bilevel (budget 120 nodes)", func() (*core.Attack, error) {
-			return core.FindOptimalAttack(k, core.Options{MaxNodes: 120, RelGap: 1e-3})
+			return core.FindOptimalAttack(k, withObs(core.Options{MaxNodes: 120, RelGap: 1e-3}))
 		}},
 	}
 	for _, v := range variants {

@@ -26,6 +26,7 @@ package edattack
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/edsec/edattack/internal/core"
 	"github.com/edsec/edattack/internal/dispatch"
@@ -81,9 +82,10 @@ var (
 
 // LoadCase builds a benchmark network by name: "case3" (the paper's Fig. 3
 // example), "case9" (WSCC), or the synthetic "case30", "case57", "case118"
-// systems (see internal/grid/cases for provenance).
+// systems (see internal/grid/cases for provenance). Names are
+// case-insensitive and surrounding whitespace is ignored.
 func LoadCase(name string) (*Network, error) {
-	switch name {
+	switch strings.ToLower(strings.TrimSpace(name)) {
 	case "case3":
 		return cases.Case3(cases.Case3Options{})
 	case "case3-fig8":
@@ -99,7 +101,7 @@ func LoadCase(name string) (*Network, error) {
 	case "case118":
 		return cases.Case118()
 	default:
-		return nil, fmt.Errorf("edattack: unknown case %q (want case3, case3-fig8, case9, case30, case57, or case118)", name)
+		return nil, fmt.Errorf("edattack: unknown case %q (want one of %s)", name, strings.Join(CaseNames(), ", "))
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"github.com/edsec/edattack/internal/grid"
 	"github.com/edsec/edattack/internal/mat"
+	"github.com/edsec/edattack/internal/telemetry"
 )
 
 // ErrNoConverge is returned when Newton–Raphson fails to converge.
@@ -24,6 +25,8 @@ type Options struct {
 	MaxIter int
 	// Tol is the per-unit mismatch tolerance (default 1e-8).
 	Tol float64
+	// Metrics, when non-nil, receives acflow_* solve/iteration counters.
+	Metrics *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -168,6 +171,8 @@ func Solve(n *grid.Network, dispatch []float64, opts Options) (*Result, error) {
 			mis[len(angIdx)+r] = qSched[i] - q[i]
 		}
 		if mat.NormInf(mis) < o.Tol {
+			o.Metrics.Counter("acflow_solves_total").Inc()
+			o.Metrics.Counter("acflow_newton_iterations_total").Add(int64(iter))
 			return assemble(n, ybus, vm, va, slack, iter)
 		}
 		jac := mat.New(nUnk, nUnk)
@@ -201,6 +206,9 @@ func Solve(n *grid.Network, dispatch []float64, opts Options) (*Result, error) {
 			}
 		}
 	}
+	o.Metrics.Counter("acflow_solves_total").Inc()
+	o.Metrics.Counter("acflow_newton_iterations_total").Add(int64(o.MaxIter))
+	o.Metrics.Counter("acflow_noconverge_total").Inc()
 	return nil, fmt.Errorf("%w after %d iterations", ErrNoConverge, o.MaxIter)
 }
 

@@ -1,0 +1,94 @@
+// Package cliobs wires the telemetry layer into command-line flags shared by
+// the cmd/ binaries: -trace (JSONL span log), -metrics (JSON snapshot on
+// exit), and -debug (pprof/expvar/metrics HTTP listener). All fields are nil
+// when the corresponding flag is absent, so passing them straight into
+// solver options keeps the zero-cost-when-off contract.
+package cliobs
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/edsec/edattack/internal/telemetry"
+)
+
+// Setup holds the observability sinks selected on the command line.
+type Setup struct {
+	// Metrics is non-nil when a -metrics file or -debug listener was
+	// requested.
+	Metrics *telemetry.Registry
+	// Tracer is non-nil when a -trace file was requested.
+	Tracer *telemetry.Tracer
+
+	metricsPath string
+	traceFile   *os.File
+	debugClose  func() error
+}
+
+// Init opens the requested sinks. Empty strings disable each one. The
+// returned Setup must be Closed to flush the metrics snapshot and the trace
+// stream.
+func Init(tracePath, metricsPath, debugAddr string) (*Setup, error) {
+	s := &Setup{metricsPath: metricsPath}
+	if metricsPath != "" || debugAddr != "" {
+		s.Metrics = telemetry.NewRegistry()
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, fmt.Errorf("cliobs: trace file: %w", err)
+		}
+		s.traceFile = f
+		s.Tracer = telemetry.NewTracer(f)
+	}
+	if debugAddr != "" {
+		bound, closeFn, err := telemetry.ServeDebug(debugAddr, s.Metrics)
+		if err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("cliobs: debug listener: %w", err)
+		}
+		s.debugClose = closeFn
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/pprof/ (metrics at /metrics)\n", bound)
+	}
+	return s, nil
+}
+
+// Close writes the metrics snapshot and releases every sink. Safe on a nil
+// receiver and safe to call once after partial initialization.
+func (s *Setup) Close() error {
+	if s == nil {
+		return nil
+	}
+	var firstErr error
+	if s.metricsPath != "" && s.Metrics != nil {
+		f, err := os.Create(s.metricsPath)
+		if err != nil {
+			firstErr = fmt.Errorf("cliobs: metrics file: %w", err)
+		} else {
+			if err := s.Metrics.WriteJSON(f); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("cliobs: metrics write: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if err := s.closeFiles(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if s.debugClose != nil {
+		if err := s.debugClose(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (s *Setup) closeFiles() error {
+	if s.traceFile == nil {
+		return nil
+	}
+	err := s.traceFile.Close()
+	s.traceFile = nil
+	return err
+}

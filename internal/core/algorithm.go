@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
+
+	"github.com/edsec/edattack/internal/telemetry"
 )
 
 // FindOptimalAttack implements Algorithm 1 (GetOptimalAttack): it solves the
@@ -18,16 +21,28 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 	if len(dlrLines) == 0 {
 		return nil, ErrNoDLRLines
 	}
+	start := time.Now()
+	stats := &SolverStats{}
+	root := telemetry.StartSpan(o.Tracer, nil, "core.find_optimal_attack")
+	root.SetAttr("dlr_lines", len(dlrLines))
+	root.SetAttr("subproblems", 2*len(dlrLines))
+	defer root.End()
+
 	// Warm start: the greedy vertex attack gives a realized, achievable
 	// gain that prunes every subproblem that cannot beat it.
 	var best *Attack
 	if !o.NoSeed {
-		if grd, err := GreedyVertexAttack(k); err == nil {
+		seedSpan := telemetry.StartSpan(nil, root, "core.greedy_seed")
+		grd, err := GreedyVertexAttack(k)
+		if err == nil {
 			grd.Exact = false // a seed, not a proven optimum
 			best = grd
+			seedSpan.SetAttr("gain_pct", grd.GainPct)
 		} else if !errors.Is(err, ErrNoFeasibleAttack) {
+			seedSpan.End()
 			return nil, fmt.Errorf("core: greedy seeding: %w", err)
 		}
+		seedSpan.End()
 	}
 	var anyFeasible = best != nil
 	totalNodes := 0
@@ -41,19 +56,23 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 				v := best.GainPct - 1e-9*(1+best.GainPct)
 				seed = &v
 			}
-			att, err := solveSubproblemSeeded(k, li, dir, o, seed)
+			att, err := solveSubproblemSeeded(k, li, dir, o, seed, root)
 			if errors.Is(err, ErrNoFeasibleAttack) {
+				stats.Subproblems++
 				continue
 			}
 			if err != nil {
 				return nil, fmt.Errorf("core: Algorithm 1 at line %d dir %+d: %w", li, dir, err)
 			}
 			if att == nil {
+				stats.Subproblems++
+				stats.Pruned++
 				continue // pruned: nothing here beats the current best
 			}
 			anyFeasible = true
 			totalNodes += att.Nodes
 			exact = exact && att.Exact
+			stats.add(att.Stats)
 			if best == nil || att.GainPct > best.GainPct {
 				best = att
 			}
@@ -64,6 +83,11 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 	}
 	best.Nodes = totalNodes
 	best.Exact = exact
+	stats.WallTime = time.Since(start)
+	best.Stats = stats
+	root.SetAttr("gain_pct", best.GainPct)
+	root.SetAttr("target", best.TargetLine)
+	root.SetAttr("nodes", stats.Nodes)
 	return best, nil
 }
 

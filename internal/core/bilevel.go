@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/edsec/edattack/internal/dispatch"
 	"github.com/edsec/edattack/internal/lp"
 	"github.com/edsec/edattack/internal/milp"
+	"github.com/edsec/edattack/internal/telemetry"
 )
 
 // ineqKind labels one inner-problem inequality row.
@@ -45,6 +47,13 @@ type subproblem struct {
 	lamOff, nuIdx, muOff int
 	rows                 []ineqRow
 	lastX                []float64 // heuristic memoization of the last attack vector
+
+	metrics *telemetry.Registry
+	span    *telemetry.Span // parents the inner MILP solve spans
+
+	// solvedNodes and solvedLPIters record the last solveOnce's work even
+	// when it yields no usable attack (pruned or infeasible).
+	solvedNodes, solvedLPIters int
 }
 
 // newSubproblem assembles the index bookkeeping for a monitored line set.
@@ -55,6 +64,7 @@ func newSubproblem(k *Knowledge, target int, dir float64, monitored []int, o Opt
 		dlrOrder:  k.Model.Net.DLRLines(),
 		method:    o.Method,
 		bigM:      o.BigM,
+		metrics:   o.Metrics,
 	}
 	ng := len(k.Model.Net.Gens)
 	s.rows = make([]ineqRow, 0, 2*ng+2*len(s.monitored))
@@ -254,11 +264,12 @@ func (s *subproblem) build() (*milp.Problem, error) {
 
 // subResult is a solved subproblem before row-generation verification.
 type subResult struct {
-	gain  float64 // objective including the −100 constant
-	dlr   map[int]float64
-	p     []float64
-	nodes int
-	exact bool
+	gain    float64 // objective including the −100 constant
+	dlr     map[int]float64
+	p       []float64
+	nodes   int
+	lpIters int
+	exact   bool
 }
 
 // masterObj converts a realized attacker gain (U_cap percentage on the
@@ -322,9 +333,33 @@ func (s *subproblem) solveOnce(o Options, incumbent *float64) (*subResult, error
 		Incumbent: incumbent,
 		Gap:       o.RelGap,
 		Heuristic: s.heuristic,
+		Metrics:   s.metrics,
+		Span:      s.span,
 	})
+	if sol != nil {
+		s.solvedNodes = sol.Nodes
+		s.solvedLPIters = sol.LPIterations
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: subproblem line %d dir %+g: %w", s.target, s.dir, err)
+	}
+	// Big-M reformulations go numerically wrong exactly when multipliers
+	// approach the constant; record how close this solve came.
+	if s.method == MethodBigM && sol.X != nil && s.metrics != nil && s.bigM > 0 {
+		maxMult := 0.0
+		for j := 0; j < s.ni; j++ {
+			if v := sol.X[s.lamOff+j]; v > maxMult {
+				maxMult = v
+			}
+			if v := sol.X[s.sOff+j]; v > maxMult {
+				maxMult = v
+			}
+		}
+		ratio := maxMult / s.bigM
+		s.metrics.Gauge("core_bigm_max_ratio").SetMax(ratio)
+		if ratio > 0.99 {
+			s.metrics.Counter("core_bigm_saturated_total").Inc()
+		}
 	}
 	exact := true
 	switch sol.Status {
@@ -350,11 +385,12 @@ func (s *subproblem) solveOnce(o Options, incumbent *float64) (*subResult, error
 	ud := s.k.TrueDLR[s.target]
 	gain := sol.Objective + 100*s.dir*s.k.Model.Base[s.target]/ud - 100
 	return &subResult{
-		gain:  gain,
-		dlr:   dlr,
-		p:     p,
-		nodes: sol.Nodes,
-		exact: exact,
+		gain:    gain,
+		dlr:     dlr,
+		p:       p,
+		nodes:   sol.Nodes,
+		lpIters: sol.LPIterations,
+		exact:   exact,
 	}, nil
 }
 
@@ -362,13 +398,14 @@ func (s *subproblem) solveOnce(o Options, incumbent *float64) (*subResult, error
 // growing the monitored line set by row generation until the predicted
 // dispatch is feasible for the operator's full constraint set.
 func SolveSubproblem(k *Knowledge, target int, dir int, o Options) (*Attack, error) {
-	return solveSubproblemSeeded(k, target, dir, o, nil)
+	return solveSubproblemSeeded(k, target, dir, o, nil, nil)
 }
 
 // solveSubproblemSeeded additionally accepts a realized-gain lower bound
 // (U_cap percentage) used to prune the search; a nil seed disables pruning.
-// When the seed is not beaten the function returns (nil, nil).
-func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, seedGain *float64) (*Attack, error) {
+// When the seed is not beaten the function returns (nil, nil). A non-nil
+// parent span (or o.Tracer) yields one "core.subproblem" span per call.
+func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, seedGain *float64, parent *telemetry.Span) (*Attack, error) {
 	o = o.withDefaults()
 	if dir != 1 && dir != -1 {
 		return nil, fmt.Errorf("core: direction must be ±1, got %d", dir)
@@ -378,33 +415,55 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, seedGai
 	}
 	net := k.Model.Net
 
+	start := time.Now()
+	span := telemetry.StartSpan(o.Tracer, parent, "core.subproblem")
+	span.SetAttr("target", target)
+	span.SetAttr("dir", dir)
+	outcome := "error"
+	if o.Metrics != nil {
+		o.Metrics.Counter("core_subproblems_total").Inc()
+	}
+	if span != nil {
+		defer func() {
+			span.SetAttr("status", outcome)
+			span.End()
+		}()
+	}
+
 	monitored := initialMonitoredSet(k, o)
 	inSet := make(map[int]bool, len(monitored))
 	for _, li := range monitored {
 		inSet[li] = true
 	}
 
-	var totalNodes, rounds int
+	var totalNodes, totalIters, rounds int
 	exact := true
 	for round := 0; round < o.MaxRounds; round++ {
 		rounds = round + 1
 		sp := newSubproblem(k, target, float64(dir), monitored, o)
+		sp.span = span
 		var seed *float64
 		if seedGain != nil {
 			v := sp.masterObj(*seedGain)
 			seed = &v
 		}
 		res, err := sp.solveOnce(o, seed)
+		totalNodes += sp.solvedNodes
+		totalIters += sp.solvedLPIters
 		if err != nil {
 			return nil, err
 		}
 		if res == nil {
 			if seedGain != nil {
+				outcome = "pruned"
+				if o.Metrics != nil {
+					o.Metrics.Counter("core_subproblems_pruned_total").Inc()
+				}
 				return nil, nil // pruned: nothing beats the seed here
 			}
+			outcome = "infeasible"
 			return nil, ErrNoFeasibleAttack
 		}
-		totalNodes += res.nodes
 		exact = exact && res.exact
 
 		// Verify the predicted dispatch against every rated line the
@@ -430,6 +489,16 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, seedGai
 			if gain < 0 {
 				gain = 0
 			}
+			outcome = "optimal"
+			if !exact {
+				outcome = "truncated"
+			}
+			span.SetAttr("gain_pct", gain)
+			span.SetAttr("nodes", totalNodes)
+			span.SetAttr("rounds", rounds)
+			if o.Metrics != nil {
+				o.Metrics.Counter("core_rowgen_rounds_total").Add(int64(rounds))
+			}
 			return &Attack{
 				DLR:            res.dlr,
 				TargetLine:     target,
@@ -441,6 +510,13 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, seedGai
 				Nodes:          totalNodes,
 				Rounds:         rounds,
 				Exact:          exact,
+				Stats: &SolverStats{
+					Subproblems:       1,
+					Nodes:             totalNodes,
+					SimplexIterations: totalIters,
+					Rounds:            rounds,
+					WallTime:          time.Since(start),
+				},
 			}, nil
 		}
 		for _, li := range violated {

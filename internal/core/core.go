@@ -22,9 +22,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/edsec/edattack/internal/dispatch"
 	"github.com/edsec/edattack/internal/grid"
+	"github.com/edsec/edattack/internal/telemetry"
 )
 
 // ErrNoDLRLines is returned when the network has no DLR-equipped lines to
@@ -107,6 +109,39 @@ type Attack struct {
 	// means a node budget truncated it and GainPct is a (realized,
 	// achievable) lower bound on the optimum.
 	Exact bool
+	// Stats summarizes the solver work spent producing this attack (nil
+	// for heuristic attackers that run no bilevel search).
+	Stats *SolverStats
+}
+
+// SolverStats aggregates the optimization work behind an Attack or
+// Evaluation, for capacity planning and regression tracking.
+type SolverStats struct {
+	// Subproblems is the number of (target, direction) bilevel subproblems
+	// solved to completion; Pruned counts those cut off by the seed bound
+	// without yielding an improving attack.
+	Subproblems, Pruned int
+	// Nodes is the total branch-and-bound node count.
+	Nodes int
+	// SimplexIterations is the total simplex pivot count across every LP
+	// relaxation and dispatch solve attributed to this result.
+	SimplexIterations int
+	// Rounds is the total number of row-generation refinements.
+	Rounds int
+	// WallTime is the elapsed time of the producing call.
+	WallTime time.Duration
+}
+
+// add accumulates another stats block (nil-safe on the argument).
+func (s *SolverStats) add(o *SolverStats) {
+	if o == nil {
+		return
+	}
+	s.Subproblems += o.Subproblems
+	s.Pruned += o.Pruned
+	s.Nodes += o.Nodes
+	s.SimplexIterations += o.SimplexIterations
+	s.Rounds += o.Rounds
 }
 
 // Method selects the single-level reformulation.
@@ -157,6 +192,12 @@ type Options struct {
 	// NoSeed disables warm-starting Algorithm 1's pruning bound with the
 	// greedy vertex attack (seeding is on by default).
 	NoSeed bool
+	// Metrics, when non-nil, receives core_*, milp_*, and lp_* counters
+	// from the whole attack-generation stack. Nil costs ~nothing.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, emits one span per bilevel subproblem (with
+	// target/dir/gain/status attributes) and per inner MILP solve.
+	Tracer *telemetry.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -220,6 +261,10 @@ type Evaluation struct {
 	// Dispatch is the operator's resulting ED solution (nil when
 	// infeasible).
 	Dispatch *dispatch.Result
+	// Stats summarizes the dispatch solver work behind the evaluation.
+	// A value (not a pointer): evaluations run on heuristic hot paths
+	// where an extra allocation per call is measurable.
+	Stats SolverStats
 }
 
 // EvaluateAttack runs the operator's dispatch under manipulated ratings and
@@ -229,9 +274,13 @@ func (k *Knowledge) EvaluateAttack(dlr map[int]float64) (*Evaluation, error) {
 	if bad := k.Model.Net.CheckDLRBounds(dlr); len(bad) > 0 {
 		return nil, fmt.Errorf("core: manipulation rejected by EMS bound check on lines %v", bad)
 	}
+	start := time.Now()
 	res, err := k.Model.Solve(k.ratingsUnder(dlr))
 	if errors.Is(err, dispatch.ErrInfeasible) {
-		return &Evaluation{Feasible: false, WorstLine: -1}, nil
+		return &Evaluation{
+			Feasible: false, WorstLine: -1,
+			Stats: SolverStats{WallTime: time.Since(start)},
+		}, nil
 	}
 	if err != nil {
 		return nil, err
@@ -240,6 +289,11 @@ func (k *Knowledge) EvaluateAttack(dlr map[int]float64) (*Evaluation, error) {
 	return &Evaluation{
 		Feasible: true, GainPct: gain, WorstLine: line, Direction: dir,
 		Dispatch: res,
+		Stats: SolverStats{
+			SimplexIterations: res.Iterations,
+			Rounds:            res.Rounds,
+			WallTime:          time.Since(start),
+		},
 	}, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"github.com/edsec/edattack/internal/acflow"
 	"github.com/edsec/edattack/internal/grid"
+	"github.com/edsec/edattack/internal/telemetry"
 )
 
 // Violation records one line whose realized loading exceeds a rating.
@@ -44,10 +45,16 @@ type ACEvaluation struct {
 // impact: DC-optimal dispatches computed under manipulated ratings produce
 // AC flows that exceed the true ratings.
 func EvaluateAC(n *grid.Network, dispatch []float64, ratings []float64) (*ACEvaluation, error) {
+	return EvaluateACWith(n, dispatch, ratings, nil)
+}
+
+// EvaluateACWith is EvaluateAC with an optional metrics registry that
+// receives the AC solver's acflow_* counters.
+func EvaluateACWith(n *grid.Network, dispatch []float64, ratings []float64, reg *telemetry.Registry) (*ACEvaluation, error) {
 	if len(ratings) != len(n.Lines) {
 		return nil, fmt.Errorf("dispatch: %d ratings for %d lines", len(ratings), len(n.Lines))
 	}
-	res, err := acflow.Solve(n, dispatch, acflow.Options{})
+	res, err := acflow.Solve(n, dispatch, acflow.Options{Metrics: reg})
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: AC evaluation: %w", err)
 	}

@@ -22,6 +22,7 @@ import (
 	"github.com/edsec/edattack/internal/lp"
 	"github.com/edsec/edattack/internal/mat"
 	"github.com/edsec/edattack/internal/qp"
+	"github.com/edsec/edattack/internal/telemetry"
 )
 
 // ErrInfeasible is returned when no dispatch satisfies the constraints —
@@ -47,6 +48,9 @@ type Model struct {
 	ptdf *mat.Matrix
 	// lastBinding warm-starts constraint generation across solves.
 	lastBinding []int
+	// Metrics, when non-nil, receives dispatch_* counters and forwards to
+	// the inner LP/QP solvers' lp_*/qp_* counters. Nil costs nothing.
+	Metrics *telemetry.Registry
 }
 
 // BuildModel assembles the affine model for the network's nominal demand.
@@ -147,6 +151,11 @@ type Result struct {
 	// Binding lists indices of lines whose rating constraint is active
 	// (within tolerance) in either direction.
 	Binding []int
+	// Iterations is the total inner-solver iteration count (simplex pivots
+	// or active-set steps) across all constraint-generation rounds.
+	Iterations int
+	// Rounds is the number of constraint-generation rounds performed.
+	Rounds int
 }
 
 // Solve runs the DC economic dispatch against the given effective line
@@ -180,11 +189,16 @@ func (m *Model) Solve(ratings []float64) (*Result, error) {
 		}
 	}
 	maxRounds := len(m.Net.Lines) + 2
+	totalIters := 0
 	for round := 0; round < maxRounds; round++ {
 		res, err := solveSubset(ratings, included)
 		if err != nil {
+			if m.Metrics != nil && errors.Is(err, ErrInfeasible) {
+				m.Metrics.Counter("dispatch_infeasible_total").Inc()
+			}
 			return nil, err
 		}
+		totalIters += res.Iterations
 		violated := false
 		for li, f := range res.Flows {
 			u := ratings[li]
@@ -196,6 +210,12 @@ func (m *Model) Solve(ratings []float64) (*Result, error) {
 		}
 		if !violated {
 			m.lastBinding = append(m.lastBinding[:0], res.Binding...)
+			res.Iterations = totalIters
+			res.Rounds = round + 1
+			if m.Metrics != nil {
+				m.Metrics.Counter("dispatch_solves_total").Inc()
+				m.Metrics.Counter("dispatch_rowgen_rounds_total").Add(int64(res.Rounds))
+			}
 			return res, nil
 		}
 	}
@@ -252,7 +272,7 @@ func (m *Model) solveLP(ratings []float64, included []int) (*Result, error) {
 		}
 		refs = append(refs, rowRef{li, -1, r2})
 	}
-	sol, err := lp.Solve(prob)
+	sol, err := lp.SolveWith(prob, lp.Options{Metrics: m.Metrics})
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: %w", err)
 	}
@@ -267,6 +287,7 @@ func (m *Model) solveLP(ratings []float64, included []int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.Iterations = sol.Iterations
 	for _, ref := range refs {
 		// Dual of the ≤ row is ≤ 0 under the lp sign convention; a
 		// congested line has negative dual. Flip to a conventional
@@ -327,7 +348,7 @@ func (m *Model) solveQP(ratings []float64, included []int) (*Result, error) {
 		}
 		refs = append(refs, rowRef{li, -1, r2})
 	}
-	sol, err := qp.Solve(prob)
+	sol, err := qp.SolveWith(prob, qp.Options{Metrics: m.Metrics})
 	if err != nil {
 		if errors.Is(err, qp.ErrInfeasible) {
 			return nil, ErrInfeasible
@@ -338,6 +359,7 @@ func (m *Model) solveQP(ratings []float64, included []int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.Iterations = sol.Iterations
 	for _, ref := range refs {
 		res.LineDuals[ref.line] += sol.IneqDual[ref.row] * ref.dir
 	}

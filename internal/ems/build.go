@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"github.com/edsec/edattack/internal/grid"
+	"github.com/edsec/edattack/internal/telemetry"
 )
 
 // Process is a simulated running EMS: a randomized address space populated
@@ -19,6 +20,12 @@ type Process struct {
 	Bin *Binary
 	// Net is the power system model the EMS operates on.
 	Net *grid.Network
+	// Journal, when non-nil, receives an append-only hash-chained record
+	// of exploit and dispatch events against this process (scan started,
+	// candidate disambiguated, rating overwritten, operator re-dispatch).
+	// Appends are best-effort: journal write failures never abort the
+	// substrate they observe.
+	Journal *telemetry.Journal
 
 	// Ground truth (what offline analysis recovers, and what accuracy is
 	// measured against).

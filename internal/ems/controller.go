@@ -38,8 +38,14 @@ func (c *Controller) Step() (*dispatch.Result, error) {
 	}
 	res, err := c.model.Solve(ratings)
 	if err != nil {
+		_ = c.proc.Journal.Append("ems.redispatch", map[string]any{
+			"feasible": false, "error": err.Error(),
+		})
 		return nil, fmt.Errorf("ems: controller dispatch: %w", err)
 	}
+	_ = c.proc.Journal.Append("ems.redispatch", map[string]any{
+		"feasible": true, "cost": res.Cost, "binding_lines": len(res.Binding),
+	})
 	return res, nil
 }
 
@@ -71,8 +77,14 @@ func (c *Controller) StepACAware(trueRatings []float64) (*dispatch.Result, *disp
 	}
 	res, _, err := c.model.SolveACAware(c.proc.Net, believed, 0)
 	if err != nil {
+		_ = c.proc.Journal.Append("ems.redispatch", map[string]any{
+			"feasible": false, "ac_aware": true, "error": err.Error(),
+		})
 		return nil, nil, fmt.Errorf("ems: AC-aware dispatch: %w", err)
 	}
+	_ = c.proc.Journal.Append("ems.redispatch", map[string]any{
+		"feasible": true, "ac_aware": true, "cost": res.Cost,
+	})
 	ev, err := dispatch.EvaluateAC(c.proc.Net, res.P, trueRatings)
 	if err != nil {
 		return res, nil, err

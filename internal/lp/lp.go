@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"github.com/edsec/edattack/internal/telemetry"
 )
 
 // Relation is the sense of a linear constraint.
@@ -198,6 +200,10 @@ type Solution struct {
 	// the minimization form.
 	ReducedCost []float64
 	// Iterations is the total simplex pivot count across both phases.
+	// Finer-grained pivot accounting (phase-I share, degenerate pivots,
+	// bound flips) is reported through Options.Metrics rather than here,
+	// keeping the per-solve allocation in the same size class as the
+	// uninstrumented solver.
 	Iterations int
 }
 
@@ -208,6 +214,9 @@ type Options struct {
 	// Tol is the numeric tolerance for pricing and feasibility
 	// (default 1e-9).
 	Tol float64
+	// Metrics, when non-nil, receives lp_* solve/pivot counters and the
+	// lp_pivots histogram. A nil registry costs one branch per solve.
+	Metrics *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -232,5 +241,22 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.run()
+	sol, err := s.run()
+	if m := opts.Metrics; m != nil {
+		m.Counter("lp_solves_total").Inc()
+		m.Counter("lp_pivots_total").Add(int64(s.iters))
+		m.Counter("lp_phase1_pivots_total").Add(int64(s.phase1Iters))
+		m.Counter("lp_degenerate_pivots_total").Add(int64(s.degenPivots))
+		m.Counter("lp_bound_flips_total").Add(int64(s.boundFlips))
+		m.Histogram("lp_pivots", telemetry.IterBuckets).Observe(float64(s.iters))
+		switch {
+		case err != nil:
+			m.Counter("lp_errors_total").Inc()
+		case sol.Status == Infeasible:
+			m.Counter("lp_infeasible_total").Inc()
+		case sol.Status == Unbounded:
+			m.Counter("lp_unbounded_total").Inc()
+		}
+	}
+	return sol, err
 }

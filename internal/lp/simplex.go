@@ -42,6 +42,12 @@ type simplex struct {
 	maximize bool
 	userC    []float64
 	rows     []Constraint
+
+	// Pivot-accounting counters, kept after the hot fields so the layout
+	// of the per-pivot working set matches the uninstrumented solver.
+	phase1Iters int
+	degenPivots int
+	boundFlips  int
 }
 
 func newSimplex(p *Problem, opts Options) (*simplex, error) {
@@ -169,6 +175,7 @@ func (s *simplex) run() (*Solution, error) {
 		return nil, fmt.Errorf("lp: numerical failure: phase I reported unbounded at infeasibility %g",
 			s.phaseObjective(costI))
 	}
+	s.phase1Iters = s.iters
 	if s.phaseObjective(costI) > 1e-7 {
 		return &Solution{Status: Infeasible, Iterations: s.iters}, nil
 	}
@@ -378,6 +385,7 @@ func (s *simplex) step(j int, dir, tol float64) (unbounded bool, err error) {
 	}
 	if leaveRow < 0 {
 		// Bound flip: the entering variable traverses its whole span.
+		s.boundFlips++
 		for i := 0; i < s.m; i++ {
 			alpha := s.tab[i][j]
 			if alpha == 0 {
@@ -397,6 +405,9 @@ func (s *simplex) step(j int, dir, tol float64) (unbounded bool, err error) {
 	}
 
 	// Pivot: variable j enters the basis in row leaveRow.
+	if tMax <= tol {
+		s.degenPivots++
+	}
 	enterVal := s.xN[j] + dir*tMax
 	for i := 0; i < s.m; i++ {
 		alpha := s.tab[i][j]

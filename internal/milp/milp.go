@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"github.com/edsec/edattack/internal/lp"
+	"github.com/edsec/edattack/internal/telemetry"
 )
 
 // Status is the outcome of a solve.
@@ -100,6 +101,16 @@ type Solution struct {
 	Objective float64
 	// Nodes is the number of branch-and-bound nodes solved.
 	Nodes int
+	// LPIterations is the total simplex pivot count across all node
+	// relaxations — the search's real unit of work.
+	LPIterations int
+	// Incumbents counts incumbent improvements (first solution included).
+	Incumbents int
+	// Pruned counts nodes cut by the incumbent bound.
+	Pruned int
+	// HeuristicHits counts rounding-heuristic calls that produced an
+	// improving incumbent.
+	HeuristicHits int
 }
 
 // Options tune the search.
@@ -122,6 +133,12 @@ type Options struct {
 	Heuristic func(relaxX []float64) (obj float64, point []float64, ok bool)
 	// LP are the options for each relaxation solve.
 	LP lp.Options
+	// Metrics, when non-nil, receives milp_* search counters; it is also
+	// forwarded to the relaxation LPs unless LP.Metrics is already set.
+	Metrics *telemetry.Registry
+	// Span, when non-nil, parents a per-solve trace span carrying node,
+	// prune, and incumbent counts.
+	Span *telemetry.Span
 }
 
 func (o Options) withDefaults() Options {
@@ -157,7 +174,49 @@ type node struct {
 // SolveWith runs branch and bound with explicit options.
 func SolveWith(p *Problem, opts Options) (*Solution, error) {
 	o := opts.withDefaults()
+	if o.LP.Metrics == nil {
+		o.LP.Metrics = o.Metrics
+	}
 	maximize := p.isMaximize()
+
+	var lpIters, incumbents, pruned, heurHits int
+	span := telemetry.StartSpan(nil, o.Span, "milp.solve")
+	finish := func(sol *Solution, err error) (*Solution, error) {
+		if sol != nil {
+			sol.LPIterations = lpIters
+			sol.Incumbents = incumbents
+			sol.Pruned = pruned
+			sol.HeuristicHits = heurHits
+		}
+		if m := o.Metrics; m != nil {
+			m.Counter("milp_solves_total").Inc()
+			m.Counter("milp_lp_iterations_total").Add(int64(lpIters))
+			m.Counter("milp_incumbents_total").Add(int64(incumbents))
+			m.Counter("milp_pruned_total").Add(int64(pruned))
+			m.Counter("milp_heuristic_hits_total").Add(int64(heurHits))
+			if sol != nil {
+				m.Counter("milp_nodes_total").Add(int64(sol.Nodes))
+				m.Histogram("milp_nodes", telemetry.NodeBuckets).Observe(float64(sol.Nodes))
+			}
+			if err != nil {
+				m.Counter("milp_errors_total").Inc()
+			}
+		}
+		if span != nil {
+			if sol != nil {
+				span.SetAttr("status", sol.Status.String())
+				span.SetAttr("nodes", sol.Nodes)
+				span.SetAttr("lp_iterations", lpIters)
+				span.SetAttr("incumbents", incumbents)
+				span.SetAttr("pruned", pruned)
+			}
+			if err != nil {
+				span.SetAttr("error", err.Error())
+			}
+			span.End()
+		}
+		return sol, err
+	}
 
 	// Save original bounds of every variable we may touch, to restore on
 	// exit.
@@ -202,7 +261,7 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 	nodes := 0
 	for len(stack) > 0 {
 		if nodes >= o.MaxNodes {
-			return truncated(incumbent, incObj, nodes), nil
+			return finish(truncated(incumbent, incObj, nodes), nil)
 		}
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -211,7 +270,7 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 		// Apply this node's fixes on top of the originals.
 		for j, s := range touched {
 			if err := p.Base.SetBounds(j, s.lo, s.hi); err != nil {
-				return nil, fmt.Errorf("milp: restoring bounds: %w", err)
+				return finish(nil, fmt.Errorf("milp: restoring bounds: %w", err))
 			}
 		}
 		applyOK := true
@@ -225,20 +284,23 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 			continue
 		}
 		rel, err := lp.SolveWith(p.Base, o.LP)
+		if rel != nil {
+			lpIters += rel.Iterations
+		}
 		if err != nil {
-			return nil, fmt.Errorf("milp: node %d relaxation: %w", nodes, err)
+			return finish(nil, fmt.Errorf("milp: node %d relaxation: %w", nodes, err))
 		}
 		switch rel.Status {
 		case lp.Infeasible:
 			continue
 		case lp.Unbounded:
 			if nodes == 1 && len(p.binaries) == 0 && len(p.pairs) == 0 {
-				return &Solution{Status: Unbounded, Nodes: nodes}, nil
+				return finish(&Solution{Status: Unbounded, Nodes: nodes}, nil)
 			}
 			// An unbounded relaxation cannot be pruned by bound;
 			// treat as an error since our problems are always
 			// bounded.
-			return nil, fmt.Errorf("milp: node %d relaxation unbounded", nodes)
+			return finish(nil, fmt.Errorf("milp: node %d relaxation unbounded", nodes))
 		}
 		// Primal heuristic: let the caller round the relaxation point
 		// into a known-feasible incumbent.
@@ -247,6 +309,8 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 				if incumbent == nil && o.Incumbent == nil || better(hObj, incObj) {
 					incObj = hObj
 					incumbent = append([]float64(nil), hPoint...)
+					incumbents++
+					heurHits++
 				}
 			}
 		}
@@ -255,9 +319,11 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 		if incumbent != nil || o.Incumbent != nil {
 			gapTol := o.Gap * (1 + math.Abs(incObj))
 			if maximize && rel.Objective <= incObj+gapTol {
+				pruned++
 				continue
 			}
 			if !maximize && rel.Objective >= incObj-gapTol {
+				pruned++
 				continue
 			}
 		}
@@ -293,13 +359,14 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 			if incumbent == nil || better(rel.Objective, incObj) {
 				incumbent = append([]float64(nil), rel.X...)
 				incObj = rel.Objective
+				incumbents++
 			}
 		}
 	}
 	if incumbent == nil {
-		return &Solution{Status: Infeasible, Nodes: nodes}, nil
+		return finish(&Solution{Status: Infeasible, Nodes: nodes}, nil)
 	}
-	return &Solution{Status: Optimal, X: incumbent, Objective: incObj, Nodes: nodes}, nil
+	return finish(&Solution{Status: Optimal, X: incumbent, Objective: incObj, Nodes: nodes}, nil)
 }
 
 // truncated builds the node-limit result.

@@ -19,6 +19,7 @@ import (
 
 	"github.com/edsec/edattack/internal/lp"
 	"github.com/edsec/edattack/internal/mat"
+	"github.com/edsec/edattack/internal/telemetry"
 )
 
 // ErrIterLimit is returned when the active-set loop exceeds its budget.
@@ -140,6 +141,9 @@ type Options struct {
 	MaxIter int
 	// Tol is the numeric tolerance (default 1e-8).
 	Tol float64
+	// Metrics, when non-nil, receives qp_* solve/iteration counters and
+	// forwards to the feasibility LP's lp_* counters.
+	Metrics *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -191,13 +195,30 @@ func (r *ineqRow) dirDot(d []float64) float64 {
 // SolveWith solves the QP with explicit options.
 func SolveWith(p *Problem, opts Options) (*Solution, error) {
 	opts = opts.withDefaults()
+	m := opts.Metrics
+	if m != nil {
+		m.Counter("qp_solves_total").Inc()
+	}
 	rows := gatherIneqs(p)
-	x, err := feasibleStart(p)
+	x, err := feasibleStart(p, opts)
 	if err != nil {
+		if m != nil && errors.Is(err, ErrInfeasible) {
+			m.Counter("qp_infeasible_total").Inc()
+		}
 		return nil, err
 	}
 	s := &activeSet{p: p, rows: rows, x: x, opts: opts}
-	return s.run()
+	sol, err := s.run()
+	if m != nil {
+		if sol != nil {
+			m.Counter("qp_iterations_total").Add(int64(sol.Iterations))
+			m.Histogram("qp_iterations", telemetry.IterBuckets).Observe(float64(sol.Iterations))
+		}
+		if err != nil {
+			m.Counter("qp_errors_total").Inc()
+		}
+	}
+	return sol, err
 }
 
 // gatherIneqs folds user inequalities and finite bounds into one row list.
@@ -218,7 +239,8 @@ func gatherIneqs(p *Problem) []ineqRow {
 }
 
 // feasibleStart finds any point satisfying the constraints via the LP solver.
-func feasibleStart(p *Problem) ([]float64, error) {
+func feasibleStart(p *Problem, opts Options) ([]float64, error) {
+	lpOpts := lp.Options{Metrics: opts.Metrics}
 	prob := lp.NewProblem(p.n)
 	for j := 0; j < p.n; j++ {
 		if err := prob.SetBounds(j, p.lower[j], p.upper[j]); err != nil {
@@ -238,14 +260,14 @@ func feasibleStart(p *Problem) ([]float64, error) {
 	// Minimizing the linear part of the QP objective gives a start point
 	// that is usually close to the QP optimum's active set.
 	_ = prob.SetObjective(p.c, false)
-	sol, err := lp.Solve(prob)
+	sol, err := lp.SolveWith(prob, lpOpts)
 	if err != nil {
 		// A cᵀx phase can be unbounded even when the QP is well posed;
 		// retry with a pure feasibility objective.
 		prob.SetMaximize(false)
 		zero := make([]float64, p.n)
 		_ = prob.SetObjective(zero, false)
-		sol, err = lp.Solve(prob)
+		sol, err = lp.SolveWith(prob, lpOpts)
 		if err != nil {
 			return nil, fmt.Errorf("qp: feasibility LP failed: %w", err)
 		}
@@ -256,7 +278,7 @@ func feasibleStart(p *Problem) ([]float64, error) {
 	case lp.Unbounded:
 		zero := make([]float64, p.n)
 		_ = prob.SetObjective(zero, false)
-		sol, err = lp.Solve(prob)
+		sol, err = lp.SolveWith(prob, lpOpts)
 		if err != nil {
 			return nil, fmt.Errorf("qp: feasibility LP failed: %w", err)
 		}

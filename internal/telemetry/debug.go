@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var expvarOnce sync.Once
+
+// ServeDebug starts an HTTP listener exposing runtime profiling and the
+// registry, for the commands' opt-in -debug flag:
+//
+//	/debug/pprof/  — net/http/pprof profiles
+//	/debug/vars    — expvar (includes the registry under "edattack_metrics")
+//	/metrics       — Prometheus text format
+//	/metrics.json  — JSON snapshot
+//
+// It returns the bound address (useful with ":0") and a shutdown func. The
+// registry may be nil; the endpoints then export empty metric sets.
+func ServeDebug(addr string, reg *Registry) (string, func() error, error) {
+	expvarOnce.Do(func() {
+		expvar.Publish("edattack_metrics", expvar.Func(func() any {
+			return reg.Snapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

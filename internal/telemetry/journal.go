@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// JournalRecord is one hash-chained entry of the append-only event journal.
+// Hash covers (Seq, Time, Type, Attrs, Prev), so any retroactive edit of a
+// record — or removal/reordering of earlier records — breaks verification
+// of every later entry.
+type JournalRecord struct {
+	// Seq is the 1-based position in the journal.
+	Seq uint64 `json:"seq"`
+	// Time is the append wall-clock time in RFC3339Nano.
+	Time string `json:"time"`
+	// Type names the event (e.g. "exploit.rating_overwritten").
+	Type string `json:"type"`
+	// Attrs carries event details. Use strings for values whose exact
+	// bytes matter (e.g. addresses), since verification round-trips
+	// through JSON numbers.
+	Attrs map[string]any `json:"attrs,omitempty"`
+	// Prev is the hex SHA-256 of the previous record's payload (the
+	// genesis constant for the first record).
+	Prev string `json:"prev"`
+	// Hash is the hex SHA-256 of this record's payload.
+	Hash string `json:"hash"`
+}
+
+// journalGenesis anchors the chain: the Prev of record 1.
+var journalGenesis = func() string {
+	sum := sha256.Sum256([]byte("edattack-journal-v1"))
+	return hex.EncodeToString(sum[:])
+}()
+
+// hashPayload is the canonical byte form the chain hash covers.
+func (r *JournalRecord) hashPayload() ([]byte, error) {
+	return json.Marshal(struct {
+		Seq   uint64         `json:"seq"`
+		Time  string         `json:"time"`
+		Type  string         `json:"type"`
+		Attrs map[string]any `json:"attrs,omitempty"`
+		Prev  string         `json:"prev"`
+	}{r.Seq, r.Time, r.Type, r.Attrs, r.Prev})
+}
+
+// Journal is an append-only, hash-chained event log written as JSONL. The
+// zero value is not usable; create journals with NewJournal. A nil *Journal
+// is a valid "journalling off" value: Append is a no-op.
+type Journal struct {
+	mu   sync.Mutex
+	w    io.Writer
+	prev string
+	seq  uint64
+	now  func() time.Time // test seam
+}
+
+// NewJournal returns a journal writing chained records to w.
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{w: w, prev: journalGenesis, now: time.Now}
+}
+
+// ResumeJournal returns a journal that appends to w as a continuation of an
+// existing chain whose last valid record has sequence seq and hash prev —
+// typically recovered with VerifyJournalTail. An empty prev (or seq 0)
+// starts a fresh chain, making ResumeJournal on an empty file equivalent to
+// NewJournal.
+func ResumeJournal(w io.Writer, seq uint64, prev string) *Journal {
+	if prev == "" {
+		prev = journalGenesis
+	}
+	return &Journal{w: w, prev: prev, seq: seq, now: time.Now}
+}
+
+// Append adds one event to the journal. It is a no-op (returning nil) on a
+// nil journal, so event sources need no configuration checks.
+func (j *Journal) Append(eventType string, attrs map[string]any) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec := JournalRecord{
+		Seq:   j.seq + 1,
+		Time:  j.now().UTC().Format(time.RFC3339Nano),
+		Type:  eventType,
+		Attrs: attrs,
+		Prev:  j.prev,
+	}
+	payload, err := rec.hashPayload()
+	if err != nil {
+		return fmt.Errorf("telemetry: journal marshal: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	rec.Hash = hex.EncodeToString(sum[:])
+	line, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("telemetry: journal marshal: %w", err)
+	}
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("telemetry: journal write: %w", err)
+	}
+	j.seq = rec.Seq
+	j.prev = rec.Hash
+	return nil
+}
+
+// ErrJournalTampered reports a broken hash chain during verification.
+var ErrJournalTampered = errors.New("telemetry: journal hash chain broken")
+
+// VerifyJournal re-derives the hash chain of a JSONL journal stream and
+// returns the number of valid records. Any record whose hash, back link, or
+// sequence number does not match fails the whole verification — an
+// append-only log can only be trusted as a prefix.
+func VerifyJournal(r io.Reader) (int, error) {
+	n, _, err := VerifyJournalTail(r)
+	return n, err
+}
+
+// VerifyJournalTail is VerifyJournal, additionally returning the hash of
+// the last valid record (empty for an empty journal) so a later process can
+// extend the chain with ResumeJournal instead of overwriting the log.
+func VerifyJournalTail(r io.Reader) (int, string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	prev := journalGenesis
+	n := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec JournalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return n, "", fmt.Errorf("telemetry: journal record %d: %w", n+1, err)
+		}
+		if rec.Seq != uint64(n+1) {
+			return n, "", fmt.Errorf("%w: record %d has seq %d", ErrJournalTampered, n+1, rec.Seq)
+		}
+		if rec.Prev != prev {
+			return n, "", fmt.Errorf("%w: record %d back link mismatch", ErrJournalTampered, rec.Seq)
+		}
+		payload, err := rec.hashPayload()
+		if err != nil {
+			return n, "", fmt.Errorf("telemetry: journal record %d: %w", rec.Seq, err)
+		}
+		sum := sha256.Sum256(payload)
+		if hex.EncodeToString(sum[:]) != rec.Hash {
+			return n, "", fmt.Errorf("%w: record %d content hash mismatch", ErrJournalTampered, rec.Seq)
+		}
+		prev = rec.Hash
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, "", fmt.Errorf("telemetry: journal read: %w", err)
+	}
+	if n == 0 {
+		return 0, "", nil
+	}
+	return n, prev, nil
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestTelemetryJournalChain appends a realistic EMS event stream and
+// verifies the full chain.
+func TestTelemetryJournalChain(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	events := []struct {
+		typ   string
+		attrs map[string]any
+	}{
+		{"exploit.scan_started", map[string]any{"line": 1, "value": "0x3FC00000"}},
+		{"exploit.candidate_disambiguated", map[string]any{"line": 1, "addr": "0x7f0012a0"}},
+		{"exploit.rating_overwritten", map[string]any{"line": 1, "old_mva": 150.0, "new_mva": 240.0}},
+		{"ems.redispatch", map[string]any{"cost": 4125.5, "feasible": true}},
+	}
+	for _, ev := range events {
+		if err := j.Append(ev.typ, ev.attrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := VerifyJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if n != len(events) {
+		t.Fatalf("verified %d records, want %d", n, len(events))
+	}
+}
+
+// TestTelemetryJournalResume extends an existing chain across a simulated
+// process restart and verifies the combined journal as one chain.
+func TestTelemetryJournalResume(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	for i := 0; i < 3; i++ {
+		if err := j.Append("ems.redispatch", map[string]any{"step": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq, last, err := VerifyJournalTail(bytes.NewReader(buf.Bytes()))
+	if err != nil || seq != 3 || last == "" {
+		t.Fatalf("tail: seq=%d last=%q err=%v", seq, last, err)
+	}
+	j2 := ResumeJournal(&buf, uint64(seq), last)
+	if err := j2.Append("ems.redispatch", map[string]any{"step": 3}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := VerifyJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil || n != 4 {
+		t.Fatalf("resumed chain: n=%d err=%v", n, err)
+	}
+
+	// Resuming an empty journal starts a fresh chain from genesis.
+	var empty bytes.Buffer
+	seq, last, err = VerifyJournalTail(bytes.NewReader(empty.Bytes()))
+	if err != nil || seq != 0 || last != "" {
+		t.Fatalf("empty tail: seq=%d last=%q err=%v", seq, last, err)
+	}
+	j3 := ResumeJournal(&empty, 0, "")
+	if err := j3.Append("ems.redispatch", nil); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := VerifyJournal(bytes.NewReader(empty.Bytes())); err != nil || n != 1 {
+		t.Fatalf("fresh-from-empty: n=%d err=%v", n, err)
+	}
+}
+
+// TestTelemetryJournalTamper flips content and ordering and checks the
+// chain catches both.
+func TestTelemetryJournalTamper(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	for i := 0; i < 4; i++ {
+		if err := j.Append("ems.redispatch", map[string]any{"step": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+
+	// Content edit: rewrite an attribute value in record 2.
+	edited := append([]string(nil), lines...)
+	edited[1] = strings.Replace(edited[1], `"step":1`, `"step":9`, 1)
+	if _, err := VerifyJournal(strings.NewReader(strings.Join(edited, "\n"))); !errors.Is(err, ErrJournalTampered) {
+		t.Errorf("content edit: err = %v, want ErrJournalTampered", err)
+	}
+
+	// Deletion: drop record 2 entirely.
+	dropped := append(append([]string(nil), lines[0]), lines[2:]...)
+	if _, err := VerifyJournal(strings.NewReader(strings.Join(dropped, "\n"))); !errors.Is(err, ErrJournalTampered) {
+		t.Errorf("deletion: err = %v, want ErrJournalTampered", err)
+	}
+
+	// Reordering: swap records 2 and 3.
+	swapped := append([]string(nil), lines...)
+	swapped[1], swapped[2] = swapped[2], swapped[1]
+	if _, err := VerifyJournal(strings.NewReader(strings.Join(swapped, "\n"))); !errors.Is(err, ErrJournalTampered) {
+		t.Errorf("reorder: err = %v, want ErrJournalTampered", err)
+	}
+
+	// A truncated prefix is still a valid journal.
+	if n, err := VerifyJournal(strings.NewReader(strings.Join(lines[:2], "\n"))); err != nil || n != 2 {
+		t.Errorf("prefix: n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestTelemetryRegistryRace hammers one registry from many goroutines; run
+// under -race this is the concurrency-safety proof for counters, gauges,
+// and histograms (including first-use registration races).
+func TestTelemetryRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared_total").Inc()
+				r.Counter("shared_total").Add(2)
+				r.Gauge("level").Set(float64(i))
+				r.Gauge("peak").SetMax(float64(w*perWorker + i))
+				r.Histogram("samples", IterBuckets).Observe(float64(i % 97))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got, want := r.Counter("shared_total").Value(), int64(3*workers*perWorker); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got, want := r.Histogram("samples", nil).Count(), int64(workers*perWorker); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	if got, want := r.Gauge("peak").Value(), float64(workers*perWorker-1); got != want {
+		t.Errorf("peak gauge = %g, want %g", got, want)
+	}
+	var sum float64
+	for i := 0; i < perWorker; i++ {
+		sum += float64(i % 97)
+	}
+	if got, want := r.Histogram("samples", nil).Sum(), sum*workers; got != want {
+		t.Errorf("histogram sum = %g, want %g", got, want)
+	}
+}
+
+// TestTelemetryNilRegistry proves the "telemetry off" path: every operation
+// on nil receivers is a no-op and never panics.
+func TestTelemetryNilRegistry(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(3)
+	r.Gauge("b").SetMax(4)
+	r.Histogram("c", nil).Observe(1)
+	if v := r.Counter("a").Value(); v != 0 {
+		t.Errorf("nil counter value = %d", v)
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+	var tracer *Tracer
+	sp := tracer.Start("x")
+	sp.SetAttr("k", 1)
+	sp.Child("y").End()
+	sp.End()
+	var j *Journal
+	if err := j.Append("e", nil); err != nil {
+		t.Fatalf("nil journal append: %v", err)
+	}
+}
+
+// TestTelemetryHistogramLayout checks that the first registration fixes the
+// bucket layout and observations land in the right buckets.
+func TestTelemetryHistogramLayout(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("iters", []float64{10, 100})
+	for _, v := range []float64{1, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	// A second registration with a different layout must not reset it.
+	if h2 := r.Histogram("iters", []float64{5}); h2 != h {
+		t.Fatal("second registration returned a different histogram")
+	}
+	s := r.Snapshot().Histograms["iters"]
+	if want := []int64{2, 1, 1}; len(s.Counts) != 3 || s.Counts[0] != want[0] || s.Counts[1] != want[1] || s.Counts[2] != want[2] {
+		t.Errorf("bucket counts = %v, want %v", s.Counts, want)
+	}
+	if s.Sum != 1022 || s.Count != 4 {
+		t.Errorf("sum/count = %g/%d, want 1022/4", s.Sum, s.Count)
+	}
+}
+
+// buildGoldenRegistry populates a registry deterministically for the export
+// tests.
+func buildGoldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("lp_pivots_total").Add(1234)
+	r.Counter("milp_nodes_total").Add(57)
+	r.Gauge("core_bigm_max_ratio").Set(0.125)
+	h := r.Histogram("lp_pivots", []float64{10, 100, 1000})
+	for _, v := range []float64{3, 42, 40, 700, 2500} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// TestTelemetryPrometheusGolden locks the Prometheus text exposition format
+// against a golden file: scrape-format regressions show up as a diff.
+func TestTelemetryPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildGoldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden.prom")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Prometheus export drifted from golden file.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestTelemetryJSONExport round-trips the JSON exposition.
+func TestTelemetryJSONExport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildGoldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if s.Counters["lp_pivots_total"] != 1234 {
+		t.Errorf("counters = %v", s.Counters)
+	}
+	if h := s.Histograms["lp_pivots"]; h.Count != 5 || len(h.Counts) != 4 {
+		t.Errorf("histogram snapshot = %+v", h)
+	}
+}

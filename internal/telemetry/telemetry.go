@@ -1,0 +1,21 @@
+// Package telemetry is the zero-dependency observability layer under the
+// edattack stack. It has three independent parts, all safe for concurrent
+// use and all nil-safe — every method on a nil receiver is a cheap no-op,
+// so instrumented code pays essentially nothing unless a caller opts in:
+//
+//   - a metrics Registry of named counters, gauges, and fixed-bucket
+//     histograms, exportable as JSON or Prometheus text format. The
+//     solvers (lp, qp, milp), the dispatch engine, and the AC evaluator
+//     report iteration, pivot, node, and solve counts into it;
+//
+//   - a span Tracer emitting a JSONL event log. The bilevel attack
+//     generator traces FindOptimalAttack → per-subproblem (target line,
+//     direction, gain, status) → inner MILP solves, which is how the cost
+//     of Algorithm 1 on large cases is explained;
+//
+//   - an append-only, hash-chained event Journal for the EMS/SCADA
+//     substrate (exploit scan started, candidate disambiguated, rating
+//     overwritten, operator re-dispatch), in the style of ledger-backed
+//     audit logs: each record carries the SHA-256 of its predecessor, so
+//     any retroactive edit breaks the chain and is detected by Verify.
+package telemetry

@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanEvent is the JSONL wire form of one completed span.
+type SpanEvent struct {
+	// ID and Parent link spans into a tree; Parent is 0 for roots.
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Name identifies the operation (e.g. "core.subproblem").
+	Name string `json:"name"`
+	// Start is the wall-clock start time in RFC3339Nano.
+	Start string `json:"start"`
+	// DurUS is the span duration in microseconds.
+	DurUS int64 `json:"dur_us"`
+	// Attrs carries the span's key/value attributes.
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Tracer emits completed spans as JSON lines to a writer. The zero value is
+// not usable; create tracers with NewTracer. A nil *Tracer is a valid
+// "tracing off" value: Start returns a nil span whose methods are no-ops.
+type Tracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	nextID atomic.Uint64
+	now    func() time.Time // test seam
+}
+
+// NewTracer returns a tracer writing JSONL span events to w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, now: time.Now}
+}
+
+// Start begins a root span. Returns nil (a no-op span) on a nil tracer.
+func (t *Tracer) Start(name string) *Span {
+	return t.start(name, 0)
+}
+
+func (t *Tracer) start(name string, parent uint64) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		t:      t,
+		id:     t.nextID.Add(1),
+		parent: parent,
+		name:   name,
+		begin:  t.now(),
+	}
+}
+
+func (t *Tracer) emit(ev *SpanEvent) {
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return // attribute values are caller-controlled; drop, don't fail
+	}
+	line = append(line, '\n')
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, _ = t.w.Write(line)
+}
+
+// Span is one timed operation in a trace. All methods are safe on a nil
+// receiver, so instrumented code can run with tracing disabled at the cost
+// of a nil check.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	begin  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]any
+	done  bool
+}
+
+// Child begins a span parented to s (nil-safe: a nil parent yields nil).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.start(name, s.id)
+}
+
+// StartSpan begins a span under parent when parent is non-nil, otherwise a
+// root span on t. Either or both may be nil; the result is then nil. This
+// is the standard entry point for instrumented library code that may be
+// called both from a traced parent operation and standalone.
+func StartSpan(t *Tracer, parent *Span, name string) *Span {
+	if parent != nil {
+		return parent.Child(name)
+	}
+	return t.Start(name)
+}
+
+// SetAttr records a key/value attribute on the span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, 8)
+	}
+	s.attrs[key] = value
+}
+
+// End completes the span and emits its event. End is idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	s.t.emit(&SpanEvent{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.begin.UTC().Format(time.RFC3339Nano),
+		DurUS:  s.t.now().Sub(s.begin).Microseconds(),
+		Attrs:  attrs,
+	})
+}

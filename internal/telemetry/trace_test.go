@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lockedBuffer serializes writes for concurrent tracer tests.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func parseSpans(t *testing.T, raw string) []SpanEvent {
+	t.Helper()
+	var out []SpanEvent
+	for _, line := range strings.Split(strings.TrimSpace(raw), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev SpanEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad span line %q: %v", line, err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// TestTelemetryTraceTree checks parent links, attributes, and duration
+// accounting of the JSONL span stream.
+func TestTelemetryTraceTree(t *testing.T) {
+	var buf lockedBuffer
+	tr := NewTracer(&buf)
+	base := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	tick := 0
+	tr.now = func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * time.Millisecond)
+	}
+
+	root := tr.Start("algorithm")
+	root.SetAttr("case", "case3")
+	child := root.Child("subproblem")
+	child.SetAttr("target", 1)
+	child.SetAttr("dir", -1)
+	child.End()
+	child.End() // idempotent: must not emit twice
+	root.End()
+
+	events := parseSpans(t, buf.String())
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2 (child then root)", len(events))
+	}
+	sub, alg := events[0], events[1]
+	if sub.Name != "subproblem" || alg.Name != "algorithm" {
+		t.Fatalf("event order = %q, %q", sub.Name, alg.Name)
+	}
+	if sub.Parent != alg.ID {
+		t.Errorf("child parent = %d, want root id %d", sub.Parent, alg.ID)
+	}
+	if alg.Parent != 0 {
+		t.Errorf("root parent = %d, want 0", alg.Parent)
+	}
+	if got := sub.Attrs["target"]; got != float64(1) {
+		t.Errorf("target attr = %v", got)
+	}
+	if sub.DurUS <= 0 || alg.DurUS <= sub.DurUS {
+		t.Errorf("durations: sub %dus, root %dus", sub.DurUS, alg.DurUS)
+	}
+}
+
+// TestTelemetryTraceConcurrent runs spans from many goroutines and checks
+// every line is intact (no interleaved writes) — the -race companion for
+// the tracer.
+func TestTelemetryTraceConcurrent(t *testing.T) {
+	var buf lockedBuffer
+	tr := NewTracer(&buf)
+	root := tr.Start("root")
+	var wg sync.WaitGroup
+	const n = 32
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := root.Child("worker")
+			sp.SetAttr("i", i)
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	events := parseSpans(t, buf.String())
+	if len(events) != n+1 {
+		t.Fatalf("got %d events, want %d", len(events), n+1)
+	}
+	ids := map[uint64]bool{}
+	for _, ev := range events {
+		if ids[ev.ID] {
+			t.Fatalf("duplicate span id %d", ev.ID)
+		}
+		ids[ev.ID] = true
+	}
+}

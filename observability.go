@@ -1,0 +1,59 @@
+package edattack
+
+import (
+	"io"
+
+	"github.com/edsec/edattack/internal/core"
+	"github.com/edsec/edattack/internal/telemetry"
+)
+
+// Re-exported telemetry types. All of them are nil-safe: a nil registry,
+// tracer, span, or journal turns every operation into a no-op, so
+// instrumented code pays only a nil check when observability is off.
+type (
+	// MetricsRegistry is a concurrency-safe set of counters, gauges, and
+	// histograms, exportable as JSON or Prometheus text.
+	MetricsRegistry = telemetry.Registry
+	// Tracer emits span events as JSON Lines.
+	Tracer = telemetry.Tracer
+	// Span is one traced operation (with attributes and parent links).
+	Span = telemetry.Span
+	// EventJournal is an append-only hash-chained event log.
+	EventJournal = telemetry.Journal
+	// SolverStats summarizes the optimization work behind an Attack or
+	// AttackEvaluation.
+	SolverStats = core.SolverStats
+)
+
+// NewMetricsRegistry creates an empty metrics registry. Attach it to
+// AttackOptions.Metrics or DispatchModel.Metrics to collect solver counters.
+func NewMetricsRegistry() *MetricsRegistry {
+	return telemetry.NewRegistry()
+}
+
+// NewTracer creates a tracer writing one JSON span event per line to w.
+// Attach it to AttackOptions.Tracer to trace Algorithm 1's subproblems.
+func NewTracer(w io.Writer) *Tracer {
+	return telemetry.NewTracer(w)
+}
+
+// NewEventJournal creates an append-only hash-chained journal writing to w.
+// Attach it to an EMS process (ems.Process.Journal) to record exploit and
+// re-dispatch events tamper-evidently.
+func NewEventJournal(w io.Writer) *EventJournal {
+	return telemetry.NewJournal(w)
+}
+
+// VerifyEventJournal re-derives a journal's hash chain from r and returns
+// the number of valid records, or telemetry.ErrJournalTampered when any
+// record was edited, dropped, or reordered.
+func VerifyEventJournal(r io.Reader) (int, error) {
+	return telemetry.VerifyJournal(r)
+}
+
+// ServeDebug starts an HTTP listener exposing net/http/pprof profiles,
+// expvar, and the registry's metrics at /metrics (Prometheus text) and
+// /metrics.json. It returns the bound address and a close function.
+func ServeDebug(addr string, reg *MetricsRegistry) (string, func() error, error) {
+	return telemetry.ServeDebug(addr, reg)
+}

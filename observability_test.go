@@ -1,0 +1,237 @@
+// Tests for the telemetry facade: traced Algorithm 1 runs, solver stats on
+// attacks, and the hash-chained EMS event journal. Names share the
+// TestTelemetry prefix so `go test -run TestTelemetry` exercises the whole
+// observability surface.
+package edattack_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	edattack "github.com/edsec/edattack"
+)
+
+// traceEvent mirrors the tracer's JSONL wire form.
+type traceEvent struct {
+	ID     uint64         `json:"id"`
+	Parent uint64         `json:"parent"`
+	Name   string         `json:"name"`
+	DurUS  int64          `json:"dur_us"`
+	Attrs  map[string]any `json:"attrs"`
+}
+
+func parseTrace(t *testing.T, buf *bytes.Buffer) []traceEvent {
+	t.Helper()
+	var evs []traceEvent
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var ev traceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// TestTelemetryTracedAttack runs Algorithm 1 on the three-bus case with a
+// tracer and registry attached and checks the emitted span tree: one root,
+// one core.subproblem span per (target line, direction) pair with correct
+// attributes, and milp.solve children, plus nonzero solver counters.
+func TestTelemetryTracedAttack(t *testing.T) {
+	net, err := edattack.LoadCase("case3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := edattack.NewDispatchModel(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := edattack.NewKnowledge(model, map[int]float64{1: 130, 2: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	reg := edattack.NewMetricsRegistry()
+	att, err := edattack.FindOptimalAttack(k, edattack.AttackOptions{
+		Metrics: reg,
+		Tracer:  edattack.NewTracer(&buf),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evs := parseTrace(t, &buf)
+	var roots, subs, milps int
+	var rootID uint64
+	seen := map[string]bool{} // "target/dir" pairs covered
+	for _, ev := range evs {
+		switch ev.Name {
+		case "core.find_optimal_attack":
+			roots++
+			rootID = ev.ID
+		case "core.subproblem":
+			subs++
+			target, tok := ev.Attrs["target"].(float64)
+			dir, dok := ev.Attrs["dir"].(float64)
+			if !tok || !dok {
+				t.Fatalf("core.subproblem span missing target/dir attrs: %v", ev.Attrs)
+			}
+			if s, _ := ev.Attrs["status"].(string); s == "" {
+				t.Fatalf("core.subproblem span missing status attr: %v", ev.Attrs)
+			}
+			seen[fmt.Sprintf("%.0f/%.0f", target, dir)] = true
+		case "milp.solve":
+			milps++
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("got %d core.find_optimal_attack roots, want 1", roots)
+	}
+	if subs != 4 {
+		t.Fatalf("got %d core.subproblem spans, want 4 (2 DLR lines x 2 directions)", subs)
+	}
+	for _, want := range []string{"1/1", "1/-1", "2/1", "2/-1"} {
+		if !seen[want] {
+			t.Errorf("no core.subproblem span for target/dir %s (got %v)", want, seen)
+		}
+	}
+	if milps == 0 {
+		t.Error("no milp.solve spans emitted")
+	}
+	for _, ev := range evs {
+		if ev.Name == "core.subproblem" && ev.Parent != rootID {
+			t.Errorf("core.subproblem span %d has parent %d, want root %d", ev.ID, ev.Parent, rootID)
+		}
+	}
+
+	if got := reg.Counter("core_subproblems_total").Value(); got != 4 {
+		t.Errorf("core_subproblems_total = %d, want 4", got)
+	}
+	if got := reg.Counter("lp_pivots_total").Value(); got == 0 {
+		t.Error("lp_pivots_total = 0, want nonzero")
+	}
+	if got := reg.Counter("milp_nodes_total").Value(); got == 0 {
+		t.Error("milp_nodes_total = 0, want nonzero")
+	}
+
+	if att.Stats == nil {
+		t.Fatal("Attack.Stats is nil")
+	}
+	if att.Stats.Subproblems != 4 {
+		t.Errorf("Stats.Subproblems = %d, want 4", att.Stats.Subproblems)
+	}
+	if att.Stats.WallTime <= 0 {
+		t.Errorf("Stats.WallTime = %v, want > 0", att.Stats.WallTime)
+	}
+	if att.Stats.SimplexIterations == 0 && att.Stats.Nodes == 0 {
+		t.Error("Stats records no solver work (nodes and simplex iterations both 0)")
+	}
+}
+
+// TestTelemetryUntracedAttackHasStats checks that SolverStats are populated
+// even with no registry or tracer attached (the always-on stats path).
+func TestTelemetryUntracedAttackHasStats(t *testing.T) {
+	net, err := edattack.LoadCase("case3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := edattack.NewDispatchModel(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := edattack.NewKnowledge(model, map[int]float64{1: 130, 2: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, err := edattack.FindOptimalAttack(k, edattack.AttackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.Stats == nil {
+		t.Fatal("Attack.Stats is nil without telemetry attached")
+	}
+	if att.Stats.Subproblems != 4 {
+		t.Errorf("Stats.Subproblems = %d, want 4", att.Stats.Subproblems)
+	}
+}
+
+// TestTelemetryEMSJournal attaches an event journal to an EMS victim
+// process, runs the memory-corruption attack and a re-dispatch, and checks
+// the journal records the expected event sequence with an intact hash chain.
+func TestTelemetryEMSJournal(t *testing.T) {
+	net, err := edattack.LoadCase("case3-fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, err := edattack.EMSProfileByName("PowerWorld")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := edattack.NewEMSProcess(profile, net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	proc.Journal = edattack.NewEventJournal(&buf)
+
+	exp, err := edattack.NewEMSExploit(proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := edattack.RunMemoryAttack(proc, exp, map[int]float64{1: 120, 2: 240}, nil); err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := edattack.NewEMSController(proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ctrl.StepACAware([]float64{150, 150, 150}); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := edattack.VerifyEventJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("journal verification failed: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("journal is empty")
+	}
+	counts := map[string]int{}
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var rec struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad journal line %q: %v", sc.Text(), err)
+		}
+		counts[rec.Type]++
+	}
+	// Two lines corrupted: each contributes a scan, a disambiguation, and an
+	// overwrite; the controller step appends one re-dispatch record.
+	for typ, want := range map[string]int{
+		"exploit.scan_started":            2,
+		"exploit.candidate_disambiguated": 2,
+		"exploit.rating_overwritten":      2,
+		"ems.redispatch":                  1,
+	} {
+		if counts[typ] != want {
+			t.Errorf("journal has %d %q records, want %d (all: %v)", counts[typ], typ, want, counts)
+		}
+	}
+
+	// Tampering with any record must break verification.
+	tampered := strings.Replace(buf.String(), "120", "130", 1)
+	if tampered == buf.String() {
+		t.Fatal("tamper substitution did not change the journal")
+	}
+	if _, err := edattack.VerifyEventJournal(strings.NewReader(tampered)); err == nil {
+		t.Error("VerifyEventJournal accepted a tampered journal")
+	}
+}

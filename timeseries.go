@@ -129,6 +129,9 @@ func RunTimeSeries(cfg TimeSeriesConfig) ([]TimeStep, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The operator-side solves share whatever registry the attacker options
+	// carry, so one -metrics flag observes the whole pipeline.
+	model.Metrics = cfg.AttackOptions.Metrics
 	nominalPd := make([]float64, len(net.Buses))
 	nominalQd := make([]float64, len(net.Buses))
 	for i := range net.Buses {
@@ -222,7 +225,7 @@ func RunTimeSeries(cfg TimeSeriesConfig) ([]TimeStep, error) {
 			for _, li := range dlrLines {
 				ratings[li] = ud[li]
 			}
-			ev, err := dispatch.EvaluateAC(net, att.PredictedP, ratings)
+			ev, err := dispatch.EvaluateACWith(net, att.PredictedP, ratings, cfg.AttackOptions.Metrics)
 			if err == nil {
 				step.GainACPct = ev.WorstPct
 				step.CostAC = ev.Cost
