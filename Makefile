@@ -2,11 +2,12 @@
 
 GO ?= go
 
-.PHONY: check vet build test race telemetry bench bench-baseline clean
+.PHONY: check vet build test race telemetry parallel bench bench-workers bench-baseline clean
 
-## check: full PR gate — vet, build, race-enabled tests, and a doubled run
-## of the telemetry suite (span/journal determinism under repetition).
-check: vet build race telemetry
+## check: full PR gate — vet, build, race-enabled tests, a doubled run of
+## the telemetry suite (span/journal determinism under repetition), and the
+## concurrency-path determinism tests under the race detector.
+check: vet build race telemetry parallel
 
 vet:
 	$(GO) vet ./...
@@ -23,9 +24,19 @@ race:
 telemetry:
 	$(GO) test -run TestTelemetry -count=2 ./...
 
+## parallel: the worker-pool and worker-count-determinism tests under the
+## race detector (short mode keeps the 118-bus sweep out of the gate).
+parallel:
+	$(GO) test -race -short -run 'TestEach|TestResolve|TestFindOptimalAttackDeterministicAcrossWorkers|TestGreedyAndRandomDeterministicAcrossWorkers|TestScreenParallel|TestRunTimeSeriesWorkers' ./internal/par/ ./internal/core/ ./internal/contingency/ .
+
 ## bench: the paper-experiment and substrate benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+## bench-workers: the Algorithm 1 worker-scaling benchmark (sequential vs
+## parallel fan-out on case30/case118).
+bench-workers:
+	$(GO) test -bench=BenchmarkFindOptimalAttackWorkers -run '^$$' .
 
 ## bench-baseline: re-record the solver-work baseline (BENCH_solver.json)
 ## for the budgeted case30/case118 attacks.

@@ -6,8 +6,11 @@ package edattack_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	edattack "github.com/edsec/edattack"
 	"github.com/edsec/edattack/internal/acflow"
@@ -114,16 +117,17 @@ func BenchmarkFig4cGainCost(b *testing.B) {
 	}
 }
 
-// knowledge118 builds the Section IV-B attacker knowledge.
-func knowledge118(b *testing.B) *edattack.Knowledge {
-	b.Helper()
-	net, err := edattack.LoadCase("case118")
+// knowledgeCase builds attacker knowledge with true ratings at the static
+// values for a named benchmark case.
+func knowledgeCase(tb testing.TB, name string) *edattack.Knowledge {
+	tb.Helper()
+	net, err := edattack.LoadCase(name)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	model, err := edattack.NewDispatchModel(net)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	ud := map[int]float64{}
 	for _, li := range net.DLRLines() {
@@ -131,9 +135,15 @@ func knowledge118(b *testing.B) *edattack.Knowledge {
 	}
 	k, err := edattack.NewKnowledge(model, ud)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return k
+}
+
+// knowledge118 builds the Section IV-B attacker knowledge.
+func knowledge118(b *testing.B) *edattack.Knowledge {
+	b.Helper()
+	return knowledgeCase(b, "case118")
 }
 
 // BenchmarkFig5aTimeOfAttack118 regenerates one step of the Fig. 5a sweep:
@@ -145,6 +155,37 @@ func BenchmarkFig5aTimeOfAttack118(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := edattack.FindOptimalAttack(k, edattack.AttackOptions{MaxNodes: 40, RelGap: 1e-3}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFindOptimalAttackWorkers measures Algorithm 1's worker-pool
+// scaling: the same attack solved sequentially and with the subproblem
+// fan-out at 2 and 4 workers (case30 exact, case118 at the Fig. 5 budget).
+// Speedup tracks the machine's core count — on a single-core host the
+// worker counts tie; with four or more cores expect the 4-worker rows to
+// run a few times faster than workers-1.
+func BenchmarkFindOptimalAttackWorkers(b *testing.B) {
+	cases := []struct {
+		name string
+		opts edattack.AttackOptions
+	}{
+		{"case30", edattack.AttackOptions{RelGap: 1e-3}},
+		{"case118", edattack.AttackOptions{MaxNodes: 40, RelGap: 1e-3}},
+	}
+	for _, cs := range cases {
+		for _, w := range []int{1, 2, 4} {
+			opts := cs.opts
+			opts.Workers = w
+			b.Run(fmt.Sprintf("%s/workers-%d", cs.name, w), func(b *testing.B) {
+				k := knowledgeCase(b, cs.name)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := edattack.FindOptimalAttack(k, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }
@@ -483,46 +524,56 @@ func TestRecordSolverBaseline(t *testing.T) {
 		SimplexIterations int     `json:"simplex_iterations"`
 		RowGenRounds      int     `json:"rowgen_rounds"`
 		GainPct           float64 `json:"gain_pct"`
+		// Wall times are machine-dependent (unlike the work counts above,
+		// which are recorded at Workers=1 and deterministic): sequential
+		// is Workers=1, parallel is Workers=GOMAXPROCS. On a single-core
+		// recording host the speedup is ~1.
+		WallMsSequential float64 `json:"wall_ms_sequential"`
+		WallMsParallel   float64 `json:"wall_ms_parallel"`
+		ParallelWorkers  int     `json:"parallel_workers"`
+		Speedup          float64 `json:"speedup"`
 	}
 	opts := edattack.AttackOptions{MaxNodes: 40, RelGap: 1e-3}
 	var records []record
 	for _, name := range []string{"case30", "case118"} {
-		net, err := edattack.LoadCase(name)
+		k := knowledgeCase(t, name)
+		// Deterministic work counts: the sequential reference schedule.
+		seqOpts := opts
+		seqOpts.Workers = 1
+		seqStart := time.Now()
+		att, err := edattack.FindOptimalAttack(k, seqOpts)
 		if err != nil {
 			t.Fatal(err)
 		}
-		model, err := edattack.NewDispatchModel(net)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ud := map[int]float64{}
-		for _, li := range net.DLRLines() {
-			ud[li] = net.Lines[li].RateMVA
-		}
-		k, err := edattack.NewKnowledge(model, ud)
-		if err != nil {
-			t.Fatal(err)
-		}
-		att, err := edattack.FindOptimalAttack(k, opts)
-		if err != nil {
-			t.Fatal(err)
-		}
+		seqWall := time.Since(seqStart)
 		if att.Stats == nil {
 			t.Fatalf("%s: attack carries no SolverStats", name)
 		}
+		parOpts := opts
+		parOpts.Workers = runtime.GOMAXPROCS(0)
+		parStart := time.Now()
+		if _, err := edattack.FindOptimalAttack(k, parOpts); err != nil {
+			t.Fatal(err)
+		}
+		parWall := time.Since(parStart)
 		records = append(records, record{
 			Case:              name,
-			DLRLines:          len(net.DLRLines()),
+			DLRLines:          len(k.Model.Net.DLRLines()),
 			Subproblems:       att.Stats.Subproblems,
 			Pruned:            att.Stats.Pruned,
 			MILPNodes:         att.Stats.Nodes,
 			SimplexIterations: att.Stats.SimplexIterations,
 			RowGenRounds:      att.Stats.Rounds,
 			GainPct:           att.GainPct,
+			WallMsSequential:  float64(seqWall.Microseconds()) / 1000,
+			WallMsParallel:    float64(parWall.Microseconds()) / 1000,
+			ParallelWorkers:   parOpts.Workers,
+			Speedup:           seqWall.Seconds() / parWall.Seconds(),
 		})
 	}
 	out, err := json.MarshalIndent(map[string]any{
-		"note":    "solver-work baseline for budgeted attacks (MaxNodes 40, RelGap 1e-3); regenerate with BENCH_SOLVER=1 go test -run TestRecordSolverBaseline",
+		"note":    "solver-work baseline for budgeted attacks (MaxNodes 40, RelGap 1e-3); work counts recorded at Workers=1 and deterministic, wall_ms/speedup machine-dependent; regenerate with BENCH_SOLVER=1 go test -run TestRecordSolverBaseline",
+		"cpus":    runtime.GOMAXPROCS(0),
 		"records": records,
 	}, "", "  ")
 	if err != nil {

@@ -39,6 +39,7 @@ func run() error {
 	tracePath := flag.String("trace", "", "write a JSONL span trace of the bilevel solves to this file")
 	metricsPath := flag.String("metrics", "", "write a JSON solver-metrics snapshot to this file on exit")
 	debugAddr := flag.String("debug", "", "serve pprof/expvar/metrics on this address (e.g. localhost:6060)")
+	workers := cliobs.WorkersFlag()
 	flag.Parse()
 
 	obs, err := cliobs.Init(*tracePath, *metricsPath, *debugAddr)
@@ -85,7 +86,7 @@ func run() error {
 		return err
 	}
 
-	opts := edattack.AttackOptions{MaxNodes: *maxNodes, Metrics: obs.Metrics, Tracer: obs.Tracer}
+	opts := edattack.AttackOptions{MaxNodes: *maxNodes, Workers: *workers, Metrics: obs.Metrics, Tracer: obs.Tracer}
 	model.Metrics = obs.Metrics
 	switch *method {
 	case "complementarity":

@@ -39,6 +39,7 @@ func run() error {
 	tracePath := flag.String("trace", "", "write a JSONL span trace of the bilevel solves to this file")
 	metricsPath := flag.String("metrics", "", "write a JSON solver-metrics snapshot to this file on exit")
 	debugAddr := flag.String("debug", "", "serve pprof/expvar/metrics on this address (e.g. localhost:6060)")
+	workers := cliobs.WorkersFlag()
 	flag.Parse()
 
 	obs, err := cliobs.Init(*tracePath, *metricsPath, *debugAddr)
@@ -63,7 +64,7 @@ func run() error {
 		RatingPatterns: map[int]edattack.Pattern{},
 		StepMinutes:    *step,
 		ACEvaluate:     *acEval,
-		AttackOptions:  edattack.AttackOptions{MaxNodes: *maxNodes, Metrics: obs.Metrics, Tracer: obs.Tracer},
+		AttackOptions:  edattack.AttackOptions{MaxNodes: *maxNodes, Workers: *workers, Metrics: obs.Metrics, Tracer: obs.Tracer},
 	}
 	dlrLines := net.DLRLines()
 	for i, li := range dlrLines {

@@ -14,6 +14,7 @@ import (
 
 	edattack "github.com/edsec/edattack"
 	"github.com/edsec/edattack/internal/acflow"
+	"github.com/edsec/edattack/internal/cliobs"
 	"github.com/edsec/edattack/internal/dcflow"
 	"github.com/edsec/edattack/internal/dispatch"
 )
@@ -29,6 +30,7 @@ func run() error {
 	caseName := flag.String("case", "case9", "benchmark case")
 	exp := flag.String("exp", "info", "what to run: info, dcpf, acpf, ed, robust, lmp, n1, cascade, matpower")
 	margin := flag.Float64("margin", 0.05, "derating margin for -exp robust")
+	workers := cliobs.WorkersFlag()
 	flag.Parse()
 
 	net, err := edattack.LoadCase(*caseName)
@@ -49,7 +51,7 @@ func run() error {
 	case "lmp":
 		return lmp(net)
 	case "n1":
-		return n1(net)
+		return n1(net, *workers)
 	case "cascade":
 		return cascadeRun(net)
 	case "matpower":
@@ -208,7 +210,7 @@ func lmp(net *edattack.Network) error {
 	return nil
 }
 
-func n1(net *edattack.Network) error {
+func n1(net *edattack.Network, workers int) error {
 	model, err := dispatch.BuildModel(net)
 	if err != nil {
 		return err
@@ -221,7 +223,7 @@ func n1(net *edattack.Network) error {
 	if err != nil {
 		return err
 	}
-	rep, err := edattack.ScreenN1(lodf, res.Flows, net.Ratings(nil))
+	rep, err := edattack.ScreenN1Parallel(lodf, res.Flows, net.Ratings(nil), workers)
 	if err != nil {
 		return err
 	}

@@ -27,10 +27,15 @@ import (
 // fields are nil (and therefore free) when the flags are absent.
 var obs = &cliobs.Setup{}
 
-// withObs injects the command-line observability sinks into attack options.
+// workerCount holds the -workers flag for every experiment.
+var workerCount int
+
+// withObs injects the command-line observability sinks and the worker count
+// into attack options.
 func withObs(o edattack.AttackOptions) edattack.AttackOptions {
 	o.Metrics = obs.Metrics
 	o.Tracer = obs.Tracer
+	o.Workers = workerCount
 	return o
 }
 
@@ -48,7 +53,9 @@ func run() error {
 	tracePath := flag.String("trace", "", "write a JSONL span trace of the bilevel solves to this file")
 	metricsPath := flag.String("metrics", "", "write a JSON solver-metrics snapshot to this file on exit")
 	debugAddr := flag.String("debug", "", "serve pprof/expvar/metrics on this address (e.g. localhost:6060)")
+	workers := cliobs.WorkersFlag()
 	flag.Parse()
+	workerCount = *workers
 
 	var err error
 	if obs, err = cliobs.Init(*tracePath, *metricsPath, *debugAddr); err != nil {

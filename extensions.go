@@ -42,6 +42,13 @@ func ScreenN1(d *LODF, preFlows, ratings []float64) (*N1Report, error) {
 	return contingency.Screen(d, preFlows, ratings)
 }
 
+// ScreenN1Parallel is ScreenN1 with the per-outage sweep spread over a
+// worker pool (workers <= 0 means one per CPU); the report is identical to
+// ScreenN1's for any worker count.
+func ScreenN1Parallel(d *LODF, preFlows, ratings []float64, workers int) (*N1Report, error) {
+	return contingency.ScreenParallel(d, preFlows, ratings, workers)
+}
+
 // SimulateCascade runs the thermal cascading-failure simulation from an
 // operating point.
 func SimulateCascade(net *Network, dispatchP, trueRatings []float64, o CascadeOptions) (*CascadeResult, error) {

@@ -6,11 +6,20 @@
 package cliobs
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"github.com/edsec/edattack/internal/telemetry"
 )
+
+// WorkersFlag registers the -workers flag shared by the cmd/ binaries and
+// returns the destination. 0 (the default) means one worker per CPU; 1
+// forces the sequential reference schedule.
+func WorkersFlag() *int {
+	return flag.Int("workers", 0,
+		"solver worker goroutines (0 = one per CPU, 1 = sequential)")
+}
 
 // Setup holds the observability sinks selected on the command line.
 type Setup struct {

@@ -16,6 +16,7 @@ import (
 	"github.com/edsec/edattack/internal/dcflow"
 	"github.com/edsec/edattack/internal/grid"
 	"github.com/edsec/edattack/internal/mat"
+	"github.com/edsec/edattack/internal/par"
 )
 
 // ErrIslanding is returned when outaging a line would disconnect the
@@ -139,20 +140,37 @@ type Report struct {
 // compute post-outage flows from the given operating point and compare
 // them against the ratings (entries ≤ 0 unlimited).
 func Screen(d *LODF, preFlows, ratings []float64) (*Report, error) {
+	return ScreenParallel(d, preFlows, ratings, 1)
+}
+
+// outageResult is one outage's contribution to a Report.
+type outageResult struct {
+	overloads []Overload
+	worstPct  float64
+	islanding bool
+	err       error
+}
+
+// ScreenParallel is Screen with the per-outage loop spread over a worker
+// pool (workers <= 0 means one per CPU). Outages are independent reads of
+// the LODF matrix; per-outage results merge in outage order, so the report
+// is identical to the sequential sweep for any worker count.
+func ScreenParallel(d *LODF, preFlows, ratings []float64, workers int) (*Report, error) {
 	n := d.net
 	if len(ratings) != len(n.Lines) {
 		return nil, fmt.Errorf("contingency: %d ratings for %d lines", len(ratings), len(n.Lines))
 	}
-	rep := &Report{}
-	insecure := make(map[int]bool)
-	for k := range n.Lines {
+	results := make([]outageResult, len(n.Lines))
+	par.Each(workers, len(n.Lines), func(k int) {
+		r := &results[k]
 		if d.islanding[k] {
-			rep.IslandingOutages++
-			continue
+			r.islanding = true
+			return
 		}
 		post, err := d.PostOutageFlows(preFlows, k)
 		if err != nil {
-			return nil, err
+			r.err = err
+			return
 		}
 		for l := range n.Lines {
 			if l == k {
@@ -164,16 +182,32 @@ func Screen(d *LODF, preFlows, ratings []float64) (*Report, error) {
 			}
 			if a := math.Abs(post[l]); a > u*(1+1e-9) {
 				pct := 100 * (a/u - 1)
-				rep.Overloads = append(rep.Overloads, Overload{
+				r.overloads = append(r.overloads, Overload{
 					Outage: k, Line: l, FlowMW: post[l], RatingMW: u, Pct: pct,
 				})
-				insecure[k] = true
-				if pct > rep.WorstPct {
-					rep.WorstPct = pct
+				if pct > r.worstPct {
+					r.worstPct = pct
 				}
 			}
 		}
+	})
+	rep := &Report{}
+	for k := range results {
+		r := &results[k]
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.islanding {
+			rep.IslandingOutages++
+			continue
+		}
+		if len(r.overloads) > 0 {
+			rep.Overloads = append(rep.Overloads, r.overloads...)
+			rep.InsecureOutages++
+			if r.worstPct > rep.WorstPct {
+				rep.WorstPct = r.worstPct
+			}
+		}
 	}
-	rep.InsecureOutages = len(insecure)
 	return rep, nil
 }

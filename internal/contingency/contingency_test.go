@@ -269,3 +269,58 @@ func TestPropertyLODFRedistribution(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestScreenParallelMatchesSequential pins the parallel sweep's contract:
+// for any worker count the report is identical to the sequential one —
+// same overloads in the same (outage-major) order, same aggregates.
+func TestScreenParallelMatchesSequential(t *testing.T) {
+	n, err := cases.Case118()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dispatch.BuildModel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Screen a deliberately stressed point: dispatch against slightly
+	// derated lines, then screen against the true ratings to surface
+	// post-contingency overloads.
+	ratings := n.Ratings(nil)
+	res, err := m.Solve(ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := contingency.ComputeLODF(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := make([]float64, len(ratings))
+	for i, u := range ratings {
+		tight[i] = u * 0.9
+	}
+	want, err := contingency.Screen(d, res.Flows, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 0} {
+		got, err := contingency.ScreenParallel(d, res.Flows, tight, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if got.InsecureOutages != want.InsecureOutages ||
+			got.WorstPct != want.WorstPct ||
+			got.IslandingOutages != want.IslandingOutages {
+			t.Fatalf("workers=%d: aggregates (%d, %v, %d) != sequential (%d, %v, %d)",
+				w, got.InsecureOutages, got.WorstPct, got.IslandingOutages,
+				want.InsecureOutages, want.WorstPct, want.IslandingOutages)
+		}
+		if len(got.Overloads) != len(want.Overloads) {
+			t.Fatalf("workers=%d: %d overloads, want %d", w, len(got.Overloads), len(want.Overloads))
+		}
+		for i := range want.Overloads {
+			if got.Overloads[i] != want.Overloads[i] {
+				t.Fatalf("workers=%d: overload %d = %+v, want %+v", w, i, got.Overloads[i], want.Overloads[i])
+			}
+		}
+	}
+}

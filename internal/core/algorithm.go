@@ -7,14 +7,37 @@ import (
 	"sort"
 	"time"
 
+	"github.com/edsec/edattack/internal/par"
 	"github.com/edsec/edattack/internal/telemetry"
 )
+
+// betterAttack reports whether a should replace b as the incumbent winner:
+// larger gain first, then lower target line, then positive before negative
+// direction. The ordering is a total order over distinct (target, dir)
+// subproblems, which makes the Algorithm 1 winner independent of the order
+// results arrive in.
+func betterAttack(a, b *Attack) bool {
+	if a.GainPct != b.GainPct {
+		return a.GainPct > b.GainPct
+	}
+	if a.TargetLine != b.TargetLine {
+		return a.TargetLine < b.TargetLine
+	}
+	return a.Direction > b.Direction
+}
 
 // FindOptimalAttack implements Algorithm 1 (GetOptimalAttack): it solves the
 // 2·|E_D| bilevel subproblems — one per DLR line and flow direction — and
 // returns the attack with the largest non-negative percentage capacity
 // violation. When no subproblem admits a stealthy feasible manipulation it
 // returns ErrNoFeasibleAttack.
+//
+// The subproblems are independent (the paper's decomposition argument) and
+// are fanned over o.Workers goroutines. Every worker publishes realized
+// gains to a shared incumbent bound that tightens pruning for all in-flight
+// and queued subproblems; the returned attack is nevertheless identical for
+// every worker count — see Options.Workers for the contract and
+// seedSlackFactor for the argument.
 func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 	o = o.withDefaults()
 	dlrLines := k.Model.Net.DLRLines()
@@ -26,17 +49,22 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 	root := telemetry.StartSpan(o.Tracer, nil, "core.find_optimal_attack")
 	root.SetAttr("dlr_lines", len(dlrLines))
 	root.SetAttr("subproblems", 2*len(dlrLines))
+	root.SetAttr("workers", o.Workers)
 	defer root.End()
 
-	// Warm start: the greedy vertex attack gives a realized, achievable
-	// gain that prunes every subproblem that cannot beat it.
+	inc := &incumbentBound{}
+
+	// Warm start (before the fan-out): the greedy vertex attack gives a
+	// realized, achievable gain that prunes every subproblem that cannot
+	// beat it.
 	var best *Attack
 	if !o.NoSeed {
 		seedSpan := telemetry.StartSpan(nil, root, "core.greedy_seed")
-		grd, err := GreedyVertexAttack(k)
+		grd, err := greedyVertexAttack(k, o.Workers)
 		if err == nil {
 			grd.Exact = false // a seed, not a proven optimum
 			best = grd
+			inc.Offer(grd.GainPct)
 			seedSpan.SetAttr("gain_pct", grd.GainPct)
 		} else if !errors.Is(err, ErrNoFeasibleAttack) {
 			seedSpan.End()
@@ -44,38 +72,56 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 		}
 		seedSpan.End()
 	}
-	var anyFeasible = best != nil
+
+	// Shared solve-invariant scaffolding, built once on the caller's model
+	// (its dispatch warm start is the one mutation, and it happens before
+	// any worker exists).
+	pre := precompute(k, o)
+
+	// Fan out. Each task gets its own shallow model clone so its solve
+	// trajectory never depends on which goroutine (or predecessor task)
+	// touched the warm-start state — a precondition for worker-count
+	// independence. Results land in per-task slots; the merge below runs
+	// in fixed task order.
+	type task struct{ line, dir int }
+	tasks := make([]task, 0, 2*len(dlrLines))
+	for _, li := range dlrLines {
+		tasks = append(tasks, task{li, 1}, task{li, -1})
+	}
+	atts := make([]*Attack, len(tasks))
+	errs := make([]error, len(tasks))
+	par.Each(o.Workers, len(tasks), func(i int) {
+		kw := k.forWorker()
+		att, err := solveSubproblemSeeded(kw, tasks[i].line, tasks[i].dir, o, inc, pre, root)
+		if err == nil && att != nil {
+			inc.Offer(att.GainPct)
+		}
+		atts[i], errs[i] = att, err
+	})
+
+	anyFeasible := best != nil
 	totalNodes := 0
 	exact := true
-	for _, li := range dlrLines {
-		for _, dir := range [2]int{1, -1} {
-			var seed *float64
-			if best != nil {
-				// Back off slightly so equal-quality optima are not
-				// pruned away before proving optimality.
-				v := best.GainPct - 1e-9*(1+best.GainPct)
-				seed = &v
-			}
-			att, err := solveSubproblemSeeded(k, li, dir, o, seed, root)
-			if errors.Is(err, ErrNoFeasibleAttack) {
-				stats.Subproblems++
-				continue
-			}
-			if err != nil {
-				return nil, fmt.Errorf("core: Algorithm 1 at line %d dir %+d: %w", li, dir, err)
-			}
-			if att == nil {
-				stats.Subproblems++
-				stats.Pruned++
-				continue // pruned: nothing here beats the current best
-			}
-			anyFeasible = true
-			totalNodes += att.Nodes
-			exact = exact && att.Exact
-			stats.add(att.Stats)
-			if best == nil || att.GainPct > best.GainPct {
-				best = att
-			}
+	for i, t := range tasks {
+		att, err := atts[i], errs[i]
+		if errors.Is(err, ErrNoFeasibleAttack) {
+			stats.Subproblems++
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: Algorithm 1 at line %d dir %+d: %w", t.line, t.dir, err)
+		}
+		if att == nil {
+			stats.Subproblems++
+			stats.Pruned++
+			continue // pruned: nothing here beats the shared bound
+		}
+		anyFeasible = true
+		totalNodes += att.Nodes
+		exact = exact && att.Exact
+		stats.add(att.Stats)
+		if best == nil || betterAttack(att, best) {
+			best = att
 		}
 	}
 	if !anyFeasible || best == nil {
@@ -98,13 +144,23 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 // vertex candidates through the operator's actual dispatch and keeps the
 // best stealthy-feasible one.
 func GreedyVertexAttack(k *Knowledge) (*Attack, error) {
+	return greedyVertexAttack(k, 0)
+}
+
+// greedyVertexAttack evaluates the vertex candidates over a worker pool.
+// Candidates are independent dispatch solves; each runs against its own
+// shallow model clone and results merge in candidate order (strict
+// improvement), so the outcome matches the sequential sweep exactly.
+func greedyVertexAttack(k *Knowledge, workers int) (*Attack, error) {
 	net := k.Model.Net
 	dlrLines := net.DLRLines()
 	if len(dlrLines) == 0 {
 		return nil, ErrNoDLRLines
 	}
-	var best *Attack
-	for _, target := range dlrLines {
+	cands := make([]*Attack, len(dlrLines))
+	errs := make([]error, len(dlrLines))
+	par.Each(workers, len(dlrLines), func(i int) {
+		target := dlrLines[i]
 		dlr := make(map[int]float64, len(dlrLines))
 		for _, li := range dlrLines {
 			if li == target {
@@ -113,23 +169,34 @@ func GreedyVertexAttack(k *Knowledge) (*Attack, error) {
 				dlr[li] = net.Lines[li].DLRMin
 			}
 		}
-		ev, err := k.EvaluateAttack(dlr)
+		ev, err := k.forWorker().EvaluateAttack(dlr)
 		if err != nil {
-			return nil, fmt.Errorf("core: greedy candidate for line %d: %w", target, err)
+			errs[i] = fmt.Errorf("core: greedy candidate for line %d: %w", target, err)
+			return
 		}
 		if !ev.Feasible {
+			return
+		}
+		cands[i] = &Attack{
+			DLR:            dlr,
+			TargetLine:     ev.WorstLine,
+			Direction:      ev.Direction,
+			GainPct:        ev.GainPct,
+			PredictedP:     ev.Dispatch.P,
+			PredictedFlows: ev.Dispatch.Flows,
+			PredictedCost:  ev.Dispatch.Cost,
+		}
+	})
+	var best *Attack
+	for i := range cands {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if cands[i] == nil {
 			continue
 		}
-		if best == nil || ev.GainPct > best.GainPct {
-			best = &Attack{
-				DLR:            dlr,
-				TargetLine:     ev.WorstLine,
-				Direction:      ev.Direction,
-				GainPct:        ev.GainPct,
-				PredictedP:     ev.Dispatch.P,
-				PredictedFlows: ev.Dispatch.Flows,
-				PredictedCost:  ev.Dispatch.Cost,
-			}
+		if best == nil || cands[i].GainPct > best.GainPct {
+			best = cands[i]
 		}
 	}
 	if best == nil {
@@ -142,6 +209,14 @@ func GreedyVertexAttack(k *Knowledge) (*Attack, error) {
 // keeps the best stealthy-feasible one — the weakest baseline, quantifying
 // how much the physics-aware optimization buys the attacker.
 func RandomAttack(k *Knowledge, samples int, seed int64) (*Attack, error) {
+	return randomAttack(k, samples, seed, 0)
+}
+
+// randomAttack draws every sample from the seeded rng sequentially — so the
+// sample sequence is a pure function of the seed regardless of worker count
+// — then evaluates the candidates over a worker pool and merges in sample
+// order.
+func randomAttack(k *Knowledge, samples int, seed int64, workers int) (*Attack, error) {
 	net := k.Model.Net
 	dlrLines := net.DLRLines()
 	if len(dlrLines) == 0 {
@@ -151,30 +226,46 @@ func RandomAttack(k *Knowledge, samples int, seed int64) (*Attack, error) {
 		samples = 50
 	}
 	rng := rand.New(rand.NewSource(seed))
-	var best *Attack
+	dlrs := make([]map[int]float64, samples)
 	for s := 0; s < samples; s++ {
 		dlr := make(map[int]float64, len(dlrLines))
 		for _, li := range dlrLines {
 			l := &net.Lines[li]
 			dlr[li] = l.DLRMin + (l.DLRMax-l.DLRMin)*rng.Float64()
 		}
-		ev, err := k.EvaluateAttack(dlr)
+		dlrs[s] = dlr
+	}
+	cands := make([]*Attack, samples)
+	errs := make([]error, samples)
+	par.Each(workers, samples, func(s int) {
+		ev, err := k.forWorker().EvaluateAttack(dlrs[s])
 		if err != nil {
-			return nil, fmt.Errorf("core: random candidate %d: %w", s, err)
+			errs[s] = fmt.Errorf("core: random candidate %d: %w", s, err)
+			return
 		}
 		if !ev.Feasible {
+			return
+		}
+		cands[s] = &Attack{
+			DLR:            dlrs[s],
+			TargetLine:     ev.WorstLine,
+			Direction:      ev.Direction,
+			GainPct:        ev.GainPct,
+			PredictedP:     ev.Dispatch.P,
+			PredictedFlows: ev.Dispatch.Flows,
+			PredictedCost:  ev.Dispatch.Cost,
+		}
+	})
+	var best *Attack
+	for s := range cands {
+		if errs[s] != nil {
+			return nil, errs[s]
+		}
+		if cands[s] == nil {
 			continue
 		}
-		if best == nil || ev.GainPct > best.GainPct {
-			best = &Attack{
-				DLR:            dlr,
-				TargetLine:     ev.WorstLine,
-				Direction:      ev.Direction,
-				GainPct:        ev.GainPct,
-				PredictedP:     ev.Dispatch.P,
-				PredictedFlows: ev.Dispatch.Flows,
-				PredictedCost:  ev.Dispatch.Cost,
-			}
+		if best == nil || cands[s].GainPct > best.GainPct {
+			best = cands[s]
 		}
 	}
 	if best == nil {

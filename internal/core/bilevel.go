@@ -29,6 +29,48 @@ type ineqRow struct {
 	line int // for flow rows
 }
 
+// precomp caches the solve-invariant scaffolding every one of Algorithm 1's
+// 2·|E_D| subproblems shares: the DLR variable order, the initial monitored
+// line set (whose computation costs a full dispatch solve — previously paid
+// once per subproblem), and the KKT inequality-row layout for that set. It
+// is built once before the fan-out and read concurrently by all workers, so
+// nothing in it may be mutated after construction.
+type precomp struct {
+	dlrOrder  []int
+	monitored []int
+	rows      []ineqRow // row layout for the initial monitored set
+}
+
+// precompute builds the shared scaffolding on the caller's model (the one
+// model mutation — the dispatch warm start inside initialMonitoredSet —
+// happens here, before any worker exists).
+func precompute(k *Knowledge, o Options) *precomp {
+	p := &precomp{
+		dlrOrder:  k.Model.Net.DLRLines(),
+		monitored: initialMonitoredSet(k, o),
+	}
+	p.rows = buildRows(len(k.Model.Net.Gens), p.monitored)
+	return p
+}
+
+// buildRows lays out the inner problem's inequality rows for a monitored
+// line set: generator upper bounds, generator lower bounds, then a ± flow
+// pair per monitored line.
+func buildRows(ng int, monitored []int) []ineqRow {
+	rows := make([]ineqRow, 0, 2*ng+2*len(monitored))
+	for i := 0; i < ng; i++ {
+		rows = append(rows, ineqRow{kind: genUpper, gen: i})
+	}
+	for i := 0; i < ng; i++ {
+		rows = append(rows, ineqRow{kind: genLower, gen: i})
+	}
+	for _, li := range monitored {
+		rows = append(rows, ineqRow{kind: flowPos, line: li})
+		rows = append(rows, ineqRow{kind: flowNeg, line: li})
+	}
+	return rows
+}
+
 // subproblem is one (target line, direction) instance of the paper's
 // decomposition: maximize 100·(dir·f_t/u^d_t − 1) subject to the operator's
 // KKT conditions under manipulated DLR ratings.
@@ -57,26 +99,28 @@ type subproblem struct {
 }
 
 // newSubproblem assembles the index bookkeeping for a monitored line set.
-func newSubproblem(k *Knowledge, target int, dir float64, monitored []int, o Options) *subproblem {
+// When pre is non-nil and the monitored set is still the initial one, the
+// hoisted row layout and DLR order are shared (read-only) instead of
+// rebuilt.
+func newSubproblem(k *Knowledge, target int, dir float64, monitored []int, o Options, pre *precomp) *subproblem {
 	s := &subproblem{
 		k: k, target: target, dir: dir,
 		monitored: append([]int(nil), monitored...),
-		dlrOrder:  k.Model.Net.DLRLines(),
 		method:    o.Method,
 		bigM:      o.BigM,
 		metrics:   o.Metrics,
 	}
 	ng := len(k.Model.Net.Gens)
-	s.rows = make([]ineqRow, 0, 2*ng+2*len(s.monitored))
-	for i := 0; i < ng; i++ {
-		s.rows = append(s.rows, ineqRow{kind: genUpper, gen: i})
+	if pre != nil {
+		s.dlrOrder = pre.dlrOrder
+		if len(monitored) == len(pre.monitored) {
+			s.rows = pre.rows
+		}
+	} else {
+		s.dlrOrder = k.Model.Net.DLRLines()
 	}
-	for i := 0; i < ng; i++ {
-		s.rows = append(s.rows, ineqRow{kind: genLower, gen: i})
-	}
-	for _, li := range s.monitored {
-		s.rows = append(s.rows, ineqRow{kind: flowPos, line: li})
-		s.rows = append(s.rows, ineqRow{kind: flowNeg, line: li})
+	if s.rows == nil {
+		s.rows = buildRows(ng, s.monitored)
 	}
 	s.nx = len(s.dlrOrder)
 	s.np = ng
@@ -323,7 +367,10 @@ func (s *subproblem) heuristic(relaxX []float64) (float64, []float64, bool) {
 }
 
 // solveOnce builds and solves the subproblem for the current monitored set.
-func (s *subproblem) solveOnce(o Options, incumbent *float64) (*subResult, error) {
+// incumbent is a static pruning seed in the LP objective scale; bound, when
+// non-nil, is the live shared incumbent bound polled per branch-and-bound
+// node.
+func (s *subproblem) solveOnce(o Options, incumbent *float64, bound milp.BoundSource) (*subResult, error) {
 	prob, err := s.build()
 	if err != nil {
 		return nil, err
@@ -331,6 +378,7 @@ func (s *subproblem) solveOnce(o Options, incumbent *float64) (*subResult, error
 	sol, err := milp.SolveWith(prob, milp.Options{
 		MaxNodes:  o.MaxNodes,
 		Incumbent: incumbent,
+		Bound:     bound,
 		Gap:       o.RelGap,
 		Heuristic: s.heuristic,
 		Metrics:   s.metrics,
@@ -398,14 +446,18 @@ func (s *subproblem) solveOnce(o Options, incumbent *float64) (*subResult, error
 // growing the monitored line set by row generation until the predicted
 // dispatch is feasible for the operator's full constraint set.
 func SolveSubproblem(k *Knowledge, target int, dir int, o Options) (*Attack, error) {
-	return solveSubproblemSeeded(k, target, dir, o, nil, nil)
+	return solveSubproblemSeeded(k, target, dir, o, nil, nil, nil)
 }
 
-// solveSubproblemSeeded additionally accepts a realized-gain lower bound
-// (U_cap percentage) used to prune the search; a nil seed disables pruning.
-// When the seed is not beaten the function returns (nil, nil). A non-nil
+// solveSubproblemSeeded additionally accepts the shared incumbent bound of a
+// surrounding Algorithm 1 run; a nil inc disables pruning. Gains already
+// proven by sibling subproblems seed the branch-and-bound search statically
+// (per row-generation round) and dynamically (polled per node), both backed
+// off by pruneSeed so equal-quality optima survive under any schedule. When
+// nothing here beats the shared bound the function returns (nil, nil). pre,
+// when non-nil, supplies the hoisted solve-invariant scaffolding. A non-nil
 // parent span (or o.Tracer) yields one "core.subproblem" span per call.
-func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, seedGain *float64, parent *telemetry.Span) (*Attack, error) {
+func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *incumbentBound, pre *precomp, parent *telemetry.Span) (*Attack, error) {
 	o = o.withDefaults()
 	if dir != 1 && dir != -1 {
 		return nil, fmt.Errorf("core: direction must be ±1, got %d", dir)
@@ -430,36 +482,60 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, seedGai
 		}()
 	}
 
-	monitored := initialMonitoredSet(k, o)
+	var monitored []int
+	if pre != nil {
+		monitored = append([]int(nil), pre.monitored...)
+	} else {
+		monitored = initialMonitoredSet(k, o)
+	}
 	inSet := make(map[int]bool, len(monitored))
 	for _, li := range monitored {
 		inSet[li] = true
 	}
 
+	// One live-bound adapter per call: masterObj is affine in the gain with
+	// unit slope, so the conversion to this subproblem's LP objective scale
+	// is the constant offset masterObj(0).
+	var sb *subproblemBound
+	if inc != nil {
+		ud := k.TrueDLR[target]
+		sb = &subproblemBound{
+			inc:    inc,
+			offset: 100 - 100*float64(dir)*k.Model.Base[target]/ud,
+			relGap: o.RelGap,
+		}
+	}
+
 	var totalNodes, totalIters, rounds int
+	hadSeed := false
 	exact := true
 	for round := 0; round < o.MaxRounds; round++ {
 		rounds = round + 1
-		sp := newSubproblem(k, target, float64(dir), monitored, o)
+		sp := newSubproblem(k, target, float64(dir), monitored, o, pre)
 		sp.span = span
 		var seed *float64
-		if seedGain != nil {
-			v := sp.masterObj(*seedGain)
+		if g, ok := inc.Best(); ok {
+			v := pruneSeed(sp.masterObj(g), o.RelGap)
 			seed = &v
+			hadSeed = true
 		}
-		res, err := sp.solveOnce(o, seed)
+		var bound milp.BoundSource
+		if sb != nil {
+			bound = sb
+		}
+		res, err := sp.solveOnce(o, seed, bound)
 		totalNodes += sp.solvedNodes
 		totalIters += sp.solvedLPIters
 		if err != nil {
 			return nil, err
 		}
 		if res == nil {
-			if seedGain != nil {
+			if hadSeed || sb.sawBound() {
 				outcome = "pruned"
 				if o.Metrics != nil {
 					o.Metrics.Counter("core_subproblems_pruned_total").Inc()
 				}
-				return nil, nil // pruned: nothing beats the seed here
+				return nil, nil // pruned: nothing beats the shared bound here
 			}
 			outcome = "infeasible"
 			return nil, ErrNoFeasibleAttack

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"github.com/edsec/edattack/internal/dispatch"
@@ -192,6 +193,16 @@ type Options struct {
 	// NoSeed disables warm-starting Algorithm 1's pruning bound with the
 	// greedy vertex attack (seeding is on by default).
 	NoSeed bool
+	// Workers is the number of goroutines solving bilevel subproblems
+	// concurrently (0 = one per CPU core, 1 = sequential). The attack
+	// returned is identical for every worker count when subproblems solve
+	// to completion: workers share an atomic incumbent bound that only
+	// tightens pruning, and the winner is selected by a deterministic
+	// (gain, target line, direction) tie-break after all subproblems
+	// finish. Under a truncating MaxNodes budget the schedule can affect
+	// which incumbent a cut-off search reports, so budgeted runs are only
+	// reproducible at Workers = 1.
+	Workers int
 	// Metrics, when non-nil, receives core_*, milp_*, and lp_* counters
 	// from the whole attack-generation stack. Nil costs ~nothing.
 	Metrics *telemetry.Registry
@@ -213,7 +224,18 @@ func (o Options) withDefaults() Options {
 	if o.MaxNodes <= 0 {
 		o.MaxNodes = 50000
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
+}
+
+// forWorker returns a Knowledge whose Model is a shallow clone of k's —
+// sharing the immutable network, sensitivity matrix, and PTDF, with its own
+// warm-start memory — so a solver worker can run dispatches without racing
+// its siblings. TrueDLR is shared: it is read-only throughout the solve.
+func (k *Knowledge) forWorker() *Knowledge {
+	return &Knowledge{Model: k.Model.ShallowClone(), TrueDLR: k.TrueDLR}
 }
 
 // ratingsUnder builds the full effective rating vector for a manipulation.

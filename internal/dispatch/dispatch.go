@@ -33,6 +33,11 @@ var ErrInfeasible = errors.New("dispatch: economic dispatch infeasible")
 // Model is the affine DC-ED model: flows as a function of generator output,
 // plus cost data. Build once per (topology, demand) pair; ratings can vary
 // per solve.
+//
+// A Model is NOT safe for concurrent Solve/SetDemands calls: Solve mutates
+// the warm-start memory (lastBinding) and SetDemands rewrites Base/Demand.
+// Concurrent workers should each hold a ShallowClone, which shares the
+// expensive immutable inputs (Net, M, ptdf) and owns the mutable state.
 type Model struct {
 	// Net is the underlying network.
 	Net *grid.Network
@@ -104,6 +109,39 @@ func (m *Model) SetDemands(demands []float64) error {
 	m.Base = base
 	m.Demand = total
 	return nil
+}
+
+// ShallowClone returns a Model sharing this model's immutable inputs — the
+// network, the flow-sensitivity matrix, and the PTDF — with its own copy of
+// the demand state and empty warm-start memory. Clones are what parallel
+// solver workers hold: building one costs a single Base-vector copy, versus
+// the O(n³) PTDF factorization BuildModel pays.
+func (m *Model) ShallowClone() *Model {
+	c := &Model{
+		Net:     m.Net,
+		M:       m.M,
+		Demand:  m.Demand,
+		ptdf:    m.ptdf,
+		Metrics: m.Metrics,
+	}
+	c.Base = append([]float64(nil), m.Base...)
+	return c
+}
+
+// ForDemands returns a ShallowClone with the per-bus demand overridden —
+// the concurrency-safe counterpart of SetDemands for scenario workers that
+// each dispatch a different load snapshot. When net is non-nil the clone is
+// additionally pointed at that network (e.g. a per-scenario copy with scaled
+// bus loads for AC evaluation); it must be topologically identical.
+func (m *Model) ForDemands(demands []float64, net *grid.Network) (*Model, error) {
+	c := m.ShallowClone()
+	if net != nil {
+		c.Net = net
+	}
+	if err := c.SetDemands(demands); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // FlowsFor evaluates the DC line flows for a dispatch p.

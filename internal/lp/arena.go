@@ -1,0 +1,45 @@
+package lp
+
+import "sync"
+
+// arena is the reusable float64 scratch space for one simplex solve: the
+// tableau rows plus every per-variable working vector are sub-sliced out of
+// a single pooled buffer. The bilevel attack generator solves thousands of
+// structurally identical LPs per subproblem (and, with parallel subproblems,
+// from many goroutines at once), so recycling the tableau keeps the solver's
+// steady-state allocation rate near zero; sync.Pool gives each concurrent
+// solve its own buffer without any per-worker plumbing.
+type arena struct {
+	buf []float64
+	off int
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+
+// getArena fetches a pooled arena with capacity for need float64s.
+func getArena(need int) *arena {
+	a := arenaPool.Get().(*arena)
+	if cap(a.buf) < need {
+		a.buf = make([]float64, need)
+	}
+	a.buf = a.buf[:cap(a.buf)]
+	a.off = 0
+	return a
+}
+
+// take carves a zeroed length-n slice out of the arena. Pooled memory is
+// dirty from earlier solves, so callers rely on take's clearing the slice.
+func (a *arena) take(n int) []float64 {
+	s := a.buf[a.off : a.off+n]
+	a.off += n
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// release returns the arena to the pool. The caller must not retain any
+// slice obtained from take — Solution vectors are always fresh copies.
+func (a *arena) release() {
+	arenaPool.Put(a)
+}

@@ -241,6 +241,9 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The solution vectors are fresh copies, so the scratch arena can go
+	// back to the pool as soon as the solve (and its metrics) are done.
+	defer s.ar.release()
 	sol, err := s.run()
 	if m := opts.Metrics; m != nil {
 		m.Counter("lp_solves_total").Inc()

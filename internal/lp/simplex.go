@@ -42,6 +42,7 @@ type simplex struct {
 	maximize bool
 	userC    []float64
 	rows     []Constraint
+	ar       *arena // pooled scratch backing tab and the working vectors
 
 	// Pivot-accounting counters, kept after the hot fields so the layout
 	// of the per-pivot working set matches the uninstrumented solver.
@@ -59,6 +60,11 @@ func newSimplex(p *Problem, opts Options) (*simplex, error) {
 			nslack++
 		}
 	}
+	for j := 0; j < n; j++ {
+		if p.lower[j] > p.upper[j] {
+			return nil, fmt.Errorf("lp: variable %d has inconsistent bounds [%g, %g]", j, p.lower[j], p.upper[j])
+		}
+	}
 	s := &simplex{
 		opts:     opts,
 		m:        m,
@@ -70,8 +76,11 @@ func newSimplex(p *Problem, opts Options) (*simplex, error) {
 		userC:    p.c,
 		rows:     p.rows,
 	}
-	s.lower = make([]float64, s.total)
-	s.upper = make([]float64, s.total)
+	// One pooled buffer covers the tableau (m×total), the six per-variable
+	// working vectors (lower, upper, costII, z, costI, xN), and xB.
+	s.ar = getArena((m+6)*s.total + m)
+	s.lower = s.ar.take(s.total)
+	s.upper = s.ar.take(s.total)
 	copy(s.lower, p.lower)
 	copy(s.upper, p.upper)
 	for j := n; j < s.artOff; j++ { // slacks: [0, +Inf)
@@ -80,13 +89,9 @@ func newSimplex(p *Problem, opts Options) (*simplex, error) {
 	for j := s.artOff; j < s.total; j++ { // artificials: [0, +Inf) in phase I
 		s.upper[j] = math.Inf(1)
 	}
-	for j := 0; j < n; j++ {
-		if p.lower[j] > p.upper[j] {
-			return nil, fmt.Errorf("lp: variable %d has inconsistent bounds [%g, %g]", j, p.lower[j], p.upper[j])
-		}
-	}
 
-	s.costII = make([]float64, s.total)
+	s.costII = s.ar.take(s.total)
+	s.z = s.ar.take(s.total)
 	sign := 1.0
 	if p.maximize {
 		sign = -1
@@ -100,9 +105,9 @@ func newSimplex(p *Problem, opts Options) (*simplex, error) {
 	s.tab = make([][]float64, m)
 	s.rhsFlip = make([]bool, m)
 	s.basis = make([]int, m)
-	s.xB = make([]float64, m)
+	s.xB = s.ar.take(m)
 	s.status = make([]varStatus, s.total)
-	s.xN = make([]float64, s.total)
+	s.xN = s.ar.take(s.total)
 
 	// Initial nonbasic placement: nearest finite bound, free at 0.
 	for j := 0; j < s.total; j++ {
@@ -121,7 +126,7 @@ func newSimplex(p *Problem, opts Options) (*simplex, error) {
 
 	slackAt := n
 	for i, row := range p.rows {
-		t := make([]float64, s.total)
+		t := s.ar.take(s.total)
 		copy(t, row.Coeffs)
 		switch row.Rel {
 		case LE:
@@ -160,7 +165,7 @@ func newSimplex(p *Problem, opts Options) (*simplex, error) {
 // run executes both phases and assembles the solution.
 func (s *simplex) run() (*Solution, error) {
 	// Phase I: minimize the sum of artificials.
-	costI := make([]float64, s.total)
+	costI := s.ar.take(s.total)
 	for j := s.artOff; j < s.total; j++ {
 		costI[j] = 1
 	}
@@ -211,8 +216,8 @@ func (s *simplex) phaseObjective(cost []float64) float64 {
 }
 
 // initReducedCosts fills the z row for the given phase cost: z_j = c_j − yᵀA_j.
+// The z vector lives in the pooled arena and is fully overwritten here.
 func (s *simplex) initReducedCosts(cost []float64) {
-	s.z = make([]float64, s.total)
 	copy(s.z, cost)
 	for i := 0; i < s.m; i++ {
 		cb := cost[s.basis[i]]

@@ -51,6 +51,14 @@ func (s Status) String() string {
 // that may go negative.
 var ErrBadPair = errors.New("milp: complementarity pair variables must have non-negative lower bounds")
 
+// BoundSource supplies an externally proven incumbent objective to a running
+// search (see Options.Bound). Bound reports the current external objective
+// and whether one exists; it is called on the searching goroutine but may be
+// updated from others, so implementations must synchronize internally.
+type BoundSource interface {
+	Bound() (obj float64, ok bool)
+}
+
 // Problem couples an LP relaxation with integrality/complementarity
 // structure.
 type Problem struct {
@@ -125,6 +133,16 @@ type Options struct {
 	// Incumbent, when non-nil, seeds the search with a known feasible
 	// objective value for pruning (e.g. from a heuristic attack).
 	Incumbent *float64
+	// Bound, when non-nil, supplies an external incumbent objective proven
+	// elsewhere while this search runs (e.g. by a concurrent sibling
+	// subproblem). It is polled once per node; the search prunes against
+	// the tighter of the local incumbent and this bound, so a bound that
+	// improves mid-solve immediately tightens all remaining nodes.
+	// Implementations must be safe for concurrent use and monotone in the
+	// problem's own sense (only ever tightening); the searched problem's
+	// returned solution may still be worse than the final bound — callers
+	// arbitrate across searches themselves.
+	Bound BoundSource
 	// Heuristic, when non-nil, is invoked with each node relaxation's
 	// point and may return a feasible objective and point to update the
 	// incumbent even though the relaxation point itself is fractional or
@@ -315,14 +333,21 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 			}
 		}
 
-		// Bound pruning.
-		if incumbent != nil || o.Incumbent != nil {
-			gapTol := o.Gap * (1 + math.Abs(incObj))
-			if maximize && rel.Objective <= incObj+gapTol {
+		// Bound pruning against the tighter of the local incumbent and
+		// the external shared bound (if any).
+		pruneRef, havePrune := incObj, incumbent != nil || o.Incumbent != nil
+		if o.Bound != nil {
+			if b, ok := o.Bound.Bound(); ok && (!havePrune || better(b, pruneRef)) {
+				pruneRef, havePrune = b, true
+			}
+		}
+		if havePrune {
+			gapTol := o.Gap * (1 + math.Abs(pruneRef))
+			if maximize && rel.Objective <= pruneRef+gapTol {
 				pruned++
 				continue
 			}
-			if !maximize && rel.Objective >= incObj-gapTol {
+			if !maximize && rel.Objective >= pruneRef-gapTol {
 				pruned++
 				continue
 			}

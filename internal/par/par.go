@@ -1,0 +1,68 @@
+// Package par provides the small worker-pool primitive shared by the
+// parallel solver paths: Algorithm 1's bilevel subproblem fan-out, the
+// heuristic attacker candidate sweeps, N−1 contingency screening, and
+// per-step time-series runs. It deliberately has no knowledge of the work
+// being done — callers own result slots indexed by task, which keeps every
+// parallel pipeline deterministic: workers race on *scheduling* only, never
+// on result placement.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve normalizes a worker-count knob: values <= 0 mean "one worker per
+// available CPU" (runtime.GOMAXPROCS(0)), and the count is capped at the
+// task count so small fan-outs do not spawn idle goroutines.
+func Resolve(workers, tasks int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Each invokes fn(i) for every i in [0, n), spreading calls over
+// Resolve(workers, n) goroutines and returning once all calls complete.
+// Tasks are claimed dynamically (an atomic cursor), so long tasks do not
+// leave workers idle behind a static partition. With workers <= 1 (or n <=
+// 1) the calls run inline on the caller's goroutine in index order, which
+// gives a strictly sequential reference schedule for determinism tests.
+//
+// fn must write results only to per-index storage (or otherwise
+// synchronize); Each itself provides the completion barrier.
+func Each(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Resolve(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,75 @@
+package par_test
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"github.com/edsec/edattack/internal/par"
+)
+
+func TestResolve(t *testing.T) {
+	ncpu := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		workers, tasks, want int
+	}{
+		{0, 100, min(ncpu, 100)},
+		{-3, 100, min(ncpu, 100)},
+		{4, 100, 4},
+		{8, 3, 3},
+		{1, 10, 1},
+		{5, 0, 1},
+	}
+	for _, c := range cases {
+		if got := par.Resolve(c.workers, c.tasks); got != c.want {
+			t.Errorf("Resolve(%d, %d) = %d, want %d", c.workers, c.tasks, got, c.want)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestEachCoversEveryIndexOnce checks the dynamic-claim pool visits each
+// index exactly once for worker counts spanning inline and parallel paths.
+func TestEachCoversEveryIndexOnce(t *testing.T) {
+	const n = 1000
+	for _, w := range []int{1, 2, 4, 0} {
+		counts := make([]atomic.Int32, n)
+		par.Each(w, n, func(i int) {
+			counts[i].Add(1)
+		})
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", w, i, got)
+			}
+		}
+	}
+}
+
+// TestEachSequentialOrder checks the workers=1 path runs inline in index
+// order — the reference schedule determinism tests compare against.
+func TestEachSequentialOrder(t *testing.T) {
+	var order []int
+	par.Each(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline schedule out of order: %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("expected 5 calls, got %d", len(order))
+	}
+}
+
+func TestEachZeroTasks(t *testing.T) {
+	called := false
+	par.Each(4, 0, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for n=0")
+	}
+}

@@ -101,13 +101,20 @@ func StartSpan(t *Tracer, parent *Span, name string) *Span {
 	return t.Start(name)
 }
 
-// SetAttr records a key/value attribute on the span.
+// SetAttr records a key/value attribute on the span. Attributes set after
+// End are dropped: End hands the attrs map to the emitter outside the span
+// lock, so a post-End write would race with serialization. Spans are safe
+// for concurrent use — workers may set attributes on (and create children
+// of) a shared parent span freely.
 func (s *Span) SetAttr(key string, value any) {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.done {
+		return
+	}
 	if s.attrs == nil {
 		s.attrs = make(map[string]any, 8)
 	}

@@ -118,3 +118,60 @@ func TestTelemetryTraceConcurrent(t *testing.T) {
 		ids[ev.ID] = true
 	}
 }
+
+// TestTelemetryTraceConcurrentChildren is the parallel-solver usage pattern:
+// many workers call StartSpan(nil, root, ...) against one root span, set
+// attributes on their children AND on the shared root, while the root may
+// End concurrently. Run under -race this pins down the Span contract: child
+// creation and SetAttr must never race on the parent's state, and attributes
+// set after End are dropped rather than racing with event serialization.
+func TestTelemetryTraceConcurrentChildren(t *testing.T) {
+	var buf lockedBuffer
+	tr := NewTracer(&buf)
+	root := StartSpan(tr, nil, "core.find_optimal_attack")
+	var wg sync.WaitGroup
+	const workers = 16
+	const spansPerWorker = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for s := 0; s < spansPerWorker; s++ {
+				sub := StartSpan(nil, root, "core.subproblem")
+				sub.SetAttr("worker", w)
+				grand := StartSpan(nil, sub, "milp.solve")
+				grand.SetAttr("nodes", s)
+				grand.End()
+				sub.End()
+				// Deliberately poke the shared parent from every worker,
+				// including after some goroutine may have ended it.
+				root.SetAttr("last_worker", w)
+			}
+		}(w)
+	}
+	// End the root while workers are still running: late SetAttr calls on
+	// it must be silently dropped, not race with the emitter.
+	root.End()
+	wg.Wait()
+	events := parseSpans(t, buf.String())
+	want := workers*spansPerWorker*2 + 1
+	if len(events) != want {
+		t.Fatalf("got %d events, want %d", len(events), want)
+	}
+	byID := map[uint64]SpanEvent{}
+	for _, ev := range events {
+		if _, dup := byID[ev.ID]; dup {
+			t.Fatalf("duplicate span id %d", ev.ID)
+		}
+		byID[ev.ID] = ev
+	}
+	// Every non-root span's parent chain must resolve to the root.
+	for _, ev := range events {
+		if ev.Parent == 0 {
+			continue
+		}
+		if _, ok := byID[ev.Parent]; !ok {
+			t.Fatalf("span %d has unknown parent %d", ev.ID, ev.Parent)
+		}
+	}
+}

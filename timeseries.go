@@ -8,6 +8,7 @@ import (
 	"github.com/edsec/edattack/internal/core"
 	"github.com/edsec/edattack/internal/dispatch"
 	"github.com/edsec/edattack/internal/dlr"
+	"github.com/edsec/edattack/internal/par"
 )
 
 // Pattern re-exports the dlr daily pattern type.
@@ -72,6 +73,11 @@ type TimeSeriesConfig struct {
 	// unhardened operator; combine with AttackerNone for a pure
 	// mitigation-cost study.
 	RobustMarginPct float64
+	// Workers > 1 spreads the day's steps over that many goroutines, each
+	// step solving against its own network and model clone; 0 or 1 keeps
+	// the sequential sweep. Steps are independent (each re-derives demand
+	// and ratings from its hour), and results assemble in hour order.
+	Workers int
 }
 
 // TimeStep is one row of a time-series study.
@@ -143,51 +149,39 @@ func RunTimeSeries(cfg TimeSeriesConfig) ([]TimeStep, error) {
 	if err != nil {
 		return nil, fmt.Errorf("edattack: %w", err)
 	}
-	steps := make([]TimeStep, 0, len(hours))
-	for _, h := range hours {
-		scale := 1.0
-		if cfg.DemandScale != nil {
-			scale = cfg.DemandScale(h)
-		}
-		demands := make([]float64, len(net.Buses))
-		for i := range net.Buses {
-			demands[i] = nominalPd[i] * scale
-			net.Buses[i].Pd = demands[i]
-			net.Buses[i].Qd = nominalQd[i] * scale
-		}
-		if err := model.SetDemands(demands); err != nil {
-			return nil, err
-		}
+
+	// runStep computes one row against a network and model whose demands
+	// are already set for hour h. Both sweeps below funnel through it.
+	runStep := func(h float64, stepNet *Network, stepModel *dispatch.Model) (TimeStep, error) {
 		ud := make(map[int]float64, len(dlrLines))
 		for _, li := range dlrLines {
-			l := &net.Lines[li]
+			l := &stepNet.Lines[li]
 			v := cfg.RatingPatterns[li](h)
 			ud[li] = math.Max(l.DLRMin, math.Min(l.DLRMax, v))
 		}
 		step := TimeStep{
 			Hour:     h,
-			DemandMW: model.Demand,
+			DemandMW: stepModel.Demand,
 			TrueDLR:  ud,
 		}
-		k, err := core.NewKnowledge(model, ud)
+		k, err := core.NewKnowledge(stepModel, ud)
 		if err != nil {
-			return nil, err
+			return step, err
 		}
 		// Operator baseline under true ratings.
-		baseRatings := net.Ratings(ud)
+		baseRatings := stepNet.Ratings(ud)
 		if cfg.RobustMarginPct > 0 {
 			for _, li := range dlrLines {
 				baseRatings[li] *= 1 - cfg.RobustMarginPct
 			}
 		}
-		base, err := model.Solve(baseRatings)
+		base, err := stepModel.Solve(baseRatings)
 		switch {
 		case errors.Is(err, dispatch.ErrInfeasible):
 			step.Feasible = false
-			steps = append(steps, step)
-			continue
+			return step, nil
 		case err != nil:
-			return nil, err
+			return step, err
 		}
 		step.Feasible = true
 		step.NoAttackCost = base.Cost
@@ -202,14 +196,13 @@ func RunTimeSeries(cfg TimeSeriesConfig) ([]TimeStep, error) {
 		case AttackerCoordinate:
 			att, err = core.CoordinateAscentAttack(k, cfg.Coordinate)
 		default:
-			return nil, fmt.Errorf("edattack: unknown attacker kind %v", cfg.Attacker)
+			return step, fmt.Errorf("edattack: unknown attacker kind %v", cfg.Attacker)
 		}
 		if err != nil && !errors.Is(err, core.ErrNoFeasibleAttack) {
-			return nil, fmt.Errorf("edattack: attacker at hour %.2f: %w", h, err)
+			return step, fmt.Errorf("edattack: attacker at hour %.2f: %w", h, err)
 		}
 		if att == nil {
-			steps = append(steps, step)
-			continue
+			return step, nil
 		}
 		step.Attack = att
 		step.GainDCPct = att.GainPct
@@ -221,11 +214,11 @@ func RunTimeSeries(cfg TimeSeriesConfig) ([]TimeStep, error) {
 		if cfg.ACEvaluate {
 			// True ratings vector restricted to DLR lines: the
 			// attacker's utility is scored against u^d there.
-			ratings := make([]float64, len(net.Lines))
+			ratings := make([]float64, len(stepNet.Lines))
 			for _, li := range dlrLines {
 				ratings[li] = ud[li]
 			}
-			ev, err := dispatch.EvaluateACWith(net, att.PredictedP, ratings, cfg.AttackOptions.Metrics)
+			ev, err := dispatch.EvaluateACWith(stepNet, att.PredictedP, ratings, cfg.AttackOptions.Metrics)
 			if err == nil {
 				step.GainACPct = ev.WorstPct
 				step.CostAC = ev.Cost
@@ -237,6 +230,67 @@ func RunTimeSeries(cfg TimeSeriesConfig) ([]TimeStep, error) {
 			// AC divergence is reported as zeroed fields rather than
 			// aborting the sweep: a non-converging corner case is a
 			// data point, not a harness failure.
+		}
+		return step, nil
+	}
+
+	stepDemands := func(h float64) ([]float64, []float64) {
+		scale := 1.0
+		if cfg.DemandScale != nil {
+			scale = cfg.DemandScale(h)
+		}
+		pd := make([]float64, len(net.Buses))
+		qd := make([]float64, len(net.Buses))
+		for i := range net.Buses {
+			pd[i] = nominalPd[i] * scale
+			qd[i] = nominalQd[i] * scale
+		}
+		return pd, qd
+	}
+
+	if cfg.Workers > 1 {
+		// Parallel sweep: each step solves against its own network clone
+		// and shallow model clone, so no step observes another's demand
+		// mutations or warm-start state. Rows assemble in hour order and
+		// the first error (by hour) wins, matching the sequential sweep.
+		steps := make([]TimeStep, len(hours))
+		errs := make([]error, len(hours))
+		par.Each(cfg.Workers, len(hours), func(i int) {
+			h := hours[i]
+			pd, qd := stepDemands(h)
+			stepNet := net.Clone()
+			for bi := range stepNet.Buses {
+				stepNet.Buses[bi].Pd = pd[bi]
+				stepNet.Buses[bi].Qd = qd[bi]
+			}
+			stepModel, err := model.ForDemands(pd, stepNet)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			steps[i], errs[i] = runStep(h, stepNet, stepModel)
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return steps, nil
+	}
+
+	steps := make([]TimeStep, 0, len(hours))
+	for _, h := range hours {
+		pd, qd := stepDemands(h)
+		for i := range net.Buses {
+			net.Buses[i].Pd = pd[i]
+			net.Buses[i].Qd = qd[i]
+		}
+		if err := model.SetDemands(pd); err != nil {
+			return nil, err
+		}
+		step, err := runStep(h, net, model)
+		if err != nil {
+			return nil, err
 		}
 		steps = append(steps, step)
 	}

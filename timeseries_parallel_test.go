@@ -1,0 +1,88 @@
+package edattack_test
+
+import (
+	"testing"
+
+	edattack "github.com/edsec/edattack"
+	"github.com/edsec/edattack/internal/dlr"
+)
+
+// TestRunTimeSeriesWorkers checks the parallel per-step sweep returns the
+// same study as the sequential one: same rows in hour order with matching
+// feasibility, costs, and attack identities.
+func TestRunTimeSeriesWorkers(t *testing.T) {
+	net, err := edattack.LoadCase("case3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := edattack.TimeSeriesConfig{
+		Net:         net,
+		DemandScale: dlr.TwoPeakDemand(0.58, 0.72, 0.78),
+		RatingPatterns: map[int]edattack.Pattern{
+			1: dlr.Sinusoidal(100, 200, 2),
+			2: dlr.Sinusoidal(100, 200, 9),
+		},
+		StepMinutes: 120,
+		Attacker:    edattack.AttackerOptimal,
+		ACEvaluate:  true,
+	}
+	seq, err := edattack.RunTimeSeries(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	parl, err := edattack.RunTimeSeries(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parl) != len(seq) {
+		t.Fatalf("parallel run has %d steps, sequential %d", len(parl), len(seq))
+	}
+	const tol = 1e-9
+	close := func(a, b float64) bool {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d <= tol*(1+max(abs(a), abs(b)))
+	}
+	for i := range seq {
+		s, p := seq[i], parl[i]
+		if s.Hour != p.Hour || s.Feasible != p.Feasible {
+			t.Fatalf("step %d: (hour %v feasible %v) vs sequential (hour %v feasible %v)",
+				i, p.Hour, p.Feasible, s.Hour, s.Feasible)
+		}
+		if !close(s.DemandMW, p.DemandMW) || !close(s.NoAttackCost, p.NoAttackCost) {
+			t.Fatalf("step %d: demand/cost (%v, %v) vs sequential (%v, %v)",
+				i, p.DemandMW, p.NoAttackCost, s.DemandMW, s.NoAttackCost)
+		}
+		if (s.Attack == nil) != (p.Attack == nil) {
+			t.Fatalf("step %d: attack presence mismatch", i)
+		}
+		if s.Attack == nil {
+			continue
+		}
+		if s.Attack.TargetLine != p.Attack.TargetLine || s.Attack.Direction != p.Attack.Direction {
+			t.Fatalf("step %d: attack (%d, %+d) vs sequential (%d, %+d)",
+				i, p.Attack.TargetLine, p.Attack.Direction, s.Attack.TargetLine, s.Attack.Direction)
+		}
+		if !close(s.GainDCPct, p.GainDCPct) || !close(s.CostDC, p.CostDC) {
+			t.Fatalf("step %d: gain/cost (%v, %v) vs sequential (%v, %v)",
+				i, p.GainDCPct, p.CostDC, s.GainDCPct, s.CostDC)
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
