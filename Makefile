@@ -2,12 +2,13 @@
 
 GO ?= go
 
-.PHONY: check vet build test race telemetry parallel bench bench-workers bench-baseline clean
+.PHONY: check vet build test race telemetry parallel bench bench-workers bench-baseline bench-warmstart clean
 
 ## check: full PR gate — vet, build, race-enabled tests, a doubled run of
-## the telemetry suite (span/journal determinism under repetition), and the
-## concurrency-path determinism tests under the race detector.
-check: vet build race telemetry parallel
+## the telemetry suite (span/journal determinism under repetition), the
+## concurrency-path determinism tests under the race detector, and the
+## warm-start regression gate.
+check: vet build race telemetry parallel bench-warmstart
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +43,13 @@ bench-workers:
 ## for the budgeted case30/case118 attacks.
 bench-baseline:
 	BENCH_SOLVER=1 $(GO) test -run TestRecordSolverBaseline .
+
+## bench-warmstart: the warm-started dual simplex regression gate —
+## bit-identical attacks across worker counts and warm on/off on
+## case9/30/57, and the case118 budgeted pivot total pinned at ≥3× under
+## the pre-warm-start baseline, cross-checked against BENCH_solver.json.
+bench-warmstart:
+	$(GO) test -run 'TestWarmStart' -count=1 .
 
 clean:
 	$(GO) clean ./...

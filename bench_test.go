@@ -524,6 +524,14 @@ func TestRecordSolverBaseline(t *testing.T) {
 		SimplexIterations int     `json:"simplex_iterations"`
 		RowGenRounds      int     `json:"rowgen_rounds"`
 		GainPct           float64 `json:"gain_pct"`
+		// Warm-start effectiveness (deterministic, Workers=1): nodes
+		// solved by the warm dual simplex path, nodes where the warm
+		// basis fell back to a cold solve, the resulting hit rate, and
+		// average pivots per branch-and-bound node.
+		WarmNodes     int     `json:"warm_nodes"`
+		WarmFallbacks int     `json:"warm_fallbacks"`
+		WarmHitRate   float64 `json:"warm_hit_rate"`
+		PivotsPerNode float64 `json:"pivots_per_node"`
 		// Wall times are machine-dependent (unlike the work counts above,
 		// which are recorded at Workers=1 and deterministic): sequential
 		// is Workers=1, parallel is Workers=GOMAXPROCS. On a single-core
@@ -535,7 +543,7 @@ func TestRecordSolverBaseline(t *testing.T) {
 	}
 	opts := edattack.AttackOptions{MaxNodes: 40, RelGap: 1e-3}
 	var records []record
-	for _, name := range []string{"case30", "case118"} {
+	for _, name := range []string{"case9", "case30", "case57", "case118"} {
 		k := knowledgeCase(t, name)
 		// Deterministic work counts: the sequential reference schedule.
 		seqOpts := opts
@@ -556,6 +564,11 @@ func TestRecordSolverBaseline(t *testing.T) {
 			t.Fatal(err)
 		}
 		parWall := time.Since(parStart)
+		var hitRate, pivotsPerNode float64
+		if att.Stats.Nodes > 0 {
+			hitRate = float64(att.Stats.WarmNodes) / float64(att.Stats.Nodes)
+			pivotsPerNode = float64(att.Stats.SimplexIterations) / float64(att.Stats.Nodes)
+		}
 		records = append(records, record{
 			Case:              name,
 			DLRLines:          len(k.Model.Net.DLRLines()),
@@ -565,6 +578,10 @@ func TestRecordSolverBaseline(t *testing.T) {
 			SimplexIterations: att.Stats.SimplexIterations,
 			RowGenRounds:      att.Stats.Rounds,
 			GainPct:           att.GainPct,
+			WarmNodes:         att.Stats.WarmNodes,
+			WarmFallbacks:     att.Stats.WarmFallbacks,
+			WarmHitRate:       hitRate,
+			PivotsPerNode:     pivotsPerNode,
 			WallMsSequential:  float64(seqWall.Microseconds()) / 1000,
 			WallMsParallel:    float64(parWall.Microseconds()) / 1000,
 			ParallelWorkers:   parOpts.Workers,

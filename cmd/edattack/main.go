@@ -147,5 +147,9 @@ func printAttack(net *edattack.Network, k *edattack.Knowledge, label string, att
 	if s := att.Stats; s != nil {
 		fmt.Printf("  solver: %d subproblems (%d pruned), %d simplex pivots, %d row-gen rounds, %v\n",
 			s.Subproblems, s.Pruned, s.SimplexIterations, s.Rounds, s.WallTime.Round(time.Microsecond))
+		if s.Nodes > 0 {
+			fmt.Printf("  warm starts: %d/%d nodes (%.0f%% hit rate), %d fallbacks\n",
+				s.WarmNodes, s.Nodes, 100*float64(s.WarmNodes)/float64(s.Nodes), s.WarmFallbacks)
+		}
 	}
 }

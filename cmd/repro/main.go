@@ -21,6 +21,7 @@ import (
 	"github.com/edsec/edattack/internal/dispatch"
 	"github.com/edsec/edattack/internal/dlr"
 	"github.com/edsec/edattack/internal/grid/cases"
+	"github.com/edsec/edattack/internal/telemetry"
 )
 
 // obs carries the -trace/-metrics/-debug sinks to every experiment; its
@@ -172,6 +173,13 @@ func fig5(steps, nodes int) error {
 		AttackOptions:  withObs(edattack.AttackOptions{MaxNodes: nodes, RelGap: 1e-3}),
 		ACEvaluate:     true,
 	}
+	// Always run the scalability study against a registry so the summary
+	// line can report warm-start effectiveness even without -metrics.
+	metrics := cfg.AttackOptions.Metrics
+	if metrics == nil {
+		metrics = telemetry.NewRegistry()
+		cfg.AttackOptions.Metrics = metrics
+	}
 	for i, li := range net.DLRLines() {
 		l := net.Lines[li]
 		cfg.RatingPatterns[li] = dlr.Sinusoidal(l.DLRMin, l.DLRMax, float64(2+3*i%24))
@@ -182,7 +190,15 @@ func fig5(steps, nodes int) error {
 		return err
 	}
 	printSeries("Fig. 5 — 118-bus 24-hour study", rows)
-	fmt.Printf("(%d steps in %v)\n", len(rows), time.Since(start).Round(time.Second))
+	warm := metrics.Counter("lp_warm_solves_total").Value()
+	fall := metrics.Counter("lp_warm_fallbacks_total").Value()
+	if tried := warm + fall; tried > 0 {
+		fmt.Printf("(%d steps in %v; warm LP starts %d/%d, %.0f%% hit rate, %d fallbacks)\n",
+			len(rows), time.Since(start).Round(time.Second),
+			warm, tried, 100*float64(warm)/float64(tried), fall)
+	} else {
+		fmt.Printf("(%d steps in %v)\n", len(rows), time.Since(start).Round(time.Second))
+	}
 	return nil
 }
 

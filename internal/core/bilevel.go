@@ -94,8 +94,16 @@ type subproblem struct {
 	span    *telemetry.Span // parents the inner MILP solve spans
 
 	// solvedNodes and solvedLPIters record the last solveOnce's work even
-	// when it yields no usable attack (pruned or infeasible).
-	solvedNodes, solvedLPIters int
+	// when it yields no usable attack (pruned or infeasible); the warm
+	// counters split the nodes into basis-reuse hits and fallbacks.
+	solvedNodes, solvedLPIters         int
+	solvedWarmNodes, solvedWarmFwdFall int
+
+	// solvedBase and solvedRootBasis carry the solved LP and its root
+	// relaxation basis to the next row-generation round, where the basis is
+	// remapped onto the grown problem (old rows are a prefix of new rows).
+	solvedBase      *lp.Problem
+	solvedRootBasis *lp.Basis
 }
 
 // newSubproblem assembles the index bookkeeping for a monitored line set.
@@ -306,6 +314,67 @@ func (s *subproblem) build() (*milp.Problem, error) {
 	return prob, nil
 }
 
+// remapRootBasis translates the previous round's root-relaxation basis onto
+// the next round's grown problem. Row generation only ever appends monitored
+// lines, so the old inequality rows are a prefix of the new ones; every old
+// variable and constraint has a computable new index, and the rows added for
+// fresh flow pairs keep their artificial basic (zero cost, so the remapped
+// basis stays dual-feasible in the old columns). Returns nil — meaning "cold
+// solve the new root" — whenever the layouts are not a clean extension.
+func (s *subproblem) remapRootBasis(next *subproblem, nextBase *lp.Problem) *lp.Basis {
+	if s.solvedRootBasis == nil || s.solvedBase == nil {
+		return nil
+	}
+	if s.method != next.method || s.np != next.np || s.nx != next.nx || s.ni > next.ni {
+		return nil
+	}
+	for j := 0; j < s.ni; j++ {
+		if s.rows[j] != next.rows[j] {
+			return nil
+		}
+	}
+	ng := s.np
+	oldNvars := s.muOff
+	if s.method == MethodBigM {
+		oldNvars += s.ni
+	}
+	varMap := make([]int, oldNvars)
+	for j := 0; j < s.nx+s.np; j++ { // x and p blocks are identical
+		varMap[j] = j
+	}
+	for j := 0; j < s.ni; j++ {
+		varMap[s.sOff+j] = next.sOff + j
+		varMap[s.lamOff+j] = next.lamOff + j
+	}
+	varMap[s.nuIdx] = next.nuIdx
+	if s.method == MethodBigM {
+		for j := 0; j < s.ni; j++ {
+			varMap[s.muOff+j] = next.muOff + j
+		}
+	}
+	// Constraint rows in build() order: balance, one primal-feasibility row
+	// per inequality, ng stationarity rows, then (big-M only) two LE rows
+	// per inequality.
+	oldRows := 1 + s.ni + ng
+	if s.method == MethodBigM {
+		oldRows += 2 * s.ni
+	}
+	rowMap := make([]int, oldRows)
+	rowMap[0] = 0
+	for j := 0; j < s.ni; j++ {
+		rowMap[1+j] = 1 + j
+	}
+	for i := 0; i < ng; i++ {
+		rowMap[1+s.ni+i] = 1 + next.ni + i
+	}
+	if s.method == MethodBigM {
+		for r := 0; r < 2*s.ni; r++ {
+			rowMap[1+s.ni+ng+r] = 1 + next.ni + ng + r
+		}
+	}
+	return s.solvedRootBasis.Remap(s.solvedBase, nextBase, varMap, rowMap)
+}
+
 // subResult is a solved subproblem before row-generation verification.
 type subResult struct {
 	gain    float64 // objective including the −100 constant
@@ -369,24 +438,36 @@ func (s *subproblem) heuristic(relaxX []float64) (float64, []float64, bool) {
 // solveOnce builds and solves the subproblem for the current monitored set.
 // incumbent is a static pruning seed in the LP objective scale; bound, when
 // non-nil, is the live shared incumbent bound polled per branch-and-bound
-// node.
-func (s *subproblem) solveOnce(o Options, incumbent *float64, bound milp.BoundSource) (*subResult, error) {
+// node. prev, when non-nil, is the previous row-generation round's
+// subproblem: its root basis is remapped onto this round's grown problem so
+// the re-solve warm-starts instead of repeating phase I from scratch.
+func (s *subproblem) solveOnce(o Options, incumbent *float64, bound milp.BoundSource, prev *subproblem) (*subResult, error) {
 	prob, err := s.build()
 	if err != nil {
 		return nil, err
 	}
+	s.solvedBase = prob.Base
+	var warmRoot *lp.Basis
+	if prev != nil && !o.NoWarmStart {
+		warmRoot = prev.remapRootBasis(s, prob.Base)
+	}
 	sol, err := milp.SolveWith(prob, milp.Options{
-		MaxNodes:  o.MaxNodes,
-		Incumbent: incumbent,
-		Bound:     bound,
-		Gap:       o.RelGap,
-		Heuristic: s.heuristic,
-		Metrics:   s.metrics,
-		Span:      s.span,
+		MaxNodes:         o.MaxNodes,
+		Incumbent:        incumbent,
+		Bound:            bound,
+		Gap:              o.RelGap,
+		Heuristic:        s.heuristic,
+		WarmBasis:        warmRoot,
+		DisableWarmStart: o.NoWarmStart,
+		Metrics:          s.metrics,
+		Span:             s.span,
 	})
 	if sol != nil {
 		s.solvedNodes = sol.Nodes
 		s.solvedLPIters = sol.LPIterations
+		s.solvedWarmNodes = sol.WarmNodes
+		s.solvedWarmFwdFall = sol.WarmFallbacks
+		s.solvedRootBasis = sol.RootBasis
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: subproblem line %d dir %+g: %w", s.target, s.dir, err)
@@ -507,6 +588,8 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *in
 	}
 
 	var totalNodes, totalIters, rounds int
+	var totalWarm, totalFallbacks int
+	var prevRound *subproblem
 	hadSeed := false
 	exact := true
 	for round := 0; round < o.MaxRounds; round++ {
@@ -523,9 +606,12 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *in
 		if sb != nil {
 			bound = sb
 		}
-		res, err := sp.solveOnce(o, seed, bound)
+		res, err := sp.solveOnce(o, seed, bound, prevRound)
 		totalNodes += sp.solvedNodes
 		totalIters += sp.solvedLPIters
+		totalWarm += sp.solvedWarmNodes
+		totalFallbacks += sp.solvedWarmFwdFall
+		prevRound = sp
 		if err != nil {
 			return nil, err
 		}
@@ -591,6 +677,8 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *in
 					Nodes:             totalNodes,
 					SimplexIterations: totalIters,
 					Rounds:            rounds,
+					WarmNodes:         totalWarm,
+					WarmFallbacks:     totalFallbacks,
 					WallTime:          time.Since(start),
 				},
 			}, nil

@@ -129,6 +129,12 @@ type SolverStats struct {
 	SimplexIterations int
 	// Rounds is the total number of row-generation refinements.
 	Rounds int
+	// WarmNodes counts branch-and-bound node relaxations solved by the
+	// warm-started dual simplex (basis reused from the parent node or, at
+	// round roots, remapped from the previous row-generation round);
+	// WarmFallbacks counts nodes where the warm path handed off to a cold
+	// solve. WarmNodes/Nodes is the warm-start hit rate.
+	WarmNodes, WarmFallbacks int
 	// WallTime is the elapsed time of the producing call.
 	WallTime time.Duration
 }
@@ -143,6 +149,8 @@ func (s *SolverStats) add(o *SolverStats) {
 	s.Nodes += o.Nodes
 	s.SimplexIterations += o.SimplexIterations
 	s.Rounds += o.Rounds
+	s.WarmNodes += o.WarmNodes
+	s.WarmFallbacks += o.WarmFallbacks
 }
 
 // Method selects the single-level reformulation.
@@ -193,6 +201,11 @@ type Options struct {
 	// NoSeed disables warm-starting Algorithm 1's pruning bound with the
 	// greedy vertex attack (seeding is on by default).
 	NoSeed bool
+	// NoWarmStart disables simplex basis reuse across branch-and-bound
+	// nodes and row-generation rounds, cold-solving every LP relaxation.
+	// Results are certified-identical either way; this exists for A/B
+	// measurement and as an escape hatch.
+	NoWarmStart bool
 	// Workers is the number of goroutines solving bilevel subproblems
 	// concurrently (0 = one per CPU core, 1 = sequential). The attack
 	// returned is identical for every worker count when subproblems solve

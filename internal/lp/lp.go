@@ -78,7 +78,8 @@ type Constraint struct {
 }
 
 // Problem is a linear program under construction. The zero value is not
-// usable; create problems with NewProblem.
+// usable; create problems with NewProblem. A Problem is not safe for
+// concurrent solves.
 type Problem struct {
 	nvars    int
 	c        []float64
@@ -86,6 +87,12 @@ type Problem struct {
 	lower    []float64
 	upper    []float64
 	rows     []Constraint
+
+	// rev counts structural changes (added rows); a retained warm-start
+	// tableau is only valid while rev is unchanged. Bound and objective
+	// edits do not invalidate it — B⁻¹A does not depend on them.
+	rev   int
+	cache *simplex // final tableau of the last CaptureBasis solve, if kept
 }
 
 // NewProblem returns a problem with n variables, objective 0, and default
@@ -165,6 +172,7 @@ func (p *Problem) AddConstraint(coeffs []float64, rel Relation, rhs float64) (in
 	row := make([]float64, p.nvars)
 	copy(row, coeffs)
 	p.rows = append(p.rows, Constraint{Coeffs: row, Rel: rel, RHS: rhs})
+	p.rev++
 	return len(p.rows) - 1, nil
 }
 
@@ -199,12 +207,21 @@ type Solution struct {
 	// ReducedCost holds the reduced cost of each structural variable under
 	// the minimization form.
 	ReducedCost []float64
-	// Iterations is the total simplex pivot count across both phases.
+	// Iterations is the total simplex pivot count across both phases. When
+	// a warm start was attempted and fell back, the attempt's pivots are
+	// included, so the count reflects work done, not just the final path.
 	// Finer-grained pivot accounting (phase-I share, degenerate pivots,
 	// bound flips) is reported through Options.Metrics rather than here,
 	// keeping the per-solve allocation in the same size class as the
 	// uninstrumented solver.
 	Iterations int
+	// Warm reports that the solution was produced by the warm-started dual
+	// simplex path rather than a cold two-phase solve.
+	Warm bool
+	// Basis is a snapshot of the optimal basis, captured only when
+	// Options.CaptureBasis is set and Status == Optimal. It can seed a
+	// later solve of the same problem shape via Options.WarmBasis.
+	Basis *Basis
 }
 
 // Options tune the simplex.
@@ -217,6 +234,18 @@ type Options struct {
 	// Metrics, when non-nil, receives lp_* solve/pivot counters and the
 	// lp_pivots histogram. A nil registry costs one branch per solve.
 	Metrics *telemetry.Registry
+	// WarmBasis, when non-nil, seeds the solve with a basis captured from
+	// an earlier solve of the same problem shape (bounds and objective may
+	// differ). If the basis is still dual-feasible the solver skips phase I
+	// and restores primal feasibility with bound-flipping dual pivots; in
+	// every case where the warm path cannot certify a result it falls back
+	// to the cold two-phase solve, so results never depend on the hint.
+	WarmBasis *Basis
+	// CaptureBasis records the optimal basis in Solution.Basis and retains
+	// the final tableau on the Problem so the next warm solve can reuse it.
+	// Callers running a capture-enabled sequence should finish with
+	// Problem.ReleaseSolverCache.
+	CaptureBasis bool
 }
 
 func (o Options) withDefaults() Options {
@@ -237,21 +266,73 @@ func Solve(p *Problem) (*Solution, error) {
 // SolveWith solves the problem with explicit options.
 func SolveWith(p *Problem, opts Options) (*Solution, error) {
 	opts = opts.withDefaults()
-	s, err := newSimplex(p, opts)
-	if err != nil {
-		return nil, err
+	var (
+		sol                     *Solution
+		err                     error
+		warmTried, warmUsed     bool
+		iters, p1, degen, flips int
+		dualPivs                int
+		s                       *simplex
+	)
+	if b := opts.WarmBasis; b != nil {
+		warmTried = true
+		ws, wsol := trySolveWarm(p, opts, b)
+		if ws != nil {
+			iters += ws.iters
+			degen += ws.degenPivots
+			flips += ws.boundFlips
+			dualPivs += ws.dualPivots
+		}
+		if wsol != nil {
+			sol, s, warmUsed = wsol, ws, true
+		} else if ws != nil {
+			// Failed attempt: its scratch goes back to the pool; any
+			// pivots it burned stay in the totals below.
+			ws.ar.release()
+		}
 	}
-	// The solution vectors are fresh copies, so the scratch arena can go
-	// back to the pool as soon as the solve (and its metrics) are done.
-	defer s.ar.release()
-	sol, err := s.run()
+	if sol == nil {
+		cs, cerr := newSimplex(p, opts)
+		if cerr != nil {
+			return nil, cerr
+		}
+		sol, err = cs.run()
+		iters += cs.iters
+		p1 += cs.phase1Iters
+		degen += cs.degenPivots
+		flips += cs.boundFlips
+		s = cs
+	}
+	if sol != nil {
+		sol.Iterations = iters
+		sol.Warm = warmUsed
+		if opts.CaptureBasis && sol.Status == Optimal {
+			sol.Basis = captureBasis(s)
+		}
+	}
+	// The solution vectors are fresh copies, so the scratch either goes
+	// back to the pool or — on capture-enabled solves — is retained on the
+	// Problem as the next warm start's tableau.
+	if err == nil && opts.CaptureBasis {
+		p.storeCache(s)
+	} else {
+		s.ar.release()
+	}
 	if m := opts.Metrics; m != nil {
 		m.Counter("lp_solves_total").Inc()
-		m.Counter("lp_pivots_total").Add(int64(s.iters))
-		m.Counter("lp_phase1_pivots_total").Add(int64(s.phase1Iters))
-		m.Counter("lp_degenerate_pivots_total").Add(int64(s.degenPivots))
-		m.Counter("lp_bound_flips_total").Add(int64(s.boundFlips))
-		m.Histogram("lp_pivots", telemetry.IterBuckets).Observe(float64(s.iters))
+		m.Counter("lp_pivots_total").Add(int64(iters))
+		m.Counter("lp_phase1_pivots_total").Add(int64(p1))
+		m.Counter("lp_degenerate_pivots_total").Add(int64(degen))
+		m.Counter("lp_bound_flips_total").Add(int64(flips))
+		m.Counter("lp_dual_pivots_total").Add(int64(dualPivs))
+		if warmTried {
+			if warmUsed {
+				m.Counter("lp_warm_solves_total").Inc()
+			} else {
+				m.Counter("lp_warm_fallbacks_total").Inc()
+			}
+		}
+		m.Histogram("lp_pivots", telemetry.IterBuckets).Observe(float64(iters))
 		switch {
 		case err != nil:
 			m.Counter("lp_errors_total").Inc()

@@ -35,6 +35,7 @@ type simplex struct {
 	status  []varStatus
 	xB      []float64 // value of the basic variable in each row
 	xN      []float64 // value of every variable (kept current for nonbasic)
+	rhs     []float64 // B⁻¹b, maintained through every pivot for warm starts
 	iters   int
 	bland   bool
 	stall   int
@@ -49,6 +50,11 @@ type simplex struct {
 	phase1Iters int
 	degenPivots int
 	boundFlips  int
+	dualPivots  int
+
+	// cacheRev records Problem.rev at the moment the finished solver was
+	// retained as a warm-start tableau cache (see Problem.storeCache).
+	cacheRev int
 }
 
 func newSimplex(p *Problem, opts Options) (*simplex, error) {
@@ -77,8 +83,9 @@ func newSimplex(p *Problem, opts Options) (*simplex, error) {
 		rows:     p.rows,
 	}
 	// One pooled buffer covers the tableau (m×total), the six per-variable
-	// working vectors (lower, upper, costII, z, costI, xN), and xB.
-	s.ar = getArena((m+6)*s.total + m)
+	// working vectors (lower, upper, costII, z, costI, xN), xB, and the
+	// maintained B⁻¹b column.
+	s.ar = getArena((m+6)*s.total + 2*m)
 	s.lower = s.ar.take(s.total)
 	s.upper = s.ar.take(s.total)
 	copy(s.lower, p.lower)
@@ -106,6 +113,7 @@ func newSimplex(p *Problem, opts Options) (*simplex, error) {
 	s.rhsFlip = make([]bool, m)
 	s.basis = make([]int, m)
 	s.xB = s.ar.take(m)
+	s.rhs = s.ar.take(m)
 	s.status = make([]varStatus, s.total)
 	s.xN = s.ar.take(s.total)
 
@@ -158,6 +166,10 @@ func newSimplex(p *Problem, opts Options) (*simplex, error) {
 		s.status[art] = basic
 		s.xB[i] = resid
 		s.xN[art] = resid
+		s.rhs[i] = row.RHS
+		if s.rhsFlip[i] {
+			s.rhs[i] = -row.RHS
+		}
 	}
 	return s, nil
 }
@@ -440,6 +452,7 @@ func (s *simplex) step(j int, dir, tol float64) (unbounded bool, err error) {
 	for k := range prow {
 		prow[k] *= inv
 	}
+	s.rhs[leaveRow] *= inv
 	for i := 0; i < s.m; i++ {
 		if i == leaveRow {
 			continue
@@ -453,6 +466,7 @@ func (s *simplex) step(j int, dir, tol float64) (unbounded bool, err error) {
 			row[k] -= f * prow[k]
 		}
 		row[j] = 0
+		s.rhs[i] -= f * s.rhs[leaveRow]
 	}
 	zf := s.z[j]
 	if zf != 0 {

@@ -119,6 +119,17 @@ type Solution struct {
 	// HeuristicHits counts rounding-heuristic calls that produced an
 	// improving incumbent.
 	HeuristicHits int
+	// WarmNodes counts node relaxations solved by the warm-started dual
+	// simplex path; WarmFallbacks counts nodes where a warm basis was
+	// offered but the LP fell back to a cold solve. Nodes − WarmNodes −
+	// WarmFallbacks is the count of nodes solved cold with no basis to
+	// reuse (the root, and every node after a structural reset).
+	WarmNodes     int
+	WarmFallbacks int
+	// RootBasis is the optimal basis of the root relaxation, captured when
+	// warm starts are enabled. Row-generation callers remap it onto the
+	// next round's grown problem to keep basis reuse flowing across rounds.
+	RootBasis *lp.Basis
 }
 
 // Options tune the search.
@@ -151,6 +162,13 @@ type Options struct {
 	Heuristic func(relaxX []float64) (obj float64, point []float64, ok bool)
 	// LP are the options for each relaxation solve.
 	LP lp.Options
+	// WarmBasis, when non-nil, seeds the root relaxation with a basis from
+	// an earlier solve of the same LP shape (e.g. the previous row-
+	// generation round's root, remapped onto the grown problem).
+	WarmBasis *lp.Basis
+	// DisableWarmStart turns off basis reuse across nodes, cold-solving
+	// every relaxation as the solver did before warm starts existed.
+	DisableWarmStart bool
 	// Metrics, when non-nil, receives milp_* search counters; it is also
 	// forwarded to the relaxation LPs unless LP.Metrics is already set.
 	Metrics *telemetry.Registry
@@ -184,9 +202,13 @@ type boundFix struct {
 }
 
 // node is one open branch-and-bound node: the list of bound fixes from the
-// root.
+// root, plus the parent relaxation's optimal basis. The basis is shared
+// read-only between siblings (lp.Basis is immutable), so each child's
+// relaxation warm-starts from the parent — the bound fix leaves that basis
+// dual-feasible, which is what makes the dual simplex re-solve cheap.
 type node struct {
 	fixes []boundFix
+	basis *lp.Basis
 }
 
 // SolveWith runs branch and bound with explicit options.
@@ -196,8 +218,17 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 		o.LP.Metrics = o.Metrics
 	}
 	maximize := p.isMaximize()
+	warm := !o.DisableWarmStart
+	if warm {
+		// Capture every node's optimal basis (for its children) and let the
+		// problem retain the final tableau between node solves.
+		o.LP.CaptureBasis = true
+		defer p.Base.ReleaseSolverCache()
+	}
 
 	var lpIters, incumbents, pruned, heurHits int
+	var warmNodes, warmFallbacks int
+	var rootBasis *lp.Basis
 	span := telemetry.StartSpan(nil, o.Span, "milp.solve")
 	finish := func(sol *Solution, err error) (*Solution, error) {
 		if sol != nil {
@@ -205,6 +236,9 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 			sol.Incumbents = incumbents
 			sol.Pruned = pruned
 			sol.HeuristicHits = heurHits
+			sol.WarmNodes = warmNodes
+			sol.WarmFallbacks = warmFallbacks
+			sol.RootBasis = rootBasis
 		}
 		if m := o.Metrics; m != nil {
 			m.Counter("milp_solves_total").Inc()
@@ -227,6 +261,8 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 				span.SetAttr("lp_iterations", lpIters)
 				span.SetAttr("incumbents", incumbents)
 				span.SetAttr("pruned", pruned)
+				span.SetAttr("warm_nodes", warmNodes)
+				span.SetAttr("cold_nodes", sol.Nodes-warmNodes)
 			}
 			if err != nil {
 				span.SetAttr("error", err.Error())
@@ -237,13 +273,16 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 	}
 
 	// Save original bounds of every variable we may touch, to restore on
-	// exit.
+	// exit. The restore list is an ordered slice (not a map) so restores
+	// happen in one fixed order.
 	type saved struct{ lo, hi float64 }
 	touched := make(map[int]saved)
+	var touchOrder []int
 	touch := func(j int) {
 		if _, ok := touched[j]; !ok {
 			lo, hi := p.Base.Bounds(j)
 			touched[j] = saved{lo, hi}
+			touchOrder = append(touchOrder, j)
 		}
 	}
 	for _, j := range p.binaries {
@@ -254,7 +293,8 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 		touch(pr[1])
 	}
 	defer func() {
-		for j, s := range touched {
+		for _, j := range touchOrder {
+			s := touched[j]
 			_ = p.Base.SetBounds(j, s.lo, s.hi)
 		}
 	}()
@@ -275,8 +315,23 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 		incObj = *o.Incumbent
 	}
 
-	stack := []node{{}}
+	stack := []node{{basis: o.WarmBasis}}
 	nodes := 0
+	// Fixes applied for the node currently reflected in p.Base's bounds;
+	// undoing exactly these (in order) returns every bound to its original,
+	// so each node restores O(|prev fixes|) bounds instead of rewriting the
+	// whole touched set from a map in nondeterministic order.
+	var applied []boundFix
+	undoApplied := func() error {
+		for _, f := range applied {
+			s := touched[f.j]
+			if err := p.Base.SetBounds(f.j, s.lo, s.hi); err != nil {
+				return fmt.Errorf("milp: restoring bounds: %w", err)
+			}
+		}
+		applied = applied[:0]
+		return nil
+	}
 	for len(stack) > 0 {
 		if nodes >= o.MaxNodes {
 			return finish(truncated(incumbent, incObj, nodes), nil)
@@ -285,11 +340,9 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 		stack = stack[:len(stack)-1]
 		nodes++
 
-		// Apply this node's fixes on top of the originals.
-		for j, s := range touched {
-			if err := p.Base.SetBounds(j, s.lo, s.hi); err != nil {
-				return finish(nil, fmt.Errorf("milp: restoring bounds: %w", err))
-			}
+		// Undo the previous node's fixes, then apply this node's.
+		if err := undoApplied(); err != nil {
+			return finish(nil, err)
 		}
 		applyOK := true
 		for _, f := range cur.fixes {
@@ -297,13 +350,29 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 				applyOK = false // conflicting fixes → infeasible branch
 				break
 			}
+			applied = append(applied, f)
 		}
 		if !applyOK {
+			if err := undoApplied(); err != nil {
+				return finish(nil, err)
+			}
 			continue
 		}
-		rel, err := lp.SolveWith(p.Base, o.LP)
+		nodeLP := o.LP
+		if warm {
+			nodeLP.WarmBasis = cur.basis
+		}
+		rel, err := lp.SolveWith(p.Base, nodeLP)
 		if rel != nil {
 			lpIters += rel.Iterations
+			if rel.Warm {
+				warmNodes++
+			} else if warm && cur.basis != nil {
+				warmFallbacks++
+			}
+			if nodes == 1 {
+				rootBasis = rel.Basis
+			}
 		}
 		if err != nil {
 			return finish(nil, fmt.Errorf("milp: node %d relaxation: %w", nodes, err))
@@ -358,11 +427,12 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 		pa, pb := p.mostViolatedPair(rel.X, o.IntTol)
 		switch {
 		case bj >= 0:
-			// Branch on the binary: floor child and ceil child.
+			// Branch on the binary: floor child and ceil child, each
+			// warm-started from this node's optimal basis.
 			// Push the "round toward relaxation value" child last so
 			// DFS explores it first.
-			lo := cur.child(boundFix{bj, 0, 0})
-			hi := cur.child(boundFix{bj, 1, 1})
+			lo := cur.child(rel.Basis, boundFix{bj, 0, 0})
+			hi := cur.child(rel.Basis, boundFix{bj, 1, 1})
 			if rel.X[bj] >= 0.5 {
 				stack = append(stack, lo, hi)
 			} else {
@@ -372,8 +442,8 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 			// Branch on the complementarity pair: fix one side to
 			// zero. Explore first the child that zeroes the smaller
 			// value.
-			ca := cur.child(boundFix{pa, 0, 0})
-			cb := cur.child(boundFix{pb, 0, 0})
+			ca := cur.child(rel.Basis, boundFix{pa, 0, 0})
+			cb := cur.child(rel.Basis, boundFix{pb, 0, 0})
 			if rel.X[pa] <= rel.X[pb] {
 				stack = append(stack, cb, ca)
 			} else {
@@ -405,12 +475,12 @@ func truncated(x []float64, obj float64, nodes int) *Solution {
 }
 
 // child extends the fix list functionally (copy-on-write so siblings don't
-// alias).
-func (n node) child(f boundFix) node {
+// alias) and records the parent relaxation's basis as the child's warm seed.
+func (n node) child(basis *lp.Basis, f boundFix) node {
 	fixes := make([]boundFix, len(n.fixes)+1)
 	copy(fixes, n.fixes)
 	fixes[len(n.fixes)] = f
-	return node{fixes: fixes}
+	return node{fixes: fixes, basis: basis}
 }
 
 // mostFractionalBinary returns the binary variable farthest from

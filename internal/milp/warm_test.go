@@ -1,0 +1,111 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/edsec/edattack/internal/lp"
+)
+
+// randomBinaryProblem builds a random feasible 0/1 program: maximize a random
+// positive objective over knapsack-style ≤ rows with non-negative RHS, so the
+// all-zero point is always feasible.
+func randomBinaryProblem(r *rand.Rand) *Problem {
+	n := 3 + r.Intn(6)
+	m := 1 + r.Intn(4)
+	base := lp.NewProblem(n)
+	c := make([]float64, n)
+	for j := range c {
+		c[j] = 1 + 9*r.Float64()
+	}
+	_ = base.SetObjective(c, true)
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = r.Float64() * 4
+		}
+		_, _ = base.AddConstraint(row, lp.LE, 1+r.Float64()*float64(n))
+	}
+	p := NewProblem(base)
+	for j := 0; j < n; j++ {
+		_ = p.SetBinary(j)
+	}
+	return p
+}
+
+// Property: warm-started branch and bound proves the same optimum as the
+// cold search on random binary programs. The two may branch differently at
+// degenerate relaxations, so node counts and alternate optimal points can
+// differ — the optimal objective cannot.
+func TestWarmSearchMatchesCold(t *testing.T) {
+	var warmPivots, coldPivots, warmNodesTotal int
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		warmSol, err := SolveWith(randomBinaryProblem(r), Options{})
+		if err != nil {
+			return false
+		}
+		r = rand.New(rand.NewSource(seed))
+		coldSol, err := SolveWith(randomBinaryProblem(r), Options{DisableWarmStart: true})
+		if err != nil {
+			return false
+		}
+		if warmSol.Status != coldSol.Status {
+			t.Logf("seed %d: warm %v, cold %v", seed, warmSol.Status, coldSol.Status)
+			return false
+		}
+		if coldSol.Status == Optimal &&
+			math.Abs(warmSol.Objective-coldSol.Objective) > 1e-6*(1+math.Abs(coldSol.Objective)) {
+			t.Logf("seed %d: warm obj %v, cold obj %v", seed, warmSol.Objective, coldSol.Objective)
+			return false
+		}
+		if coldSol.WarmNodes != 0 || coldSol.WarmFallbacks != 0 {
+			t.Logf("seed %d: DisableWarmStart still reported warm nodes", seed)
+			return false
+		}
+		warmPivots += warmSol.LPIterations
+		coldPivots += coldSol.LPIterations
+		warmNodesTotal += warmSol.WarmNodes
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if warmNodesTotal == 0 {
+		t.Fatal("warm-started searches never engaged the dual simplex path")
+	}
+	// The point of basis reuse: aggregate pivot work must not regress.
+	if float64(warmPivots) > 1.05*float64(coldPivots) {
+		t.Fatalf("warm search spent %d pivots vs %d cold — reuse is hurting", warmPivots, coldPivots)
+	}
+	t.Logf("aggregate pivots: %d warm vs %d cold (%d warm nodes)", warmPivots, coldPivots, warmNodesTotal)
+}
+
+// The root relaxation's basis must be captured for row-generation callers,
+// and a remapped root basis passed back in must be accepted at the root.
+func TestRootBasisRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	p := randomBinaryProblem(r)
+	sol, err := SolveWith(p, Options{})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("first solve: %v (%v)", err, sol)
+	}
+	if sol.RootBasis == nil {
+		t.Fatal("RootBasis not captured on a warm-enabled solve")
+	}
+	// Re-solve the same problem seeding the root with its own basis: the
+	// root should now be a warm node too.
+	sol2, err := SolveWith(p, Options{WarmBasis: sol.RootBasis})
+	if err != nil || sol2.Status != Optimal {
+		t.Fatalf("seeded solve: %v", err)
+	}
+	if math.Abs(sol.Objective-sol2.Objective) > tol {
+		t.Fatalf("seeded objective %v != %v", sol2.Objective, sol.Objective)
+	}
+	if sol2.WarmNodes <= sol.WarmNodes-1 {
+		t.Fatalf("seeded solve warm nodes %d, unseeded %d: root seed not used",
+			sol2.WarmNodes, sol.WarmNodes)
+	}
+}

@@ -3,6 +3,7 @@ package qp
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"github.com/edsec/edattack/internal/mat"
 )
@@ -21,16 +22,29 @@ type activeSet struct {
 // multiplier, or declare optimality.
 func (s *activeSet) run() (*Solution, error) {
 	tol := s.opts.Tol
-	// Seed the working set with constraints active at the start point.
-	for i := range s.rows {
-		if len(s.work) >= s.p.n-len(s.p.aeq) {
-			break // keep the working set small enough for independence
+	// Seed the working set with constraints active at the start point,
+	// trying a caller-supplied warm set (a previous solve's active set)
+	// before the generic scan. A warm row is adopted under exactly the
+	// same conditions as a scanned one, so the warm set biases seeding
+	// order without ever admitting an inactive or dependent row.
+	trySeed := func(i int) {
+		if len(s.work) >= s.p.n-len(s.p.aeq) || s.inWork(i) {
+			return // keep the working set small enough for independence
 		}
 		if s.rows[i].h-s.rows[i].value(s.x) < tol {
 			if s.tryKKT(append(append([]int{}, s.work...), i)) {
 				s.work = append(s.work, i)
 			}
 		}
+	}
+	for _, w := range s.opts.WarmSet {
+		// User inequality rows occupy rows[0:len(p.gin)] in add order.
+		if w >= 0 && w < len(s.p.gin) {
+			trySeed(w)
+		}
+	}
+	for i := range s.rows {
+		trySeed(i)
 	}
 	for iter := 0; iter < s.opts.MaxIter; iter++ {
 		xStar, nu, lam, err := s.solveKKT(s.work)
@@ -178,12 +192,14 @@ func (s *activeSet) assemble(nu, lam []float64) *Solution {
 		switch r.kind {
 		case kindUser:
 			sol.IneqDual[r.idx] = l
+			sol.ActiveSet = append(sol.ActiveSet, r.idx)
 		case kindLower:
 			sol.LowerDual[r.idx] = l
 		case kindUpper:
 			sol.UpperDual[r.idx] = l
 		}
 	}
+	sort.Ints(sol.ActiveSet)
 	hx, _ := p.h.MulVec(sol.X)
 	sol.Objective = 0.5*mat.Dot(sol.X, hx) + mat.Dot(p.c, sol.X)
 	return sol

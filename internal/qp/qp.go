@@ -133,6 +133,11 @@ type Solution struct {
 	UpperDual []float64
 	// Iterations is the number of active-set iterations performed.
 	Iterations int
+	// ActiveSet lists the user inequality rows (indices into the order
+	// they were added) that are in the final working set, ascending. It
+	// can seed a later solve of a nearby problem via Options.WarmSet —
+	// the QP analogue of the lp package's basis reuse.
+	ActiveSet []int
 }
 
 // Options tune the solver.
@@ -144,6 +149,15 @@ type Options struct {
 	// Metrics, when non-nil, receives qp_* solve/iteration counters and
 	// forwards to the feasibility LP's lp_* counters.
 	Metrics *telemetry.Registry
+	// WarmSet, when non-empty, lists user inequality rows to try first
+	// when seeding the working set (e.g. Solution.ActiveSet from a
+	// previous solve of a nearby problem). Rows are adopted only if they
+	// are active at the feasible start point and keep the KKT system
+	// nonsingular, so a stale warm set degrades to the cold seeding
+	// order, never to a wrong answer. Note that within a single solve the
+	// working set always carries over between iterations; WarmSet only
+	// adds reuse across solves.
+	WarmSet []int
 }
 
 func (o Options) withDefaults() Options {

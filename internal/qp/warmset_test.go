@@ -1,0 +1,114 @@
+package qp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildWarmQP is a strictly convex QP whose optimum pins two of the three
+// user inequality rows: min Σ(xᵢ-tᵢ)² with rows x₀+x₁ ≤ 1, x₁+x₂ ≤ 1,
+// x₀-x₂ ≤ 10 and targets pushing into the first two.
+func buildWarmQP() *Problem {
+	p := NewProblem(3)
+	for j, target := range []float64{2, 2, 2} {
+		_ = p.SetQuadCoeff(j, j, 2)
+		_ = p.SetLinCoeff(j, -2*target)
+	}
+	_, _ = p.AddInequality([]float64{1, 1, 0}, 1)
+	_, _ = p.AddInequality([]float64{0, 1, 1}, 1)
+	_, _ = p.AddInequality([]float64{1, 0, -1}, 10)
+	return p
+}
+
+// The solver reports which user rows are active at the optimum, and feeding
+// that set back as WarmSet reproduces the same optimum in no more
+// iterations — the active-set analogue of the lp package's warm basis.
+func TestWarmSetRoundTrip(t *testing.T) {
+	p := buildWarmQP()
+	cold, err := Solve(p)
+	if err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+	if len(cold.ActiveSet) == 0 {
+		t.Fatal("optimum pins user rows but ActiveSet is empty")
+	}
+	for _, i := range cold.ActiveSet {
+		if i < 0 || i >= 3 {
+			t.Fatalf("ActiveSet entry %d out of range", i)
+		}
+	}
+	warm, err := SolveWith(p, Options{WarmSet: cold.ActiveSet})
+	if err != nil {
+		t.Fatalf("warm solve: %v", err)
+	}
+	if math.Abs(warm.Objective-cold.Objective) > tol {
+		t.Fatalf("warm objective %v, cold %v", warm.Objective, cold.Objective)
+	}
+	if warm.Iterations > cold.Iterations {
+		t.Fatalf("warm solve took %d iterations, cold took %d", warm.Iterations, cold.Iterations)
+	}
+}
+
+// A garbage warm set (out-of-range and inactive rows) must not change the
+// answer: warm seeding only biases the order in which active rows are tried.
+func TestWarmSetIgnoresStaleHints(t *testing.T) {
+	p := buildWarmQP()
+	cold, err := Solve(p)
+	if err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+	for _, ws := range [][]int{{-1, 99}, {2}, {2, 1, 0, 0, 1, 2}} {
+		warm, err := SolveWith(p, Options{WarmSet: ws})
+		if err != nil {
+			t.Fatalf("warm solve with %v: %v", ws, err)
+		}
+		if math.Abs(warm.Objective-cold.Objective) > tol {
+			t.Fatalf("warm set %v changed objective: %v vs %v", ws, warm.Objective, cold.Objective)
+		}
+		for j := range cold.X {
+			if math.Abs(warm.X[j]-cold.X[j]) > 1e-5 {
+				t.Fatalf("warm set %v changed x[%d]: %v vs %v", ws, j, warm.X[j], cold.X[j])
+			}
+		}
+	}
+}
+
+// Random strictly convex QPs: the warm set captured from a solve must
+// reproduce the same optimum when the linear term is perturbed slightly —
+// the successive-QP situation (e.g. re-dispatch after a small rating change).
+func TestWarmSetAfterPerturbation(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(4)
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			_ = p.SetQuadCoeff(j, j, 1+r.Float64())
+			_ = p.SetLinCoeff(j, -4*r.Float64())
+			_ = p.SetBounds(j, 0, 1+r.Float64())
+		}
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = r.Float64()
+		}
+		_, _ = p.AddInequality(row, 0.5)
+		cold, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d cold: %v", trial, err)
+		}
+		for j := 0; j < n; j++ {
+			_ = p.SetLinCoeff(j, p.c[j]+0.01*(r.Float64()-0.5))
+		}
+		ref, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d ref: %v", trial, err)
+		}
+		warm, err := SolveWith(p, Options{WarmSet: cold.ActiveSet})
+		if err != nil {
+			t.Fatalf("trial %d warm: %v", trial, err)
+		}
+		if math.Abs(warm.Objective-ref.Objective) > 1e-5*(1+math.Abs(ref.Objective)) {
+			t.Fatalf("trial %d: warm objective %v, ref %v", trial, warm.Objective, ref.Objective)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package edattack_test
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"testing"
+
+	edattack "github.com/edsec/edattack"
+)
+
+// pr2SimplexIterations118 is the recorded case118 budgeted-attack pivot total
+// before warm-started dual simplex landed (PR 2's BENCH_solver.json). The
+// warm-start acceptance bar is a ≥3× reduction against it.
+const pr2SimplexIterations118 = 32848
+
+// warmGateOpts is the budgeted configuration shared by the regression gate
+// and the BENCH_solver.json recorder.
+func warmGateOpts() edattack.AttackOptions {
+	return edattack.AttackOptions{MaxNodes: 40, RelGap: 1e-3}
+}
+
+// sameAttack reports whether two attacks are bit-identical where it matters:
+// target, direction, gain, and every manipulated rating.
+func sameAttack(t *testing.T, label string, a, b *edattack.Attack) {
+	t.Helper()
+	if a.TargetLine != b.TargetLine || a.Direction != b.Direction {
+		t.Errorf("%s: target/direction (%d,%+d) vs (%d,%+d)",
+			label, a.TargetLine, a.Direction, b.TargetLine, b.Direction)
+	}
+	if a.GainPct != b.GainPct {
+		t.Errorf("%s: gain %.17g vs %.17g", label, a.GainPct, b.GainPct)
+	}
+	if len(a.DLR) != len(b.DLR) {
+		t.Errorf("%s: DLR vector sizes %d vs %d", label, len(a.DLR), len(b.DLR))
+		return
+	}
+	lines := make([]int, 0, len(a.DLR))
+	for li := range a.DLR {
+		lines = append(lines, li)
+	}
+	sort.Ints(lines)
+	for _, li := range lines {
+		av, bv := a.DLR[li], b.DLR[li]
+		if av != bv {
+			t.Errorf("%s: DLR[%d] = %.17g vs %.17g", label, li, av, bv)
+		}
+	}
+}
+
+// TestWarmStartIdenticalAttacks is the warm-start correctness gate on
+// case9/case30/case57. Two invariants:
+//
+//   - Within each mode (warm on, warm off), the attack is bit-identical at
+//     one worker and at four — warm starting must not break PR 2's
+//     worker-count independence.
+//   - Across modes, the target line, direction, and gain are bit-identical.
+//     The manipulated-rating vector itself may land on an alternate optimal
+//     vertex (the warm path reaches the optimum through a different pivot
+//     sequence), so it is compared only within a mode.
+func TestWarmStartIdenticalAttacks(t *testing.T) {
+	for _, name := range []string{"case9", "case30", "case57"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			k := knowledgeCase(t, name)
+			solve := func(cold bool, workers int) *edattack.Attack {
+				o := warmGateOpts()
+				o.NoWarmStart = cold
+				o.Workers = workers
+				att, err := edattack.FindOptimalAttack(k, o)
+				if err != nil {
+					t.Fatalf("cold=%v workers=%d: %v", cold, workers, err)
+				}
+				return att
+			}
+			warm1, warm4 := solve(false, 1), solve(false, 4)
+			cold1, cold4 := solve(true, 1), solve(true, 4)
+			sameAttack(t, name+"/warm w1-vs-w4", warm1, warm4)
+			sameAttack(t, name+"/cold w1-vs-w4", cold1, cold4)
+			if warm1.TargetLine != cold1.TargetLine || warm1.Direction != cold1.Direction {
+				t.Errorf("%s: warm target (%d,%+d) vs cold (%d,%+d)",
+					name, warm1.TargetLine, warm1.Direction, cold1.TargetLine, cold1.Direction)
+			}
+			if warm1.GainPct != cold1.GainPct {
+				t.Errorf("%s: warm gain %.17g vs cold %.17g", name, warm1.GainPct, cold1.GainPct)
+			}
+			if warm1.Stats.WarmNodes == 0 && warm1.Stats.Nodes > 1 {
+				t.Errorf("%s: warm mode never engaged the dual simplex path", name)
+			}
+		})
+	}
+}
+
+// TestWarmStartCase118Speedup is the performance gate: the budgeted case118
+// attack must spend at most a third of the pre-warm-start pivot total while
+// reproducing the recorded gain exactly. Run via make bench-warmstart (and
+// as part of make check).
+func TestWarmStartCase118Speedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case118 gate skipped in -short mode")
+	}
+	k := knowledgeCase(t, "case118")
+	o := warmGateOpts()
+	o.Workers = 1
+	att, err := edattack.FindOptimalAttack(k, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.Stats == nil {
+		t.Fatal("attack carries no SolverStats")
+	}
+	got := att.Stats.SimplexIterations
+	if got*3 > pr2SimplexIterations118 {
+		t.Errorf("case118 budgeted attack spent %d simplex iterations; want ≤ %d (3× under the PR 2 baseline %d)",
+			got, pr2SimplexIterations118/3, pr2SimplexIterations118)
+	}
+	if att.Stats.WarmNodes == 0 {
+		t.Error("warm-start hit count is zero: the dual simplex path never engaged")
+	}
+	// The recorded baseline must agree with what this binary produces:
+	// BENCH_solver.json is refreshed by the same budgets, so equality here
+	// means the checked-in numbers are honest.
+	base, err := loadSolverBaseline()
+	if err != nil {
+		t.Fatalf("BENCH_solver.json: %v", err)
+	}
+	rec, ok := base["case118"]
+	if !ok {
+		t.Fatal("BENCH_solver.json has no case118 record")
+	}
+	if rec.GainPct != att.GainPct {
+		t.Errorf("gain %.17g differs from recorded %.17g", att.GainPct, rec.GainPct)
+	}
+	if rec.SimplexIterations != got {
+		t.Errorf("simplex iterations %d differ from recorded %d — rerun BENCH_SOLVER=1 go test -run TestRecordSolverBaseline",
+			got, rec.SimplexIterations)
+	}
+	t.Logf("case118 budgeted: %d pivots (%.1f× under PR 2 baseline), %d warm nodes, %d fallbacks, gain %.6f%%",
+		got, float64(pr2SimplexIterations118)/float64(got), att.Stats.WarmNodes, att.Stats.WarmFallbacks, att.GainPct)
+}
+
+// TestWarmStartRecordedBaselines pins the budgeted case9/case30/case57
+// attacks to their recorded baselines: gain and pivot totals must match
+// BENCH_solver.json exactly (the deterministic Workers=1 schedule).
+func TestWarmStartRecordedBaselines(t *testing.T) {
+	base, err := loadSolverBaseline()
+	if err != nil {
+		t.Fatalf("BENCH_solver.json: %v", err)
+	}
+	for _, name := range []string{"case9", "case30", "case57"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rec, ok := base[name]
+			if !ok {
+				t.Fatalf("BENCH_solver.json has no %s record", name)
+			}
+			k := knowledgeCase(t, name)
+			o := warmGateOpts()
+			o.Workers = 1
+			att, err := edattack.FindOptimalAttack(k, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if att.GainPct != rec.GainPct {
+				t.Errorf("gain %.17g differs from recorded %.17g", att.GainPct, rec.GainPct)
+			}
+			if att.Stats.SimplexIterations != rec.SimplexIterations {
+				t.Errorf("simplex iterations %d differ from recorded %d — rerun BENCH_SOLVER=1 go test -run TestRecordSolverBaseline",
+					att.Stats.SimplexIterations, rec.SimplexIterations)
+			}
+		})
+	}
+}
+
+type solverRecord struct {
+	Case              string  `json:"case"`
+	SimplexIterations int     `json:"simplex_iterations"`
+	GainPct           float64 `json:"gain_pct"`
+	WarmNodes         int     `json:"warm_nodes"`
+	WarmFallbacks     int     `json:"warm_fallbacks"`
+	WarmHitRate       float64 `json:"warm_hit_rate"`
+	PivotsPerNode     float64 `json:"pivots_per_node"`
+}
+
+func loadSolverBaseline() (map[string]solverRecord, error) {
+	raw, err := os.ReadFile("BENCH_solver.json")
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Records []solverRecord `json:"records"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, err
+	}
+	out := make(map[string]solverRecord, len(doc.Records))
+	for _, r := range doc.Records {
+		out[r.Case] = r
+	}
+	return out, nil
+}
