@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: check vet build test race telemetry parallel bench bench-workers bench-baseline bench-warmstart clean
+.PHONY: check vet build test race telemetry parallel bench bench-workers bench-baseline bench-warmstart bench-sparse clean
 
 ## check: full PR gate — vet, build, race-enabled tests, a doubled run of
 ## the telemetry suite (span/journal determinism under repetition), the
 ## concurrency-path determinism tests under the race detector, and the
 ## warm-start regression gate.
-check: vet build race telemetry parallel bench-warmstart
+check: vet build race telemetry parallel bench-warmstart bench-sparse
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +50,14 @@ bench-baseline:
 ## the pre-warm-start baseline, cross-checked against BENCH_solver.json.
 bench-warmstart:
 	$(GO) test -run 'TestWarmStart' -count=1 .
+
+## bench-sparse: the sparse revised-simplex regression gate — bit-identical
+## attacks sparse-vs-dense (and across worker counts) on case9/30/57, and
+## the case118 budgeted attack's gain, FTRAN/BTRAN/refactorization work, and
+## wall time pinned against the recorded dense baseline in BENCH_solver.json
+## (recorded speedup must be ≥2×).
+bench-sparse:
+	$(GO) test -run 'TestSparseGate' -count=1 .
 
 clean:
 	$(GO) clean ./...

@@ -18,6 +18,7 @@ import (
 	"github.com/edsec/edattack/internal/dlr"
 	"github.com/edsec/edattack/internal/lp"
 	"github.com/edsec/edattack/internal/milp"
+	"github.com/edsec/edattack/internal/telemetry"
 )
 
 // mustKnowledge builds case3 attacker knowledge for Table I row 1.
@@ -540,8 +541,28 @@ func TestRecordSolverBaseline(t *testing.T) {
 		WallMsParallel   float64 `json:"wall_ms_parallel"`
 		ParallelWorkers  int     `json:"parallel_workers"`
 		Speedup          float64 `json:"speedup"`
+		// Sparse revised-simplex run (the default engine; the counts above
+		// pin the dense tableau via DenseSolver). Same budgets, Workers=1.
+		// Under a truncating node budget the engines legitimately explore
+		// different branch-and-bound trees, so the sparse run gets its own
+		// iteration/gain record. FTRAN/BTRAN solves and basis
+		// refactorizations are the engine's deterministic work measure;
+		// kkt_nnz/kkt_density are the largest and densest LP the run
+		// solved; sparse_speedup is wall-clock (machine-dependent), dense
+		// sequential wall over sparse sequential wall.
+		SparseSimplexIterations int     `json:"sparse_simplex_iterations"`
+		SparseGainPct           float64 `json:"sparse_gain_pct"`
+		FTRANTotal              int64   `json:"lp_ftran_total"`
+		BTRANTotal              int64   `json:"lp_btran_total"`
+		RefactorizationsTotal   int64   `json:"lp_refactorizations_total"`
+		KKTNNZ                  int     `json:"kkt_nnz"`
+		KKTDensity              float64 `json:"kkt_density"`
+		SparseWallMs            float64 `json:"sparse_wall_ms"`
+		SparseSpeedup           float64 `json:"sparse_speedup"`
 	}
-	opts := edattack.AttackOptions{MaxNodes: 40, RelGap: 1e-3}
+	// Dense-engine budgets, matching warmGateOpts(): the recorded
+	// trajectory fields stay trajectories of the dense tableau oracle.
+	opts := edattack.AttackOptions{MaxNodes: 40, RelGap: 1e-3, DenseSolver: true}
 	var records []record
 	for _, name := range []string{"case9", "case30", "case57", "case118"} {
 		k := knowledgeCase(t, name)
@@ -564,6 +585,20 @@ func TestRecordSolverBaseline(t *testing.T) {
 			t.Fatal(err)
 		}
 		parWall := time.Since(parStart)
+		// Sparse engine: default selection, sequential schedule, with a
+		// metrics registry attached so revised-simplex work counters and
+		// the problem shape land in the record.
+		reg := telemetry.NewRegistry()
+		spOpts := edattack.AttackOptions{MaxNodes: 40, RelGap: 1e-3, Workers: 1, Metrics: reg}
+		spStart := time.Now()
+		spAtt, err := edattack.FindOptimalAttack(k, spOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spWall := time.Since(spStart)
+		if spAtt.Stats == nil {
+			t.Fatalf("%s: sparse attack carries no SolverStats", name)
+		}
 		var hitRate, pivotsPerNode float64
 		if att.Stats.Nodes > 0 {
 			hitRate = float64(att.Stats.WarmNodes) / float64(att.Stats.Nodes)
@@ -586,10 +621,20 @@ func TestRecordSolverBaseline(t *testing.T) {
 			WallMsParallel:    float64(parWall.Microseconds()) / 1000,
 			ParallelWorkers:   parOpts.Workers,
 			Speedup:           seqWall.Seconds() / parWall.Seconds(),
+
+			SparseSimplexIterations: spAtt.Stats.SimplexIterations,
+			SparseGainPct:           spAtt.GainPct,
+			FTRANTotal:              reg.Counter("lp_ftran_total").Value(),
+			BTRANTotal:              reg.Counter("lp_btran_total").Value(),
+			RefactorizationsTotal:   reg.Counter("lp_refactorizations_total").Value(),
+			KKTNNZ:                  int(reg.Gauge("lp_problem_nnz").Value()),
+			KKTDensity:              reg.Gauge("lp_problem_density").Value(),
+			SparseWallMs:            float64(spWall.Microseconds()) / 1000,
+			SparseSpeedup:           seqWall.Seconds() / spWall.Seconds(),
 		})
 	}
 	out, err := json.MarshalIndent(map[string]any{
-		"note":    "solver-work baseline for budgeted attacks (MaxNodes 40, RelGap 1e-3); work counts recorded at Workers=1 and deterministic, wall_ms/speedup machine-dependent; regenerate with BENCH_SOLVER=1 go test -run TestRecordSolverBaseline",
+		"note":    "solver-work baseline for budgeted attacks (MaxNodes 40, RelGap 1e-3); dense-tableau counts (DenseSolver) and sparse revised-simplex counts (sparse_*/lp_*) both recorded at Workers=1 and deterministic, wall_ms/speedup machine-dependent; regenerate with BENCH_SOLVER=1 go test -run TestRecordSolverBaseline",
 		"cpus":    runtime.GOMAXPROCS(0),
 		"records": records,
 	}, "", "  ")

@@ -40,6 +40,12 @@ func betterAttack(a, b *Attack) bool {
 // seedSlackFactor for the argument.
 func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 	o = o.withDefaults()
+	if o.DenseSolver && !k.Model.DenseSolver {
+		// Run the whole attack — dispatch evaluations included — on the
+		// dense engines, without mutating the caller's model.
+		k = &Knowledge{Model: k.Model.ShallowClone(), TrueDLR: k.TrueDLR}
+		k.Model.DenseSolver = true
+	}
 	dlrLines := k.Model.Net.DLRLines()
 	if len(dlrLines) == 0 {
 		return nil, ErrNoDLRLines
@@ -52,7 +58,14 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 	root.SetAttr("workers", o.Workers)
 	defer root.End()
 
-	inc := &incumbentBound{}
+	// A sequential fan-out (one resolved worker) runs inline on this
+	// goroutine, so the parallel machinery is bypassed: the incumbent bound
+	// drops its atomics, and tasks share the caller's model — with the
+	// warm-start memory reset per task to the state a fresh clone would
+	// start in — instead of paying a ShallowClone each. Results are
+	// bit-identical either way; only the overhead differs.
+	seq := par.Resolve(o.Workers, 2*len(dlrLines)) == 1
+	inc := &incumbentBound{seq: seq}
 
 	// Warm start (before the fan-out): the greedy vertex attack gives a
 	// realized, achievable gain that prunes every subproblem that cannot
@@ -90,14 +103,35 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 	}
 	atts := make([]*Attack, len(tasks))
 	errs := make([]error, len(tasks))
+	var saved []int
+	if seq {
+		saved = k.Model.WarmStartState()
+	}
 	par.Each(o.Workers, len(tasks), func(i int) {
-		kw := k.forWorker()
+		kw := k
+		if seq {
+			kw.Model.ResetWarmStart()
+		} else {
+			kw = k.forWorker()
+		}
 		att, err := solveSubproblemSeeded(kw, tasks[i].line, tasks[i].dir, o, inc, pre, root)
-		if err == nil && att != nil {
+		// Publish only positive gains. A zero-gain result (a clamped
+		// non-violating optimum) prunes nothing a sibling could not already
+		// rule out, but publishing it mid-flight would SET an otherwise
+		// empty bound at a schedule-dependent instant — and a node-budget-
+		// truncated sibling search would then freeze different equal-gain
+		// incumbents under different worker timings. Pre-fan-out offers
+		// (the greedy seed) are deterministic and stay unconditional.
+		if err == nil && att != nil && att.GainPct > 0 {
 			inc.Offer(att.GainPct)
 		}
 		atts[i], errs[i] = att, err
 	})
+	if seq {
+		// Leave the caller's model exactly as the parallel path would: the
+		// clone-per-task schedule never touches it after precompute.
+		k.Model.RestoreWarmStart(saved)
+	}
 
 	anyFeasible := best != nil
 	totalNodes := 0
@@ -157,6 +191,11 @@ func greedyVertexAttack(k *Knowledge, workers int) (*Attack, error) {
 	if len(dlrLines) == 0 {
 		return nil, ErrNoDLRLines
 	}
+	seq := par.Resolve(workers, len(dlrLines)) == 1
+	var saved []int
+	if seq {
+		saved = k.Model.WarmStartState()
+	}
 	cands := make([]*Attack, len(dlrLines))
 	errs := make([]error, len(dlrLines))
 	par.Each(workers, len(dlrLines), func(i int) {
@@ -169,7 +208,13 @@ func greedyVertexAttack(k *Knowledge, workers int) (*Attack, error) {
 				dlr[li] = net.Lines[li].DLRMin
 			}
 		}
-		ev, err := k.forWorker().EvaluateAttack(dlr)
+		kw := k
+		if seq {
+			kw.Model.ResetWarmStart()
+		} else {
+			kw = k.forWorker()
+		}
+		ev, err := kw.EvaluateAttack(dlr)
 		if err != nil {
 			errs[i] = fmt.Errorf("core: greedy candidate for line %d: %w", target, err)
 			return
@@ -187,6 +232,9 @@ func greedyVertexAttack(k *Knowledge, workers int) (*Attack, error) {
 			PredictedCost:  ev.Dispatch.Cost,
 		}
 	})
+	if seq {
+		k.Model.RestoreWarmStart(saved)
+	}
 	var best *Attack
 	for i := range cands {
 		if errs[i] != nil {
@@ -235,10 +283,21 @@ func randomAttack(k *Knowledge, samples int, seed int64, workers int) (*Attack, 
 		}
 		dlrs[s] = dlr
 	}
+	seq := par.Resolve(workers, samples) == 1
+	var saved []int
+	if seq {
+		saved = k.Model.WarmStartState()
+	}
 	cands := make([]*Attack, samples)
 	errs := make([]error, samples)
 	par.Each(workers, samples, func(s int) {
-		ev, err := k.forWorker().EvaluateAttack(dlrs[s])
+		kw := k
+		if seq {
+			kw.Model.ResetWarmStart()
+		} else {
+			kw = k.forWorker()
+		}
+		ev, err := kw.EvaluateAttack(dlrs[s])
 		if err != nil {
 			errs[s] = fmt.Errorf("core: random candidate %d: %w", s, err)
 			return
@@ -256,6 +315,9 @@ func randomAttack(k *Knowledge, samples int, seed int64, workers int) (*Attack, 
 			PredictedCost:  ev.Dispatch.Cost,
 		}
 	})
+	if seq {
+		k.Model.RestoreWarmStart(saved)
+	}
 	var best *Attack
 	for s := range cands {
 		if errs[s] != nil {

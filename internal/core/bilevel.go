@@ -459,6 +459,7 @@ func (s *subproblem) solveOnce(o Options, incumbent *float64, bound milp.BoundSo
 		Heuristic:        s.heuristic,
 		WarmBasis:        warmRoot,
 		DisableWarmStart: o.NoWarmStart,
+		LP:               lp.Options{DenseSolver: o.DenseSolver},
 		Metrics:          s.metrics,
 		Span:             s.span,
 	})
@@ -505,7 +506,9 @@ func (s *subproblem) solveOnce(o Options, incumbent *float64, bound milp.BoundSo
 	}
 	dlr := make(map[int]float64, s.nx)
 	for idx, li := range s.dlrOrder {
-		dlr[li] = clampToBand(&s.k.Model.Net.Lines[li], sol.X[s.xOff+idx])
+		// Quantize-then-clamp: interior ratings land on the reporting grid,
+		// ratings at a band edge stay exactly on the edge.
+		dlr[li] = clampToBand(&s.k.Model.Net.Lines[li], quantize(sol.X[s.xOff+idx], ratingQuantum))
 	}
 	p := make([]float64, s.np)
 	copy(p, sol.X[s.pOff:s.pOff+s.np])
@@ -647,7 +650,7 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *in
 			}
 		}
 		if len(violated) == 0 {
-			gain := res.gain
+			gain := quantize(res.gain, gainQuantum)
 			if gain < 0 {
 				gain = 0
 			}
@@ -661,8 +664,30 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *in
 			if o.Metrics != nil {
 				o.Metrics.Counter("core_rowgen_rounds_total").Add(int64(rounds))
 			}
+			// Report the attack in choked-canonical form: each manipulated
+			// rating is lowered to the smallest band value consistent with
+			// the dispatch it induces, so it either rests on the band floor
+			// or sits exactly on the line's flow (the paper's Table I
+			// vectors have exactly this shape). Ratings the solver left
+			// slack are trajectory freedom — alternate optima and truncated
+			// searches place them differently per engine and schedule. The
+			// canonical flows come from a forward dispatch under the raw
+			// manipulated ratings (not from the incumbent's KKT-encoded p,
+			// whose slack coordinates carry the same trajectory freedom):
+			// the dispatch QP is strictly convex, so its flows are a unique
+			// function of the ratings and every engine and worker schedule
+			// reports the same vector for the same optimum.
+			canonFlows := flows
+			if ev, everr := k.EvaluateAttack(res.dlr); everr == nil && ev.Feasible {
+				canonFlows = ev.Dispatch.Flows
+			}
+			canon := make(map[int]float64, len(res.dlr))
+			for li := range res.dlr {
+				l := &net.Lines[li]
+				canon[li] = clampToBand(l, math.Max(l.DLRMin, quantize(math.Abs(canonFlows[li]), ratingQuantum)))
+			}
 			return &Attack{
-				DLR:            res.dlr,
+				DLR:            canon,
 				TargetLine:     target,
 				Direction:      dir,
 				GainPct:        gain,

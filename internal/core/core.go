@@ -206,6 +206,12 @@ type Options struct {
 	// Results are certified-identical either way; this exists for A/B
 	// measurement and as an escape hatch.
 	NoWarmStart bool
+	// DenseSolver forces every LP relaxation onto the dense tableau engine
+	// instead of letting the solver pick the sparse revised simplex by
+	// problem size and density. Verdicts are certified either way; this
+	// exists for A/B measurement against recorded dense baselines and as an
+	// escape hatch.
+	DenseSolver bool
 	// Workers is the number of goroutines solving bilevel subproblems
 	// concurrently (0 = one per CPU core, 1 = sequential). The attack
 	// returned is identical for every worker count when subproblems solve
@@ -322,7 +328,7 @@ func (k *Knowledge) EvaluateAttack(dlr map[int]float64) (*Evaluation, error) {
 	}
 	gain, line, dir := k.violationGain(res.Flows)
 	return &Evaluation{
-		Feasible: true, GainPct: gain, WorstLine: line, Direction: dir,
+		Feasible: true, GainPct: quantize(gain, gainQuantum), WorstLine: line, Direction: dir,
 		Dispatch: res,
 		Stats: SolverStats{
 			SimplexIterations: res.Iterations,
@@ -335,4 +341,20 @@ func (k *Knowledge) EvaluateAttack(dlr map[int]float64) (*Evaluation, error) {
 // clampToBand snaps a rating into a line's plausibility band.
 func clampToBand(l *grid.Line, v float64) float64 {
 	return math.Max(l.DLRMin, math.Min(l.DLRMax, v))
+}
+
+// Reporting quanta. Extracted manipulated ratings and reported gains are
+// rounded onto fixed grids before leaving the solver: cross-engine roundoff
+// (dense tableau vs sparse revised simplex, dense KKT vs Schur complement)
+// perturbs the same optimum's coordinates by a few ulps, and snapping to a
+// grid far coarser than that — yet far finer than solver tolerance — makes
+// reported attacks bit-identical regardless of which engine produced them.
+const (
+	ratingQuantum = 1e-6 // MVA: micro-MVA resolution on manipulated ratings
+	gainQuantum   = 1e-9 // percentage points on reported U_cap gains
+)
+
+// quantize rounds v onto the grid with spacing q.
+func quantize(v, q float64) float64 {
+	return math.Round(v/q) * q
 }

@@ -48,6 +48,12 @@ func pruneSeed(obj, relGap float64) float64 {
 // atomic operation with no torn has/value pairing.
 type incumbentBound struct {
 	v atomic.Uint64
+	// seq, set before any subproblem runs, marks a sequential fan-out:
+	// every Offer and Best happens on the caller's goroutine, so the bound
+	// lives in a plain word and the CAS loop is bypassed. The MILP node
+	// loop polls the bound once per node, so this is a per-node saving.
+	seq  bool
+	seqV uint64
 }
 
 // Offer publishes a realized gain; the bound only ever tightens.
@@ -56,6 +62,12 @@ func (b *incumbentBound) Offer(gain float64) {
 		return
 	}
 	nv := math.Float64bits(gain) + 1
+	if b.seq {
+		if nv > b.seqV {
+			b.seqV = nv
+		}
+		return
+	}
 	for {
 		old := b.v.Load()
 		if old >= nv {
@@ -72,7 +84,12 @@ func (b *incumbentBound) Best() (float64, bool) {
 	if b == nil {
 		return 0, false
 	}
-	v := b.v.Load()
+	var v uint64
+	if b.seq {
+		v = b.seqV
+	} else {
+		v = b.v.Load()
+	}
 	if v == 0 {
 		return 0, false
 	}

@@ -53,9 +53,18 @@ type Model struct {
 	ptdf *mat.Matrix
 	// lastBinding warm-starts constraint generation across solves.
 	lastBinding []int
+	// kkt carries QP factorization work across solves: the dispatch QP's
+	// matrix family is fixed per model (only ratings and demand vary), so
+	// base-KKT and Schur-complement factors are reusable. Like lastBinding
+	// it is per-clone mutable state, never shared between workers.
+	kkt qp.KKTCache
 	// Metrics, when non-nil, receives dispatch_* counters and forwards to
 	// the inner LP/QP solvers' lp_*/qp_* counters. Nil costs nothing.
 	Metrics *telemetry.Registry
+	// DenseSolver forces the inner LP and QP solves onto their dense
+	// engines (tableau simplex, dense KKT factorization) instead of the
+	// sparse ones; used for A/B measurement against dense baselines.
+	DenseSolver bool
 }
 
 // BuildModel assembles the affine model for the network's nominal demand.
@@ -118,14 +127,38 @@ func (m *Model) SetDemands(demands []float64) error {
 // the O(n³) PTDF factorization BuildModel pays.
 func (m *Model) ShallowClone() *Model {
 	c := &Model{
-		Net:     m.Net,
-		M:       m.M,
-		Demand:  m.Demand,
-		ptdf:    m.ptdf,
-		Metrics: m.Metrics,
+		Net:         m.Net,
+		M:           m.M,
+		Demand:      m.Demand,
+		ptdf:        m.ptdf,
+		Metrics:     m.Metrics,
+		DenseSolver: m.DenseSolver,
 	}
 	c.Base = append([]float64(nil), m.Base...)
 	return c
+}
+
+// ResetWarmStart clears the cross-solve warm-start memory (the
+// constraint-generation binding set), putting the model in the state a
+// fresh ShallowClone starts in. The KKT factorization cache is deliberately
+// kept: cached factors are bit-identical to freshly computed ones (same
+// matrices, deterministic factorization), so reuse never changes results —
+// which is what lets a sequential fan-out share one model across tasks
+// instead of cloning per task.
+func (m *Model) ResetWarmStart() {
+	m.lastBinding = m.lastBinding[:0]
+}
+
+// WarmStartState returns a copy of the warm-start memory, for callers that
+// reset it per task and want to restore the pre-fan-out state afterwards.
+func (m *Model) WarmStartState() []int {
+	return append([]int(nil), m.lastBinding...)
+}
+
+// RestoreWarmStart overwrites the warm-start memory with a snapshot from
+// WarmStartState.
+func (m *Model) RestoreWarmStart(binding []int) {
+	m.lastBinding = append(m.lastBinding[:0], binding...)
 }
 
 // ForDemands returns a ShallowClone with the per-bus demand overridden —
@@ -310,7 +343,7 @@ func (m *Model) solveLP(ratings []float64, included []int) (*Result, error) {
 		}
 		refs = append(refs, rowRef{li, -1, r2})
 	}
-	sol, err := lp.SolveWith(prob, lp.Options{Metrics: m.Metrics})
+	sol, err := lp.SolveWith(prob, lp.Options{Metrics: m.Metrics, DenseSolver: m.DenseSolver})
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: %w", err)
 	}
@@ -365,6 +398,7 @@ func (m *Model) solveQP(ratings []float64, included []int) (*Result, error) {
 		row  int
 	}
 	var refs []rowRef
+	var rowKeys []int64
 	for _, li := range included {
 		u := ratings[li]
 		if u <= 0 {
@@ -376,6 +410,7 @@ func (m *Model) solveQP(ratings []float64, included []int) (*Result, error) {
 			return nil, fmt.Errorf("dispatch: %w", err)
 		}
 		refs = append(refs, rowRef{li, 1, r1})
+		rowKeys = append(rowKeys, int64(li)*2)
 		negRow := make([]float64, ng)
 		for j, v := range row {
 			negRow[j] = -v
@@ -385,8 +420,19 @@ func (m *Model) solveQP(ratings []float64, included []int) (*Result, error) {
 			return nil, fmt.Errorf("dispatch: %w", err)
 		}
 		refs = append(refs, rowRef{li, -1, r2})
+		rowKeys = append(rowKeys, int64(li)*2+1)
 	}
-	sol, err := qp.SolveWith(prob, qp.Options{Metrics: m.Metrics})
+	// The QP family solved here is fixed per model up to right-hand sides:
+	// the Hessian (cost curves), the balance row, the generator bounds, and
+	// the ±PTDF gradient behind each (line, direction) key never change —
+	// only ratings and demand do. That is exactly the contract qp.KKTCache
+	// requires, so repeated dispatch solves share base factorizations.
+	sol, err := qp.SolveWith(prob, qp.Options{
+		Metrics:  m.Metrics,
+		DenseKKT: m.DenseSolver,
+		Cache:    &m.kkt,
+		RowKeys:  rowKeys,
+	})
 	if err != nil {
 		if errors.Is(err, qp.ErrInfeasible) {
 			return nil, ErrInfeasible

@@ -38,11 +38,11 @@ func captureBasis(s *simplex) *Basis {
 
 // slackIndex returns, per constraint row, the internal index of its slack
 // variable (or -1 for an equality row), given the structural variable count.
-func slackIndex(rows []Constraint, n int) []int {
+func slackIndex(rows []conRow, n int) []int {
 	idx := make([]int, len(rows))
 	at := n
 	for i, r := range rows {
-		if r.Rel == EQ {
+		if r.rel == EQ {
 			idx[i] = -1
 			continue
 		}
@@ -68,12 +68,12 @@ func (b *Basis) Remap(old, new *Problem, varMap, rowMap []int) *Basis {
 	}
 	oldSlackN, newSlackN := 0, 0
 	for _, r := range old.rows {
-		if r.Rel != EQ {
+		if r.rel != EQ {
 			oldSlackN++
 		}
 	}
 	for _, r := range new.rows {
-		if r.Rel != EQ {
+		if r.rel != EQ {
 			newSlackN++
 		}
 	}
@@ -123,7 +123,7 @@ func (b *Basis) Remap(old, new *Problem, varMap, rowMap []int) *Basis {
 		}
 	}
 	for i, i2 := range rowMap {
-		if i2 < 0 || i2 >= m2 || rowMapped[i2] || old.rows[i].Rel != new.rows[i2].Rel {
+		if i2 < 0 || i2 >= m2 || rowMapped[i2] || old.rows[i].rel != new.rows[i2].rel {
 			return nil
 		}
 		rowMapped[i2] = true

@@ -52,15 +52,17 @@ func (p *Problem) storeCache(s *simplex) {
 	p.cache = s
 }
 
-// ReleaseSolverCache returns the warm-start tableau retained by
-// Options.CaptureBasis solves (if any) to the internal scratch pool. Callers
-// that run a sequence of capture-enabled solves — the MILP branch-and-bound
-// loop does — should call this when the sequence ends.
+// ReleaseSolverCache returns the warm-start state retained by
+// Options.CaptureBasis solves (if any): the dense tableau goes back to the
+// internal scratch pool, the sparse engine state is dropped. Callers that
+// run a sequence of capture-enabled solves — the MILP branch-and-bound loop
+// does — should call this when the sequence ends.
 func (p *Problem) ReleaseSolverCache() {
 	if p.cache != nil {
 		p.cache.ar.release()
 		p.cache = nil
 	}
+	p.rcache = nil
 }
 
 // trySolveWarm attempts a warm-started solve from basis b. A nil Solution
@@ -71,7 +73,7 @@ func trySolveWarm(p *Problem, opts Options, b *Basis) (*simplex, *Solution) {
 	m, n := len(p.rows), p.nvars
 	nslack := 0
 	for _, r := range p.rows {
-		if r.Rel != EQ {
+		if r.rel != EQ {
 			nslack++
 		}
 	}
@@ -86,7 +88,7 @@ func trySolveWarm(p *Problem, opts Options, b *Basis) (*simplex, *Solution) {
 	s := p.takeCache(m, n, nslack)
 	if s != nil {
 		s.opts = opts
-		s.maximize, s.userC, s.rows = p.maximize, p.c, p.rows
+		s.maximize, s.userC = p.maximize, p.c
 	} else {
 		var err error
 		s, err = newSimplex(p, opts)

@@ -1,21 +1,27 @@
-// Package lp implements a dense two-phase primal simplex solver for linear
-// programs with general (two-sided) variable bounds:
+// Package lp implements the linear-programming layer shared by the
+// economic-dispatch, MILP, and bilevel attack packages. Problems are
+// bounded-variable LPs with general (two-sided) bounds:
 //
 //	minimize    cᵀx
 //	subject to  aᵢᵀx {≤,=,≥} bᵢ   for each constraint row i
 //	            l ≤ x ≤ u         (entries may be ±Inf)
 //
-// It is the workhorse under the economic-dispatch, MILP, and bilevel attack
-// packages. The implementation is a bounded-variable tableau simplex with
-// artificial variables (so the basis inverse is always available for dual
-// prices), Dantzig pricing, and a Bland's-rule fallback to guarantee
-// termination on degenerate problems.
+// Two solver engines share one contract. The sparse revised simplex stores
+// the constraint matrix once in compressed-column form, keeps the basis as a
+// sparse LU factorization updated per pivot with product-form eta terms, and
+// prices through BTRAN/FTRAN solves — the right shape for the KKT systems of
+// power networks, whose rows are overwhelmingly zero. The dense
+// bounded-variable tableau simplex (two-phase, Dantzig pricing with a
+// Bland's-rule fallback) remains both the engine for small or dense problems
+// and the differential-testing oracle for the sparse path; Options.DenseSolver
+// forces it. Both engines support warm starts from a Basis snapshot.
 package lp
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/edsec/edattack/internal/telemetry"
 )
@@ -69,12 +75,24 @@ func (s Status) String() string {
 // ErrIterLimit is returned when the simplex exceeds its iteration budget.
 var ErrIterLimit = errors.New("lp: iteration limit exceeded")
 
-// Constraint is one linear constraint row. Coeffs must have one entry per
-// problem variable.
+// Constraint is one linear constraint row in dense form, as accepted by
+// AddConstraint and returned by Problem.ConstraintAt. Coeffs has one entry
+// per problem variable.
 type Constraint struct {
 	Coeffs []float64
 	Rel    Relation
 	RHS    float64
+}
+
+// conRow is the native storage of one constraint: sorted sparse
+// index/value pairs. Rows are stored sparse so KKT/big-M assembly and row
+// generation append rows without copying dense slabs, and so the revised
+// simplex can build its column file straight from the problem.
+type conRow struct {
+	ind []int // strictly increasing
+	val []float64
+	rel Relation
+	rhs float64
 }
 
 // Problem is a linear program under construction. The zero value is not
@@ -86,13 +104,15 @@ type Problem struct {
 	maximize bool
 	lower    []float64
 	upper    []float64
-	rows     []Constraint
+	rows     []conRow
+	nnz      int // total stored coefficients across rows
 
 	// rev counts structural changes (added rows); a retained warm-start
 	// tableau is only valid while rev is unchanged. Bound and objective
 	// edits do not invalidate it — B⁻¹A does not depend on them.
-	rev   int
-	cache *simplex // final tableau of the last CaptureBasis solve, if kept
+	rev    int
+	cache  *simplex // final tableau of the last dense CaptureBasis solve, if kept
+	rcache *revised // final state of the last sparse CaptureBasis solve, if kept
 }
 
 // NewProblem returns a problem with n variables, objective 0, and default
@@ -116,6 +136,29 @@ func (p *Problem) NumVars() int { return p.nvars }
 
 // NumConstraints returns the number of constraint rows.
 func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// NNZ returns the number of stored constraint coefficients across all rows.
+func (p *Problem) NNZ() int { return p.nnz }
+
+// Density returns NNZ divided by rows×vars — the fill fraction of the
+// constraint matrix, used by the engine-selection heuristic and recorded by
+// benchmark baselines. An empty problem has density 0.
+func (p *Problem) Density() float64 {
+	if len(p.rows) == 0 || p.nvars == 0 {
+		return 0
+	}
+	return float64(p.nnz) / (float64(len(p.rows)) * float64(p.nvars))
+}
+
+// ConstraintAt returns row i in dense form (a fresh copy).
+func (p *Problem) ConstraintAt(i int) Constraint {
+	r := p.rows[i]
+	coeffs := make([]float64, p.nvars)
+	for k, j := range r.ind {
+		coeffs[j] = r.val[k]
+	}
+	return Constraint{Coeffs: coeffs, Rel: r.rel, RHS: r.rhs}
+}
 
 // SetObjective sets the linear objective. If maximize is true the problem is
 // max cᵀx; internally it is negated.
@@ -159,36 +202,103 @@ func (p *Problem) SetBounds(j int, lo, hi float64) error {
 // Bounds returns the bounds of variable j.
 func (p *Problem) Bounds(j int) (lo, hi float64) { return p.lower[j], p.upper[j] }
 
-// AddConstraint appends a dense constraint row and returns its index.
+// AddConstraint appends a dense constraint row and returns its index. Only
+// the nonzero coefficients are stored.
 func (p *Problem) AddConstraint(coeffs []float64, rel Relation, rhs float64) (int, error) {
 	if len(coeffs) != p.nvars {
 		return 0, fmt.Errorf("lp: constraint has %d coefficients, want %d", len(coeffs), p.nvars)
 	}
-	switch rel {
-	case LE, GE, EQ:
-	default:
-		return 0, fmt.Errorf("lp: invalid relation %v", rel)
+	if err := checkRelation(rel); err != nil {
+		return 0, err
 	}
-	row := make([]float64, p.nvars)
-	copy(row, coeffs)
-	p.rows = append(p.rows, Constraint{Coeffs: row, Rel: rel, RHS: rhs})
-	p.rev++
-	return len(p.rows) - 1, nil
+	nz := 0
+	for _, v := range coeffs {
+		if v != 0 {
+			nz++
+		}
+	}
+	ind := make([]int, 0, nz)
+	val := make([]float64, 0, nz)
+	for j, v := range coeffs {
+		if v != 0 {
+			ind = append(ind, j)
+			val = append(val, v)
+		}
+	}
+	return p.appendRow(conRow{ind: ind, val: val, rel: rel, rhs: rhs}), nil
 }
 
-// AddSparseConstraint appends a constraint given as index→coefficient pairs.
+// AddSparseConstraint appends a constraint given as index→coefficient pairs,
+// stored sparsely. Duplicate indices are summed; indices need not be sorted.
 func (p *Problem) AddSparseConstraint(idx []int, coeffs []float64, rel Relation, rhs float64) (int, error) {
 	if len(idx) != len(coeffs) {
 		return 0, fmt.Errorf("lp: sparse constraint has %d indices but %d coefficients", len(idx), len(coeffs))
 	}
-	row := make([]float64, p.nvars)
-	for k, j := range idx {
+	if err := checkRelation(rel); err != nil {
+		return 0, err
+	}
+	for _, j := range idx {
 		if j < 0 || j >= p.nvars {
 			return 0, fmt.Errorf("lp: sparse constraint index %d out of range [0,%d)", j, p.nvars)
 		}
-		row[j] += coeffs[k]
 	}
-	return p.AddConstraint(row, rel, rhs)
+	ind := make([]int, len(idx))
+	val := make([]float64, len(idx))
+	copy(ind, idx)
+	copy(val, coeffs)
+	sortRowEntries(ind, val)
+	// Merge duplicates and drop exact zeros in place.
+	w := 0
+	for k := range ind {
+		if w > 0 && ind[w-1] == ind[k] {
+			val[w-1] += val[k]
+			continue
+		}
+		ind[w], val[w] = ind[k], val[k]
+		w++
+	}
+	ind, val = ind[:w], val[:w]
+	w = 0
+	for k := range ind {
+		if val[k] != 0 {
+			ind[w], val[w] = ind[k], val[k]
+			w++
+		}
+	}
+	return p.appendRow(conRow{ind: ind[:w], val: val[:w], rel: rel, rhs: rhs}), nil
+}
+
+func (p *Problem) appendRow(r conRow) int {
+	p.rows = append(p.rows, r)
+	p.nnz += len(r.ind)
+	p.rev++
+	return len(p.rows) - 1
+}
+
+func checkRelation(rel Relation) error {
+	switch rel {
+	case LE, GE, EQ:
+		return nil
+	default:
+		return fmt.Errorf("lp: invalid relation %v", rel)
+	}
+}
+
+// sortRowEntries sorts parallel index/value slices by index.
+func sortRowEntries(ind []int, val []float64) {
+	sort.Sort(&rowSorter{ind: ind, val: val})
+}
+
+type rowSorter struct {
+	ind []int
+	val []float64
+}
+
+func (s *rowSorter) Len() int           { return len(s.ind) }
+func (s *rowSorter) Less(i, j int) bool { return s.ind[i] < s.ind[j] }
+func (s *rowSorter) Swap(i, j int) {
+	s.ind[i], s.ind[j] = s.ind[j], s.ind[i]
+	s.val[i], s.val[j] = s.val[j], s.val[i]
 }
 
 // Solution is the result of a successful Solve call.
@@ -240,12 +350,26 @@ type Options struct {
 	// and restores primal feasibility with bound-flipping dual pivots; in
 	// every case where the warm path cannot certify a result it falls back
 	// to the cold two-phase solve, so results never depend on the hint.
+	// Under the sparse engine the warm basis seeds the initial LU
+	// factorization instead of a tableau refactorization.
 	WarmBasis *Basis
 	// CaptureBasis records the optimal basis in Solution.Basis and retains
-	// the final tableau on the Problem so the next warm solve can reuse it.
-	// Callers running a capture-enabled sequence should finish with
-	// Problem.ReleaseSolverCache.
+	// the engine's final state on the Problem so the next warm solve can
+	// reuse it. Callers running a capture-enabled sequence should finish
+	// with Problem.ReleaseSolverCache.
 	CaptureBasis bool
+	// DenseSolver forces the dense tableau engine, overriding both the
+	// selection heuristic and ForceSparse. The dense engine is the
+	// differential-testing oracle for the sparse one.
+	DenseSolver bool
+	// ForceSparse forces the sparse revised simplex engine even on problems
+	// the heuristic would route to the dense tableau (small or dense
+	// constraint matrices).
+	ForceSparse bool
+	// Span, when non-nil, parents an "lp.solve" trace span per solve,
+	// carrying the engine choice (sparse=true/false), status, and pivot
+	// count. A nil Span emits nothing.
+	Span *telemetry.Span
 }
 
 func (o Options) withDefaults() Options {
@@ -258,6 +382,33 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Engine-selection heuristic: the revised simplex wins when the constraint
+// matrix is large and sparse enough that FTRAN/BTRAN solves beat dense
+// tableau row operations. Dense PTDF-style rows (economic dispatch, QP
+// subproblems) stay on the tableau engine.
+const (
+	sparseMinRows    = 8
+	sparseMaxDensity = 0.3
+)
+
+// useSparseEngine decides which engine a solve runs on.
+func useSparseEngine(p *Problem, opts Options) bool {
+	if opts.DenseSolver {
+		return false
+	}
+	if opts.ForceSparse {
+		return true
+	}
+	return len(p.rows) >= sparseMinRows && p.Density() <= sparseMaxDensity
+}
+
+// solveStats aggregates per-solve counter deltas from either engine.
+type solveStats struct {
+	iters, phase1, degen, flips, dualPivs int
+	warmTried, warmUsed                   bool
+	ftran, btran, etaApps, refactors      int
+}
+
 // Solve solves the problem with default options.
 func Solve(p *Problem) (*Solution, error) {
 	return SolveWith(p, Options{})
@@ -266,28 +417,67 @@ func Solve(p *Problem) (*Solution, error) {
 // SolveWith solves the problem with explicit options.
 func SolveWith(p *Problem, opts Options) (*Solution, error) {
 	opts = opts.withDefaults()
+	sparseEng := useSparseEngine(p, opts)
+	span := telemetry.StartSpan(nil, opts.Span, "lp.solve")
+	span.SetAttr("sparse", sparseEng)
+	if opts.Metrics != nil {
+		// High-water problem shape: the largest system seen and the densest
+		// system seen (SetMax, so the gauges are order-independent).
+		opts.Metrics.Gauge("lp_problem_nnz").SetMax(float64(p.NNZ()))
+		opts.Metrics.Gauge("lp_problem_density").SetMax(p.Density())
+	}
+
 	var (
-		sol                     *Solution
-		err                     error
-		warmTried, warmUsed     bool
-		iters, p1, degen, flips int
-		dualPivs                int
-		s                       *simplex
+		sol   *Solution
+		err   error
+		stats solveStats
+	)
+	if sparseEng {
+		sol, err = solveSparse(p, opts, &stats)
+	} else {
+		sol, err = solveDense(p, opts, &stats)
+	}
+	if sol != nil {
+		sol.Iterations = stats.iters
+		sol.Warm = stats.warmUsed
+	}
+	emitSolveMetrics(opts.Metrics, sol, err, &stats)
+	if span != nil {
+		if sol != nil {
+			span.SetAttr("status", sol.Status.String())
+			span.SetAttr("pivots", stats.iters)
+			span.SetAttr("warm", stats.warmUsed)
+		}
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End()
+	}
+	return sol, err
+}
+
+// solveDense runs the dense tableau engine: warm attempt first (when a basis
+// hint is present), cold two-phase otherwise.
+func solveDense(p *Problem, opts Options, stats *solveStats) (*Solution, error) {
+	var (
+		sol *Solution
+		err error
+		s   *simplex
 	)
 	if b := opts.WarmBasis; b != nil {
-		warmTried = true
+		stats.warmTried = true
 		ws, wsol := trySolveWarm(p, opts, b)
 		if ws != nil {
-			iters += ws.iters
-			degen += ws.degenPivots
-			flips += ws.boundFlips
-			dualPivs += ws.dualPivots
+			stats.iters += ws.iters
+			stats.degen += ws.degenPivots
+			stats.flips += ws.boundFlips
+			stats.dualPivs += ws.dualPivots
 		}
 		if wsol != nil {
-			sol, s, warmUsed = wsol, ws, true
+			sol, s, stats.warmUsed = wsol, ws, true
 		} else if ws != nil {
 			// Failed attempt: its scratch goes back to the pool; any
-			// pivots it burned stay in the totals below.
+			// pivots it burned stay in the totals.
 			ws.ar.release()
 		}
 	}
@@ -297,18 +487,14 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 			return nil, cerr
 		}
 		sol, err = cs.run()
-		iters += cs.iters
-		p1 += cs.phase1Iters
-		degen += cs.degenPivots
-		flips += cs.boundFlips
+		stats.iters += cs.iters
+		stats.phase1 += cs.phase1Iters
+		stats.degen += cs.degenPivots
+		stats.flips += cs.boundFlips
 		s = cs
 	}
-	if sol != nil {
-		sol.Iterations = iters
-		sol.Warm = warmUsed
-		if opts.CaptureBasis && sol.Status == Optimal {
-			sol.Basis = captureBasis(s)
-		}
+	if sol != nil && opts.CaptureBasis && sol.Status == Optimal {
+		sol.Basis = captureBasis(s)
 	}
 	// The solution vectors are fresh copies, so the scratch either goes
 	// back to the pool or — on capture-enabled solves — is retained on the
@@ -318,29 +504,38 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 	} else {
 		s.ar.release()
 	}
-	if m := opts.Metrics; m != nil {
-		m.Counter("lp_solves_total").Inc()
-		m.Counter("lp_pivots_total").Add(int64(iters))
-		m.Counter("lp_phase1_pivots_total").Add(int64(p1))
-		m.Counter("lp_degenerate_pivots_total").Add(int64(degen))
-		m.Counter("lp_bound_flips_total").Add(int64(flips))
-		m.Counter("lp_dual_pivots_total").Add(int64(dualPivs))
-		if warmTried {
-			if warmUsed {
-				m.Counter("lp_warm_solves_total").Inc()
-			} else {
-				m.Counter("lp_warm_fallbacks_total").Inc()
-			}
-		}
-		m.Histogram("lp_pivots", telemetry.IterBuckets).Observe(float64(iters))
-		switch {
-		case err != nil:
-			m.Counter("lp_errors_total").Inc()
-		case sol.Status == Infeasible:
-			m.Counter("lp_infeasible_total").Inc()
-		case sol.Status == Unbounded:
-			m.Counter("lp_unbounded_total").Inc()
+	return sol, err
+}
+
+// emitSolveMetrics publishes one solve's counter deltas.
+func emitSolveMetrics(m *telemetry.Registry, sol *Solution, err error, st *solveStats) {
+	if m == nil {
+		return
+	}
+	m.Counter("lp_solves_total").Inc()
+	m.Counter("lp_pivots_total").Add(int64(st.iters))
+	m.Counter("lp_phase1_pivots_total").Add(int64(st.phase1))
+	m.Counter("lp_degenerate_pivots_total").Add(int64(st.degen))
+	m.Counter("lp_bound_flips_total").Add(int64(st.flips))
+	m.Counter("lp_dual_pivots_total").Add(int64(st.dualPivs))
+	m.Counter("lp_ftran_total").Add(int64(st.ftran))
+	m.Counter("lp_btran_total").Add(int64(st.btran))
+	m.Counter("lp_eta_length").Add(int64(st.etaApps))
+	m.Counter("lp_refactorizations_total").Add(int64(st.refactors))
+	if st.warmTried {
+		if st.warmUsed {
+			m.Counter("lp_warm_solves_total").Inc()
+		} else {
+			m.Counter("lp_warm_fallbacks_total").Inc()
 		}
 	}
-	return sol, err
+	m.Histogram("lp_pivots", telemetry.IterBuckets).Observe(float64(st.iters))
+	switch {
+	case err != nil:
+		m.Counter("lp_errors_total").Inc()
+	case sol.Status == Infeasible:
+		m.Counter("lp_infeasible_total").Inc()
+	case sol.Status == Unbounded:
+		m.Counter("lp_unbounded_total").Inc()
+	}
 }

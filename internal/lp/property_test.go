@@ -51,6 +51,15 @@ func Dot(a, b []float64) float64 {
 	return s
 }
 
+// activity evaluates a stored sparse row at x.
+func activity(r conRow, x []float64) float64 {
+	var s float64
+	for k, j := range r.ind {
+		s += r.val[k] * x[j]
+	}
+	return s
+}
+
 // Property: random anchored LPs are feasible and the solution satisfies all
 // constraints and bounds.
 func TestPropertyFeasibility(t *testing.T) {
@@ -68,18 +77,18 @@ func TestPropertyFeasibility(t *testing.T) {
 			}
 		}
 		for _, row := range p.rows {
-			act := Dot(row.Coeffs, sol.X)
-			switch row.Rel {
+			act := activity(row, sol.X)
+			switch row.rel {
 			case LE:
-				if act > row.RHS+1e-6 {
+				if act > row.rhs+1e-6 {
 					return false
 				}
 			case GE:
-				if act < row.RHS-1e-6 {
+				if act < row.rhs-1e-6 {
 					return false
 				}
 			case EQ:
-				if math.Abs(act-row.RHS) > 1e-6 {
+				if math.Abs(act-row.rhs) > 1e-6 {
 					return false
 				}
 			}
@@ -130,9 +139,9 @@ func TestPropertyDualIdentity(t *testing.T) {
 		lhs := Dot(p.c, sol.X)
 		rhs := Dot(sol.ReducedCost, sol.X)
 		for i, row := range p.rows {
-			act := Dot(row.Coeffs, sol.X)
-			rhs += sol.Dual[i] * row.RHS
-			rhs -= sol.Dual[i] * (row.RHS - act)
+			act := activity(row, sol.X)
+			rhs += sol.Dual[i] * row.rhs
+			rhs -= sol.Dual[i] * (row.rhs - act)
 		}
 		return math.Abs(lhs-rhs) <= 1e-5*(1+math.Abs(lhs))
 	}
@@ -153,9 +162,9 @@ func TestPropertyComplementarySlackness(t *testing.T) {
 			return false
 		}
 		for i, row := range p.rows {
-			act := Dot(row.Coeffs, sol.X)
-			gap := math.Abs(row.RHS - act)
-			if row.Rel != EQ && gap > 1e-4 && math.Abs(sol.Dual[i]) > 1e-5 {
+			act := activity(row, sol.X)
+			gap := math.Abs(row.rhs - act)
+			if row.rel != EQ && gap > 1e-4 && math.Abs(sol.Dual[i]) > 1e-5 {
 				return false
 			}
 		}
@@ -186,7 +195,7 @@ func TestPropertyDualSigns(t *testing.T) {
 			return false
 		}
 		for i, row := range p.rows {
-			switch row.Rel {
+			switch row.rel {
 			case LE:
 				// Raising the RHS of a ≤ row enlarges the feasible set:
 				// the minimum cannot increase.

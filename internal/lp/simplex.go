@@ -42,7 +42,6 @@ type simplex struct {
 
 	maximize bool
 	userC    []float64
-	rows     []Constraint
 	ar       *arena // pooled scratch backing tab and the working vectors
 
 	// Pivot-accounting counters, kept after the hot fields so the layout
@@ -62,7 +61,7 @@ func newSimplex(p *Problem, opts Options) (*simplex, error) {
 	n := p.nvars
 	nslack := 0
 	for _, r := range p.rows {
-		if r.Rel != EQ {
+		if r.rel != EQ {
 			nslack++
 		}
 	}
@@ -80,7 +79,6 @@ func newSimplex(p *Problem, opts Options) (*simplex, error) {
 		artOff:   n + nslack,
 		maximize: p.maximize,
 		userC:    p.c,
-		rows:     p.rows,
 	}
 	// One pooled buffer covers the tableau (m×total), the six per-variable
 	// working vectors (lower, upper, costII, z, costI, xN), xB, and the
@@ -135,8 +133,10 @@ func newSimplex(p *Problem, opts Options) (*simplex, error) {
 	slackAt := n
 	for i, row := range p.rows {
 		t := s.ar.take(s.total)
-		copy(t, row.Coeffs)
-		switch row.Rel {
+		for k, j := range row.ind {
+			t[j] = row.val[k]
+		}
+		switch row.rel {
 		case LE:
 			t[slackAt] = 1
 			slackAt++
@@ -146,7 +146,7 @@ func newSimplex(p *Problem, opts Options) (*simplex, error) {
 		}
 		// Residual the artificial must absorb given initial nonbasic
 		// values.
-		resid := row.RHS
+		resid := row.rhs
 		for j := 0; j < s.artOff; j++ {
 			if t[j] != 0 {
 				resid -= t[j] * s.xN[j]
@@ -166,9 +166,9 @@ func newSimplex(p *Problem, opts Options) (*simplex, error) {
 		s.status[art] = basic
 		s.xB[i] = resid
 		s.xN[art] = resid
-		s.rhs[i] = row.RHS
+		s.rhs[i] = row.rhs
 		if s.rhsFlip[i] {
-			s.rhs[i] = -row.RHS
+			s.rhs[i] = -row.rhs
 		}
 	}
 	return s, nil

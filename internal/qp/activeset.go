@@ -6,6 +6,16 @@ import (
 	"sort"
 
 	"github.com/edsec/edattack/internal/mat"
+	"github.com/edsec/edattack/internal/sparse"
+)
+
+// Base KKT matrices at or above this dimension with at most this density
+// are factorized with the sparse LU and working sets handled by bordering;
+// smaller or denser systems keep the dense path (which also serves as the
+// differential oracle).
+const (
+	kktSparseMinDim     = 16
+	kktSparseMaxDensity = 0.3
 )
 
 // activeSet runs the primal active-set iteration.
@@ -15,6 +25,86 @@ type activeSet struct {
 	x    []float64
 	opts Options
 	work []int // indices into rows forming the working set
+
+	// Hessian and equality-row sparsity, extracted once per solve.
+	hInd   [][]int
+	hVal   [][]float64
+	hNNZ   int
+	aeqNNZ int
+
+	// Bordered sparse KKT machinery; nil when the base matrix is too small,
+	// too dense, or singular, in which case every solve takes the dense path.
+	schur      *kktSchur
+	schurTried bool
+
+	// keys[i] identifies rows[i] across solves sharing a KKTCache (stable
+	// scheme) or within this solve only (positional scheme).
+	keys []int64
+	// w0 = B⁻¹·[−c; beq] and the per-row dots ĝ_wᵀ·w0, per solve (the
+	// objective and right-hand sides may differ between cached solves).
+	w0    []float64
+	rw0   []float64
+	rw0ok []bool
+	// keyBuf is scratch for packing working sets into map keys.
+	keyBuf []byte
+
+	// Memoized last successful solve: the KKT solution depends only on the
+	// working set (the iterate moves neither the matrix nor the right-hand
+	// side), and run() solves each candidate set twice — once probing
+	// independence in tryKKT, once for the step in the next iteration — so
+	// remembering the last result halves the work.
+	memoWork []int
+	memoX    []float64
+	memoNu   []float64
+	memoLam  []float64
+}
+
+// KKTCache carries factorization work reusable across solves of structurally
+// identical QPs: same Hessian, same equality rows, same bound structure, and
+// the same gradient behind every stable inequality-row key (see
+// Options.RowKeys). Objective vectors and all right-hand sides — beq,
+// inequality limits, bound values — may differ freely between solves; those
+// enter only through per-solve vectors. The canonical client is repeated
+// economic dispatch under varying line ratings, where every KKT matrix is
+// drawn from one fixed family.
+//
+// The zero value is ready to use. A KKTCache is not safe for concurrent use;
+// per-worker model clones must each own one.
+type KKTCache struct {
+	n, me int
+	tried bool
+	sc    *kktSchur
+}
+
+// kktSchur solves working-set KKT systems by bordering: the base matrix
+//
+//	B = ⎡H  Aeqᵀ⎤
+//	    ⎣Aeq  0 ⎦
+//
+// is fixed for the whole active-set run and factorized sparsely once; a
+// working set {w₁…w_mw} extends it with border columns ĝ_w (the row
+// gradients, zero-padded over the equality block). The bordered system
+//
+//	⎡B  G⎤ ⎡u⎤ = ⎡r⎤        G = [ĝ_w₁ … ĝ_w_mw]
+//	⎣Gᵀ 0⎦ ⎣λ⎦   ⎣h⎦
+//
+// reduces to the mw×mw dense Schur complement S = GᵀB⁻¹G:
+//
+//	S·λ = GᵀB⁻¹r − h,   u = B⁻¹r − (B⁻¹G)·λ
+//
+// B⁻¹ĝ_w is cached per row key, every Schur entry ĝ_vᵀB⁻¹ĝ_w is cached per
+// key pair, and Schur factorizations are cached per working set — all of
+// which depend only on the gradients, so with a cross-solve KKTCache a
+// steady-state KKT solve costs one small triangular solve instead of the
+// dense (n+me+mw)³ factorization it replaced.
+type kktSchur struct {
+	dim0 int        // n + me
+	base *sparse.LU // factorization of B
+
+	cols  map[int64][]float64 // row key → B⁻¹·ĝ_w
+	dots  map[uint64]float64  // packed key pair → ĝ_vᵀ·B⁻¹·ĝ_w
+	sfact map[string]*mat.LU  // packed working set → Schur factorization
+	sbad  map[string]bool     // packed working set → singular (dependent)
 }
 
 // run iterates: solve the equality-constrained QP on the working set, then
@@ -131,24 +221,353 @@ func (s *activeSet) tryKKT(work []int) bool {
 // returning the minimizer and the multipliers (ν for equalities, λ for
 // working-set rows).
 func (s *activeSet) solveKKT(work []int) (x, nu, lam []float64, err error) {
+	if !s.opts.DenseKKT {
+		if !s.schurTried {
+			s.initSchur()
+		}
+		if s.schur != nil {
+			return s.solveKKTSchur(work)
+		}
+	}
 	n := s.p.n
 	me := len(s.p.aeq)
+	rhs := make([]float64, n+me+len(work))
+	for i := 0; i < n; i++ {
+		rhs[i] = -s.p.c[i]
+	}
+	for e := 0; e < me; e++ {
+		rhs[n+e] = s.p.beq[e]
+	}
+	for k, w := range work {
+		rhs[n+me+k] = s.rows[w].h
+	}
+	return s.solveKKTDense(work, rhs)
+}
+
+// initSchur decides once per solve whether the base KKT matrix is worth
+// factorizing sparsely and, if so, factors it (or adopts a cached
+// factorization) and computes B⁻¹r for this solve's right-hand side.
+func (s *activeSet) initSchur() {
+	s.schurTried = true
+	n := s.p.n
+	me := len(s.p.aeq)
+	if n+me < kktSparseMinDim {
+		return
+	}
+	cache := s.opts.Cache
+	if !s.stableKeys() {
+		cache = nil // no stable row identity: cross-solve reuse is unsound
+		s.positionalKeys()
+	}
+	if cache != nil && cache.tried && cache.n == n && cache.me == me {
+		if cache.sc != nil {
+			s.schur = cache.sc
+			s.initW0()
+		}
+		return
+	}
+	sc := s.buildSchur()
+	if cache != nil {
+		*cache = KKTCache{n: n, me: me, tried: true, sc: sc}
+	}
+	if sc != nil {
+		s.schur = sc
+		s.initW0()
+	}
+}
+
+// stableKeys assigns cross-solve row identities: a caller-supplied key for
+// each user inequality row and the variable index for each bound row. It
+// reports false — leaving the keys unset — when the caller provided no (or
+// malformed) keys, in which case cross-solve caching is disabled.
+func (s *activeSet) stableKeys() bool {
+	rk := s.opts.RowKeys
+	if len(s.p.gin) > 0 && len(rk) != len(s.p.gin) {
+		return false
+	}
+	keys := make([]int64, len(s.rows))
+	for i := range s.rows {
+		r := &s.rows[i]
+		switch r.kind {
+		case kindUser:
+			k := rk[r.idx]
+			if k < 0 || k >= 1<<28 {
+				return false
+			}
+			keys[i] = k << 2
+		case kindUpper:
+			keys[i] = int64(r.idx)<<2 | 1
+		case kindLower:
+			keys[i] = int64(r.idx)<<2 | 2
+		}
+	}
+	s.keys = keys
+	return true
+}
+
+// positionalKeys identifies rows by position, valid within one solve only.
+func (s *activeSet) positionalKeys() {
+	s.keys = make([]int64, len(s.rows))
+	for i := range s.keys {
+		s.keys[i] = int64(i)<<2 | 3
+	}
+}
+
+// buildSchur assembles and factors the base matrix B sparsely, returning nil
+// when it is too dense or singular (H not positive definite on the equality
+// null space), in which case the bordered reduction does not apply.
+func (s *activeSet) buildSchur() *kktSchur {
+	n := s.p.n
+	me := len(s.p.aeq)
+	dim0 := n + me
+	if s.hInd == nil {
+		s.scanSparsity()
+	}
+	nnz := s.hNNZ + 2*s.aeqNNZ
+	if float64(nnz) > kktSparseMaxDensity*float64(dim0)*float64(dim0) {
+		return nil
+	}
+	ind := make([][]int, dim0)
+	val := make([][]float64, dim0)
+	for j := 0; j < n; j++ {
+		rs := make([]int, 0, len(s.hInd[j])+me)
+		vs := make([]float64, 0, len(s.hVal[j])+me)
+		rs = append(rs, s.hInd[j]...)
+		vs = append(vs, s.hVal[j]...)
+		for e := 0; e < me; e++ {
+			if v := s.p.aeq[e][j]; v != 0 {
+				rs = append(rs, n+e)
+				vs = append(vs, v)
+			}
+		}
+		ind[j], val[j] = rs, vs
+	}
+	for e := 0; e < me; e++ {
+		var rs []int
+		var vs []float64
+		for j, v := range s.p.aeq[e] {
+			if v != 0 {
+				rs = append(rs, j)
+				vs = append(vs, v)
+			}
+		}
+		ind[n+e], val[n+e] = rs, vs
+	}
+	base, err := sparse.FactorColumns(dim0, ind, val)
+	if err != nil {
+		return nil
+	}
+	return &kktSchur{
+		dim0:  dim0,
+		base:  base,
+		cols:  make(map[int64][]float64),
+		dots:  make(map[uint64]float64),
+		sfact: make(map[string]*mat.LU),
+		sbad:  make(map[string]bool),
+	}
+}
+
+// initW0 computes this solve's B⁻¹·[−c; beq] and resets the per-solve
+// right-hand-side dot cache.
+func (s *activeSet) initW0() {
+	n := s.p.n
+	w0 := make([]float64, s.schur.dim0)
+	for i := 0; i < n; i++ {
+		w0[i] = -s.p.c[i]
+	}
+	for e := 0; e < len(s.p.aeq); e++ {
+		w0[n+e] = s.p.beq[e]
+	}
+	s.schur.base.Solve(w0)
+	s.w0 = w0
+	s.rw0 = make([]float64, len(s.rows))
+	s.rw0ok = make([]bool, len(s.rows))
+}
+
+// borderCol returns B⁻¹·ĝ_w, computing and caching it on first use. The
+// cache never invalidates: B and the gradient behind a key are fixed for
+// the cache's lifetime.
+func (s *activeSet) borderCol(w int) []float64 {
+	if c, ok := s.schur.cols[s.keys[w]]; ok {
+		return c
+	}
+	v := make([]float64, s.schur.dim0)
+	r := &s.rows[w]
+	if r.g != nil {
+		copy(v, r.g)
+	} else {
+		v[r.idx] = r.sign
+	}
+	s.schur.base.Solve(v)
+	s.schur.cols[s.keys[w]] = v
+	return v
+}
+
+// pairDot returns ĝ_vᵀ·B⁻¹·ĝ_w, cached per unordered key pair (the base is
+// symmetric, so the dot is too; the canonical orientation makes the cached
+// value — and hence the Schur matrix — exactly symmetric).
+func (s *activeSet) pairDot(wi, wj int) float64 {
+	a, b := s.keys[wi], s.keys[wj]
+	if a > b {
+		a, b = b, a
+		wi, wj = wj, wi
+	}
+	key := uint64(a)<<32 | uint64(b)
+	if v, ok := s.schur.dots[key]; ok {
+		return v
+	}
+	v := rowDot(&s.rows[wi], s.borderCol(wj))
+	s.schur.dots[key] = v
+	return v
+}
+
+// rhsDot returns ĝ_wᵀ·w0, cached per row for this solve.
+func (s *activeSet) rhsDot(w int) float64 {
+	if s.rw0ok[w] {
+		return s.rw0[w]
+	}
+	v := rowDot(&s.rows[w], s.w0)
+	s.rw0[w], s.rw0ok[w] = v, true
+	return v
+}
+
+// workKey packs a working set's row keys into a map key.
+func (s *activeSet) workKey(work []int) string {
+	buf := s.keyBuf[:0]
+	for _, w := range work {
+		k := uint32(s.keys[w])
+		buf = append(buf, byte(k), byte(k>>8), byte(k>>16), byte(k>>24))
+	}
+	s.keyBuf = buf
+	return string(buf)
+}
+
+// rowDot is ĝ_wᵀ·v for a vector over the base dimension (the gradient is
+// zero over the equality block).
+func rowDot(r *ineqRow, v []float64) float64 {
+	if r.g == nil {
+		return r.sign * v[r.idx]
+	}
+	d := 0.0
+	for j, g := range r.g {
+		if g != 0 {
+			d += g * v[j]
+		}
+	}
+	return d
+}
+
+// solveKKTSchur solves the working-set KKT system through the bordered
+// reduction. A singular Schur complement means the working-set gradients
+// are dependent (given the nonsingular base), exactly the condition the
+// dense path reports as ErrSingular.
+func (s *activeSet) solveKKTSchur(work []int) (x, nu, lam []float64, err error) {
+	if s.memoX != nil && sameWorkSet(s.memoWork, work) {
+		return mat.CloneVec(s.memoX), mat.CloneVec(s.memoNu), mat.CloneVec(s.memoLam), nil
+	}
+	n := s.p.n
+	k := s.schur
 	mw := len(work)
-	dim := n + me + mw
+	u := mat.CloneVec(s.w0)
+	lmb := make([]float64, mw)
+	if mw > 0 {
+		wk := s.workKey(work)
+		if k.sbad[wk] {
+			return nil, nil, nil, mat.ErrSingular
+		}
+		f := k.sfact[wk]
+		if f == nil {
+			sc := mat.New(mw, mw)
+			for i := range work {
+				for j := i; j < mw; j++ {
+					d := s.pairDot(work[i], work[j])
+					sc.Set(i, j, d)
+					sc.Set(j, i, d)
+				}
+			}
+			var ferr error
+			f, ferr = mat.Factor(sc)
+			if ferr != nil {
+				// A dependent set stays dependent: the Schur entries are
+				// fixed for the cache's lifetime.
+				if len(k.sbad) >= 1024 {
+					clear(k.sbad)
+				}
+				k.sbad[wk] = true
+				return nil, nil, nil, ferr
+			}
+			if len(k.sfact) >= 1024 {
+				clear(k.sfact)
+			}
+			k.sfact[wk] = f
+		}
+		rhs := make([]float64, mw)
+		for i, w := range work {
+			rhs[i] = s.rhsDot(w) - s.rows[w].h
+		}
+		lmb, err = f.Solve(rhs)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for i, w := range work {
+			li := lmb[i]
+			if li == 0 {
+				continue
+			}
+			ci := s.borderCol(w)
+			for t := range u {
+				u[t] -= li * ci[t]
+			}
+		}
+	}
+	s.memoWork = append(s.memoWork[:0], work...)
+	s.memoX = mat.CloneVec(u[:n])
+	s.memoNu = mat.CloneVec(u[n:])
+	s.memoLam = mat.CloneVec(lmb)
+	return u[:n], u[n:], lmb, nil
+}
+
+// scanSparsity extracts the Hessian's nonzero pattern (by column) and the
+// equality-row nonzero count, once per solve.
+func (s *activeSet) scanSparsity() {
+	n := s.p.n
+	s.hInd = make([][]int, n)
+	s.hVal = make([][]float64, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if v := s.p.h.At(i, j); v != 0 {
+				s.hInd[j] = append(s.hInd[j], i)
+				s.hVal[j] = append(s.hVal[j], v)
+				s.hNNZ++
+			}
+		}
+	}
+	for _, row := range s.p.aeq {
+		for _, v := range row {
+			if v != 0 {
+				s.aeqNNZ++
+			}
+		}
+	}
+}
+
+// solveKKTDense is the original dense assembly and LU solve, kept for small
+// or dense systems and as the differential-testing oracle.
+func (s *activeSet) solveKKTDense(work []int, rhs []float64) (x, nu, lam []float64, err error) {
+	n := s.p.n
+	me := len(s.p.aeq)
+	dim := len(rhs)
 	kkt := mat.New(dim, dim)
-	rhs := make([]float64, dim)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			kkt.Set(i, j, s.p.h.At(i, j))
 		}
-		rhs[i] = -s.p.c[i]
 	}
 	for e := 0; e < me; e++ {
 		for j, v := range s.p.aeq[e] {
 			kkt.Set(n+e, j, v)
 			kkt.Set(j, n+e, v)
 		}
-		rhs[n+e] = s.p.beq[e]
 	}
 	for k, w := range work {
 		r := &s.rows[w]
@@ -161,7 +580,6 @@ func (s *activeSet) solveKKT(work []int) (x, nu, lam []float64, err error) {
 			kkt.Set(n+me+k, r.idx, r.sign)
 			kkt.Set(r.idx, n+me+k, r.sign)
 		}
-		rhs[n+me+k] = r.h
 	}
 	sol, err := mat.Solve(kkt, rhs)
 	if err != nil {
@@ -171,6 +589,20 @@ func (s *activeSet) solveKKT(work []int) (x, nu, lam []float64, err error) {
 		return nil, nil, nil, fmt.Errorf("qp: KKT solve: %w", err)
 	}
 	return sol[:n], sol[n : n+me], sol[n+me:], nil
+}
+
+// sameWorkSet reports whether two working sets are identical including
+// order (order determines multiplier rows).
+func sameWorkSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // assemble scatters working-set multipliers back to per-row duals.

@@ -158,6 +158,23 @@ type Options struct {
 	// working set always carries over between iterations; WarmSet only
 	// adds reuse across solves.
 	WarmSet []int
+	// DenseKKT forces every KKT system onto the dense factorization
+	// instead of letting the solver pick the sparse LU by system size and
+	// density; used for A/B measurement against dense baselines.
+	DenseKKT bool
+	// Cache, when non-nil, lets the sparse KKT path reuse factorization
+	// work across solves of structurally identical problems: the caller
+	// asserts that the Hessian, the equality-row gradients, the bound
+	// structure, and the gradient behind every RowKeys identity are
+	// unchanged since the cache was filled. Objective vectors and all
+	// right-hand sides may differ. Requires RowKeys when user inequality
+	// rows are present; ignored otherwise. Not safe for concurrent use.
+	Cache *KKTCache
+	// RowKeys assigns a stable identity in [0, 2²⁸) to each user
+	// inequality row, parallel to AddInequality order, so the Cache can
+	// recognize the same constraint across solves even when the row set
+	// (and hence row positions) changes.
+	RowKeys []int64
 }
 
 func (o Options) withDefaults() Options {

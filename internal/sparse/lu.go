@@ -1,0 +1,329 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// markowitzTau is the threshold-pivoting parameter: a candidate pivot must
+// satisfy |a| ≥ tau·(max |a| in its row). Smaller values favour sparsity,
+// larger values favour stability; 0.1 is the classical compromise.
+const markowitzTau = 0.1
+
+// LU is a sparse LU factorization P·B·Q = L·U with Markowitz-style pivot
+// selection. It solves both B·x = v (FTRAN) and Bᵀ·y = w (BTRAN); the
+// revised simplex keeps one per basis and layers product-form eta updates
+// on top between refactorizations.
+//
+// An LU carries solve scratch and is therefore not safe for concurrent use.
+type LU struct {
+	n int
+
+	// rowOfStep[k] / colOfStep[k] are the original row/column eliminated at
+	// step k; stepOfRow / stepOfCol are the inverse permutations.
+	rowOfStep []int
+	colOfStep []int
+	stepOfRow []int
+	stepOfCol []int
+
+	// L is unit lower triangular in step space, stored column-wise per step:
+	// entries p in [lptr[k], lptr[k+1]) hold the multiplier lval[p] applied
+	// to original row lrow[p] (a row eliminated at a later step).
+	lptr []int
+	lrow []int
+	lval []float64
+
+	// U is upper triangular in step space: piv[k] is the diagonal, and
+	// entries p in [uptr[k], uptr[k+1]) hold off-diagonal uval[p] in original
+	// column ucol[p] (a column eliminated at a later step).
+	uptr []int
+	ucol []int
+	uval []float64
+	piv  []float64
+
+	work []float64
+}
+
+// N returns the dimension of the factored matrix.
+func (lu *LU) N() int { return lu.n }
+
+// LNNZ returns the number of stored off-diagonal L entries (fill metric).
+func (lu *LU) LNNZ() int { return len(lu.lrow) }
+
+// UNNZ returns the number of stored U entries including the diagonal.
+func (lu *LU) UNNZ() int { return len(lu.ucol) + lu.n }
+
+type luEnt struct {
+	col int
+	val float64
+}
+
+// FactorColumns factors the n×n matrix whose j-th column has entries
+// val[j][k] in rows ind[j][k]. Row indices within a column need not be
+// sorted; duplicates are summed. Returns ErrSingular when no numerically
+// acceptable pivot exists at some elimination step.
+func FactorColumns(n int, ind [][]int, val [][]float64) (*LU, error) {
+	if len(ind) != n || len(val) != n {
+		return nil, fmt.Errorf("FactorColumns: %d columns, want %d: %w", len(ind), n, ErrShape)
+	}
+	lu := &LU{
+		n:         n,
+		rowOfStep: make([]int, n),
+		colOfStep: make([]int, n),
+		stepOfRow: make([]int, n),
+		stepOfCol: make([]int, n),
+		lptr:      make([]int, 1, n+1),
+		uptr:      make([]int, 1, n+1),
+		piv:       make([]float64, 0, n),
+		work:      make([]float64, n),
+	}
+	if n == 0 {
+		return lu, nil
+	}
+
+	// Active submatrix, row-major with sorted column indices. Rows only ever
+	// hold active columns: every elimination step strips the pivot column
+	// from all rows that touch it.
+	rows := make([][]luEnt, n)
+	colCount := make([]int, n)  // exact active-entry count per column
+	colRows := make([][]int, n) // rows touching each column; entries may be stale
+	maxAbs := 0.0
+	for j := 0; j < n; j++ {
+		if len(ind[j]) != len(val[j]) {
+			return nil, fmt.Errorf("FactorColumns: column %d has %d indices but %d values: %w",
+				j, len(ind[j]), len(val[j]), ErrShape)
+		}
+		for k, i := range ind[j] {
+			v := val[j][k]
+			if v == 0 {
+				continue
+			}
+			if i < 0 || i >= n {
+				return nil, fmt.Errorf("FactorColumns: column %d row index %d out of range [0,%d)", j, i, n)
+			}
+			rows[i] = append(rows[i], luEnt{col: j, val: v})
+		}
+	}
+	for i := 0; i < n; i++ {
+		r := rows[i]
+		sort.Slice(r, func(a, b int) bool { return r[a].col < r[b].col })
+		// Sum duplicates in place.
+		w := 0
+		for k := 0; k < len(r); k++ {
+			if w > 0 && r[w-1].col == r[k].col {
+				r[w-1].val += r[k].val
+				continue
+			}
+			r[w] = r[k]
+			w++
+		}
+		rows[i] = r[:w]
+		for _, e := range rows[i] {
+			colCount[e.col]++
+			colRows[e.col] = append(colRows[e.col], i)
+			if a := math.Abs(e.val); a > maxAbs {
+				maxAbs = a
+			}
+		}
+	}
+	singTol := 1e-13 * math.Max(1, maxAbs)
+
+	rowActive := make([]bool, n)
+	for i := range rowActive {
+		rowActive[i] = true
+	}
+	spa := make([]float64, n)
+	inSpa := make([]bool, n)
+	pattern := make([]int, 0, n)
+
+	for step := 0; step < n; step++ {
+		// Markowitz pivot search: minimize (rowCount−1)(colCount−1) over
+		// active entries passing the row threshold, breaking ties by larger
+		// |value|, then smaller row, then smaller column — a total order, so
+		// the factorization is deterministic.
+		bestMerit, bestAbs := math.MaxInt64, 0.0
+		pr, pc := -1, -1
+		var pv float64
+		for r := 0; r < n; r++ {
+			if !rowActive[r] {
+				continue
+			}
+			re := rows[r]
+			if len(re) == 0 {
+				return nil, fmt.Errorf("row %d empty at step %d: %w", r, step, ErrSingular)
+			}
+			rmax := 0.0
+			for _, e := range re {
+				if a := math.Abs(e.val); a > rmax {
+					rmax = a
+				}
+			}
+			if rmax <= singTol {
+				return nil, fmt.Errorf("row %d numerically zero at step %d: %w", r, step, ErrSingular)
+			}
+			thresh := markowitzTau * rmax
+			rm := len(re) - 1
+			for _, e := range re {
+				a := math.Abs(e.val)
+				if a < thresh || a <= singTol {
+					continue
+				}
+				merit := rm * (colCount[e.col] - 1)
+				if merit > bestMerit {
+					continue
+				}
+				if merit == bestMerit && pr >= 0 {
+					if a < bestAbs {
+						continue
+					}
+					if a == bestAbs && (r > pr || (r == pr && e.col > pc)) {
+						continue
+					}
+				}
+				bestMerit, bestAbs = merit, a
+				pr, pc, pv = r, e.col, e.val
+			}
+		}
+		if pr < 0 {
+			return nil, fmt.Errorf("no acceptable pivot at step %d: %w", step, ErrSingular)
+		}
+
+		lu.rowOfStep[step] = pr
+		lu.colOfStep[step] = pc
+		lu.piv = append(lu.piv, pv)
+
+		// Retire the pivot row: record its off-pivot entries as the U row.
+		rowActive[pr] = false
+		pivRow := rows[pr]
+		for _, e := range pivRow {
+			colCount[e.col]--
+			if e.col != pc {
+				lu.ucol = append(lu.ucol, e.col)
+				lu.uval = append(lu.uval, e.val)
+			}
+		}
+		lu.uptr = append(lu.uptr, len(lu.ucol))
+
+		// Eliminate the pivot column from every other active row touching it.
+		for _, r := range colRows[pc] {
+			if !rowActive[r] {
+				continue
+			}
+			re := rows[r]
+			k := sort.Search(len(re), func(i int) bool { return re[i].col >= pc })
+			if k >= len(re) || re[k].col != pc {
+				continue // stale occupancy entry
+			}
+			f := re[k].val / pv
+			lu.lrow = append(lu.lrow, r)
+			lu.lval = append(lu.lval, f)
+
+			// Sparse row update r ← r − f·pivRow via scatter/gather; the
+			// pivot column itself is dropped from the result.
+			pattern = pattern[:0]
+			for _, e := range re {
+				if e.col == pc {
+					continue
+				}
+				spa[e.col] = e.val
+				inSpa[e.col] = true
+				pattern = append(pattern, e.col)
+			}
+			for _, e := range pivRow {
+				if e.col == pc {
+					continue
+				}
+				if !inSpa[e.col] {
+					inSpa[e.col] = true
+					pattern = append(pattern, e.col)
+					spa[e.col] = 0
+					colCount[e.col]++
+					colRows[e.col] = append(colRows[e.col], r)
+				}
+				spa[e.col] -= f * e.val
+			}
+			sort.Ints(pattern)
+			nr := re[:0]
+			for _, c := range pattern {
+				if v := spa[c]; v != 0 {
+					nr = append(nr, luEnt{col: c, val: v})
+				} else {
+					colCount[c]--
+				}
+				inSpa[c] = false
+			}
+			rows[r] = nr
+			colCount[pc]--
+		}
+		lu.lptr = append(lu.lptr, len(lu.lrow))
+		colRows[pc] = nil
+	}
+
+	for k := 0; k < n; k++ {
+		lu.stepOfRow[lu.rowOfStep[k]] = k
+		lu.stepOfCol[lu.colOfStep[k]] = k
+	}
+	return lu, nil
+}
+
+// Solve overwrites b (length n, indexed by original row) with the solution x
+// of B·x = b, indexed by original column. This is the simplex FTRAN.
+func (lu *LU) Solve(b []float64) {
+	n, w := lu.n, lu.work
+	for k := 0; k < n; k++ {
+		w[k] = b[lu.rowOfStep[k]]
+	}
+	// L forward substitution (unit diagonal), scattering down the column.
+	for j := 0; j < n; j++ {
+		t := w[j]
+		if t == 0 {
+			continue
+		}
+		for p := lu.lptr[j]; p < lu.lptr[j+1]; p++ {
+			w[lu.stepOfRow[lu.lrow[p]]] -= lu.lval[p] * t
+		}
+	}
+	// U back substitution, gathering from later steps.
+	for k := n - 1; k >= 0; k-- {
+		s := w[k]
+		for p := lu.uptr[k]; p < lu.uptr[k+1]; p++ {
+			s -= lu.uval[p] * w[lu.stepOfCol[lu.ucol[p]]]
+		}
+		w[k] = s / lu.piv[k]
+	}
+	for k := 0; k < n; k++ {
+		b[lu.colOfStep[k]] = w[k]
+	}
+}
+
+// SolveT overwrites b (length n, indexed by original column) with the
+// solution y of Bᵀ·y = b, indexed by original row. This is the simplex BTRAN.
+func (lu *LU) SolveT(b []float64) {
+	n, g := lu.n, lu.work
+	for k := 0; k < n; k++ {
+		g[k] = b[lu.colOfStep[k]]
+	}
+	// Uᵀ forward substitution, scattering each resolved step downward.
+	for j := 0; j < n; j++ {
+		z := g[j] / lu.piv[j]
+		g[j] = z
+		if z == 0 {
+			continue
+		}
+		for p := lu.uptr[j]; p < lu.uptr[j+1]; p++ {
+			g[lu.stepOfCol[lu.ucol[p]]] -= lu.uval[p] * z
+		}
+	}
+	// Lᵀ back substitution (unit diagonal), gathering from later steps.
+	for j := n - 1; j >= 0; j-- {
+		s := g[j]
+		for p := lu.lptr[j]; p < lu.lptr[j+1]; p++ {
+			s -= lu.lval[p] * g[lu.stepOfRow[lu.lrow[p]]]
+		}
+		g[j] = s
+	}
+	for k := 0; k < n; k++ {
+		b[lu.rowOfStep[k]] = g[k]
+	}
+}

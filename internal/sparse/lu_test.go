@@ -1,0 +1,260 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/edsec/edattack/internal/mat"
+)
+
+// randomSparseCols draws an n×n matrix with the given fill probability and a
+// guaranteed-nonzero diagonal (so it is almost surely nonsingular), returned
+// both as column lists and as a dense matrix for the oracle.
+func randomSparseCols(rng *rand.Rand, n int, fill float64) (ind [][]int, val [][]float64, d *mat.Matrix) {
+	ind = make([][]int, n)
+	val = make([][]float64, n)
+	d = mat.New(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			v := 0.0
+			if i == j {
+				v = 1 + rng.Float64() // diagonal dominance keeps it well-conditioned
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+			} else if rng.Float64() < fill {
+				v = rng.NormFloat64()
+			}
+			if v != 0 {
+				ind[j] = append(ind[j], i)
+				val[j] = append(val[j], v)
+				d.Set(i, j, v)
+			}
+		}
+	}
+	return ind, val, d
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestLUSolveAgainstDenseOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(40)
+		fill := []float64{0.05, 0.15, 0.4}[trial%3]
+		ind, val, d := randomSparseCols(rng, n, fill)
+
+		lu, err := FactorColumns(n, ind, val)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d): sparse factor failed: %v", trial, n, err)
+		}
+		oracle, err := mat.Factor(d)
+		if err != nil {
+			t.Fatalf("trial %d: dense factor failed: %v", trial, err)
+		}
+
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+
+		// FTRAN: B x = b.
+		x := append([]float64(nil), b...)
+		lu.Solve(x)
+		want, err := oracle.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := maxAbsDiff(x, want); diff > 1e-8 {
+			t.Fatalf("trial %d (n=%d): FTRAN diverges from dense oracle by %g", trial, n, diff)
+		}
+		// Residual check directly against B.
+		res, err := d.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := maxAbsDiff(res, b); diff > 1e-8 {
+			t.Fatalf("trial %d: FTRAN residual %g", trial, diff)
+		}
+
+		// BTRAN: Bᵀ y = b.
+		y := append([]float64(nil), b...)
+		lu.SolveT(y)
+		wantT, err := mat.Solve(d.T(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := maxAbsDiff(y, wantT); diff > 1e-8 {
+			t.Fatalf("trial %d (n=%d): BTRAN diverges from dense oracle by %g", trial, n, diff)
+		}
+	}
+}
+
+func TestLUPermutedIdentity(t *testing.T) {
+	// A permutation matrix exercises the pivot bookkeeping with no fill.
+	n := 9
+	perm := []int{3, 1, 4, 0, 8, 6, 2, 7, 5}
+	ind := make([][]int, n)
+	val := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		ind[j] = []int{perm[j]}
+		val[j] = []float64{2}
+	}
+	lu, err := FactorColumns(n, ind, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lu.LNNZ() != 0 {
+		t.Fatalf("permutation matrix produced %d L entries, want 0", lu.LNNZ())
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i + 1)
+	}
+	x := append([]float64(nil), b...)
+	lu.Solve(x)
+	for j := 0; j < n; j++ {
+		if want := b[perm[j]] / 2; x[j] != want {
+			t.Fatalf("x[%d] = %g, want %g", j, x[j], want)
+		}
+	}
+}
+
+func TestLUSingularStructural(t *testing.T) {
+	// Column 2 is entirely zero.
+	ind := [][]int{{0, 1}, {0, 2}, {}}
+	val := [][]float64{{1, 2}, {3, 1}, {}}
+	if _, err := FactorColumns(3, ind, val); !errors.Is(err, ErrSingular) {
+		t.Fatalf("zero column: got %v, want ErrSingular", err)
+	}
+	// Two identical rows.
+	b := NewBuilder(3, 3)
+	for j, v := range []float64{1, 2, 3} {
+		b.Add(0, j, v)
+		b.Add(1, j, v)
+	}
+	b.Add(2, 0, 5)
+	b.Add(2, 2, -1)
+	ind2, val2 := colsFromCSR(b.CSR())
+	if _, err := FactorColumns(3, ind2, val2); !errors.Is(err, ErrSingular) {
+		t.Fatalf("duplicate rows: got %v, want ErrSingular", err)
+	}
+}
+
+func TestLUSingularNumerical(t *testing.T) {
+	// Rank-deficient by cancellation: row2 = row0 + row1.
+	rows := [][]float64{
+		{2, 1, 0, 1},
+		{0, 3, 1, 0},
+		{2, 4, 1, 1},
+		{1, 0, 0, 2},
+	}
+	b := NewBuilder(4, 4)
+	for i, r := range rows {
+		for j, v := range r {
+			b.Add(i, j, v)
+		}
+	}
+	ind, val := colsFromCSR(b.CSR())
+	if _, err := FactorColumns(4, ind, val); !errors.Is(err, ErrSingular) {
+		t.Fatalf("rank-deficient: got %v, want ErrSingular", err)
+	}
+}
+
+func TestLUDegenerateTiny(t *testing.T) {
+	// 1x1, including singular.
+	lu, err := FactorColumns(1, [][]int{{0}}, [][]float64{{-4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{8}
+	lu.Solve(x)
+	if x[0] != -2 {
+		t.Fatalf("1x1 solve: %g, want -2", x[0])
+	}
+	if _, err := FactorColumns(1, [][]int{{}}, [][]float64{{}}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("1x1 zero: got %v, want ErrSingular", err)
+	}
+	// 0x0 is trivially factorable.
+	if _, err := FactorColumns(0, nil, nil); err != nil {
+		t.Fatalf("0x0: %v", err)
+	}
+}
+
+func TestLUDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ind, val, _ := randomSparseCols(rng, 25, 0.2)
+	a, err := FactorColumns(25, ind, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := FactorColumns(25, ind, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 25; k++ {
+		if a.rowOfStep[k] != bf.rowOfStep[k] || a.colOfStep[k] != bf.colOfStep[k] || a.piv[k] != bf.piv[k] {
+			t.Fatalf("step %d differs between identical factorizations", k)
+		}
+	}
+	b := make([]float64, 25)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x1 := append([]float64(nil), b...)
+	x2 := append([]float64(nil), b...)
+	a.Solve(x1)
+	bf.Solve(x2)
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatalf("solve not bit-identical at %d", i)
+		}
+	}
+}
+
+func TestLUFillStaysSparse(t *testing.T) {
+	// Arrow matrix: dense last row/column plus diagonal. Natural-order
+	// elimination of the dense corner first would produce O(n²) fill;
+	// Markowitz ordering must keep fill near zero.
+	n := 60
+	bld := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		bld.Add(i, i, 4)
+	}
+	for i := 0; i < n-1; i++ {
+		bld.Add(n-1, i, 1)
+		bld.Add(i, n-1, 1)
+	}
+	ind, val := colsFromCSR(bld.CSR())
+	lu, err := FactorColumns(n, ind, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lu.LNNZ() > 2*n {
+		t.Fatalf("arrow matrix L fill %d exceeds %d — Markowitz ordering is not working", lu.LNNZ(), 2*n)
+	}
+}
+
+// colsFromCSR converts a square CSR into the column-list form Factor wants.
+func colsFromCSR(a *CSR) ([][]int, [][]float64) {
+	ind := make([][]int, a.Cols)
+	val := make([][]float64, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			ind[j] = append(ind[j], i)
+			val[j] = append(val[j], vals[k])
+		}
+	}
+	return ind, val
+}

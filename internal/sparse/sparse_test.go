@@ -1,0 +1,139 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBuilderCSRBasics(t *testing.T) {
+	b := NewBuilder(3, 4)
+	b.Add(1, 2, 3.0)
+	b.Add(0, 0, 1.0)
+	b.Add(1, 0, -2.0)
+	b.Add(1, 2, 1.5) // duplicate, summed
+	b.Add(2, 3, 4.0)
+	b.Add(0, 1, 0) // dropped
+	a := b.CSR()
+	if a.Rows != 3 || a.Cols != 4 {
+		t.Fatalf("shape %dx%d, want 3x4", a.Rows, a.Cols)
+	}
+	if a.NNZ() != 4 {
+		t.Fatalf("nnz %d, want 4", a.NNZ())
+	}
+	want := [][]float64{
+		{1, 0, 0, 0},
+		{-2, 0, 4.5, 0},
+		{0, 0, 0, 4},
+	}
+	got := a.Dense()
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("entry (%d,%d) = %g, want %g", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	// Rows must be sorted by column.
+	for i := 0; i < a.Rows; i++ {
+		cols, _ := a.Row(i)
+		for k := 1; k < len(cols); k++ {
+			if cols[k] <= cols[k-1] {
+				t.Fatalf("row %d columns not strictly increasing: %v", i, cols)
+			}
+		}
+	}
+	if d := a.Density(); math.Abs(d-4.0/12.0) > 1e-15 {
+		t.Fatalf("density %g, want %g", d, 4.0/12.0)
+	}
+}
+
+func TestBuilderCSCIsTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuilder(5, 8)
+	type trip struct {
+		i, j int
+		v    float64
+	}
+	var trips []trip
+	for k := 0; k < 20; k++ {
+		tr := trip{i: rng.Intn(5), j: rng.Intn(8), v: rng.NormFloat64()}
+		trips = append(trips, tr)
+		b.Add(tr.i, tr.j, tr.v)
+	}
+	csr, csc := b.CSR(), b.CSC()
+	if csc.Rows != 8 || csc.Cols != 5 {
+		t.Fatalf("CSC shape %dx%d, want 8x5", csc.Rows, csc.Cols)
+	}
+	dr, dc := csr.Dense(), csc.Dense()
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 8; j++ {
+			if dr[i][j] != dc[j][i] {
+				t.Fatalf("CSC not transpose at (%d,%d): %g vs %g", i, j, dr[i][j], dc[j][i])
+			}
+		}
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		b := NewBuilder(rows, cols)
+		dense := make([][]float64, rows)
+		for i := range dense {
+			dense[i] = make([]float64, cols)
+		}
+		nnz := rng.Intn(rows * cols)
+		for k := 0; k < nnz; k++ {
+			i, j, v := rng.Intn(rows), rng.Intn(cols), rng.NormFloat64()
+			b.Add(i, j, v)
+			dense[i][j] += v
+		}
+		a := b.CSR()
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y, err := a.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < rows; i++ {
+			var s float64
+			for j := 0; j < cols; j++ {
+				s += dense[i][j] * x[j]
+			}
+			if math.Abs(y[i]-s) > 1e-12 {
+				t.Fatalf("trial %d: MulVec row %d = %g, dense %g", trial, i, y[i], s)
+			}
+		}
+		xt := make([]float64, rows)
+		for i := range xt {
+			xt[i] = rng.NormFloat64()
+		}
+		yt, err := a.MulVecT(xt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < cols; j++ {
+			var s float64
+			for i := 0; i < rows; i++ {
+				s += dense[i][j] * xt[i]
+			}
+			if math.Abs(yt[j]-s) > 1e-12 {
+				t.Fatalf("trial %d: MulVecT col %d = %g, dense %g", trial, j, yt[j], s)
+			}
+		}
+	}
+}
+
+func TestMulVecShapeErrors(t *testing.T) {
+	a := NewBuilder(2, 3).CSR()
+	if _, err := a.MulVec(make([]float64, 2)); err == nil {
+		t.Fatal("MulVec accepted wrong-length vector")
+	}
+	if _, err := a.MulVecT(make([]float64, 3)); err == nil {
+		t.Fatal("MulVecT accepted wrong-length vector")
+	}
+}

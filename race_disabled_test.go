@@ -1,0 +1,8 @@
+//go:build !race
+
+package edattack_test
+
+// raceDetectorEnabled reports whether this test binary was built with the
+// race detector, whose ~10-20× instrumentation slowdown makes wall-clock
+// assertions meaningless.
+const raceDetectorEnabled = false

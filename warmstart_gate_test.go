@@ -15,9 +15,13 @@ import (
 const pr2SimplexIterations118 = 32848
 
 // warmGateOpts is the budgeted configuration shared by the regression gate
-// and the BENCH_solver.json recorder.
+// and the BENCH_solver.json recorder. It pins the dense tableau engine: the
+// recorded pivot totals are trajectories of that engine (which remains the
+// differential oracle for the sparse revised simplex), and under a
+// truncating node budget the two engines legitimately explore different
+// trees. The sparse engine has its own gate in sparse_gate_test.go.
 func warmGateOpts() edattack.AttackOptions {
-	return edattack.AttackOptions{MaxNodes: 40, RelGap: 1e-3}
+	return edattack.AttackOptions{MaxNodes: 40, RelGap: 1e-3, DenseSolver: true}
 }
 
 // sameAttack reports whether two attacks are bit-identical where it matters:
@@ -182,6 +186,17 @@ type solverRecord struct {
 	WarmFallbacks     int     `json:"warm_fallbacks"`
 	WarmHitRate       float64 `json:"warm_hit_rate"`
 	PivotsPerNode     float64 `json:"pivots_per_node"`
+	WallMsSequential  float64 `json:"wall_ms_sequential"`
+	// Sparse revised-simplex fields (see TestRecordSolverBaseline).
+	SparseSimplexIterations int     `json:"sparse_simplex_iterations"`
+	SparseGainPct           float64 `json:"sparse_gain_pct"`
+	FTRANTotal              int64   `json:"lp_ftran_total"`
+	BTRANTotal              int64   `json:"lp_btran_total"`
+	RefactorizationsTotal   int64   `json:"lp_refactorizations_total"`
+	KKTNNZ                  int     `json:"kkt_nnz"`
+	KKTDensity              float64 `json:"kkt_density"`
+	SparseWallMs            float64 `json:"sparse_wall_ms"`
+	SparseSpeedup           float64 `json:"sparse_speedup"`
 }
 
 func loadSolverBaseline() (map[string]solverRecord, error) {
