@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: check vet build test race telemetry parallel bench bench-workers bench-baseline bench-warmstart bench-sparse clean
+.PHONY: check vet build test race telemetry parallel bench bench-workers bench-baseline bench-warmstart bench-sparse bench-flight clean
 
 ## check: full PR gate — vet, build, race-enabled tests, a doubled run of
 ## the telemetry suite (span/journal determinism under repetition), the
 ## concurrency-path determinism tests under the race detector, and the
-## warm-start regression gate.
-check: vet build race telemetry parallel bench-warmstart bench-sparse
+## warm-start, sparse-engine, and flight-recorder regression gates.
+check: vet build race telemetry parallel bench-warmstart bench-sparse bench-flight
 
 vet:
 	$(GO) vet ./...
@@ -58,6 +58,13 @@ bench-warmstart:
 ## (recorded speedup must be ≥2×).
 bench-sparse:
 	$(GO) test -run 'TestSparseGate' -count=1 .
+
+## bench-flight: the flight-recorder gate — the budgeted attacks must be
+## bit-identical with the recorder on and off, every solver layer must
+## contribute events, and the case118 wall overhead is measured and logged
+## (target ≤5%, asserted at a noise-tolerant 50% backstop).
+bench-flight:
+	$(GO) test -run 'TestFlightGate' -count=1 -v .
 
 clean:
 	$(GO) clean ./...

@@ -7,6 +7,7 @@
 //	edattack -case case3 [-method complementarity|bigm] [-nodes N]
 //	         [-ud line=value,...] [-baselines] [-ac]
 //	         [-trace spans.jsonl] [-metrics metrics.json] [-debug localhost:6060]
+//	         [-flight flight.json] [-journal run.journal]
 package main
 
 import (
@@ -36,13 +37,11 @@ func run() error {
 	udFlag := flag.String("ud", "", "true DLR values as line=value,... (default: static ratings)")
 	baselines := flag.Bool("baselines", false, "also run greedy and random baselines")
 	acEval := flag.Bool("ac", false, "evaluate the attack under the nonlinear (AC) model")
-	tracePath := flag.String("trace", "", "write a JSONL span trace of the bilevel solves to this file")
-	metricsPath := flag.String("metrics", "", "write a JSON solver-metrics snapshot to this file on exit")
-	debugAddr := flag.String("debug", "", "serve pprof/expvar/metrics on this address (e.g. localhost:6060)")
+	obsFlags := cliobs.RegisterFlags()
 	workers := cliobs.WorkersFlag()
 	flag.Parse()
 
-	obs, err := cliobs.Init(*tracePath, *metricsPath, *debugAddr)
+	obs, err := obsFlags.Init()
 	if err != nil {
 		return err
 	}
@@ -86,7 +85,7 @@ func run() error {
 		return err
 	}
 
-	opts := edattack.AttackOptions{MaxNodes: *maxNodes, Workers: *workers, Metrics: obs.Metrics, Tracer: obs.Tracer}
+	opts := edattack.AttackOptions{MaxNodes: *maxNodes, Workers: *workers, Metrics: obs.Metrics, Tracer: obs.Tracer, Flight: obs.Flight}
 	model.Metrics = obs.Metrics
 	switch *method {
 	case "complementarity":
@@ -103,6 +102,19 @@ func run() error {
 	att, err := edattack.FindOptimalAttack(k, opts)
 	if err != nil {
 		return err
+	}
+	if obs.Journal != nil {
+		if jerr := obs.Journal.Append("attack.computed", map[string]any{
+			"case":     net.Name,
+			"method":   *method,
+			"target":   att.TargetLine,
+			"dir":      att.Direction,
+			"gain_pct": att.GainPct,
+			"nodes":    att.Nodes,
+			"exact":    att.Exact,
+		}); jerr != nil {
+			fmt.Fprintln(os.Stderr, "edattack: journal:", jerr)
+		}
 	}
 	printAttack(net, k, "optimal ("+*method+")", att)
 

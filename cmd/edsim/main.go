@@ -8,6 +8,7 @@
 //	edsim -case case3 [-step 15] [-attacker optimal|greedy|coordinate]
 //	      [-nodes N] [-ac] [-o out.csv]
 //	      [-trace spans.jsonl] [-metrics metrics.json] [-debug localhost:6060]
+//	      [-flight flight.json] [-journal run.journal]
 package main
 
 import (
@@ -36,13 +37,11 @@ func run() error {
 	maxNodes := flag.Int("nodes", 0, "node budget per subproblem for the optimal attacker")
 	acEval := flag.Bool("ac", true, "evaluate attacks under the nonlinear model")
 	outPath := flag.String("o", "", "write CSV here instead of stdout")
-	tracePath := flag.String("trace", "", "write a JSONL span trace of the bilevel solves to this file")
-	metricsPath := flag.String("metrics", "", "write a JSON solver-metrics snapshot to this file on exit")
-	debugAddr := flag.String("debug", "", "serve pprof/expvar/metrics on this address (e.g. localhost:6060)")
+	obsFlags := cliobs.RegisterFlags()
 	workers := cliobs.WorkersFlag()
 	flag.Parse()
 
-	obs, err := cliobs.Init(*tracePath, *metricsPath, *debugAddr)
+	obs, err := obsFlags.Init()
 	if err != nil {
 		return err
 	}
@@ -64,7 +63,7 @@ func run() error {
 		RatingPatterns: map[int]edattack.Pattern{},
 		StepMinutes:    *step,
 		ACEvaluate:     *acEval,
-		AttackOptions:  edattack.AttackOptions{MaxNodes: *maxNodes, Workers: *workers, Metrics: obs.Metrics, Tracer: obs.Tracer},
+		AttackOptions:  edattack.AttackOptions{MaxNodes: *maxNodes, Workers: *workers, Metrics: obs.Metrics, Tracer: obs.Tracer, Flight: obs.Flight},
 	}
 	dlrLines := net.DLRLines()
 	for i, li := range dlrLines {
@@ -88,6 +87,21 @@ func run() error {
 	steps, err := edattack.RunTimeSeries(cfg)
 	if err != nil {
 		return err
+	}
+	if obs.Journal != nil {
+		if jerr := obs.Journal.Append("timeseries.start", map[string]any{
+			"case": net.Name, "attacker": *attacker, "steps": len(steps),
+		}); jerr != nil {
+			fmt.Fprintln(os.Stderr, "edsim: journal:", jerr)
+		}
+		for _, s := range steps {
+			if jerr := obs.Journal.Append("timeseries.step", map[string]any{
+				"hour": s.Hour, "feasible": s.Feasible, "gain_dc_pct": s.GainDCPct,
+			}); jerr != nil {
+				fmt.Fprintln(os.Stderr, "edsim: journal:", jerr)
+				break
+			}
+		}
 	}
 
 	out := os.Stdout

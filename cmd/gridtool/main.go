@@ -5,6 +5,9 @@
 // Usage:
 //
 //	gridtool -case case9 [-exp info|dcpf|acpf|ed|robust] [-margin 0.05]
+//	gridtool report [-case case118] [-nodes 40] [-flight flight.json] [-html] [-o report.md]
+//	gridtool tree [-case case118] [-target L -dir ±1] [-json] [-o tree.dot]
+//	gridtool benchdiff [-tol 10] old.json new.json
 package main
 
 import (
@@ -19,7 +22,24 @@ import (
 	"github.com/edsec/edattack/internal/dispatch"
 )
 
+// subcommands dispatches the observatory verbs; everything else falls
+// through to the legacy flag-driven study runner.
+var subcommands = map[string]func(args []string) error{
+	"report":    reportCmd,
+	"tree":      treeCmd,
+	"benchdiff": benchdiffCmd,
+}
+
 func main() {
+	if len(os.Args) > 1 {
+		if cmd, ok := subcommands[os.Args[1]]; ok {
+			if err := cmd(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "gridtool:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "gridtool:", err)
 		os.Exit(1)

@@ -1,0 +1,362 @@
+// gridtool's run-observatory subcommands: report (render a solver run
+// report), tree (export a B&B search tree), and benchdiff (compare two
+// BENCH_solver.json baselines). report and tree either replay artifacts
+// dumped by -flight/-metrics/-trace flags or run a budgeted attack
+// in-process and report on it directly.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	edattack "github.com/edsec/edattack"
+	"github.com/edsec/edattack/internal/telemetry"
+)
+
+// observedRun is the output of one in-process instrumented attack.
+type observedRun struct {
+	report *telemetry.Report
+	attack *edattack.Attack
+}
+
+// runObservedAttack runs Algorithm 1 on caseName with the flight recorder,
+// a metrics registry, and an in-memory tracer attached, then fuses the
+// three into a report. Workers is pinned to 1 so budgeted runs are
+// reproducible (see AttackOptions.Workers).
+func runObservedAttack(caseName string, nodes int, gap float64) (*observedRun, error) {
+	net, err := edattack.LoadCase(caseName)
+	if err != nil {
+		return nil, err
+	}
+	model, err := edattack.NewDispatchModel(net)
+	if err != nil {
+		return nil, err
+	}
+	ud := map[int]float64{}
+	for _, li := range net.DLRLines() {
+		ud[li] = net.Lines[li].RateMVA
+	}
+	k, err := edattack.NewKnowledge(model, ud)
+	if err != nil {
+		return nil, err
+	}
+	reg := edattack.NewMetricsRegistry()
+	fl := edattack.NewFlightRecorder(0)
+	var traceBuf bytes.Buffer
+	tracer := edattack.NewTracer(&traceBuf)
+	model.Metrics = reg
+	att, err := edattack.FindOptimalAttack(k, edattack.AttackOptions{
+		MaxNodes: nodes,
+		RelGap:   gap,
+		Workers:  1,
+		Metrics:  reg,
+		Tracer:   tracer,
+		Flight:   fl,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("attack on %s: %w", caseName, err)
+	}
+	spans, err := telemetry.ReadSpans(&traceBuf)
+	if err != nil {
+		return nil, err
+	}
+	title := fmt.Sprintf("%s budgeted attack (nodes=%d, gap=%g): U_cap %.4f%% on line %d dir %+d",
+		net.Name, nodes, gap, att.GainPct, att.TargetLine, att.Direction)
+	return &observedRun{
+		report: &telemetry.Report{Title: title, Events: fl.Events(), Metrics: reg.Snapshot(), Spans: spans},
+		attack: att,
+	}, nil
+}
+
+// loadReport assembles a report from dumped artifact files; metricsPath and
+// tracePath are optional companions to the flight dump.
+func loadReport(flightPath, metricsPath, tracePath string) (*telemetry.Report, error) {
+	rep := &telemetry.Report{Title: "Solver run report (" + flightPath + ")"}
+	f, err := os.Open(flightPath)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := telemetry.ReadFlight(f)
+	_ = f.Close()
+	if err != nil {
+		return nil, err
+	}
+	rep.Events = rec.Events
+	if metricsPath != "" {
+		raw, err := os.ReadFile(metricsPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := json.Unmarshal(raw, &rep.Metrics); err != nil {
+			return nil, fmt.Errorf("metrics %s: %w", metricsPath, err)
+		}
+	}
+	if tracePath != "" {
+		tf, err := os.Open(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		rep.Spans, err = telemetry.ReadSpans(tf)
+		_ = tf.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// openOutput returns the -o destination (stdout when empty) and a closer.
+func openOutput(path string) (io.Writer, func() error, error) {
+	if path == "" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// reportCmd implements `gridtool report`: run (or load) an instrumented
+// solve and render the Markdown/HTML run report.
+func reportCmd(args []string) error {
+	fs := flag.NewFlagSet("gridtool report", flag.ContinueOnError)
+	caseName := fs.String("case", "case118", "benchmark case to run an instrumented budgeted attack on")
+	nodes := fs.Int("nodes", 40, "branch-and-bound node budget per subproblem")
+	gap := fs.Float64("gap", 1e-3, "relative optimality gap")
+	flightPath := fs.String("flight", "", "render from this flight dump instead of running an attack")
+	metricsPath := fs.String("metrics", "", "metrics snapshot accompanying -flight")
+	tracePath := fs.String("trace", "", "JSONL span trace accompanying -flight")
+	htmlOut := fs.Bool("html", false, "render HTML instead of Markdown")
+	outPath := fs.String("o", "", "write the report here instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var rep *telemetry.Report
+	if *flightPath != "" {
+		r, err := loadReport(*flightPath, *metricsPath, *tracePath)
+		if err != nil {
+			return err
+		}
+		rep = r
+	} else {
+		run, err := runObservedAttack(*caseName, *nodes, *gap)
+		if err != nil {
+			return err
+		}
+		rep = run.report
+	}
+	out, closeOut, err := openOutput(*outPath)
+	if err != nil {
+		return err
+	}
+	if *htmlOut {
+		err = rep.WriteHTML(out)
+	} else {
+		err = rep.WriteMarkdown(out)
+	}
+	if cerr := closeOut(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// treeCmd implements `gridtool tree`: export one B&B search tree as DOT
+// (default) or JSON.
+func treeCmd(args []string) error {
+	fs := flag.NewFlagSet("gridtool tree", flag.ContinueOnError)
+	caseName := fs.String("case", "case118", "benchmark case to run an instrumented budgeted attack on")
+	nodes := fs.Int("nodes", 40, "branch-and-bound node budget per subproblem")
+	gap := fs.Float64("gap", 1e-3, "relative optimality gap")
+	flightPath := fs.String("flight", "", "read trees from this flight dump instead of running an attack")
+	target := fs.Int("target", -1, "select the tree of this target line (-1 = largest tree)")
+	dir := fs.Int("dir", 0, "with -target: manipulation direction (+1/-1, 0 = either)")
+	round := fs.Int("round", 0, "with -target: row-generation round (0 = any)")
+	asJSON := fs.Bool("json", false, "emit JSON instead of Graphviz DOT")
+	outPath := fs.String("o", "", "write the tree here instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var events []telemetry.FlightEvent
+	if *flightPath != "" {
+		f, err := os.Open(*flightPath)
+		if err != nil {
+			return err
+		}
+		rec, err := telemetry.ReadFlight(f)
+		_ = f.Close()
+		if err != nil {
+			return err
+		}
+		events = rec.Events
+	} else {
+		run, err := runObservedAttack(*caseName, *nodes, *gap)
+		if err != nil {
+			return err
+		}
+		events = run.report.Events
+	}
+	trees := telemetry.FlightTrees(events)
+	if len(trees) == 0 {
+		return fmt.Errorf("no branch-and-bound nodes in the flight record")
+	}
+	tree := trees[0]
+	if *target >= 0 {
+		tree = nil
+		for _, t := range trees {
+			if t.Target != *target {
+				continue
+			}
+			if *dir != 0 && t.Dir != *dir {
+				continue
+			}
+			if *round != 0 && t.Round != *round {
+				continue
+			}
+			tree = t
+			break
+		}
+		if tree == nil {
+			return fmt.Errorf("no tree recorded for target %d (dir %d, round %d)", *target, *dir, *round)
+		}
+	}
+	out, closeOut, err := openOutput(*outPath)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		err = tree.WriteJSON(out)
+	} else {
+		err = tree.WriteDOT(out)
+	}
+	if cerr := closeOut(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// benchRecord mirrors the per-case record of BENCH_solver.json, restricted
+// to the fields benchdiff compares.
+type benchRecord struct {
+	Case                    string  `json:"case"`
+	GainPct                 float64 `json:"gain_pct"`
+	MILPNodes               int     `json:"milp_nodes"`
+	SimplexIterations       int     `json:"simplex_iterations"`
+	RowgenRounds            int     `json:"rowgen_rounds"`
+	WarmHitRate             float64 `json:"warm_hit_rate"`
+	WallMsSequential        float64 `json:"wall_ms_sequential"`
+	SparseSimplexIterations int     `json:"sparse_simplex_iterations"`
+	SparseGainPct           float64 `json:"sparse_gain_pct"`
+	FTRANTotal              int64   `json:"lp_ftran_total"`
+	SparseWallMs            float64 `json:"sparse_wall_ms"`
+}
+
+func loadBench(path string) (map[string]benchRecord, []string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var doc struct {
+		Records []benchRecord `json:"records"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]benchRecord, len(doc.Records))
+	var order []string
+	for _, r := range doc.Records {
+		out[r.Case] = r
+		order = append(order, r.Case)
+	}
+	return out, order, nil
+}
+
+// benchdiffCmd implements `gridtool benchdiff old.json new.json`: compare
+// two solver baselines and flag regressions. Deterministic work counters
+// (nodes, pivots, FTRANs) regress when they grow beyond -tol percent;
+// gains must match bitwise; wall-clock changes are reported but flagged
+// only beyond a wider machine-noise threshold.
+func benchdiffCmd(args []string) error {
+	fs := flag.NewFlagSet("gridtool benchdiff", flag.ContinueOnError)
+	tol := fs.Float64("tol", 10, "regression threshold for work counters, in percent")
+	wallTol := fs.Float64("walltol", 25, "regression threshold for wall-clock numbers, in percent")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: gridtool benchdiff [-tol pct] old.json new.json")
+	}
+	oldRecs, _, err := loadBench(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newRecs, newOrder, err := loadBench(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	regressions := 0
+	pct := func(oldV, newV float64) float64 {
+		if oldV == 0 {
+			if newV == 0 {
+				return 0
+			}
+			return math.Inf(1)
+		}
+		return 100 * (newV - oldV) / oldV
+	}
+	for _, name := range newOrder {
+		nr := newRecs[name]
+		or, ok := oldRecs[name]
+		if !ok {
+			fmt.Printf("%-8s new case (no baseline)\n", name)
+			continue
+		}
+		fmt.Printf("%s:\n", name)
+		check := func(label string, oldV, newV float64, threshold float64, exact bool) {
+			delta := pct(oldV, newV)
+			mark := ""
+			switch {
+			case exact && oldV != newV:
+				mark = "  ** REGRESSION (must match exactly)"
+				regressions++
+			case !exact && delta > threshold:
+				mark = fmt.Sprintf("  ** REGRESSION (> +%.0f%%)", threshold)
+				regressions++
+			case delta < -threshold:
+				mark = "  (improvement)"
+			}
+			fmt.Printf("  %-26s %14.6g -> %-14.6g %+7.1f%%%s\n", label, oldV, newV, delta, mark)
+		}
+		check("gain_pct", or.GainPct, nr.GainPct, 0, true)
+		check("sparse_gain_pct", or.SparseGainPct, nr.SparseGainPct, 0, true)
+		check("milp_nodes", float64(or.MILPNodes), float64(nr.MILPNodes), *tol, false)
+		check("simplex_iterations", float64(or.SimplexIterations), float64(nr.SimplexIterations), *tol, false)
+		check("sparse_simplex_iters", float64(or.SparseSimplexIterations), float64(nr.SparseSimplexIterations), *tol, false)
+		check("lp_ftran_total", float64(or.FTRANTotal), float64(nr.FTRANTotal), *tol, false)
+		check("rowgen_rounds", float64(or.RowgenRounds), float64(nr.RowgenRounds), *tol, false)
+		check("wall_ms_sequential", or.WallMsSequential, nr.WallMsSequential, *wallTol, false)
+		check("sparse_wall_ms", or.SparseWallMs, nr.SparseWallMs, *wallTol, false)
+	}
+	var dropped []string
+	for name := range oldRecs {
+		if _, ok := newRecs[name]; !ok {
+			dropped = append(dropped, name)
+		}
+	}
+	sort.Strings(dropped)
+	for _, name := range dropped {
+		fmt.Printf("%-8s dropped from new baseline\n", name)
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d regression(s) against %s", regressions, fs.Arg(0))
+	}
+	fmt.Println("no regressions")
+	return nil
+}

@@ -7,6 +7,7 @@
 //	repro -exp table1|fig4|fig5|table3|table4|fig8|ablation|baselines|all
 //	      [-steps N] [-nodes N]
 //	      [-trace spans.jsonl] [-metrics metrics.json] [-debug localhost:6060]
+//	      [-flight flight.json] [-journal run.journal]
 package main
 
 import (
@@ -36,8 +37,20 @@ var workerCount int
 func withObs(o edattack.AttackOptions) edattack.AttackOptions {
 	o.Metrics = obs.Metrics
 	o.Tracer = obs.Tracer
+	o.Flight = obs.Flight
 	o.Workers = workerCount
 	return o
+}
+
+// journalEvent appends one event to the -journal log, reporting (but not
+// failing on) write errors: the journal is an audit trail, not a gate.
+func journalEvent(event string, attrs map[string]any) {
+	if obs.Journal == nil {
+		return
+	}
+	if err := obs.Journal.Append(event, attrs); err != nil {
+		fmt.Fprintln(os.Stderr, "repro: journal:", err)
+	}
 }
 
 func main() {
@@ -51,15 +64,13 @@ func run() error {
 	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, table3, table4, fig8, ablation, baselines, all")
 	steps := flag.Int("steps", 0, "time steps per day for fig4/fig5 (0 = default)")
 	nodes := flag.Int("nodes", 120, "node budget per bilevel subproblem on large cases")
-	tracePath := flag.String("trace", "", "write a JSONL span trace of the bilevel solves to this file")
-	metricsPath := flag.String("metrics", "", "write a JSON solver-metrics snapshot to this file on exit")
-	debugAddr := flag.String("debug", "", "serve pprof/expvar/metrics on this address (e.g. localhost:6060)")
+	obsFlags := cliobs.RegisterFlags()
 	workers := cliobs.WorkersFlag()
 	flag.Parse()
 	workerCount = *workers
 
 	var err error
-	if obs, err = cliobs.Init(*tracePath, *metricsPath, *debugAddr); err != nil {
+	if obs, err = obsFlags.Init(); err != nil {
 		return err
 	}
 	defer func() {
@@ -78,16 +89,26 @@ func run() error {
 		"ablation":  ablation,
 		"baselines": baselines,
 	}
+	runOne := func(name string, f func() error) error {
+		journalEvent("experiment.start", map[string]any{"experiment": name})
+		err := f()
+		attrs := map[string]any{"experiment": name, "ok": err == nil}
+		if err != nil {
+			attrs["error"] = err.Error()
+		}
+		journalEvent("experiment.done", attrs)
+		return err
+	}
 	if *exp != "all" {
 		f, ok := runs[*exp]
 		if !ok {
 			return fmt.Errorf("unknown experiment %q", *exp)
 		}
-		return f()
+		return runOne(*exp, f)
 	}
 	for _, name := range []string{"table1", "fig4", "fig5", "table3", "table4", "fig8", "ablation", "baselines"} {
 		fmt.Printf("==== %s ====\n", name)
-		if err := runs[name](); err != nil {
+		if err := runOne(name, runs[name]); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Println()

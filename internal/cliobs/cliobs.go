@@ -1,13 +1,15 @@
 // Package cliobs wires the telemetry layer into command-line flags shared by
 // the cmd/ binaries: -trace (JSONL span log), -metrics (JSON snapshot on
-// exit), and -debug (pprof/expvar/metrics HTTP listener). All fields are nil
-// when the corresponding flag is absent, so passing them straight into
-// solver options keeps the zero-cost-when-off contract.
+// exit), -debug (pprof/expvar/metrics/flight HTTP listener), -flight (flight
+// recorder dump on exit), and -journal (hash-chained event log). All fields
+// are nil when the corresponding flag is absent, so passing them straight
+// into solver options keeps the zero-cost-when-off contract.
 package cliobs
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/edsec/edattack/internal/telemetry"
@@ -21,6 +23,46 @@ func WorkersFlag() *int {
 		"solver worker goroutines (0 = one per CPU, 1 = sequential)")
 }
 
+// Flags holds the destinations of the shared observability flags.
+type Flags struct {
+	Trace, Metrics, Debug, Flight, Journal *string
+}
+
+// RegisterFlags registers the shared observability flags (-trace, -metrics,
+// -debug, -flight, -journal) on the default flag set. Call before
+// flag.Parse; pass the parsed values to Flags.Init.
+func RegisterFlags() *Flags {
+	return &Flags{
+		Trace:   flag.String("trace", "", "write a JSONL span trace to this file"),
+		Metrics: flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit"),
+		Debug:   flag.String("debug", "", "serve pprof/expvar/metrics/flight on this address (e.g. localhost:6060)"),
+		Flight:  flag.String("flight", "", "record solver flight data and dump it as JSON to this file on exit"),
+		Journal: flag.String("journal", "", "append a hash-chained JSONL journal of run events to this file"),
+	}
+}
+
+// Init opens the sinks selected by the parsed flags.
+func (f *Flags) Init() (*Setup, error) {
+	return InitConfig(Config{
+		Trace:   *f.Trace,
+		Metrics: *f.Metrics,
+		Debug:   *f.Debug,
+		Flight:  *f.Flight,
+		Journal: *f.Journal,
+	})
+}
+
+// Config selects which observability sinks to open; empty strings disable
+// each one.
+type Config struct {
+	// Trace is a JSONL span log path; Metrics a JSON snapshot path
+	// (written on Close); Debug a listen address for the debug HTTP
+	// server; Flight a flight-recorder dump path (written on Close);
+	// Journal a hash-chained JSONL event log path (appended to, with the
+	// existing chain verified first).
+	Trace, Metrics, Debug, Flight, Journal string
+}
+
 // Setup holds the observability sinks selected on the command line.
 type Setup struct {
 	// Metrics is non-nil when a -metrics file or -debug listener was
@@ -28,59 +70,112 @@ type Setup struct {
 	Metrics *telemetry.Registry
 	// Tracer is non-nil when a -trace file was requested.
 	Tracer *telemetry.Tracer
+	// Flight is non-nil when a -flight file or -debug listener was
+	// requested.
+	Flight *telemetry.Flight
+	// Journal is non-nil when a -journal file was requested. It continues
+	// the file's existing hash chain; a journal failing verification is
+	// refused rather than extended.
+	Journal *telemetry.Journal
 
 	metricsPath string
+	flightPath  string
 	traceFile   *os.File
+	journalFile *os.File
 	debugClose  func() error
 }
 
 // Init opens the requested sinks. Empty strings disable each one. The
-// returned Setup must be Closed to flush the metrics snapshot and the trace
-// stream.
+// returned Setup must be Closed to flush the metrics snapshot, the flight
+// dump, and the trace stream. Kept as a three-argument form for callers
+// predating the flight/journal flags.
 func Init(tracePath, metricsPath, debugAddr string) (*Setup, error) {
-	s := &Setup{metricsPath: metricsPath}
-	if metricsPath != "" || debugAddr != "" {
+	return InitConfig(Config{Trace: tracePath, Metrics: metricsPath, Debug: debugAddr})
+}
+
+// InitConfig opens the sinks selected by cfg.
+func InitConfig(cfg Config) (*Setup, error) {
+	s := &Setup{metricsPath: cfg.Metrics, flightPath: cfg.Flight}
+	if cfg.Metrics != "" || cfg.Debug != "" {
 		s.Metrics = telemetry.NewRegistry()
 	}
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
+	if cfg.Flight != "" || cfg.Debug != "" {
+		s.Flight = telemetry.NewFlight(0)
+	}
+	if cfg.Trace != "" {
+		f, err := os.Create(cfg.Trace)
 		if err != nil {
 			return nil, fmt.Errorf("cliobs: trace file: %w", err)
 		}
 		s.traceFile = f
 		s.Tracer = telemetry.NewTracer(f)
 	}
-	if debugAddr != "" {
-		bound, closeFn, err := telemetry.ServeDebug(debugAddr, s.Metrics)
+	if cfg.Journal != "" {
+		f, err := os.OpenFile(cfg.Journal, os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("cliobs: journal file: %w", err)
+		}
+		// Continue the existing hash chain rather than overwriting the
+		// log; a journal that fails verification must not be extended, or
+		// the tamper evidence would be buried under valid records.
+		seq, last, err := telemetry.VerifyJournalTail(f)
+		if err != nil {
+			_ = f.Close()
+			s.closeFiles()
+			return nil, fmt.Errorf("cliobs: existing journal %s fails verification (refusing to append): %w", cfg.Journal, err)
+		}
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			_ = f.Close()
+			s.closeFiles()
+			return nil, fmt.Errorf("cliobs: journal file: %w", err)
+		}
+		s.journalFile = f
+		s.Journal = telemetry.ResumeJournal(f, uint64(seq), last)
+	}
+	if cfg.Debug != "" {
+		bound, closeFn, err := telemetry.ServeDebug(cfg.Debug, s.Metrics, s.Flight)
 		if err != nil {
 			s.closeFiles()
 			return nil, fmt.Errorf("cliobs: debug listener: %w", err)
 		}
 		s.debugClose = closeFn
-		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/pprof/ (metrics at /metrics)\n", bound)
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/pprof/ (metrics at /metrics, flight at /debug/flight)\n", bound)
 	}
 	return s, nil
 }
 
-// Close writes the metrics snapshot and releases every sink. Safe on a nil
-// receiver and safe to call once after partial initialization.
+// Close writes the metrics snapshot and the flight dump and releases every
+// sink. Safe on a nil receiver and safe to call once after partial
+// initialization.
 func (s *Setup) Close() error {
 	if s == nil {
 		return nil
 	}
 	var firstErr error
-	if s.metricsPath != "" && s.Metrics != nil {
-		f, err := os.Create(s.metricsPath)
-		if err != nil {
-			firstErr = fmt.Errorf("cliobs: metrics file: %w", err)
-		} else {
-			if err := s.Metrics.WriteJSON(f); err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("cliobs: metrics write: %w", err)
-			}
-			if err := f.Close(); err != nil && firstErr == nil {
-				firstErr = err
-			}
+	writeDump := func(path, what string, write func(io.Writer) error) {
+		if path == "" {
+			return
 		}
+		f, err := os.Create(path)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cliobs: %s file: %w", what, err)
+			}
+			return
+		}
+		if err := write(f); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cliobs: %s write: %w", what, err)
+		}
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if s.Metrics != nil {
+		writeDump(s.metricsPath, "metrics", s.Metrics.WriteJSON)
+	}
+	if s.Flight != nil {
+		writeDump(s.flightPath, "flight", s.Flight.WriteJSON)
 	}
 	if err := s.closeFiles(); err != nil && firstErr == nil {
 		firstErr = err
@@ -94,10 +189,18 @@ func (s *Setup) Close() error {
 }
 
 func (s *Setup) closeFiles() error {
-	if s.traceFile == nil {
-		return nil
+	var firstErr error
+	if s.traceFile != nil {
+		if err := s.traceFile.Close(); err != nil {
+			firstErr = err
+		}
+		s.traceFile = nil
 	}
-	err := s.traceFile.Close()
-	s.traceFile = nil
-	return err
+	if s.journalFile != nil {
+		if err := s.journalFile.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.journalFile = nil
+	}
+	return firstErr
 }

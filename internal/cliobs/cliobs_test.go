@@ -1,0 +1,206 @@
+package cliobs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/edsec/edattack/internal/telemetry"
+)
+
+// TestInitConfigEmpty: no sinks requested means every field stays nil —
+// the zero-cost-when-off contract the solvers rely on.
+func TestInitConfigEmpty(t *testing.T) {
+	s, err := InitConfig(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Metrics != nil || s.Tracer != nil || s.Flight != nil || s.Journal != nil {
+		t.Errorf("empty config opened sinks: %+v", s)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if err := (*Setup)(nil).Close(); err != nil {
+		t.Errorf("nil close: %v", err)
+	}
+}
+
+// TestInitConfigFileSinks opens metrics, flight, and trace sinks, records
+// through them, and checks Close flushes parseable dumps.
+func TestInitConfigFileSinks(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Trace:   filepath.Join(dir, "trace.jsonl"),
+		Metrics: filepath.Join(dir, "metrics.json"),
+		Flight:  filepath.Join(dir, "flight.json"),
+	}
+	s, err := InitConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Metrics == nil || s.Tracer == nil || s.Flight == nil {
+		t.Fatalf("sinks not opened: metrics=%v tracer=%v flight=%v", s.Metrics, s.Tracer, s.Flight)
+	}
+	s.Metrics.Counter("lp_solves_total").Add(3)
+	s.Flight.Record(telemetry.FlightEvent{Kind: telemetry.FlightLP, Pivots: 7})
+	sp := s.Tracer.Start("test.span")
+	sp.End()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mf, err := os.Open(cfg.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	data, _ := io.ReadAll(mf)
+	if !strings.Contains(string(data), `"lp_solves_total": 3`) {
+		t.Errorf("metrics dump missing counter:\n%s", data)
+	}
+
+	ff, err := os.Open(cfg.Flight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ff.Close()
+	rec, err := telemetry.ReadFlight(ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Total != 1 || rec.Events[0].Pivots != 7 {
+		t.Errorf("flight dump: %+v", rec)
+	}
+
+	tf, err := os.Open(cfg.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	spans, err := telemetry.ReadSpans(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Name != "test.span" {
+		t.Errorf("trace: %+v", spans)
+	}
+}
+
+// TestInitConfigDebug: a -debug listener forces both the registry and the
+// flight recorder on and serves them over HTTP.
+func TestInitConfigDebug(t *testing.T) {
+	s, err := InitConfig(Config{Debug: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Metrics == nil || s.Flight == nil {
+		t.Fatal("debug listener did not force metrics/flight on")
+	}
+	s.Metrics.Counter("probe_total").Inc()
+	s.Flight.Record(telemetry.FlightEvent{Kind: telemetry.FlightNode, Target: 2, Dir: 1, Node: 1, Label: "integral"})
+
+	// InitConfig only reports its bound address on stderr, so the HTTP
+	// endpoints are probed through a second listener sharing the same
+	// registry and recorder.
+	bound, closeFn, err := telemetry.ServeDebug("127.0.0.1:0", s.Metrics, s.Flight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+	get := func(path string) (int, string) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", bound, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "probe_total 1") {
+		t.Errorf("/metrics: %d\n%s", code, body)
+	}
+	if code, body := get("/debug/flight"); code != 200 || !strings.Contains(body, `"kind": "node"`) {
+		t.Errorf("/debug/flight: %d\n%s", code, body)
+	}
+	if code, body := get("/debug/tree.dot"); code != 200 || !strings.Contains(body, "digraph bnb") {
+		t.Errorf("/debug/tree.dot: %d\n%s", code, body)
+	}
+}
+
+// TestJournalAppendAndResume: a second Init continues the hash chain, and a
+// tampered journal is refused.
+func TestJournalAppendAndResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+
+	s1, err := InitConfig(Config{Journal: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Journal == nil {
+		t.Fatal("journal sink not opened")
+	}
+	if err := s1.Journal.Append("run.start", map[string]any{"case": "case9"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := InitConfig(Config{Journal: path})
+	if err != nil {
+		t.Fatalf("reopen verified journal: %v", err)
+	}
+	if err := s2.Journal.Append("run.start", map[string]any{"case": "case30"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := telemetry.VerifyJournal(f)
+	f.Close()
+	if err != nil || n != 2 {
+		t.Fatalf("chained journal: %d records, err %v", n, err)
+	}
+
+	// Flip one byte in the first record: Init must refuse to extend it.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), "case9", "caseX", 1)
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InitConfig(Config{Journal: path}); err == nil {
+		t.Fatal("tampered journal accepted for append")
+	}
+}
+
+// TestInitCompat covers the legacy three-argument Init.
+func TestInitCompat(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Init("", filepath.Join(dir, "m.json"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Metrics == nil || s.Flight != nil {
+		t.Errorf("compat init: metrics=%v flight=%v", s.Metrics, s.Flight)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "m.json")); err != nil {
+		t.Errorf("metrics snapshot not written: %v", err)
+	}
+}

@@ -78,6 +78,13 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 			grd.Exact = false // a seed, not a proven optimum
 			best = grd
 			inc.Offer(grd.GainPct)
+			o.Flight.Record(telemetry.FlightEvent{
+				Kind:      telemetry.FlightIncumbent,
+				Target:    grd.TargetLine,
+				Dir:       grd.Direction,
+				Incumbent: grd.GainPct,
+				Label:     "seed",
+			})
 			seedSpan.SetAttr("gain_pct", grd.GainPct)
 		} else if !errors.Is(err, ErrNoFeasibleAttack) {
 			seedSpan.End()
@@ -124,6 +131,13 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 		// (the greedy seed) are deterministic and stay unconditional.
 		if err == nil && att != nil && att.GainPct > 0 {
 			inc.Offer(att.GainPct)
+			o.Flight.Record(telemetry.FlightEvent{
+				Kind:      telemetry.FlightIncumbent,
+				Target:    tasks[i].line,
+				Dir:       tasks[i].dir,
+				Incumbent: att.GainPct,
+				Label:     "shared",
+			})
 		}
 		atts[i], errs[i] = att, err
 	})
@@ -168,6 +182,18 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 	root.SetAttr("gain_pct", best.GainPct)
 	root.SetAttr("target", best.TargetLine)
 	root.SetAttr("nodes", stats.Nodes)
+	resultLabel := "optimal"
+	if !best.Exact {
+		resultLabel = "truncated"
+	}
+	o.Flight.Record(telemetry.FlightEvent{
+		Kind:      telemetry.FlightAttack,
+		Target:    best.TargetLine,
+		Dir:       best.Direction,
+		Incumbent: best.GainPct,
+		DurUS:     stats.WallTime.Microseconds(),
+		Label:     resultLabel,
+	})
 	return best, nil
 }
 

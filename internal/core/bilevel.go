@@ -92,6 +92,10 @@ type subproblem struct {
 
 	metrics *telemetry.Registry
 	span    *telemetry.Span // parents the inner MILP solve spans
+	// round is the 1-based row-generation round this instance solves,
+	// stamped onto flight events so search trees attribute to the right
+	// solve.
+	round int
 
 	// solvedNodes and solvedLPIters record the last solveOnce's work even
 	// when it yields no usable attack (pruned or infeasible); the warm
@@ -459,9 +463,11 @@ func (s *subproblem) solveOnce(o Options, incumbent *float64, bound milp.BoundSo
 		Heuristic:        s.heuristic,
 		WarmBasis:        warmRoot,
 		DisableWarmStart: o.NoWarmStart,
-		LP:               lp.Options{DenseSolver: o.DenseSolver},
+		LP:               lp.Options{DenseSolver: o.DenseSolver, ForceSparse: o.ForceSparse},
 		Metrics:          s.metrics,
 		Span:             s.span,
+		Flight:           o.Flight,
+		FlightTemplate:   telemetry.FlightEvent{Target: s.target, Dir: int(s.dir), Round: s.round},
 	})
 	if sol != nil {
 		s.solvedNodes = sol.Nodes
@@ -595,10 +601,61 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *in
 	var prevRound *subproblem
 	hadSeed := false
 	exact := true
+
+	// Flight recording and round latency. finishRound closes out one
+	// row-generation round; the deferred FlightSubproblem event captures
+	// the outcome whichever return path is taken.
+	fl := o.Flight
+	roundTimed := fl != nil || o.Metrics != nil
+	var roundStart time.Time
+	var finalGain float64
+	finishRound := func(sp *subproblem, violated int, label string) {
+		if !roundTimed {
+			return
+		}
+		dur := time.Since(roundStart)
+		if o.Metrics != nil {
+			o.Metrics.Histogram("core_rowgen_round_seconds", telemetry.SecondsBuckets).Observe(dur.Seconds())
+		}
+		if fl == nil {
+			return
+		}
+		fl.Record(telemetry.FlightEvent{
+			Kind:      telemetry.FlightRound,
+			Target:    target,
+			Dir:       dir,
+			Round:     rounds,
+			Monitored: len(monitored),
+			Violated:  violated,
+			Pivots:    sp.solvedLPIters,
+			DurUS:     dur.Microseconds(),
+			Label:     label,
+		})
+	}
+	if fl != nil {
+		defer func() {
+			fl.Record(telemetry.FlightEvent{
+				Kind:      telemetry.FlightSubproblem,
+				Target:    target,
+				Dir:       dir,
+				Round:     rounds,
+				Monitored: len(monitored),
+				Pivots:    totalIters,
+				Bound:     finalGain,
+				DurUS:     time.Since(start).Microseconds(),
+				Label:     outcome,
+			})
+		}()
+	}
+
 	for round := 0; round < o.MaxRounds; round++ {
 		rounds = round + 1
+		if roundTimed {
+			roundStart = time.Now()
+		}
 		sp := newSubproblem(k, target, float64(dir), monitored, o, pre)
 		sp.span = span
+		sp.round = rounds
 		var seed *float64
 		if g, ok := inc.Best(); ok {
 			v := pruneSeed(sp.masterObj(g), o.RelGap)
@@ -616,6 +673,7 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *in
 		totalFallbacks += sp.solvedWarmFwdFall
 		prevRound = sp
 		if err != nil {
+			finishRound(sp, 0, "error")
 			return nil, err
 		}
 		if res == nil {
@@ -624,9 +682,11 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *in
 				if o.Metrics != nil {
 					o.Metrics.Counter("core_subproblems_pruned_total").Inc()
 				}
+				finishRound(sp, 0, "pruned")
 				return nil, nil // pruned: nothing beats the shared bound here
 			}
 			outcome = "infeasible"
+			finishRound(sp, 0, "infeasible")
 			return nil, ErrNoFeasibleAttack
 		}
 		exact = exact && res.exact
@@ -658,6 +718,8 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *in
 			if !exact {
 				outcome = "truncated"
 			}
+			finalGain = gain
+			finishRound(sp, 0, "converged")
 			span.SetAttr("gain_pct", gain)
 			span.SetAttr("nodes", totalNodes)
 			span.SetAttr("rounds", rounds)
@@ -708,6 +770,7 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *in
 				},
 			}, nil
 		}
+		finishRound(sp, len(violated), "grow")
 		for _, li := range violated {
 			inSet[li] = true
 			monitored = append(monitored, li)

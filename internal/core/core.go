@@ -212,6 +212,12 @@ type Options struct {
 	// exists for A/B measurement against recorded dense baselines and as an
 	// escape hatch.
 	DenseSolver bool
+	// ForceSparse forces every LP relaxation onto the sparse revised
+	// simplex even below the size cutover where the selection heuristic
+	// prefers the dense tableau. Ignored when DenseSolver is set. Like
+	// DenseSolver, this is an A/B hook: the engine gates compare the two
+	// engines' attacks on cases small enough to route dense by default.
+	ForceSparse bool
 	// Workers is the number of goroutines solving bilevel subproblems
 	// concurrently (0 = one per CPU core, 1 = sequential). The attack
 	// returned is identical for every worker count when subproblems solve
@@ -228,6 +234,13 @@ type Options struct {
 	// Tracer, when non-nil, emits one span per bilevel subproblem (with
 	// target/dir/gain/status attributes) and per inner MILP solve.
 	Tracer *telemetry.Tracer
+	// Flight, when non-nil, records the run's solver flight data — every
+	// B&B node, LP solve, row-generation round, incumbent update, and
+	// subproblem outcome — into a bounded in-memory ring for post-run
+	// reports (gridtool report / tree). Recording is purely
+	// observational: the computed attack is bit-identical with the
+	// recorder on or off.
+	Flight *telemetry.Flight
 }
 
 func (o Options) withDefaults() Options {

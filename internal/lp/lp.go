@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"github.com/edsec/edattack/internal/telemetry"
 )
@@ -328,6 +329,9 @@ type Solution struct {
 	// Warm reports that the solution was produced by the warm-started dual
 	// simplex path rather than a cold two-phase solve.
 	Warm bool
+	// Sparse reports which engine produced the solution: true for the
+	// sparse revised simplex, false for the dense tableau.
+	Sparse bool
 	// Basis is a snapshot of the optimal basis, captured only when
 	// Options.CaptureBasis is set and Status == Optimal. It can seed a
 	// later solve of the same problem shape via Options.WarmBasis.
@@ -370,6 +374,10 @@ type Options struct {
 	// carrying the engine choice (sparse=true/false), status, and pivot
 	// count. A nil Span emits nothing.
 	Span *telemetry.Span
+	// Flight, when non-nil, records one FlightLP event per solve (engine,
+	// warm/cold, pivots, status, duration). Recording is observational
+	// only and never alters the solve.
+	Flight *telemetry.Flight
 }
 
 func (o Options) withDefaults() Options {
@@ -386,8 +394,13 @@ func (o Options) withDefaults() Options {
 // matrix is large and sparse enough that FTRAN/BTRAN solves beat dense
 // tableau row operations. Dense PTDF-style rows (economic dispatch, QP
 // subproblems) stay on the tableau engine.
+// The row cutover is calibrated against BENCH_solver.json: the KKT systems
+// of case9/30/57 (≲40 rows) ran 0.66–0.77× under the revised simplex —
+// LU refactorization overhead dominates at that size — while case118
+// (~180 rows, ~6% dense) runs 2.6× faster sparse. 64 rows splits the two
+// regimes with margin on both sides.
 const (
-	sparseMinRows    = 8
+	sparseMinRows    = 64
 	sparseMaxDensity = 0.3
 )
 
@@ -427,6 +440,13 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 		opts.Metrics.Gauge("lp_problem_density").SetMax(p.Density())
 	}
 
+	// Wall-clock is only sampled when someone will consume it, keeping
+	// the telemetry-off path free of clock calls.
+	timed := opts.Metrics != nil || opts.Flight != nil
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	var (
 		sol   *Solution
 		err   error
@@ -440,8 +460,30 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 	if sol != nil {
 		sol.Iterations = stats.iters
 		sol.Warm = stats.warmUsed
+		sol.Sparse = sparseEng
 	}
-	emitSolveMetrics(opts.Metrics, sol, err, &stats)
+	var dur time.Duration
+	if timed {
+		dur = time.Since(t0)
+	}
+	emitSolveMetrics(opts.Metrics, sol, err, &stats, sparseEng, dur)
+	if fl := opts.Flight; fl != nil {
+		ev := telemetry.FlightEvent{
+			Kind:   telemetry.FlightLP,
+			Sparse: sparseEng,
+			Warm:   stats.warmUsed,
+			Pivots: stats.iters,
+			DurUS:  dur.Microseconds(),
+		}
+		switch {
+		case err != nil:
+			ev.Label = "error"
+		case sol != nil:
+			ev.Label = sol.Status.String()
+			ev.Bound = sol.Objective
+		}
+		fl.Record(ev)
+	}
 	if span != nil {
 		if sol != nil {
 			span.SetAttr("status", sol.Status.String())
@@ -508,11 +550,17 @@ func solveDense(p *Problem, opts Options, stats *solveStats) (*Solution, error) 
 }
 
 // emitSolveMetrics publishes one solve's counter deltas.
-func emitSolveMetrics(m *telemetry.Registry, sol *Solution, err error, st *solveStats) {
+func emitSolveMetrics(m *telemetry.Registry, sol *Solution, err error, st *solveStats, sparseEng bool, dur time.Duration) {
 	if m == nil {
 		return
 	}
 	m.Counter("lp_solves_total").Inc()
+	if sparseEng {
+		m.Counter("lp_sparse_solves_total").Inc()
+	} else {
+		m.Counter("lp_dense_solves_total").Inc()
+	}
+	m.Histogram("lp_solve_seconds", telemetry.SecondsBuckets).Observe(dur.Seconds())
 	m.Counter("lp_pivots_total").Add(int64(st.iters))
 	m.Counter("lp_phase1_pivots_total").Add(int64(st.phase1))
 	m.Counter("lp_degenerate_pivots_total").Add(int64(st.degen))

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/edsec/edattack/internal/lp"
 	"github.com/edsec/edattack/internal/telemetry"
@@ -175,6 +176,16 @@ type Options struct {
 	// Span, when non-nil, parents a per-solve trace span carrying node,
 	// prune, and incumbent counts.
 	Span *telemetry.Span
+	// Flight, when non-nil, records one FlightNode event per B&B node
+	// (disposition, depth, bound, pivots, warm/cold) and a FlightIncumbent
+	// event per incumbent update. It is also forwarded to the relaxation
+	// LPs unless LP.Flight is already set. Recording is observational only
+	// and never alters the search.
+	Flight *telemetry.Flight
+	// FlightTemplate pre-fills identity fields (Target, Dir, Round) on
+	// every event this solve records, so a caller running many MILPs can
+	// attribute nodes to its own work items.
+	FlightTemplate telemetry.FlightEvent
 }
 
 func (o Options) withDefaults() Options {
@@ -209,6 +220,10 @@ type boundFix struct {
 type node struct {
 	fixes []boundFix
 	basis *lp.Basis
+	// parent is the 1-based id of the node that branched into this one
+	// (0 for the root), recorded for the flight recorder's search-tree
+	// export. Ids are assigned in pop order, matching the node count.
+	parent int
 }
 
 // SolveWith runs branch and bound with explicit options.
@@ -216,6 +231,9 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 	o := opts.withDefaults()
 	if o.LP.Metrics == nil {
 		o.LP.Metrics = o.Metrics
+	}
+	if o.LP.Flight == nil {
+		o.LP.Flight = o.Flight
 	}
 	maximize := p.isMaximize()
 	warm := !o.DisableWarmStart
@@ -317,6 +335,53 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 
 	stack := []node{{basis: o.WarmBasis}}
 	nodes := 0
+	// Per-node flight/timing state. finishNode is called at every exit
+	// point of a node's iteration with the node's disposition; when both
+	// recorder and metrics are off it reduces to one branch per node.
+	fl := o.Flight
+	timedNodes := fl != nil || o.Metrics != nil
+	var nodeStart time.Time
+	var nodeID, nodeParent, nodeDepth int
+	finishNode := func(label string, rel *lp.Solution) {
+		if !timedNodes {
+			return
+		}
+		dur := time.Since(nodeStart)
+		if o.Metrics != nil {
+			o.Metrics.Histogram("milp_node_seconds", telemetry.SecondsBuckets).Observe(dur.Seconds())
+		}
+		if fl == nil {
+			return
+		}
+		ev := o.FlightTemplate
+		ev.Kind = telemetry.FlightNode
+		ev.Node = nodeID
+		ev.Parent = nodeParent
+		ev.Depth = nodeDepth
+		ev.Label = label
+		ev.DurUS = dur.Microseconds()
+		if rel != nil {
+			ev.Bound = rel.Objective
+			ev.Pivots = rel.Iterations
+			ev.Warm = rel.Warm
+			ev.Sparse = rel.Sparse
+		}
+		if incumbent != nil || o.Incumbent != nil {
+			ev.Incumbent = incObj
+		}
+		fl.Record(ev)
+	}
+	recordIncumbent := func(obj float64, source string) {
+		if fl == nil {
+			return
+		}
+		ev := o.FlightTemplate
+		ev.Kind = telemetry.FlightIncumbent
+		ev.Node = nodeID
+		ev.Incumbent = obj
+		ev.Label = source
+		fl.Record(ev)
+	}
 	// Fixes applied for the node currently reflected in p.Base's bounds;
 	// undoing exactly these (in order) returns every bound to its original,
 	// so each node restores O(|prev fixes|) bounds instead of rewriting the
@@ -339,6 +404,10 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		nodes++
+		nodeID, nodeParent, nodeDepth = nodes, cur.parent, len(cur.fixes)
+		if timedNodes {
+			nodeStart = time.Now()
+		}
 
 		// Undo the previous node's fixes, then apply this node's.
 		if err := undoApplied(); err != nil {
@@ -356,6 +425,7 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 			if err := undoApplied(); err != nil {
 				return finish(nil, err)
 			}
+			finishNode("conflict", nil)
 			continue
 		}
 		nodeLP := o.LP
@@ -379,6 +449,7 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 		}
 		switch rel.Status {
 		case lp.Infeasible:
+			finishNode("infeasible", rel)
 			continue
 		case lp.Unbounded:
 			if nodes == 1 && len(p.binaries) == 0 && len(p.pairs) == 0 {
@@ -398,6 +469,7 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 					incumbent = append([]float64(nil), hPoint...)
 					incumbents++
 					heurHits++
+					recordIncumbent(hObj, "heuristic")
 				}
 			}
 		}
@@ -414,10 +486,12 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 			gapTol := o.Gap * (1 + math.Abs(pruneRef))
 			if maximize && rel.Objective <= pruneRef+gapTol {
 				pruned++
+				finishNode("pruned", rel)
 				continue
 			}
 			if !maximize && rel.Objective >= pruneRef-gapTol {
 				pruned++
+				finishNode("pruned", rel)
 				continue
 			}
 		}
@@ -431,30 +505,36 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 			// warm-started from this node's optimal basis.
 			// Push the "round toward relaxation value" child last so
 			// DFS explores it first.
-			lo := cur.child(rel.Basis, boundFix{bj, 0, 0})
-			hi := cur.child(rel.Basis, boundFix{bj, 1, 1})
+			lo := cur.child(nodeID, rel.Basis, boundFix{bj, 0, 0})
+			hi := cur.child(nodeID, rel.Basis, boundFix{bj, 1, 1})
 			if rel.X[bj] >= 0.5 {
 				stack = append(stack, lo, hi)
 			} else {
 				stack = append(stack, hi, lo)
 			}
+			finishNode("branch", rel)
 		case pa >= 0:
 			// Branch on the complementarity pair: fix one side to
 			// zero. Explore first the child that zeroes the smaller
 			// value.
-			ca := cur.child(rel.Basis, boundFix{pa, 0, 0})
-			cb := cur.child(rel.Basis, boundFix{pb, 0, 0})
+			ca := cur.child(nodeID, rel.Basis, boundFix{pa, 0, 0})
+			cb := cur.child(nodeID, rel.Basis, boundFix{pb, 0, 0})
 			if rel.X[pa] <= rel.X[pb] {
 				stack = append(stack, cb, ca)
 			} else {
 				stack = append(stack, ca, cb)
 			}
+			finishNode("branch", rel)
 		default:
 			// Integral and complementary: candidate incumbent.
 			if incumbent == nil || better(rel.Objective, incObj) {
 				incumbent = append([]float64(nil), rel.X...)
 				incObj = rel.Objective
 				incumbents++
+				recordIncumbent(rel.Objective, "integral")
+				finishNode("incumbent", rel)
+			} else {
+				finishNode("integral", rel)
 			}
 		}
 	}
@@ -476,11 +556,11 @@ func truncated(x []float64, obj float64, nodes int) *Solution {
 
 // child extends the fix list functionally (copy-on-write so siblings don't
 // alias) and records the parent relaxation's basis as the child's warm seed.
-func (n node) child(basis *lp.Basis, f boundFix) node {
+func (n node) child(parent int, basis *lp.Basis, f boundFix) node {
 	fixes := make([]boundFix, len(n.fixes)+1)
 	copy(fixes, n.fixes)
 	fixes[len(n.fixes)] = f
-	return node{fixes: fixes, basis: basis}
+	return node{fixes: fixes, basis: basis, parent: parent}
 }
 
 // mostFractionalBinary returns the binary variable farthest from

@@ -11,17 +11,20 @@ import (
 
 var expvarOnce sync.Once
 
-// ServeDebug starts an HTTP listener exposing runtime profiling and the
-// registry, for the commands' opt-in -debug flag:
+// ServeDebug starts an HTTP listener exposing runtime profiling, the
+// registry, and the flight recorder, for the commands' opt-in -debug flag:
 //
-//	/debug/pprof/  — net/http/pprof profiles
-//	/debug/vars    — expvar (includes the registry under "edattack_metrics")
-//	/metrics       — Prometheus text format
-//	/metrics.json  — JSON snapshot
+//	/debug/pprof/    — net/http/pprof profiles
+//	/debug/vars      — expvar (includes the registry under "edattack_metrics")
+//	/metrics         — Prometheus text format (with _quantiles summaries)
+//	/metrics.json    — JSON snapshot (with p50/p95/p99 per histogram)
+//	/debug/flight    — flight-recorder dump as JSON
+//	/debug/tree.dot  — largest recorded B&B search tree in Graphviz DOT
 //
 // It returns the bound address (useful with ":0") and a shutdown func. The
-// registry may be nil; the endpoints then export empty metric sets.
-func ServeDebug(addr string, reg *Registry) (string, func() error, error) {
+// registry and flight recorder may be nil; the endpoints then export empty
+// data (tree.dot answers 404 until a tree has been recorded).
+func ServeDebug(addr string, reg *Registry, flight *Flight) (string, func() error, error) {
 	expvarOnce.Do(func() {
 		expvar.Publish("edattack_metrics", expvar.Func(func() any {
 			return reg.Snapshot()
@@ -41,6 +44,19 @@ func ServeDebug(addr string, reg *Registry) (string, func() error, error) {
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = flight.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/tree.dot", func(w http.ResponseWriter, _ *http.Request) {
+		trees := FlightTrees(flight.Events())
+		if len(trees) == 0 {
+			http.Error(w, "no search tree recorded", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/vnd.graphviz")
+		_ = trees[0].WriteDOT(w)
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

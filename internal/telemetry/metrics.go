@@ -221,6 +221,12 @@ type HistogramSnapshot struct {
 	Counts []int64   `json:"counts"`
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
+	// P50/P95/P99 are interpolated quantile estimates (see Quantile).
+	// They are zero, not NaN, on an empty histogram so the snapshot stays
+	// JSON-encodable.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry.
@@ -250,16 +256,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		hs := HistogramSnapshot{
-			Bounds: append([]float64(nil), h.bounds...),
-			Counts: make([]int64, len(h.counts)),
-			Count:  h.Count(),
-			Sum:    h.Sum(),
-		}
-		for i := range h.counts {
-			hs.Counts[i] = h.counts[i].Load()
-		}
-		s.Histograms[name] = hs
+		s.Histograms[name] = h.snapshot()
 	}
 	return s
 }
@@ -300,6 +297,21 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		p("%s_bucket{le=\"+Inf\"} %d\n", name, cum)
 		p("%s_sum %s\n", name, formatFloat(h.Sum))
 		p("%s_count %d\n", name, h.Count)
+	}
+	// Quantile estimates go out as a parallel summary family: the text
+	// format forbids a second TYPE for the histogram name, and scrapers
+	// expect quantile labels only on summaries.
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		p("# TYPE %s_quantiles summary\n", name)
+		p("%s_quantiles{quantile=\"0.5\"} %s\n", name, formatFloat(h.P50))
+		p("%s_quantiles{quantile=\"0.95\"} %s\n", name, formatFloat(h.P95))
+		p("%s_quantiles{quantile=\"0.99\"} %s\n", name, formatFloat(h.P99))
+		p("%s_quantiles_sum %s\n", name, formatFloat(h.Sum))
+		p("%s_quantiles_count %d\n", name, h.Count)
 	}
 	return err
 }

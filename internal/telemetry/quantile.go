@@ -1,0 +1,75 @@
+package telemetry
+
+import "math"
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution by linear interpolation inside the bucket containing the
+// target rank — the same estimator as Prometheus's histogram_quantile, so
+// dashboards built on either surface agree. The estimate assumes
+// non-negative observations (the first bucket interpolates from 0), which
+// holds for every histogram in this codebase (pivot counts, node counts,
+// seconds).
+//
+// Edge cases: an empty histogram returns NaN; a rank landing in the +Inf
+// overflow bucket returns the largest finite bound, the only defensible
+// point estimate for an unbounded bucket.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, b := range s.Bounds {
+		n := s.Counts[i]
+		cum += n
+		if float64(cum) < rank {
+			continue
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		if n == 0 {
+			return b
+		}
+		frac := (rank - float64(cum-n)) / float64(n)
+		return lower + (b-lower)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Quantile estimates the q-quantile from the histogram's live counts. See
+// HistogramSnapshot.Quantile for semantics. Returns NaN on a nil receiver.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	return h.snapshot().Quantile(q)
+}
+
+// snapshot copies the histogram's current state. Buckets are read without a
+// global lock, so a snapshot taken concurrently with Observe may be off by
+// the in-flight sample — acceptable for monitoring reads.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	hs := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.Count(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		hs.Counts[i] = h.counts[i].Load()
+	}
+	if hs.Count > 0 {
+		hs.P50 = hs.Quantile(0.50)
+		hs.P95 = hs.Quantile(0.95)
+		hs.P99 = hs.Quantile(0.99)
+	}
+	return hs
+}

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileEmpty: an empty histogram has no defensible point estimate.
+func TestQuantileEmpty(t *testing.T) {
+	var s HistogramSnapshot
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Errorf("empty snapshot quantile = %g, want NaN", s.Quantile(0.5))
+	}
+	var h *Histogram
+	if !math.IsNaN(h.Quantile(0.99)) {
+		t.Error("nil histogram quantile is not NaN")
+	}
+	// Empty but registered: the JSON snapshot must stay encodable, so the
+	// exported fields are zero rather than NaN.
+	hs := NewRegistry().Histogram("empty", SecondsBuckets).snapshot()
+	if hs.P50 != 0 || hs.P95 != 0 || hs.P99 != 0 {
+		t.Errorf("empty snapshot exports P50=%g P95=%g P99=%g, want zeros", hs.P50, hs.P95, hs.P99)
+	}
+}
+
+// TestQuantileSingleBucket: all mass in one bucket interpolates linearly
+// across that bucket's span.
+func TestQuantileSingleBucket(t *testing.T) {
+	s := HistogramSnapshot{Bounds: []float64{10}, Counts: []int64{4, 0}, Count: 4}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.25, 2.5}, {0.5, 5}, {0.75, 7.5}, {1, 10},
+	} {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("q=%g: got %g, want %g", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileOverflowBucket: a rank landing in the +Inf bucket reports the
+// largest finite bound instead of inventing a value.
+func TestQuantileOverflowBucket(t *testing.T) {
+	s := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []int64{1, 1, 3}, Count: 5}
+	if got := s.Quantile(0.99); got != 2 {
+		t.Errorf("overflow-bucket quantile = %g, want last finite bound 2", got)
+	}
+	if got := s.Quantile(1); got != 2 {
+		t.Errorf("q=1 with overflow mass = %g, want 2", got)
+	}
+	// Low quantiles still interpolate inside the finite buckets.
+	if got := s.Quantile(0.2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("q=0.2 = %g, want 1", got)
+	}
+}
+
+// TestQuantileZeroCountBucket: a rank resolving to an empty bucket returns
+// that bucket's bound (no division by a zero count).
+func TestQuantileZeroCountBucket(t *testing.T) {
+	s := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []int64{0, 4, 0}, Count: 4}
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("q=0 in empty first bucket = %g, want its bound 1", got)
+	}
+	if got := s.Quantile(0.5); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("q=0.5 = %g, want 1.5", got)
+	}
+}
+
+// TestQuantileClamp: out-of-range and NaN q values.
+func TestQuantileClamp(t *testing.T) {
+	s := HistogramSnapshot{Bounds: []float64{8}, Counts: []int64{2, 0}, Count: 2}
+	if got := s.Quantile(-3); got != s.Quantile(0) {
+		t.Errorf("q<0 not clamped: %g vs %g", got, s.Quantile(0))
+	}
+	if got := s.Quantile(7); got != s.Quantile(1) {
+		t.Errorf("q>1 not clamped: %g vs %g", got, s.Quantile(1))
+	}
+	if !math.IsNaN(s.Quantile(math.NaN())) {
+		t.Error("NaN q did not return NaN")
+	}
+}
+
+// TestQuantileLiveHistogram drives the estimator through a registry-backed
+// histogram with a known uniform sample and checks the snapshot's exported
+// quantiles agree with direct calls.
+func TestQuantileLiveHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("latency", []float64{1, 2, 5, 10})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 10) // 0.1 .. 10.0, uniform
+	}
+	// 10 samples land in (0,1], 10 in (1,2], 30 in (2,5], 50 in (5,10].
+	p50 := h.Quantile(0.5)
+	if math.Abs(p50-5) > 1e-9 {
+		t.Errorf("p50 = %g, want 5 (rank 50 closes the (2,5] bucket)", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if math.Abs(p99-9.9) > 1e-9 {
+		t.Errorf("p99 = %g, want 9.9", p99)
+	}
+	hs := reg.Snapshot().Histograms["latency"]
+	if hs.P50 != p50 || hs.P99 != p99 {
+		t.Errorf("snapshot quantiles (%g, %g) disagree with direct calls (%g, %g)",
+			hs.P50, hs.P99, p50, p99)
+	}
+	if hs.P95 != h.Quantile(0.95) {
+		t.Errorf("snapshot P95 %g != direct %g", hs.P95, h.Quantile(0.95))
+	}
+}

@@ -13,6 +13,11 @@
 //     direction, gain, status) → inner MILP solves, which is how the cost
 //     of Algorithm 1 on large cases is explained;
 //
+//   - a bounded ring-buffer Flight recorder capturing per-node B&B
+//     events, LP solves, row-generation rounds, and incumbent updates,
+//     plus a Report renderer that fuses flight record + metrics + trace
+//     into a Markdown/HTML run report with a DOT search-tree export;
+//
 //   - an append-only, hash-chained event Journal for the EMS/SCADA
 //     substrate (exploit scan started, candidate disambiguated, rating
 //     overwritten, operator re-dispatch), in the style of ledger-backed

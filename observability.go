@@ -20,6 +20,12 @@ type (
 	Span = telemetry.Span
 	// EventJournal is an append-only hash-chained event log.
 	EventJournal = telemetry.Journal
+	// FlightRecorder is a bounded ring-buffer recorder of solver flight
+	// events (B&B nodes, LP solves, row-generation rounds, incumbents).
+	FlightRecorder = telemetry.Flight
+	// RunReport fuses a flight record, metrics snapshot, and span trace
+	// into a Markdown/HTML run report.
+	RunReport = telemetry.Report
 	// SolverStats summarizes the optimization work behind an Attack or
 	// AttackEvaluation.
 	SolverStats = core.SolverStats
@@ -51,9 +57,19 @@ func VerifyEventJournal(r io.Reader) (int, error) {
 	return telemetry.VerifyJournal(r)
 }
 
+// NewFlightRecorder creates a flight recorder retaining up to capacity
+// events (a default-sized ring when capacity ≤ 0). Attach it to
+// AttackOptions.Flight to capture per-node solver behavior for gridtool
+// report / tree.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	return telemetry.NewFlight(capacity)
+}
+
 // ServeDebug starts an HTTP listener exposing net/http/pprof profiles,
-// expvar, and the registry's metrics at /metrics (Prometheus text) and
-// /metrics.json. It returns the bound address and a close function.
-func ServeDebug(addr string, reg *MetricsRegistry) (string, func() error, error) {
-	return telemetry.ServeDebug(addr, reg)
+// expvar, the registry's metrics at /metrics (Prometheus text) and
+// /metrics.json, and — when flight is non-nil — the flight recorder at
+// /debug/flight and its largest search tree at /debug/tree.dot. It returns
+// the bound address and a close function.
+func ServeDebug(addr string, reg *MetricsRegistry, flight *FlightRecorder) (string, func() error, error) {
+	return telemetry.ServeDebug(addr, reg, flight)
 }

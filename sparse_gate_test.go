@@ -9,8 +9,10 @@ import (
 )
 
 // sparseGateOpts mirrors warmGateOpts' budgets but leaves engine selection
-// to the default heuristic, which routes every bilevel KKT relaxation to the
-// sparse revised simplex. Run via make bench-sparse (part of make check).
+// to the default heuristic: the case118 KKT relaxations (~180 rows) land on
+// the sparse revised simplex, while the tiny case9/30/57 systems (≲40 rows)
+// stay on the dense tableau, which is faster at that size. Run via
+// make bench-sparse (part of make check).
 func sparseGateOpts() edattack.AttackOptions {
 	return edattack.AttackOptions{MaxNodes: 40, RelGap: 1e-3}
 }
@@ -20,7 +22,8 @@ func sparseGateOpts() edattack.AttackOptions {
 // direction, gain, and every manipulated rating — whether the KKT systems
 // are solved by the sparse revised simplex or the dense tableau oracle, and
 // the sparse engine must preserve worker-count independence (one worker vs
-// four).
+// four). These cases route dense under the default heuristic, so the sparse
+// side is pinned with ForceSparse to keep the comparison a real A/B.
 func TestSparseGateIdenticalAttacks(t *testing.T) {
 	for _, name := range []string{"case9", "case30", "case57"} {
 		name := name
@@ -30,6 +33,7 @@ func TestSparseGateIdenticalAttacks(t *testing.T) {
 			solve := func(dense bool, workers int) *edattack.Attack {
 				o := sparseGateOpts()
 				o.DenseSolver = dense
+				o.ForceSparse = !dense
 				o.Workers = workers
 				att, err := edattack.FindOptimalAttack(k, o)
 				if err != nil {
@@ -42,6 +46,45 @@ func TestSparseGateIdenticalAttacks(t *testing.T) {
 			dense1 := solve(true, 1)
 			sameAttack(t, name+"/sparse w1-vs-w4", sparse1, sparse4)
 			sameAttack(t, name+"/sparse-vs-dense", sparse1, dense1)
+		})
+	}
+}
+
+// TestSparseGateEngineSelection pins which engine the default heuristic
+// picks for each case's KKT relaxations, via the lp_sparse_solves_total /
+// lp_dense_solves_total counters: the tiny cases must run all-dense (the
+// revised simplex's LU refactorization overhead makes it slower below the
+// cutover) and case118 must keep every KKT solve on the sparse engine.
+func TestSparseGateEngineSelection(t *testing.T) {
+	expectSparse := map[string]bool{"case9": false, "case30": false, "case57": false}
+	if !testing.Short() {
+		expectSparse["case118"] = true
+	}
+	for name, wantSparse := range expectSparse {
+		name, wantSparse := name, wantSparse
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			k := knowledgeCase(t, name)
+			reg := telemetry.NewRegistry()
+			o := sparseGateOpts()
+			o.Workers = 1
+			o.Metrics = reg
+			if _, err := edattack.FindOptimalAttack(k, o); err != nil {
+				t.Fatal(err)
+			}
+			sparse := reg.Counter("lp_sparse_solves_total").Value()
+			dense := reg.Counter("lp_dense_solves_total").Value()
+			if sparse+dense == 0 {
+				t.Fatal("no LP engine counters recorded")
+			}
+			if wantSparse && sparse == 0 {
+				t.Errorf("%s: expected the KKT relaxations on the sparse engine, got %d dense / 0 sparse", name, dense)
+			}
+			if !wantSparse && sparse > 0 {
+				t.Errorf("%s: %d KKT solves routed to the sparse engine below the cutover (want all %d dense)",
+					name, sparse, sparse+dense)
+			}
+			t.Logf("%s: %d sparse / %d dense LP solves", name, sparse, dense)
 		})
 	}
 }
