@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: check vet build test race telemetry parallel bench bench-workers bench-baseline bench-warmstart bench-sparse bench-flight clean
+.PHONY: check vet build test race telemetry parallel bench bench-workers bench-baseline bench-warmstart bench-sparse bench-flight bench-sweep bench-sweep-baseline clean
 
 ## check: full PR gate — vet, build, race-enabled tests, a doubled run of
 ## the telemetry suite (span/journal determinism under repetition), the
 ## concurrency-path determinism tests under the race detector, and the
-## warm-start, sparse-engine, and flight-recorder regression gates.
-check: vet build race telemetry parallel bench-warmstart bench-sparse bench-flight
+## warm-start, sparse-engine, flight-recorder, and scenario-sweep
+## regression gates.
+check: vet build race telemetry parallel bench-warmstart bench-sparse bench-flight bench-sweep
 
 vet:
 	$(GO) vet ./...
@@ -65,6 +66,19 @@ bench-sparse:
 ## (target ≤5%, asserted at a noise-tolerant 50% backstop).
 bench-flight:
 	$(GO) test -run 'TestFlightGate' -count=1 -v .
+
+## bench-sweep: the batched scenario-sweep gate — recorded case118
+## throughput must be ≥10,000 N−1-screened scenarios/s, the live run is
+## asserted at a noise-tolerant 50% of the recorded BENCH_sweep.json
+## baseline (the strict ±25% band is benchdiff's, for recorded runs), and
+## the batched outcomes must match the per-scenario oracle bit for bit.
+bench-sweep:
+	$(GO) test -run 'TestSweepGate' -count=1 -v .
+
+## bench-sweep-baseline: re-record the scenario-sweep throughput baseline
+## (BENCH_sweep.json) on case118.
+bench-sweep-baseline:
+	BENCH_SWEEP=1 $(GO) test -run TestRecordSweepBaseline .
 
 clean:
 	$(GO) clean ./...

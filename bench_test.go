@@ -425,6 +425,24 @@ func BenchmarkPTDF118(b *testing.B) {
 	}
 }
 
+// BenchmarkSweep118 measures the batched scenario-evaluation engine on
+// case118: per-scenario cost of flows + base-case check + two full N−1
+// screens (true and seen ratings) at the default batch width.
+func BenchmarkSweep118(b *testing.B) {
+	// Same deterministic workload the sweep gate measures: seeded draws
+	// dispatched by ED under attack-inflated seen ratings (see
+	// sweepGateScenarios in sweep_gate_test.go).
+	pc, scs, _ := sweepGateScenarios(b, "case118", 256, 118)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := edattack.SweepEval(pc, scs, edattack.SweepOptions{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(scs)*b.N)/b.Elapsed().Seconds(), "scenarios/s")
+}
+
 // BenchmarkACPowerFlow118 measures one Newton–Raphson solve at scale.
 func BenchmarkACPowerFlow118(b *testing.B) {
 	net, err := edattack.LoadCase("case118")

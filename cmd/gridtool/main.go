@@ -7,7 +7,8 @@
 //	gridtool -case case9 [-exp info|dcpf|acpf|ed|robust] [-margin 0.05]
 //	gridtool report [-case case118] [-nodes 40] [-flight flight.json] [-html] [-o report.md]
 //	gridtool tree [-case case118] [-target L -dir ±1] [-json] [-o tree.dot]
-//	gridtool benchdiff [-tol 10] old.json new.json
+//	gridtool benchdiff [-tol 10] [-bench solver|sweep] old.json new.json
+//	gridtool sweep [-case case118] [-draws 64] [-mag-max 0.4] [-seed 1] [-format json|csv] [-o surface.json]
 package main
 
 import (
@@ -28,6 +29,7 @@ var subcommands = map[string]func(args []string) error{
 	"report":    reportCmd,
 	"tree":      treeCmd,
 	"benchdiff": benchdiffCmd,
+	"sweep":     sweepCmd,
 }
 
 func main() {
@@ -239,7 +241,9 @@ func n1(net *edattack.Network, workers int) error {
 	if err != nil {
 		return err
 	}
-	lodf, err := edattack.ComputeLODF(net)
+	// The dispatch model already factored the network for its PTDF; derive
+	// the LODF from it instead of factoring a second time.
+	lodf, err := edattack.ComputeLODFFromPTDF(net, model.PTDF())
 	if err != nil {
 		return err
 	}

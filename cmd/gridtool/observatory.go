@@ -257,60 +257,104 @@ type benchRecord struct {
 	SparseWallMs            float64 `json:"sparse_wall_ms"`
 }
 
-func loadBench(path string) (map[string]benchRecord, []string, error) {
+// sweepBenchRecord mirrors the per-case record of BENCH_sweep.json: the
+// batched scenario-evaluation throughput baseline.
+type sweepBenchRecord struct {
+	Case            string  `json:"case"`
+	Scenarios       int     `json:"scenarios"`
+	Batch           int     `json:"batch"`
+	Workers         int     `json:"workers"`
+	N1Outages       int     `json:"n1_outages"`
+	ScenariosPerSec float64 `json:"scenarios_per_sec"`
+	WallMs          float64 `json:"wall_ms"`
+	PrecomputeMs    float64 `json:"precompute_ms"`
+}
+
+func loadBenchRaw(path string) ([]json.RawMessage, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	var doc struct {
-		Records []benchRecord `json:"records"`
+		Records []json.RawMessage `json:"records"`
 	}
 	if err := json.Unmarshal(raw, &doc); err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	out := make(map[string]benchRecord, len(doc.Records))
+	return doc.Records, nil
+}
+
+// benchSchema sniffs which baseline schema a records file carries: sweep
+// baselines carry scenarios_per_sec, solver baselines do not.
+func benchSchema(records []json.RawMessage) string {
+	for _, r := range records {
+		var probe map[string]json.RawMessage
+		if json.Unmarshal(r, &probe) != nil {
+			continue
+		}
+		if _, ok := probe["scenarios_per_sec"]; ok {
+			return "sweep"
+		}
+		return "solver"
+	}
+	return "solver"
+}
+
+func decodeBench[T any](records []json.RawMessage, key func(T) string) (map[string]T, []string, error) {
+	out := make(map[string]T, len(records))
 	var order []string
-	for _, r := range doc.Records {
-		out[r.Case] = r
-		order = append(order, r.Case)
+	for _, raw := range records {
+		var r T
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, nil, err
+		}
+		out[key(r)] = r
+		order = append(order, key(r))
 	}
 	return out, order, nil
 }
 
-// benchdiffCmd implements `gridtool benchdiff old.json new.json`: compare
-// two solver baselines and flag regressions. Deterministic work counters
-// (nodes, pivots, FTRANs) regress when they grow beyond -tol percent;
-// gains must match bitwise; wall-clock changes are reported but flagged
-// only beyond a wider machine-noise threshold.
-func benchdiffCmd(args []string) error {
-	fs := flag.NewFlagSet("gridtool benchdiff", flag.ContinueOnError)
-	tol := fs.Float64("tol", 10, "regression threshold for work counters, in percent")
-	wallTol := fs.Float64("walltol", 25, "regression threshold for wall-clock numbers, in percent")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: gridtool benchdiff [-tol pct] old.json new.json")
-	}
-	oldRecs, _, err := loadBench(fs.Arg(0))
-	if err != nil {
-		return err
-	}
-	newRecs, newOrder, err := loadBench(fs.Arg(1))
-	if err != nil {
-		return err
-	}
+// benchDiffer accumulates per-metric comparisons and the regression count.
+type benchDiffer struct {
+	regressions int
+}
 
-	regressions := 0
-	pct := func(oldV, newV float64) float64 {
-		if oldV == 0 {
-			if newV == 0 {
-				return 0
-			}
-			return math.Inf(1)
+func (d *benchDiffer) pct(oldV, newV float64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 0
 		}
-		return 100 * (newV - oldV) / oldV
+		return math.Inf(1)
 	}
+	return 100 * (newV - oldV) / oldV
+}
+
+// check flags growth beyond threshold as a regression (exact metrics must
+// match bitwise). higherIsBetter reverses the direction — throughput
+// numbers regress when they drop.
+func (d *benchDiffer) check(label string, oldV, newV, threshold float64, exact, higherIsBetter bool) {
+	delta := d.pct(oldV, newV)
+	bad, good := delta > threshold, delta < -threshold
+	if higherIsBetter {
+		bad, good = delta < -threshold, delta > threshold
+	}
+	mark := ""
+	switch {
+	case exact && oldV != newV:
+		mark = "  ** REGRESSION (must match exactly)"
+		d.regressions++
+	case !exact && bad:
+		mark = fmt.Sprintf("  ** REGRESSION (beyond %.0f%%)", threshold)
+		d.regressions++
+	case !exact && good:
+		mark = "  (improvement)"
+	}
+	fmt.Printf("  %-26s %14.6g -> %-14.6g %+7.1f%%%s\n", label, oldV, newV, delta, mark)
+}
+
+// diffCases walks the new baseline in order, diffing each case against the
+// old one via perCase and reporting added/dropped cases.
+func diffCases[T any](d *benchDiffer, oldRecs, newRecs map[string]T, newOrder []string, perCase func(or, nr T)) {
 	for _, name := range newOrder {
 		nr := newRecs[name]
 		or, ok := oldRecs[name]
@@ -319,30 +363,7 @@ func benchdiffCmd(args []string) error {
 			continue
 		}
 		fmt.Printf("%s:\n", name)
-		check := func(label string, oldV, newV float64, threshold float64, exact bool) {
-			delta := pct(oldV, newV)
-			mark := ""
-			switch {
-			case exact && oldV != newV:
-				mark = "  ** REGRESSION (must match exactly)"
-				regressions++
-			case !exact && delta > threshold:
-				mark = fmt.Sprintf("  ** REGRESSION (> +%.0f%%)", threshold)
-				regressions++
-			case delta < -threshold:
-				mark = "  (improvement)"
-			}
-			fmt.Printf("  %-26s %14.6g -> %-14.6g %+7.1f%%%s\n", label, oldV, newV, delta, mark)
-		}
-		check("gain_pct", or.GainPct, nr.GainPct, 0, true)
-		check("sparse_gain_pct", or.SparseGainPct, nr.SparseGainPct, 0, true)
-		check("milp_nodes", float64(or.MILPNodes), float64(nr.MILPNodes), *tol, false)
-		check("simplex_iterations", float64(or.SimplexIterations), float64(nr.SimplexIterations), *tol, false)
-		check("sparse_simplex_iters", float64(or.SparseSimplexIterations), float64(nr.SparseSimplexIterations), *tol, false)
-		check("lp_ftran_total", float64(or.FTRANTotal), float64(nr.FTRANTotal), *tol, false)
-		check("rowgen_rounds", float64(or.RowgenRounds), float64(nr.RowgenRounds), *tol, false)
-		check("wall_ms_sequential", or.WallMsSequential, nr.WallMsSequential, *wallTol, false)
-		check("sparse_wall_ms", or.SparseWallMs, nr.SparseWallMs, *wallTol, false)
+		perCase(or, nr)
 	}
 	var dropped []string
 	for name := range oldRecs {
@@ -354,8 +375,93 @@ func benchdiffCmd(args []string) error {
 	for _, name := range dropped {
 		fmt.Printf("%-8s dropped from new baseline\n", name)
 	}
-	if regressions > 0 {
-		return fmt.Errorf("%d regression(s) against %s", regressions, fs.Arg(0))
+}
+
+// benchdiffCmd implements `gridtool benchdiff old.json new.json`: compare
+// two benchmark baselines and flag regressions. -bench selects the schema
+// (BENCH_solver.json or BENCH_sweep.json); auto sniffs it from the
+// records. For solver baselines, deterministic work counters (nodes,
+// pivots, FTRANs) regress when they grow beyond -tol percent, gains must
+// match bitwise, and wall-clock changes are flagged only beyond a wider
+// machine-noise threshold. For sweep baselines, scenario counts and N−1
+// coverage must match exactly and throughput regresses when it drops
+// beyond the wall-clock threshold.
+func benchdiffCmd(args []string) error {
+	fs := flag.NewFlagSet("gridtool benchdiff", flag.ContinueOnError)
+	tol := fs.Float64("tol", 10, "regression threshold for work counters, in percent")
+	wallTol := fs.Float64("walltol", 25, "regression threshold for wall-clock numbers, in percent")
+	bench := fs.String("bench", "auto", "baseline schema: auto, solver, or sweep")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: gridtool benchdiff [-tol pct] [-bench solver|sweep] old.json new.json")
+	}
+	oldRaw, err := loadBenchRaw(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newRaw, err := loadBenchRaw(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	schema := *bench
+	if schema == "auto" {
+		schema = benchSchema(newRaw)
+	}
+	// Even with -bench forced, refuse files whose records carry the other
+	// schema's fields — decoding them would silently compare zeros.
+	for i, raw := range [][]json.RawMessage{oldRaw, newRaw} {
+		if got := benchSchema(raw); got != schema {
+			return fmt.Errorf("schema mismatch: %s holds %s records, diffing as %s", fs.Arg(i), got, schema)
+		}
+	}
+
+	d := &benchDiffer{}
+	switch schema {
+	case "solver":
+		key := func(r benchRecord) string { return r.Case }
+		oldRecs, _, err := decodeBench(oldRaw, key)
+		if err != nil {
+			return err
+		}
+		newRecs, newOrder, err := decodeBench(newRaw, key)
+		if err != nil {
+			return err
+		}
+		diffCases(d, oldRecs, newRecs, newOrder, func(or, nr benchRecord) {
+			d.check("gain_pct", or.GainPct, nr.GainPct, 0, true, false)
+			d.check("sparse_gain_pct", or.SparseGainPct, nr.SparseGainPct, 0, true, false)
+			d.check("milp_nodes", float64(or.MILPNodes), float64(nr.MILPNodes), *tol, false, false)
+			d.check("simplex_iterations", float64(or.SimplexIterations), float64(nr.SimplexIterations), *tol, false, false)
+			d.check("sparse_simplex_iters", float64(or.SparseSimplexIterations), float64(nr.SparseSimplexIterations), *tol, false, false)
+			d.check("lp_ftran_total", float64(or.FTRANTotal), float64(nr.FTRANTotal), *tol, false, false)
+			d.check("rowgen_rounds", float64(or.RowgenRounds), float64(nr.RowgenRounds), *tol, false, false)
+			d.check("wall_ms_sequential", or.WallMsSequential, nr.WallMsSequential, *wallTol, false, false)
+			d.check("sparse_wall_ms", or.SparseWallMs, nr.SparseWallMs, *wallTol, false, false)
+		})
+	case "sweep":
+		key := func(r sweepBenchRecord) string { return r.Case }
+		oldRecs, _, err := decodeBench(oldRaw, key)
+		if err != nil {
+			return err
+		}
+		newRecs, newOrder, err := decodeBench(newRaw, key)
+		if err != nil {
+			return err
+		}
+		diffCases(d, oldRecs, newRecs, newOrder, func(or, nr sweepBenchRecord) {
+			d.check("scenarios", float64(or.Scenarios), float64(nr.Scenarios), 0, true, false)
+			d.check("n1_outages", float64(or.N1Outages), float64(nr.N1Outages), 0, true, false)
+			d.check("scenarios_per_sec", or.ScenariosPerSec, nr.ScenariosPerSec, *wallTol, false, true)
+			d.check("wall_ms", or.WallMs, nr.WallMs, *wallTol, false, false)
+			d.check("precompute_ms", or.PrecomputeMs, nr.PrecomputeMs, *wallTol, false, false)
+		})
+	default:
+		return fmt.Errorf("unknown -bench schema %q (want auto, solver, or sweep)", schema)
+	}
+	if d.regressions > 0 {
+		return fmt.Errorf("%d regression(s) against %s", d.regressions, fs.Arg(0))
 	}
 	fmt.Println("no regressions")
 	return nil

@@ -5,6 +5,7 @@ import (
 	"github.com/edsec/edattack/internal/contingency"
 	"github.com/edsec/edattack/internal/core"
 	"github.com/edsec/edattack/internal/grid/matpower"
+	"github.com/edsec/edattack/internal/mat"
 	"github.com/edsec/edattack/internal/stateest"
 )
 
@@ -28,11 +29,22 @@ type (
 	DemandAttack = core.DemandAttack
 	// DemandAttackOptions tunes the forecast-attack search.
 	DemandAttackOptions = core.DemandAttackOptions
+	// Matrix is the dense matrix type shared by the shift-factor APIs
+	// (DispatchModel.PTDF, ComputeLODFFromPTDF, sweep precomputation).
+	Matrix = mat.Matrix
 )
 
 // ComputeLODF builds line-outage distribution factors for a network.
 func ComputeLODF(net *Network) (*LODF, error) {
 	return contingency.ComputeLODF(net)
+}
+
+// ComputeLODFFromPTDF builds line-outage distribution factors from an
+// already computed PTDF, skipping the second (redundant) shift-factor
+// factorization for callers that hold one — dispatch models, the sweep
+// engine, repeated N−1 screens on one topology.
+func ComputeLODFFromPTDF(net *Network, ptdf *Matrix) (*LODF, error) {
+	return contingency.ComputeLODFFromPTDF(net, ptdf)
 }
 
 // ScreenN1 runs the full N−1 contingency sweep for an operating point

@@ -39,19 +39,38 @@ func ComputeLODF(n *grid.Network) (*LODF, error) {
 	if err != nil {
 		return nil, fmt.Errorf("contingency: %w", err)
 	}
+	return ComputeLODFFromPTDF(n, ptdf)
+}
+
+// ComputeLODFFromPTDF builds the factor matrix from a PTDF the caller
+// already holds (lines×buses, as returned by dcflow.PTDF), so callers that
+// have paid for the shift factors — the scenario-sweep engine, a dispatch
+// model — do not refactor the B matrix a second time. Each line's endpoint
+// bus indices are resolved once up front rather than inside the O(lines²)
+// factor loop.
+func ComputeLODFFromPTDF(n *grid.Network, ptdf *mat.Matrix) (*LODF, error) {
 	nl := len(n.Lines)
+	if ptdf.Rows() != nl || ptdf.Cols() != len(n.Buses) {
+		return nil, fmt.Errorf("contingency: PTDF is %dx%d, want %dx%d",
+			ptdf.Rows(), ptdf.Cols(), nl, len(n.Buses))
+	}
+	from := make([]int, nl)
+	to := make([]int, nl)
+	for li := range n.Lines {
+		fi, err := n.BusIndex(n.Lines[li].From)
+		if err != nil {
+			return nil, fmt.Errorf("contingency: %w", err)
+		}
+		ti, err := n.BusIndex(n.Lines[li].To)
+		if err != nil {
+			return nil, fmt.Errorf("contingency: %w", err)
+		}
+		from[li], to[li] = fi, ti
+	}
 	// ptdfLine(l, k): flow change on l per MW injected at k's From bus
 	// and withdrawn at k's To bus.
-	ptdfLine := func(l, k int) (float64, error) {
-		fk, err := n.BusIndex(n.Lines[k].From)
-		if err != nil {
-			return 0, err
-		}
-		tk, err := n.BusIndex(n.Lines[k].To)
-		if err != nil {
-			return 0, err
-		}
-		return ptdf.At(l, fk) - ptdf.At(l, tk), nil
+	ptdfLine := func(l, k int) float64 {
+		return ptdf.At(l, from[k]) - ptdf.At(l, to[k])
 	}
 	out := &LODF{
 		net:       n,
@@ -59,11 +78,7 @@ func ComputeLODF(n *grid.Network) (*LODF, error) {
 		islanding: make([]bool, nl),
 	}
 	for k := 0; k < nl; k++ {
-		denomBase, err := ptdfLine(k, k)
-		if err != nil {
-			return nil, fmt.Errorf("contingency: %w", err)
-		}
-		denom := 1 - denomBase
+		denom := 1 - ptdfLine(k, k)
 		if math.Abs(denom) < 1e-8 {
 			// A self-PTDF of 1 means the line is a cut edge: its
 			// outage islands the network.
@@ -75,11 +90,7 @@ func ComputeLODF(n *grid.Network) (*LODF, error) {
 				out.factor.Set(l, k, -1) // the tripped line carries nothing
 				continue
 			}
-			num, err := ptdfLine(l, k)
-			if err != nil {
-				return nil, fmt.Errorf("contingency: %w", err)
-			}
-			out.factor.Set(l, k, num/denom)
+			out.factor.Set(l, k, ptdfLine(l, k)/denom)
 		}
 	}
 	return out, nil
@@ -90,6 +101,11 @@ func (d *LODF) Islanding(k int) bool { return d.islanding[k] }
 
 // Factor returns the LODF entry (l, k).
 func (d *LODF) Factor(l, k int) float64 { return d.factor.At(l, k) }
+
+// FactorRow returns monitored line l's distribution-factor row backed by
+// the LODF storage (index k = outage). Batch screens iterate rows
+// contiguously instead of striding columns; callers must not mutate it.
+func (d *LODF) FactorRow(l int) []float64 { return d.factor.RawRow(l) }
 
 // PostOutageFlows returns the flows after line k trips, given the
 // pre-outage flows: f'_l = f_l + LODF_{l,k}·f_k.

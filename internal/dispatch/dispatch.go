@@ -120,6 +120,13 @@ func (m *Model) SetDemands(demands []float64) error {
 	return nil
 }
 
+// PTDF returns the lines×buses shift-factor matrix the model was built
+// with. The matrix is shared, immutable model state: callers must treat it
+// as read-only. It lets downstream consumers — LODF construction, the
+// scenario-sweep engine — reuse the O(n³) factorization BuildModel already
+// paid instead of recomputing it.
+func (m *Model) PTDF() *mat.Matrix { return m.ptdf }
+
 // ShallowClone returns a Model sharing this model's immutable inputs — the
 // network, the flow-sensitivity matrix, and the PTDF — with its own copy of
 // the demand state and empty warm-start memory. Clones are what parallel

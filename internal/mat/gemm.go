@@ -1,0 +1,64 @@
+package mat
+
+import "fmt"
+
+// gemmPanel is the column-panel width of the blocked GEMM: output and
+// right-hand-side rows are processed in panels of this many columns so the
+// active output row slice and streamed B row slice stay L1-resident even
+// when B carries thousands of scenario columns.
+const gemmPanel = 256
+
+// MulBlocked returns a·b computed with the blocked kernel. It is the
+// batched counterpart of MulVec: column j of the result equals
+// a.MulVec(column j of b) bit-for-bit, because every output element
+// accumulates its k-terms in the same ascending order regardless of panel
+// boundaries. This determinism is load-bearing: the scenario-sweep engine
+// relies on batch-size-independent results.
+func MulBlocked(a, b *Matrix) (*Matrix, error) {
+	out := New(a.rows, b.cols)
+	if err := MulBlockedInto(out, a, b); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulBlockedInto computes dst = a·b without allocating, overwriting dst.
+// dst must be a.Rows()×b.Cols() and must not alias a or b.
+//
+// The kernel blocks over output column panels only; the k (inner-product)
+// loop always runs 0..a.Cols()-1 in order, skipping exact zeros of a. Since
+// x + 0·y == x for every finite x, skipping zero terms leaves each
+// accumulator bit-identical to the dense ordered sum, so results match the
+// unblocked Mul/MulVec paths exactly for any panel width.
+func MulBlockedInto(dst, a, b *Matrix) error {
+	if a.cols != b.rows {
+		return fmt.Errorf("MulBlockedInto: %dx%d by %dx%d: %w", a.rows, a.cols, b.rows, b.cols, ErrShape)
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		return fmt.Errorf("MulBlockedInto: dst %dx%d, want %dx%d: %w", dst.rows, dst.cols, a.rows, b.cols, ErrShape)
+	}
+	n := b.cols
+	for jb := 0; jb < n; jb += gemmPanel {
+		je := jb + gemmPanel
+		if je > n {
+			je = n
+		}
+		for i := 0; i < a.rows; i++ {
+			arow := a.data[i*a.cols : (i+1)*a.cols]
+			orow := dst.data[i*n+jb : i*n+je]
+			for j := range orow {
+				orow[j] = 0
+			}
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.data[k*n+jb : k*n+je]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomMatrix(rng *rand.Rand, rows, cols int, zeroFrac float64) *Matrix {
+	m := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < zeroFrac {
+				continue
+			}
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// TestMulBlockedMatchesMulVec pins the batched GEMM's contract: column j of
+// MulBlocked(a, b) is bit-identical to a.MulVec(column j of b), for shapes
+// that straddle the panel width and for sparse a (zero skipping).
+func TestMulBlockedMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1}, {7, 5, 3}, {20, 30, 1}, {13, 17, 255}, {9, 40, 256}, {5, 8, 300},
+	}
+	for _, sh := range shapes {
+		for _, zf := range []float64{0, 0.6} {
+			a := randomMatrix(rng, sh.m, sh.k, zf)
+			b := randomMatrix(rng, sh.k, sh.n, 0)
+			got, err := MulBlocked(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := make([]float64, sh.k)
+			for j := 0; j < sh.n; j++ {
+				for i := 0; i < sh.k; i++ {
+					x[i] = b.At(i, j)
+				}
+				want, err := a.MulVec(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < sh.m; i++ {
+					if got.At(i, j) != want[i] {
+						t.Fatalf("shape %dx%dx%d zf=%g: (%d,%d) = %v, MulVec %v",
+							sh.m, sh.k, sh.n, zf, i, j, got.At(i, j), want[i])
+					}
+				}
+			}
+			// Cross-check against the unblocked Mul too.
+			ref, err := a.Mul(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < sh.m; i++ {
+				for j := 0; j < sh.n; j++ {
+					if got.At(i, j) != ref.At(i, j) {
+						t.Fatalf("blocked vs Mul mismatch at (%d,%d)", i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMulBlockedBatchSizeIndependent pins that slicing the same columns into
+// different batch widths cannot change any output bit.
+func TestMulBlockedBatchSizeIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomMatrix(rng, 31, 23, 0.3)
+	b := randomMatrix(rng, 23, 130, 0)
+	full, err := MulBlocked(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range []int{1, 7, 64} {
+		for jb := 0; jb < b.Cols(); jb += width {
+			je := jb + width
+			if je > b.Cols() {
+				je = b.Cols()
+			}
+			sub := New(b.Rows(), je-jb)
+			for i := 0; i < b.Rows(); i++ {
+				for j := jb; j < je; j++ {
+					sub.Set(i, j-jb, b.At(i, j))
+				}
+			}
+			got, err := MulBlocked(a, sub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < a.Rows(); i++ {
+				for j := jb; j < je; j++ {
+					if got.At(i, j-jb) != full.At(i, j) {
+						t.Fatalf("width %d: (%d,%d) differs across batch slicing", width, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMulBlockedShapeErrors(t *testing.T) {
+	a, b := New(2, 3), New(4, 5)
+	if _, err := MulBlocked(a, b); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	dst := New(9, 9)
+	if err := MulBlockedInto(dst, New(2, 3), New(3, 4)); err == nil {
+		t.Fatal("bad dst shape accepted")
+	}
+}

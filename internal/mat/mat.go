@@ -50,6 +50,16 @@ func NewFromRows(rows [][]float64) (*Matrix, error) {
 	return m, nil
 }
 
+// Wrap views an existing row-major flat slice as a rows×cols matrix
+// without copying; the matrix and the slice share storage. Batch kernels
+// use this to run matrix ops over externally packed buffers.
+func Wrap(rows, cols int, data []float64) (*Matrix, error) {
+	if rows < 0 || cols < 0 || len(data) != rows*cols {
+		return nil, fmt.Errorf("Wrap: %d values for %dx%d: %w", len(data), rows, cols, ErrShape)
+	}
+	return &Matrix{rows: rows, cols: cols, data: data}, nil
+}
+
 // Identity returns the n×n identity matrix.
 func Identity(n int) *Matrix {
 	m := New(n, n)

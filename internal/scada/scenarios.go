@@ -1,0 +1,134 @@
+package scada
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/edsec/edattack/internal/dlr"
+	"github.com/edsec/edattack/internal/grid"
+)
+
+// MonteCarloConfig parameterizes a seeded stream of operating-point draws.
+// Every field has a usable default; the zero value only needs a Seed to be
+// reproducible run-to-run and in CI.
+type MonteCarloConfig struct {
+	// Seed is the explicit rand.Source seed. Two MonteCarlo instances
+	// built with the same network, config, and seed produce bit-identical
+	// draw streams — sweep surfaces regenerate exactly.
+	Seed int64
+	// Demand is the system demand multiplier process (dimensionless, 1 =
+	// nameplate Pd). Defaults to the canonical two-peak daily curve
+	// between 0.80 and 1.12 of nameplate.
+	Demand dlr.Pattern
+	// DemandNoisePct is the 1-sigma per-bus relative noise on demand
+	// draws (default 0.02). Negative disables noise.
+	DemandNoisePct float64
+	// Ratings maps DLR line index → true dynamic-rating process in MVA.
+	// Lines absent from the map get a diurnal sinusoid spanning the
+	// middle 80% of the plausibility band, peaking mid-afternoon.
+	Ratings map[int]dlr.Pattern
+	// RatingNoisePct is the 1-sigma relative weather/sensor noise on DLR
+	// rating draws (default 0.03). Negative disables noise. Draws are
+	// clamped back into the plausibility band, matching what the EMS
+	// ingest check would admit.
+	RatingNoisePct float64
+}
+
+// MonteCarlo draws plausible (demand, true-rating) operating points from
+// the control area's demand and DLR processes. Draw order is fixed — buses
+// ascending, then DLR lines ascending — so a draw stream is a pure function
+// of (network, config, seed) and independent of how consumers batch or
+// parallelize the evaluation of the drawn scenarios.
+type MonteCarlo struct {
+	net *grid.Network
+	cfg MonteCarloConfig
+	rng *rand.Rand
+
+	demandPat  dlr.Pattern
+	ratingPats []dlr.Pattern // per line; nil for non-DLR lines
+	dlrLines   []int
+}
+
+// DefaultDemandPattern is the two-peak daily demand multiplier used when
+// MonteCarloConfig.Demand is nil: 0.80 of nameplate overnight, a 1.00
+// morning peak, and a 1.12 evening peak.
+func DefaultDemandPattern() dlr.Pattern {
+	return dlr.TwoPeakDemand(0.80, 1.00, 1.12)
+}
+
+// NewMonteCarlo builds a seeded draw stream for the network.
+func NewMonteCarlo(net *grid.Network, cfg MonteCarloConfig) (*MonteCarlo, error) {
+	if net == nil {
+		return nil, fmt.Errorf("scada: MonteCarlo needs a network")
+	}
+	mc := &MonteCarlo{
+		net:        net,
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		ratingPats: make([]dlr.Pattern, len(net.Lines)),
+		dlrLines:   net.DLRLines(),
+	}
+	if mc.cfg.Demand == nil {
+		mc.demandPat = DefaultDemandPattern()
+	} else {
+		mc.demandPat = mc.cfg.Demand
+	}
+	if mc.cfg.DemandNoisePct == 0 {
+		mc.cfg.DemandNoisePct = 0.02
+	}
+	if mc.cfg.RatingNoisePct == 0 {
+		mc.cfg.RatingNoisePct = 0.03
+	}
+	for _, li := range mc.dlrLines {
+		if p, ok := cfg.Ratings[li]; ok && p != nil {
+			mc.ratingPats[li] = p
+			continue
+		}
+		l := &net.Lines[li]
+		span := l.DLRMax - l.DLRMin
+		lo := l.DLRMin + 0.1*span
+		hi := l.DLRMax - 0.1*span
+		// Capacity peaks mid-afternoon (wind and cool air), the paper's
+		// Fig. 4a shape.
+		mc.ratingPats[li] = dlr.Sinusoidal(lo, hi, 9)
+	}
+	return mc, nil
+}
+
+// Draw produces one operating point at the given hour of day: per-bus real
+// demand in MW (indexed like Network.Buses) and per-line true ratings in MW
+// (indexed like Network.Lines; non-DLR lines carry their static rating,
+// zero meaning unlimited). The caller owns the returned slices.
+func (mc *MonteCarlo) Draw(hour float64) (demand, ratings []float64) {
+	mult := mc.demandPat(hour)
+	demand = make([]float64, len(mc.net.Buses))
+	for i := range mc.net.Buses {
+		m := mult
+		if mc.cfg.DemandNoisePct > 0 {
+			m *= 1 + mc.cfg.DemandNoisePct*mc.rng.NormFloat64()
+		}
+		if m < 0 {
+			m = 0
+		}
+		demand[i] = mc.net.Buses[i].Pd * m
+	}
+	ratings = make([]float64, len(mc.net.Lines))
+	for li := range mc.net.Lines {
+		ratings[li] = mc.net.Lines[li].RateMVA
+	}
+	for _, li := range mc.dlrLines {
+		l := &mc.net.Lines[li]
+		v := mc.ratingPats[li](hour)
+		if mc.cfg.RatingNoisePct > 0 {
+			v *= 1 + mc.cfg.RatingNoisePct*mc.rng.NormFloat64()
+		}
+		if v < l.DLRMin {
+			v = l.DLRMin
+		}
+		if v > l.DLRMax {
+			v = l.DLRMax
+		}
+		ratings[li] = v
+	}
+	return demand, ratings
+}

@@ -1,0 +1,116 @@
+package scada_test
+
+import (
+	"testing"
+
+	"github.com/edsec/edattack/internal/dlr"
+	"github.com/edsec/edattack/internal/scada"
+)
+
+// TestMonteCarloSeedDeterminism: same network + config + seed reproduces the
+// draw stream bit-for-bit; a different seed diverges.
+func TestMonteCarloSeedDeterminism(t *testing.T) {
+	net := net3(t)
+	a, err := scada.NewMonteCarlo(net, scada.MonteCarloConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scada.NewMonteCarlo(net, scada.MonteCarloConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := scada.NewMonteCarlo(net, scada.MonteCarloConfig{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverged := false
+	for i := 0; i < 20; i++ {
+		hour := float64(i%24) + 0.5
+		da, ra := a.Draw(hour)
+		db, rb := b.Draw(hour)
+		dc, rc := c.Draw(hour)
+		for j := range da {
+			if da[j] != db[j] {
+				t.Fatalf("draw %d: demand[%d] %v vs %v for the same seed", i, j, da[j], db[j])
+			}
+			if da[j] != dc[j] {
+				diverged = true
+			}
+		}
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("draw %d: rating[%d] %v vs %v for the same seed", i, j, ra[j], rb[j])
+			}
+			if ra[j] != rc[j] {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 42 and 43 produced identical streams")
+	}
+}
+
+// TestMonteCarloDrawsStayPlausible: rating draws stay inside each DLR
+// line's plausibility band (they would trip the EMS out-of-bound check
+// otherwise) and non-DLR lines keep their static rating; demand draws stay
+// non-negative.
+func TestMonteCarloDrawsStayPlausible(t *testing.T) {
+	net := net3(t)
+	mc, err := scada.NewMonteCarlo(net, scada.MonteCarloConfig{Seed: 7, RatingNoisePct: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		demand, ratings := mc.Draw(float64(i) * 0.12)
+		for j, d := range demand {
+			if d < 0 {
+				t.Fatalf("draw %d: demand[%d] = %v negative", i, j, d)
+			}
+		}
+		for li := range net.Lines {
+			l := &net.Lines[li]
+			if !l.HasDLR {
+				if ratings[li] != l.RateMVA {
+					t.Fatalf("draw %d: non-DLR line %d rating %v, want static %v", i, li, ratings[li], l.RateMVA)
+				}
+				continue
+			}
+			if ratings[li] < l.DLRMin || ratings[li] > l.DLRMax {
+				t.Fatalf("draw %d: line %d rating %v outside band [%v, %v]",
+					i, li, ratings[li], l.DLRMin, l.DLRMax)
+			}
+		}
+	}
+}
+
+// TestMonteCarloCustomPatterns: explicit demand/rating patterns and disabled
+// noise make draws exactly the pattern values.
+func TestMonteCarloCustomPatterns(t *testing.T) {
+	net := net3(t)
+	dlrLines := net.DLRLines()
+	if len(dlrLines) == 0 {
+		t.Fatal("test network has no DLR lines")
+	}
+	li := dlrLines[0]
+	band := net.Lines[li].DLRMin + 1
+	mc, err := scada.NewMonteCarlo(net, scada.MonteCarloConfig{
+		Seed:           1,
+		Demand:         dlr.Constant(0.5),
+		DemandNoisePct: -1,
+		Ratings:        map[int]dlr.Pattern{li: dlr.Constant(band)},
+		RatingNoisePct: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand, ratings := mc.Draw(12)
+	for i := range net.Buses {
+		if want := net.Buses[i].Pd * 0.5; demand[i] != want {
+			t.Fatalf("demand[%d] = %v, want %v", i, demand[i], want)
+		}
+	}
+	if ratings[li] != band {
+		t.Fatalf("rating[%d] = %v, want %v", li, ratings[li], band)
+	}
+}

@@ -1,0 +1,64 @@
+package sparse
+
+import "fmt"
+
+// batchPanel is the column-panel width of the CSR·dense kernel, matching
+// the blocked dense GEMM in internal/mat so both engines exhibit the same
+// cache behavior on wide scenario batches.
+const batchPanel = 256
+
+// MulDense computes Y = A·X where X is a dense a.Cols×xcols matrix in
+// row-major storage (row i at x[i*xcols:(i+1)*xcols]). The result Y is
+// returned row-major with the same column count.
+//
+// Column j of the result is bit-identical to MulVec(column j of X): within
+// a row, stored entries are visited in ascending column order — the same
+// order the dense kernels use — and entries absent from the CSR are exact
+// zeros whose terms cannot change a float64 accumulator. The scenario-sweep
+// engine exploits this to switch between dense and sparse shift-factor
+// products without perturbing a single output bit.
+func (a *CSR) MulDense(x []float64, xcols int) ([]float64, error) {
+	if xcols < 0 || len(x) != a.Cols*xcols {
+		return nil, fmt.Errorf("MulDense: %d values for %dx%d operand: %w", len(x), a.Cols, xcols, ErrShape)
+	}
+	y := make([]float64, a.Rows*xcols)
+	if err := a.MulDenseInto(y, x, xcols); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// MulDenseInto is MulDense writing into caller storage: y must hold
+// a.Rows·xcols values and must not alias x. y is overwritten.
+func (a *CSR) MulDenseInto(y, x []float64, xcols int) error {
+	if xcols < 0 || len(x) != a.Cols*xcols {
+		return fmt.Errorf("MulDenseInto: %d values for %dx%d operand: %w", len(x), a.Cols, xcols, ErrShape)
+	}
+	if len(y) != a.Rows*xcols {
+		return fmt.Errorf("MulDenseInto: dst %d values, want %d: %w", len(y), a.Rows*xcols, ErrShape)
+	}
+	for jb := 0; jb < xcols; jb += batchPanel {
+		je := jb + batchPanel
+		if je > xcols {
+			je = xcols
+		}
+		for i := 0; i < a.Rows; i++ {
+			orow := y[i*xcols+jb : i*xcols+je]
+			for j := range orow {
+				orow[j] = 0
+			}
+			lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+			for k := lo; k < hi; k++ {
+				av := a.Val[k]
+				if av == 0 {
+					continue
+				}
+				xrow := x[a.Col[k]*xcols+jb : a.Col[k]*xcols+je]
+				for j, xv := range xrow {
+					orow[j] += av * xv
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomCSR(rng *rand.Rand, rows, cols int, density float64) *CSR {
+	b := NewBuilder(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				b.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return b.CSR()
+}
+
+// TestMulDenseMatchesMulVec pins the CSR·dense-batch kernel column-by-column
+// against MulVec, across shapes straddling the panel width.
+func TestMulDenseMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1}, {6, 9, 5}, {12, 7, 255}, {4, 30, 256}, {8, 16, 300},
+	}
+	for _, sh := range shapes {
+		for _, density := range []float64{0.05, 0.4, 1.0} {
+			a := randomCSR(rng, sh.m, sh.k, density)
+			x := make([]float64, sh.k*sh.n)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			y, err := a.MulDense(x, sh.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			col := make([]float64, sh.k)
+			for j := 0; j < sh.n; j++ {
+				for i := 0; i < sh.k; i++ {
+					col[i] = x[i*sh.n+j]
+				}
+				want, err := a.MulVec(col)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < sh.m; i++ {
+					if y[i*sh.n+j] != want[i] {
+						t.Fatalf("shape %v density %g: (%d,%d) = %v, MulVec %v",
+							sh, density, i, j, y[i*sh.n+j], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMulDenseShapeErrors(t *testing.T) {
+	a := randomCSR(rand.New(rand.NewSource(1)), 3, 4, 0.5)
+	if _, err := a.MulDense(make([]float64, 5), 2); err == nil {
+		t.Fatal("bad operand size accepted")
+	}
+	if err := a.MulDenseInto(make([]float64, 5), make([]float64, 8), 2); err == nil {
+		t.Fatal("bad dst size accepted")
+	}
+}

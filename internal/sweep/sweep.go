@@ -1,0 +1,272 @@
+// Package sweep is the batched scenario-evaluation engine behind
+// Monte-Carlo attack-success studies: thousands of (demand draw, rating
+// draw, attack vector) operating points, each base-case checked and N−1
+// screened, at a throughput one full power-flow per scenario could never
+// reach.
+//
+// The engine is PTDF-compact. Per topology it precomputes the shift-factor
+// matrix once (flows = PTDF·injections, eliminating the per-scenario B·θ
+// factorization) and derives the LODF from the same PTDF. Scenarios are
+// packed into scenario-per-column injection batches so a whole batch's
+// flows fall out of one blocked matrix–matrix product, violations and
+// post-contingency screening vectorize over the batch, and batches fan out
+// over the internal/par worker pool.
+//
+// Determinism is part of the contract: after the repository's 1e-6 MVA
+// flow quantization, every outcome is bit-identical to the per-scenario
+// dcflow.Solve + contingency.Screen oracle for any batch size and worker
+// count. The slow path stays available (Options.Sequential) as the
+// differential-testing reference.
+package sweep
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"github.com/edsec/edattack/internal/contingency"
+	"github.com/edsec/edattack/internal/dcflow"
+	"github.com/edsec/edattack/internal/grid"
+	"github.com/edsec/edattack/internal/mat"
+	"github.com/edsec/edattack/internal/sparse"
+	"github.com/edsec/edattack/internal/telemetry"
+)
+
+// FlowQuantum is the MVA grid flows are rounded onto before any limit
+// comparison — the same micro-MVA resolution the attack generator uses for
+// reported ratings. Shift-factor flows and B·θ flows agree to far below
+// this quantum, so quantized outcomes are engine-independent.
+const FlowQuantum = 1e-6
+
+// quantizeFlow rounds a MW flow onto the FlowQuantum grid.
+func quantizeFlow(v float64) float64 {
+	return math.Round(v/FlowQuantum) * FlowQuantum
+}
+
+// sparseDensityCutoff routes the flow product: when the PTDF (zeros
+// dropped) is at most this dense, the CSR·dense-batch kernel wins; above
+// it the blocked dense GEMM does. Both produce bit-identical flows, so the
+// cutover is a pure performance knob (mirroring the LP engine selection).
+const sparseDensityCutoff = 0.5
+
+// Precomp is the per-topology shift-factor bundle: everything scenario
+// evaluation needs that does not depend on the operating point. Build one
+// per network (or let a Cache key them by topology) and share it freely —
+// all fields are immutable after Precompute.
+type Precomp struct {
+	Net *grid.Network
+	// PTDF is the lines×buses shift-factor matrix.
+	PTDF *mat.Matrix
+	// PTDFSparse is the compressed form of PTDF, non-nil when its density
+	// (exact zeros dropped) is at most sparseDensityCutoff; the engine
+	// then routes flow products through the CSR·dense kernel.
+	PTDFSparse *sparse.CSR
+	// LODF holds the line-outage distribution factors derived from PTDF.
+	LODF *contingency.LODF
+	// GenBus maps generator index → dense bus index.
+	GenBus []int
+	// Islanding counts outages skipped because they split the network —
+	// constant across scenarios of one topology.
+	Islanding int
+
+	// lodfT is the LODF transposed into outage-major layout (row k holds
+	// LODF(·,k)): the batched screen walks outages outermost, and the
+	// row-major original would stride a full column per factor there.
+	lodfT []float64
+	// islanding[k] caches LODF.Islanding(k) as a flat slice for the
+	// screen's inner loops.
+	islanding []bool
+}
+
+// Precompute builds the shift-factor bundle for a validated network. The
+// PTDF is factored exactly once; the LODF reuses it via
+// contingency.ComputeLODFFromPTDF.
+func Precompute(net *grid.Network) (*Precomp, error) {
+	ptdf, err := dcflow.PTDF(net)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	return PrecomputeFromPTDF(net, ptdf)
+}
+
+// PrecomputeFromPTDF is Precompute for callers that already hold the
+// network's PTDF (for example from a dispatch model).
+func PrecomputeFromPTDF(net *grid.Network, ptdf *mat.Matrix) (*Precomp, error) {
+	lodf, err := contingency.ComputeLODFFromPTDF(net, ptdf)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	pc := &Precomp{Net: net, PTDF: ptdf, LODF: lodf}
+	pc.GenBus = make([]int, len(net.Gens))
+	for gi := range net.Gens {
+		bi, err := net.BusIndex(net.Gens[gi].Bus)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		pc.GenBus[gi] = bi
+	}
+	nl := len(net.Lines)
+	pc.islanding = make([]bool, nl)
+	for k := range net.Lines {
+		if lodf.Islanding(k) {
+			pc.islanding[k] = true
+			pc.Islanding++
+		}
+	}
+	pc.lodfT = make([]float64, nl*nl)
+	for l := 0; l < nl; l++ {
+		row := lodf.FactorRow(l)
+		for k, c := range row {
+			pc.lodfT[k*nl+l] = c
+		}
+	}
+	b := sparse.NewBuilder(ptdf.Rows(), ptdf.Cols())
+	for i := 0; i < ptdf.Rows(); i++ {
+		row := ptdf.RawRow(i)
+		for j, v := range row {
+			b.Add(i, j, v) // Add drops exact zeros
+		}
+	}
+	if csr := b.CSR(); csr.Density() <= sparseDensityCutoff {
+		pc.PTDFSparse = csr
+	}
+	return pc, nil
+}
+
+// injections fills dst (len buses) with the nodal injection vector of one
+// scenario: generation minus demand, in MW. Both the batched engine and
+// the sequential oracle assemble injections through this one function, so
+// the two paths hand bit-identical right-hand sides to their respective
+// flow solvers.
+func (pc *Precomp) injections(s *Scenario, dst []float64) {
+	for i := range dst {
+		dst[i] = -s.Demand[i]
+	}
+	for gi, bi := range pc.GenBus {
+		dst[bi] += s.Dispatch[gi]
+	}
+}
+
+// TopologyKey hashes the fields PTDF and LODF actually depend on — the
+// power base, bus count, slack position, and each line's endpoint indices
+// and reactance. Demand, ratings, generator limits, and costs do not
+// perturb the key: two operating points on the same wires share one
+// precomputation.
+func TopologyKey(net *grid.Network) (uint64, error) {
+	slack, err := net.SlackIndex()
+	if err != nil {
+		return 0, fmt.Errorf("sweep: %w", err)
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	w(math.Float64bits(net.BaseMVA))
+	w(uint64(len(net.Buses)))
+	w(uint64(slack))
+	w(uint64(len(net.Lines)))
+	for li := range net.Lines {
+		l := &net.Lines[li]
+		fi, err := net.BusIndex(l.From)
+		if err != nil {
+			return 0, fmt.Errorf("sweep: %w", err)
+		}
+		ti, err := net.BusIndex(l.To)
+		if err != nil {
+			return 0, fmt.Errorf("sweep: %w", err)
+		}
+		w(uint64(fi))
+		w(uint64(ti))
+		w(math.Float64bits(l.X))
+	}
+	return h.Sum64(), nil
+}
+
+// Cache memoizes Precomp bundles by topology key, so repeated sweeps over
+// the same wires — and eventually a long-running service handling many
+// requests per grid — pay for PTDF/LODF construction once. Safe for
+// concurrent use.
+type Cache struct {
+	// Metrics, when set, receives sweep_cache_hits_total and
+	// sweep_cache_misses_total counters.
+	Metrics *telemetry.Registry
+
+	mu      sync.Mutex
+	entries map[uint64]*Precomp
+}
+
+// NewCache returns an empty topology-keyed cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[uint64]*Precomp)}
+}
+
+// Get returns the cached Precomp for the network's topology, computing and
+// storing it on first sight. Networks that share a topology key share the
+// returned bundle; callers must not mutate it. Note the key deliberately
+// ignores generator placement, so a cached bundle's GenBus is only valid
+// for networks with the same generator set — Get rebuilds GenBus when the
+// generator layout differs.
+func (c *Cache) Get(net *grid.Network) (*Precomp, error) {
+	key, err := TopologyKey(net)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	pc, ok := c.entries[key]
+	c.mu.Unlock()
+	if ok && pc.sameGens(net) {
+		c.Metrics.Counter("sweep_cache_hits_total").Inc()
+		return pc, nil
+	}
+	if ok {
+		// Same wires, different generator layout: reuse the expensive
+		// PTDF, rebuild the cheap bundle around it.
+		fresh, err := PrecomputeFromPTDF(net, pc.PTDF)
+		if err != nil {
+			return nil, err
+		}
+		c.Metrics.Counter("sweep_cache_hits_total").Inc()
+		c.mu.Lock()
+		c.entries[key] = fresh
+		c.mu.Unlock()
+		return fresh, nil
+	}
+	c.Metrics.Counter("sweep_cache_misses_total").Inc()
+	fresh, err := Precompute(net)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.entries[key] = fresh
+	c.mu.Unlock()
+	return fresh, nil
+}
+
+// sameGens reports whether the network's generator-to-bus layout matches
+// the bundle's.
+func (pc *Precomp) sameGens(net *grid.Network) bool {
+	if pc.Net == net {
+		return true
+	}
+	if len(net.Gens) != len(pc.GenBus) {
+		return false
+	}
+	for gi := range net.Gens {
+		bi, err := net.BusIndex(net.Gens[gi].Bus)
+		if err != nil || bi != pc.GenBus[gi] {
+			return false
+		}
+	}
+	return true
+}
+
+// Len reports how many topologies the cache holds.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

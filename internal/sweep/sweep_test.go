@@ -1,0 +1,307 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/edsec/edattack/internal/grid"
+	"github.com/edsec/edattack/internal/grid/cases"
+	"github.com/edsec/edattack/internal/scada"
+	"github.com/edsec/edattack/internal/telemetry"
+)
+
+// testNetworks returns the differential-test fleet: the standard cases plus
+// deterministic synthetic networks of varying size and meshing (the sparser
+// ones route through the CSR kernel, the denser through the blocked GEMM).
+func testNetworks(t *testing.T) map[string]*grid.Network {
+	t.Helper()
+	nets := make(map[string]*grid.Network)
+	add := func(name string, n *grid.Network, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		nets[name] = n
+	}
+	n, err := cases.Case9()
+	add("case9", n, err)
+	n, err = cases.Case30()
+	add("case30", n, err)
+	n, err = cases.Case57()
+	add("case57", n, err)
+	n, err = cases.Case118()
+	add("case118", n, err)
+	n, err = cases.Synthetic(cases.SyntheticOptions{
+		Name: "rand24", Buses: 24, Gens: 6, ExtraLines: 10, DLRLines: 3, Seed: 901,
+	})
+	add("rand24", n, err)
+	n, err = cases.Synthetic(cases.SyntheticOptions{
+		Name: "rand40sparse", Buses: 40, Gens: 8, ExtraLines: 2, DLRLines: 4, Seed: 77,
+	})
+	add("rand40sparse", n, err)
+	return nets
+}
+
+// testScenarios draws a seeded scenario set designed to exercise every
+// branch: plausible operating points, tightened true ratings that force
+// base-case and N−1 violations, attack-inflated seen ratings that mask
+// them, and an unlimited (rating ≤ 0) line.
+func testScenarios(t *testing.T, pc *Precomp, count int, seed int64) []Scenario {
+	t.Helper()
+	mc, err := scada.NewMonteCarlo(pc.Net, scada.MonteCarloConfig{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dispatch := defaultDispatch(pc)
+	attack := pc.Net.DLRLines()
+	scs := make([]Scenario, 0, count)
+	for i := 0; i < count; i++ {
+		hour := float64(i%24) + 0.25
+		demand, trueR := mc.Draw(hour)
+		if i%3 == 1 {
+			// Tighten the physical ratings so real overloads appear.
+			for l := range trueR {
+				trueR[l] *= 0.55
+			}
+		}
+		seenR := make([]float64, len(trueR))
+		copy(seenR, trueR)
+		if i%2 == 0 {
+			// The attacker inflates the DLR feed to hide congestion.
+			for _, li := range attack {
+				seenR[li] = trueR[li] * 1.5
+			}
+		}
+		if i%5 == 4 && len(trueR) > 0 {
+			trueR[0] = 0 // unlimited line: the u ≤ 0 branch
+		}
+		disp, err := dispatch(demand, seenR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scs = append(scs, Scenario{
+			Demand: demand, Dispatch: disp, TrueRatings: trueR, SeenRatings: seenR,
+		})
+	}
+	return scs
+}
+
+// TestEvalMatchesOracle is the differential property test: for every
+// network, the batched engine must reproduce the sequential
+// dcflow.Solve + contingency.Screen oracle bit-for-bit — flows,
+// violations, N−1 reports, verdicts — across batch sizes and worker
+// counts.
+func TestEvalMatchesOracle(t *testing.T) {
+	for name, net := range testNetworks(t) {
+		t.Run(name, func(t *testing.T) {
+			pc, err := Precompute(net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			count := 30
+			if len(net.Buses) > 60 {
+				count = 12 // the oracle is the slow part at 118 buses
+			}
+			scs := testScenarios(t, pc, count, 1000+int64(len(net.Buses)))
+			oracle, err := Eval(pc, scs, Options{Sequential: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			interesting := false
+			for i := range oracle {
+				if oracle[i].Dangerous || oracle[i].Detected {
+					interesting = true
+				}
+			}
+			if !interesting {
+				t.Fatalf("oracle produced no violations at all — test exercises nothing")
+			}
+			for _, batch := range []int{1, 7, 64} {
+				for _, workers := range []int{1, 4} {
+					got, err := Eval(pc, scs, Options{BatchSize: batch, Workers: workers})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range got {
+						if !reflect.DeepEqual(got[i], oracle[i]) {
+							t.Fatalf("batch=%d workers=%d scenario %d diverges from oracle:\n got  %+v\nwant %+v",
+								batch, workers, i, got[i], oracle[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEvalShapeValidation: malformed scenarios are rejected up front.
+func TestEvalShapeValidation(t *testing.T) {
+	net, err := cases.Case9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := Precompute(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Scenario{
+		Demand:      make([]float64, 2), // want 9
+		Dispatch:    make([]float64, len(net.Gens)),
+		TrueRatings: make([]float64, len(net.Lines)),
+		SeenRatings: make([]float64, len(net.Lines)),
+	}
+	if _, err := Eval(pc, []Scenario{bad}, Options{}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+// TestTopologyKey: ratings and costs do not perturb the key; wires do.
+func TestTopologyKey(t *testing.T) {
+	a, err := cases.Case30()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cases.Case30()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, err := TopologyKey(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := TopologyKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Fatal("identical networks hash differently")
+	}
+	b.Lines[0].RateMVA *= 2
+	b.Gens[0].CostB += 5
+	if kb2, _ := TopologyKey(b); kb2 != ka {
+		t.Fatal("ratings/costs should not perturb the topology key")
+	}
+	b.Lines[0].X *= 1.01
+	if kb3, _ := TopologyKey(b); kb3 == ka {
+		t.Fatal("reactance change should perturb the topology key")
+	}
+}
+
+// TestCache: one miss then hits for same-topology networks, counted in
+// metrics; a wire change misses again.
+func TestCache(t *testing.T) {
+	c := NewCache()
+	c.Metrics = telemetry.NewRegistry()
+	a, err := cases.Case9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cases.Case9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Lines[1].RateMVA *= 3 // operating-point change, same wires
+	pa, err := c.Get(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := c.Get(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != pb {
+		t.Fatal("same topology should share one Precomp")
+	}
+	b.Lines[1].X *= 2
+	if _, err := c.Get(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("cache holds %d topologies, want 2", got)
+	}
+	snap := c.Metrics.Snapshot()
+	if hits := snap.Counters["sweep_cache_hits_total"]; hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+	if misses := snap.Counters["sweep_cache_misses_total"]; misses != 2 {
+		t.Fatalf("misses = %d, want 2", misses)
+	}
+}
+
+// TestSurface: the surface is reproducible, batched and sequential agree,
+// and the no-attack column can never report attack success.
+func TestSurface(t *testing.T) {
+	net, err := cases.Case9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := Precompute(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SurfaceConfig{
+		Hours:      []float64{2, 18.5},
+		Magnitudes: []float64{0, 0.35},
+		Draws:      16,
+		Seed:       99,
+	}
+	s1, err := RunSurface(pc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := RunSurface(pc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1.Cells, s2.Cells) {
+		t.Fatal("same config and seed produced different surfaces")
+	}
+	seq := cfg
+	seq.Sequential = true
+	s3, err := RunSurface(pc, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1.Cells, s3.Cells) {
+		t.Fatal("batched and sequential surfaces disagree")
+	}
+	if len(s1.Cells) != 4 || s1.Scenarios != 64 {
+		t.Fatalf("surface shape: %d cells, %d scenarios", len(s1.Cells), s1.Scenarios)
+	}
+	for _, c := range s1.Cells {
+		if c.Magnitude == 0 && c.Success != 0 {
+			t.Fatalf("no-attack cell at hour %g reports %d successes", c.Hour, c.Success)
+		}
+		if c.Success > c.Dangerous {
+			t.Fatalf("cell %+v: successes exceed dangerous draws", c)
+		}
+	}
+}
+
+// TestEvalTelemetry: batches and scenarios are counted and flight events
+// recorded when sinks are attached.
+func TestEvalTelemetry(t *testing.T) {
+	net, err := cases.Case9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := Precompute(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := testScenarios(t, pc, 10, 5)
+	reg := telemetry.NewRegistry()
+	fl := telemetry.NewFlight(64)
+	if _, err := Eval(pc, scs, Options{BatchSize: 4, Metrics: reg, Flight: fl}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["sweep_scenarios_total"]; got != 10 {
+		t.Fatalf("sweep_scenarios_total = %d, want 10", got)
+	}
+	if got := snap.Counters["sweep_batches_total"]; got != 3 {
+		t.Fatalf("sweep_batches_total = %d, want 3", got)
+	}
+	if fl.Len() != 4 { // 3 batch events + 1 summary
+		t.Fatalf("flight recorded %d events, want 4", fl.Len())
+	}
+}

@@ -28,9 +28,13 @@ const (
 	FlightLP
 	// FlightAttack is the completion of a full FindOptimalAttack run.
 	FlightAttack
+	// FlightSweep is one batch (or the summary) of a scenario-sweep
+	// evaluation: Monitored carries the scenario count, Violated the
+	// number of successful (masked-violation) scenarios.
+	FlightSweep
 )
 
-var flightKindNames = [...]string{"node", "incumbent", "round", "subproblem", "lp", "attack"}
+var flightKindNames = [...]string{"node", "incumbent", "round", "subproblem", "lp", "attack", "sweep"}
 
 // String returns the wire name of the kind ("node", "incumbent", ...).
 func (k FlightKind) String() string {
