@@ -580,7 +580,7 @@ func TestRecordSolverBaseline(t *testing.T) {
 	}
 	// Dense-engine budgets, matching warmGateOpts(): the recorded
 	// trajectory fields stay trajectories of the dense tableau oracle.
-	opts := edattack.AttackOptions{MaxNodes: 40, RelGap: 1e-3, DenseSolver: true}
+	opts := edattack.AttackOptions{MaxNodes: 40, RelGap: 1e-3, DenseSolver: true, NoDive: true}
 	var records []record
 	for _, name := range []string{"case9", "case30", "case57", "case118"} {
 		k := knowledgeCase(t, name)
@@ -607,7 +607,7 @@ func TestRecordSolverBaseline(t *testing.T) {
 		// metrics registry attached so revised-simplex work counters and
 		// the problem shape land in the record.
 		reg := telemetry.NewRegistry()
-		spOpts := edattack.AttackOptions{MaxNodes: 40, RelGap: 1e-3, Workers: 1, Metrics: reg}
+		spOpts := edattack.AttackOptions{MaxNodes: 40, RelGap: 1e-3, Workers: 1, Metrics: reg, NoDive: true}
 		spStart := time.Now()
 		spAtt, err := edattack.FindOptimalAttack(k, spOpts)
 		if err != nil {
@@ -652,7 +652,7 @@ func TestRecordSolverBaseline(t *testing.T) {
 		})
 	}
 	out, err := json.MarshalIndent(map[string]any{
-		"note":    "solver-work baseline for budgeted attacks (MaxNodes 40, RelGap 1e-3); dense-tableau counts (DenseSolver) and sparse revised-simplex counts (sparse_*/lp_*) both recorded at Workers=1 and deterministic, wall_ms/speedup machine-dependent; regenerate with BENCH_SOLVER=1 go test -run TestRecordSolverBaseline",
+		"note":    "solver-work baseline for budgeted attacks (MaxNodes 40, RelGap 1e-3, NoDive — pure search machinery); dense-tableau counts (DenseSolver) and sparse revised-simplex counts (sparse_*/lp_*) both recorded at Workers=1 and deterministic, wall_ms/speedup machine-dependent; regenerate with BENCH_SOLVER=1 go test -run TestRecordSolverBaseline",
 		"cpus":    runtime.GOMAXPROCS(0),
 		"records": records,
 	}, "", "  ")

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -34,6 +35,10 @@ func run() error {
 	caseName := flag.String("case", "case3", "benchmark case ("+strings.Join(edattack.CaseNames(), ", ")+")")
 	method := flag.String("method", "complementarity", "bilevel reformulation: complementarity or bigm")
 	maxNodes := flag.Int("nodes", 0, "branch-and-bound node budget per subproblem (0 = default)")
+	order := flag.String("order", "dfs", "node-selection strategy: dfs, best-first, or hybrid")
+	presolve := flag.Bool("presolve", false, "enable the MILP presolve/tightening pass")
+	cuts := flag.Bool("cuts", false, "enable complementarity/clique cuts")
+	pseudocost := flag.Bool("pseudocost", false, "enable pseudo-cost branching")
 	udFlag := flag.String("ud", "", "true DLR values as line=value,... (default: static ratings)")
 	baselines := flag.Bool("baselines", false, "also run greedy and random baselines")
 	acEval := flag.Bool("ac", false, "evaluate the attack under the nonlinear (AC) model")
@@ -85,7 +90,11 @@ func run() error {
 		return err
 	}
 
-	opts := edattack.AttackOptions{MaxNodes: *maxNodes, Workers: *workers, Metrics: obs.Metrics, Tracer: obs.Tracer, Flight: obs.Flight}
+	opts := edattack.AttackOptions{
+		MaxNodes: *maxNodes, Workers: *workers,
+		Presolve: *presolve, Cuts: *cuts, PseudoCost: *pseudocost,
+		Metrics: obs.Metrics, Tracer: obs.Tracer, Flight: obs.Flight,
+	}
 	model.Metrics = obs.Metrics
 	switch *method {
 	case "complementarity":
@@ -94,6 +103,16 @@ func run() error {
 		opts.Method = edattack.MethodBigM
 	default:
 		return fmt.Errorf("unknown method %q", *method)
+	}
+	switch *order {
+	case "dfs":
+		opts.NodeOrder = edattack.OrderDFS
+	case "best-first", "best":
+		opts.NodeOrder = edattack.OrderBestFirst
+	case "hybrid":
+		opts.NodeOrder = edattack.OrderHybrid
+	default:
+		return fmt.Errorf("unknown node order %q", *order)
 	}
 
 	fmt.Printf("case %s: %d buses, %d lines (%d DLR), %d generators, demand %.0f MW\n",
@@ -162,6 +181,14 @@ func printAttack(net *edattack.Network, k *edattack.Knowledge, label string, att
 		if s.Nodes > 0 {
 			fmt.Printf("  warm starts: %d/%d nodes (%.0f%% hit rate), %d fallbacks\n",
 				s.WarmNodes, s.Nodes, 100*float64(s.WarmNodes)/float64(s.Nodes), s.WarmFallbacks)
+		}
+		if att.Exact {
+			fmt.Printf("  bound: proven optimal (gap 0)\n")
+		} else if !math.IsInf(s.BestBoundPct, 1) {
+			fmt.Printf("  bound: U_cap ≤ %.2f%% (gap %.2f%%, %d subproblems truncated)\n",
+				s.BestBoundPct, 100*s.Gap, s.Truncated)
+		} else {
+			fmt.Printf("  bound: none proven (%d subproblems truncated)\n", s.Truncated)
 		}
 	}
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	edattack "github.com/edsec/edattack"
+)
+
+// growgridCmd generates a deterministic tiled synthetic interconnection
+// (see cases.Grow) and prints a summary or a MATPOWER case file.
+//
+//	gridtool growgrid -buses 300 [-seed 300] [-dlr 12] [-tile 100]
+//	                  [-format info|matpower] [-o case.m]
+func growgridCmd(args []string) error {
+	fs := flag.NewFlagSet("growgrid", flag.ContinueOnError)
+	buses := fs.Int("buses", 300, "total bus count")
+	seed := fs.Int64("seed", 0, "generation seed (default: bus count)")
+	dlr := fs.Int("dlr", 0, "DLR device count (default: buses/24, min 4)")
+	tile := fs.Int("tile", 0, "district size (default 100)")
+	format := fs.String("format", "info", "output: info or matpower")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *seed == 0 {
+		*seed = int64(*buses)
+	}
+	net, err := edattack.GrowGrid(edattack.GrowOptions{
+		Buses: *buses, Seed: *seed, DLRLines: *dlr, TileSize: *tile,
+	})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "matpower":
+		fmt.Fprint(w, edattack.FormatMATPOWER(net))
+		return nil
+	case "info":
+		fmt.Fprintf(w, "%s: %d buses, %d lines, %d generators (seed %d)\n",
+			net.Name, len(net.Buses), len(net.Lines), len(net.Gens), *seed)
+		fmt.Fprintf(w, "demand %.1f MW, capacity %.1f MW (%.0f%% reserve)\n",
+			net.TotalDemand(), net.TotalCapacity(),
+			100*(net.TotalCapacity()/net.TotalDemand()-1))
+		fmt.Fprintf(w, "DLR lines (%d):\n", len(net.DLRLines()))
+		for _, li := range net.DLRLines() {
+			l := net.Lines[li]
+			fmt.Fprintf(w, "  line %d (%d-%d): static %.1f MVA, band [%.1f, %.1f]\n",
+				li, l.From, l.To, l.RateMVA, l.DLRMin, l.DLRMax)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q (want info or matpower)", *format)
+	}
+}

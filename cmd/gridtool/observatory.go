@@ -257,6 +257,21 @@ type benchRecord struct {
 	SparseWallMs            float64 `json:"sparse_wall_ms"`
 }
 
+// milpBenchRecord mirrors the per-case record of BENCH_milp.json: the MILP
+// scaling baseline recorded by TestRecordMILPBaseline (gap closed, node and
+// pivot totals, wall clock).
+type milpBenchRecord struct {
+	Case              string  `json:"case"`
+	GainPct           float64 `json:"gain_pct"`
+	BestBoundPct      float64 `json:"best_bound_pct"`
+	Gap               float64 `json:"gap"`
+	Exact             bool    `json:"exact"`
+	MILPNodes         int     `json:"milp_nodes"`
+	SimplexIterations int     `json:"simplex_iterations"`
+	Cuts              int64   `json:"cuts"`
+	WallMs            float64 `json:"wall_ms"`
+}
+
 // sweepBenchRecord mirrors the per-case record of BENCH_sweep.json: the
 // batched scenario-evaluation throughput baseline.
 type sweepBenchRecord struct {
@@ -285,7 +300,8 @@ func loadBenchRaw(path string) ([]json.RawMessage, error) {
 }
 
 // benchSchema sniffs which baseline schema a records file carries: sweep
-// baselines carry scenarios_per_sec, solver baselines do not.
+// baselines carry scenarios_per_sec, MILP scaling baselines carry
+// best_bound_pct, and solver baselines carry neither.
 func benchSchema(records []json.RawMessage) string {
 	for _, r := range records {
 		var probe map[string]json.RawMessage
@@ -294,6 +310,9 @@ func benchSchema(records []json.RawMessage) string {
 		}
 		if _, ok := probe["scenarios_per_sec"]; ok {
 			return "sweep"
+		}
+		if _, ok := probe["best_bound_pct"]; ok {
+			return "milp"
 		}
 		return "solver"
 	}
@@ -390,12 +409,12 @@ func benchdiffCmd(args []string) error {
 	fs := flag.NewFlagSet("gridtool benchdiff", flag.ContinueOnError)
 	tol := fs.Float64("tol", 10, "regression threshold for work counters, in percent")
 	wallTol := fs.Float64("walltol", 25, "regression threshold for wall-clock numbers, in percent")
-	bench := fs.String("bench", "auto", "baseline schema: auto, solver, or sweep")
+	bench := fs.String("bench", "auto", "baseline schema: auto, solver, sweep, or milp")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: gridtool benchdiff [-tol pct] [-bench solver|sweep] old.json new.json")
+		return fmt.Errorf("usage: gridtool benchdiff [-tol pct] [-bench solver|sweep|milp] old.json new.json")
 	}
 	oldRaw, err := loadBenchRaw(fs.Arg(0))
 	if err != nil {
@@ -440,6 +459,32 @@ func benchdiffCmd(args []string) error {
 			d.check("wall_ms_sequential", or.WallMsSequential, nr.WallMsSequential, *wallTol, false, false)
 			d.check("sparse_wall_ms", or.SparseWallMs, nr.SparseWallMs, *wallTol, false, false)
 		})
+	case "milp":
+		key := func(r milpBenchRecord) string { return r.Case }
+		oldRecs, _, err := decodeBench(oldRaw, key)
+		if err != nil {
+			return err
+		}
+		newRecs, newOrder, err := decodeBench(newRaw, key)
+		if err != nil {
+			return err
+		}
+		diffCases(d, oldRecs, newRecs, newOrder, func(or, nr milpBenchRecord) {
+			d.check("gain_pct", or.GainPct, nr.GainPct, 0, true, false)
+			d.check("best_bound_pct", or.BestBoundPct, nr.BestBoundPct, *tol, false, false)
+			// The closed gap is lower-is-better: a grown gap means the
+			// search stopped proving optimality within the budget.
+			d.check("gap", or.Gap, nr.Gap, *tol, false, false)
+			d.check("milp_nodes", float64(or.MILPNodes), float64(nr.MILPNodes), *tol, false, false)
+			d.check("simplex_iterations", float64(or.SimplexIterations), float64(nr.SimplexIterations), *tol, false, false)
+			d.check("cuts", float64(or.Cuts), float64(nr.Cuts), *tol, false, false)
+			d.check("wall_ms", or.WallMs, nr.WallMs, *wallTol, false, false)
+			if or.Exact && !nr.Exact {
+				fmt.Printf("  %-26s %14v -> %-14v          ** REGRESSION (lost proven optimality)\n",
+					"exact", or.Exact, nr.Exact)
+				d.regressions++
+			}
+		})
 	case "sweep":
 		key := func(r sweepBenchRecord) string { return r.Case }
 		oldRecs, _, err := decodeBench(oldRaw, key)
@@ -458,7 +503,7 @@ func benchdiffCmd(args []string) error {
 			d.check("precompute_ms", or.PrecomputeMs, nr.PrecomputeMs, *wallTol, false, false)
 		})
 	default:
-		return fmt.Errorf("unknown -bench schema %q (want auto, solver, or sweep)", schema)
+		return fmt.Errorf("unknown -bench schema %q (want auto, solver, sweep, or milp)", schema)
 	}
 	if d.regressions > 0 {
 		return fmt.Errorf("%d regression(s) against %s", d.regressions, fs.Arg(0))

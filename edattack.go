@@ -32,6 +32,7 @@ import (
 	"github.com/edsec/edattack/internal/dispatch"
 	"github.com/edsec/edattack/internal/grid"
 	"github.com/edsec/edattack/internal/grid/cases"
+	"github.com/edsec/edattack/internal/milp"
 )
 
 // Re-exported model types. These are aliases, not wrappers: values flow
@@ -72,6 +73,17 @@ const (
 	MethodBigM            = core.MethodBigM
 )
 
+// NodeOrder selects the branch-and-bound node-selection strategy (see
+// milp.NodeOrder); set it through AttackOptions.NodeOrder.
+type NodeOrder = milp.NodeOrder
+
+// Node-selection strategies.
+const (
+	OrderDFS       = milp.OrderDFS
+	OrderBestFirst = milp.OrderBestFirst
+	OrderHybrid    = milp.OrderHybrid
+)
+
 // Re-exported sentinel errors.
 var (
 	// ErrInfeasible reports an infeasible economic dispatch.
@@ -81,9 +93,10 @@ var (
 )
 
 // LoadCase builds a benchmark network by name: "case3" (the paper's Fig. 3
-// example), "case9" (WSCC), or the synthetic "case30", "case57", "case118"
-// systems (see internal/grid/cases for provenance). Names are
-// case-insensitive and surrounding whitespace is ignored.
+// example), "case9" (WSCC), the synthetic "case30", "case57", "case118"
+// systems, or the tiled "grow300"/"grow1000" interconnections used by the
+// MILP scaling benchmarks (see internal/grid/cases for provenance). Names
+// are case-insensitive and surrounding whitespace is ignored.
 func LoadCase(name string) (*Network, error) {
 	switch strings.ToLower(strings.TrimSpace(name)) {
 	case "case3":
@@ -100,6 +113,10 @@ func LoadCase(name string) (*Network, error) {
 		return cases.Case57()
 	case "case118":
 		return cases.Case118()
+	case "grow300":
+		return cases.Grow300()
+	case "grow1000":
+		return cases.Grow1000()
 	default:
 		return nil, fmt.Errorf("edattack: unknown case %q (want one of %s)", name, strings.Join(CaseNames(), ", "))
 	}
@@ -107,8 +124,17 @@ func LoadCase(name string) (*Network, error) {
 
 // CaseNames lists the loadable benchmark cases.
 func CaseNames() []string {
-	return []string{"case3", "case3-fig8", "case9", "case30", "case57", "case118"}
+	return []string{"case3", "case3-fig8", "case9", "case30", "case57", "case118", "grow300", "grow1000"}
 }
+
+// GrowGrid builds a deterministic tiled synthetic interconnection of the
+// requested size (see cases.Grow). It backs the gridtool growgrid command.
+func GrowGrid(o GrowOptions) (*Network, error) {
+	return cases.Grow(o)
+}
+
+// GrowOptions parameterize GrowGrid.
+type GrowOptions = cases.GrowOptions
 
 // NewDispatchModel builds the operator's DC-ED model for a validated
 // network.

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"time"
@@ -43,7 +44,9 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 	if o.DenseSolver && !k.Model.DenseSolver {
 		// Run the whole attack — dispatch evaluations included — on the
 		// dense engines, without mutating the caller's model.
-		k = &Knowledge{Model: k.Model.ShallowClone(), TrueDLR: k.TrueDLR}
+		// Fresh memo: cached sparse-engine results must not leak into a
+		// dense run (the engines agree on attacks, not on every last bit).
+		k = &Knowledge{Model: k.Model.ShallowClone(), TrueDLR: k.TrueDLR, memo: newEDMemo()}
 		k.Model.DenseSolver = true
 	}
 	dlrLines := k.Model.Net.DLRLines()
@@ -109,6 +112,7 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 		tasks = append(tasks, task{li, 1}, task{li, -1})
 	}
 	atts := make([]*Attack, len(tasks))
+	substats := make([]*SolverStats, len(tasks))
 	errs := make([]error, len(tasks))
 	var saved []int
 	if seq {
@@ -121,7 +125,7 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 		} else {
 			kw = k.forWorker()
 		}
-		att, err := solveSubproblemSeeded(kw, tasks[i].line, tasks[i].dir, o, inc, pre, root)
+		att, st, err := solveSubproblemSeeded(kw, tasks[i].line, tasks[i].dir, o, inc, pre, root)
 		// Publish only positive gains. A zero-gain result (a clamped
 		// non-violating optimum) prunes nothing a sibling could not already
 		// rule out, but publishing it mid-flight would SET an otherwise
@@ -139,7 +143,7 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 				Label:     "shared",
 			})
 		}
-		atts[i], errs[i] = att, err
+		atts[i], substats[i], errs[i] = att, st, err
 	})
 	if seq {
 		// Leave the caller's model exactly as the parallel path would: the
@@ -153,16 +157,21 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 	for i, t := range tasks {
 		att, err := atts[i], errs[i]
 		if errors.Is(err, ErrNoFeasibleAttack) {
-			stats.Subproblems++
+			stats.add(substats[i])
 			continue
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: Algorithm 1 at line %d dir %+d: %w", t.line, t.dir, err)
 		}
 		if att == nil {
-			stats.Subproblems++
-			stats.Pruned++
-			continue // pruned: nothing here beats the shared bound
+			// No attack from this subproblem: a pruning proof (counted in
+			// the stats block), or a truncated empty search — which proved
+			// nothing, so the winner's optimality claim must not survive it.
+			stats.add(substats[i])
+			if st := substats[i]; st != nil && st.Truncated > 0 {
+				exact = false
+			}
+			continue
 		}
 		anyFeasible = true
 		totalNodes += att.Nodes
@@ -175,9 +184,47 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 	if !anyFeasible || best == nil {
 		return nil, ErrNoFeasibleAttack
 	}
+	// Rich refinement: one deeper deterministic polish of the single winner
+	// (wider candidate set than the per-subproblem dives — paying it 2·|E_D|
+	// times would dominate the run). The winner and its raw ratings are
+	// already schedule-independent, so the refined attack is too. A fresh
+	// worker clone keeps the caller's model untouched; strict improvement
+	// only, so a no-op polish leaves the merge result bit-identical.
+	if !o.NoDive && best.GainPct > 0 {
+		raw := best.rawDLR
+		if raw == nil {
+			raw = best.DLR
+		}
+		kw := k.forWorker()
+		sp := newSubproblem(kw, best.TargetLine, float64(best.Direction), pre.monitored, o, pre)
+		if rg, rdlr, rres, ok := sp.polish(raw, true); ok {
+			if rg = quantize(rg, gainQuantum); rg > best.GainPct {
+				nb := *best
+				nb.GainPct = rg
+				nb.DLR = canonicalDLR(kw, rdlr, rres.Flows)
+				nb.rawDLR = rdlr
+				nb.PredictedP = rres.P
+				nb.PredictedFlows = rres.Flows
+				nb.PredictedCost = kw.Model.Cost(rres.P)
+				best = &nb
+			}
+		}
+	}
 	best.Nodes = totalNodes
 	best.Exact = exact
 	stats.WallTime = time.Since(start)
+	// Settle the aggregate bound against the winner: exact runs are their
+	// own bound; truncated runs report the worst surviving subproblem bound
+	// and the gap it leaves above the winning gain.
+	if exact {
+		stats.BestBoundPct = best.GainPct
+		stats.Gap = 0
+	} else if !math.IsInf(stats.BestBoundPct, 1) {
+		if stats.BestBoundPct < best.GainPct {
+			stats.BestBoundPct = best.GainPct
+		}
+		stats.Gap = (stats.BestBoundPct - best.GainPct) / (1 + best.GainPct)
+	}
 	best.Stats = stats
 	root.SetAttr("gain_pct", best.GainPct)
 	root.SetAttr("target", best.TargetLine)

@@ -82,6 +82,7 @@ type subproblem struct {
 	dlrOrder  []int // DLR line indices in variable order
 	method    Method
 	bigM      float64
+	cuts      bool // register λ/s pairs under big-M for cut generation
 
 	// variable offsets in the master LP
 	nx, np, ni           int
@@ -100,8 +101,13 @@ type subproblem struct {
 	// solvedNodes and solvedLPIters record the last solveOnce's work even
 	// when it yields no usable attack (pruned or infeasible); the warm
 	// counters split the nodes into basis-reuse hits and fallbacks.
+	// solvedTruncated marks a search the node budget cut off before it
+	// proved its verdict; solvedBound is that search's proven bound in the
+	// LP objective scale (equal to the objective for proven results).
 	solvedNodes, solvedLPIters         int
 	solvedWarmNodes, solvedWarmFwdFall int
+	solvedTruncated                    bool
+	solvedBound                        float64
 
 	// solvedBase and solvedRootBasis carry the solved LP and its root
 	// relaxation basis to the next row-generation round, where the basis is
@@ -120,6 +126,7 @@ func newSubproblem(k *Knowledge, target int, dir float64, monitored []int, o Opt
 		monitored: append([]int(nil), monitored...),
 		method:    o.Method,
 		bigM:      o.BigM,
+		cuts:      o.Cuts,
 		metrics:   o.Metrics,
 	}
 	ng := len(k.Model.Net.Gens)
@@ -312,6 +319,17 @@ func (s *subproblem) build() (*milp.Problem, error) {
 				return nil, fmt.Errorf("core: %w", err)
 			}
 		}
+		if s.cuts {
+			// Register the λ/s pairs for cut generation only. Branching is
+			// unaffected: binaries take precedence, and at any integral μ
+			// the indicator rows already force one side of every pair to
+			// zero, so pair branching never fires.
+			for j := 0; j < s.ni; j++ {
+				if err := prob.AddComplementarityPair(s.lamOff+j, s.sOff+j); err != nil {
+					return nil, fmt.Errorf("core: %w", err)
+				}
+			}
+		}
 	default:
 		return nil, fmt.Errorf("core: unknown method %v", s.method)
 	}
@@ -439,6 +457,147 @@ func (s *subproblem) heuristic(relaxX []float64) (float64, []float64, bool) {
 	return obj, point, true
 }
 
+// polishPasses caps the coordinate-ascent rounds of the post-convergence
+// polish; each pass scans every manipulated line's candidate set once.
+const polishPasses = 6
+
+// diveWideThreshold splits instances into the IEEE sizes (case118 has
+// eight DLR lines) and the wide synthetic interconnections above it. On
+// wide instances every candidate evaluation is a several-hundred-bus
+// dispatch QP and the dives dominate the whole attack wall, so the
+// non-rich polish screens with a leaner candidate set, fewer passes, and
+// a single dive start; the winner's rich refinement then restores
+// precision on the one subproblem where it matters. The cut is a pure
+// function of the instance, so determinism across node orders and worker
+// schedules is unaffected.
+const diveWideThreshold = 8
+
+// polish runs a deterministic coordinate ascent over the manipulated-rating
+// space around a converged attack: per line, a fixed candidate set (band
+// edges, a coarse grid across the plausibility band, and relative steps off
+// the current value) is scored by the operator's actual ED, and the best
+// strict improvement is kept; passes repeat until a full scan finds nothing.
+// Every candidate the ED accepts is a genuine attack — the dispatch honors
+// all manipulated ratings, so no unmonitored line is violated — which makes
+// the polished result valid without another row-generation round. The scan
+// order, candidate set, and tie-breaks are pure functions of the instance,
+// so the polish preserves bit-identical results across node orders and
+// worker schedules. rich widens the candidate set (a finer band grid and
+// extra relative steps): ~2× the dispatch solves for a deeper ascent, used
+// to refine a single winner rather than every dive.
+func (s *subproblem) polish(dlr map[int]float64, rich bool) (float64, map[int]float64, *dispatch.Result, bool) {
+	net := s.k.Model.Net
+	ud := s.k.TrueDLR[s.target]
+	eval := func(cand map[int]float64) (float64, *dispatch.Result, bool) {
+		res, ok := s.k.solveMemo(s.dlrOrder, cand)
+		if !ok {
+			return 0, nil, false
+		}
+		return 100*s.dir*res.Flows[s.target]/ud - 100, res, true
+	}
+	cur := make(map[int]float64, len(dlr))
+	for li, v := range dlr {
+		cur[li] = v
+	}
+	// A choked starting point (ratings pinned to exact flows) can make the
+	// ED infeasible; start from -Inf and let the scan find feasible ground.
+	bestGain, bestRes := math.Inf(-1), (*dispatch.Result)(nil)
+	if g, res, ok := eval(cur); ok {
+		bestGain, bestRes = g, res
+	}
+	wide := !rich && len(s.dlrOrder) > diveWideThreshold
+	passes := polishPasses
+	if wide {
+		passes = 3
+	}
+	for pass := 0; pass < passes; pass++ {
+		moved := false
+		for _, li := range s.dlrOrder {
+			l := &net.Lines[li]
+			width := l.DLRMax - l.DLRMin
+			orig := cur[li]
+			var cands []float64
+			if wide {
+				cands = []float64{
+					l.DLRMin, l.DLRMax,
+					orig - 0.08*width, orig + 0.08*width,
+					l.DLRMin + 0.5*width,
+				}
+			} else {
+				cands = []float64{
+					l.DLRMin, l.DLRMax,
+					orig - 0.08*width, orig - 0.02*width,
+					orig + 0.02*width, orig + 0.08*width,
+				}
+				grid := 4
+				if rich {
+					grid = 8
+					cands = append(cands, orig-0.005*width, orig+0.005*width)
+				}
+				for f := 1; f < grid; f++ {
+					cands = append(cands, l.DLRMin+float64(f)/float64(grid)*width)
+				}
+			}
+			bestV, found := orig, false
+			for _, c := range cands {
+				v := clampToBand(l, quantize(c, ratingQuantum))
+				if v == orig || (found && v == bestV) {
+					continue
+				}
+				cur[li] = v
+				if g, res, ok := eval(cur); ok && g > bestGain+1e-9 {
+					bestGain, bestRes, bestV, found = g, res, v, true
+				}
+			}
+			cur[li] = bestV
+			if found {
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	if bestRes == nil {
+		return 0, nil, nil, false
+	}
+	return bestGain, cur, bestRes, true
+}
+
+// dive builds a deterministic incumbent for this subproblem before any
+// branch-and-bound work: it polishes a fixed set of starting rating vectors
+// — the no-attack statics and the band floor — toward the target and keeps
+// the best result (first start wins ties). The starts and the polish are
+// pure functions of the instance, so the dive is identical under every node
+// order and worker schedule, and its attack is genuinely feasible — the ED
+// it scores honors all manipulated ratings.
+func (s *subproblem) dive() (float64, map[int]float64, *dispatch.Result, bool) {
+	net := s.k.Model.Net
+	starts := make([]map[int]float64, 2)
+	for i := range starts {
+		starts[i] = make(map[int]float64, len(s.dlrOrder))
+	}
+	for _, li := range s.dlrOrder {
+		l := &net.Lines[li]
+		starts[0][li] = clampToBand(l, l.RateMVA)
+		starts[1][li] = l.DLRMin
+	}
+	if len(s.dlrOrder) > diveWideThreshold {
+		// Wide instances: the no-attack statics are the one start worth a
+		// full screen (see diveWideThreshold).
+		starts = starts[:1]
+	}
+	bestGain, haveBest := 0.0, false
+	var bestDLR map[int]float64
+	var bestRes *dispatch.Result
+	for _, start := range starts {
+		if g, dlr, res, ok := s.polish(start, false); ok && (!haveBest || g > bestGain+gainQuantum/2) {
+			bestGain, bestDLR, bestRes, haveBest = g, dlr, res, true
+		}
+	}
+	return bestGain, bestDLR, bestRes, haveBest
+}
+
 // solveOnce builds and solves the subproblem for the current monitored set.
 // incumbent is a static pruning seed in the LP objective scale; bound, when
 // non-nil, is the live shared incumbent bound polled per branch-and-bound
@@ -461,6 +620,10 @@ func (s *subproblem) solveOnce(o Options, incumbent *float64, bound milp.BoundSo
 		Bound:            bound,
 		Gap:              o.RelGap,
 		Heuristic:        s.heuristic,
+		NodeOrder:        o.NodeOrder,
+		PseudoCost:       o.PseudoCost,
+		Presolve:         o.Presolve,
+		Cuts:             o.Cuts,
 		WarmBasis:        warmRoot,
 		DisableWarmStart: o.NoWarmStart,
 		LP:               lp.Options{DenseSolver: o.DenseSolver, ForceSparse: o.ForceSparse},
@@ -475,6 +638,8 @@ func (s *subproblem) solveOnce(o Options, incumbent *float64, bound milp.BoundSo
 		s.solvedWarmNodes = sol.WarmNodes
 		s.solvedWarmFwdFall = sol.WarmFallbacks
 		s.solvedRootBasis = sol.RootBasis
+		s.solvedTruncated = sol.Status == milp.NodeLimit
+		s.solvedBound = sol.BestBound
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: subproblem line %d dir %+g: %w", s.target, s.dir, err)
@@ -536,7 +701,8 @@ func (s *subproblem) solveOnce(o Options, incumbent *float64, bound milp.BoundSo
 // growing the monitored line set by row generation until the predicted
 // dispatch is feasible for the operator's full constraint set.
 func SolveSubproblem(k *Knowledge, target int, dir int, o Options) (*Attack, error) {
-	return solveSubproblemSeeded(k, target, dir, o, nil, nil, nil)
+	att, _, err := solveSubproblemSeeded(k, target, dir, o, nil, nil, nil)
+	return att, err
 }
 
 // solveSubproblemSeeded additionally accepts the shared incumbent bound of a
@@ -544,16 +710,19 @@ func SolveSubproblem(k *Knowledge, target int, dir int, o Options) (*Attack, err
 // proven by sibling subproblems seed the branch-and-bound search statically
 // (per row-generation round) and dynamically (polled per node), both backed
 // off by pruneSeed so equal-quality optima survive under any schedule. When
-// nothing here beats the shared bound the function returns (nil, nil). pre,
+// nothing here beats the shared bound the function returns a nil attack.
+// The stats block is returned even when no attack is — a pruned, truncated,
+// or infeasible subproblem still reports its work, its Truncated count, and
+// its proven bound, so the surrounding run can aggregate honest totals. pre,
 // when non-nil, supplies the hoisted solve-invariant scaffolding. A non-nil
 // parent span (or o.Tracer) yields one "core.subproblem" span per call.
-func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *incumbentBound, pre *precomp, parent *telemetry.Span) (*Attack, error) {
+func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *incumbentBound, pre *precomp, parent *telemetry.Span) (*Attack, *SolverStats, error) {
 	o = o.withDefaults()
 	if dir != 1 && dir != -1 {
-		return nil, fmt.Errorf("core: direction must be ±1, got %d", dir)
+		return nil, nil, fmt.Errorf("core: direction must be ±1, got %d", dir)
 	}
 	if _, ok := k.TrueDLR[target]; !ok {
-		return nil, fmt.Errorf("core: target line %d is not a DLR line", target)
+		return nil, nil, fmt.Errorf("core: target line %d is not a DLR line", target)
 	}
 	net := k.Model.Net
 
@@ -596,11 +765,108 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *in
 		}
 	}
 
+	// Deterministic dive: before any branch-and-bound work, polish the
+	// no-attack rating vector toward this target on the true ED. The start
+	// point and the coordinate ascent are pure functions of the instance, so
+	// the dive gain is identical under every node order and worker schedule;
+	// offering it tightens pruning for every sibling, and the dive attack is
+	// what this subproblem returns when the search itself proves nothing
+	// better (pruned or truncated) — the reduced KKT encoding cannot certify
+	// attacks whose binding lines sit outside the monitored set, but the
+	// dive's dispatch honors all manipulated ratings, so it is genuinely
+	// feasible as-is.
+	var (
+		diveGain float64
+		diveDLR  map[int]float64
+		diveRes  *dispatch.Result
+		haveDive bool
+	)
+	if !o.NoDive {
+		diveSP := newSubproblem(k, target, float64(dir), monitored, o, pre)
+		diveGain, diveDLR, diveRes, haveDive = diveSP.dive()
+	}
+	if haveDive {
+		diveGain = quantize(diveGain, gainQuantum)
+		if diveGain <= 0 {
+			haveDive = false
+		}
+	}
+	if haveDive && inc != nil {
+		inc.Offer(diveGain)
+		if o.Flight != nil {
+			o.Flight.Record(telemetry.FlightEvent{
+				Kind:      telemetry.FlightIncumbent,
+				Target:    target,
+				Dir:       dir,
+				Incumbent: diveGain,
+				Label:     "dive",
+			})
+		}
+	}
+
 	var totalNodes, totalIters, rounds int
-	var totalWarm, totalFallbacks int
+	var totalWarm, totalFallbacks, totalTrunc int
 	var prevRound *subproblem
 	hadSeed := false
 	exact := true
+
+	// boundGain/gapRel track the latest round's proven dual bound in gain
+	// percentage units. Intermediate rounds' reduced problems bound their
+	// own optimum; the converged (or final truncated) round's bound is the
+	// one reported. gapRel normalizes against the best gain known here
+	// (found or seeded), +Inf when a truncated search proved nothing.
+	boundGain, gapRel := 0.0, 0.0
+	noteBound := func(sp *subproblem, ref float64, haveRef bool) {
+		boundGain = sp.solvedBound - sp.masterObj(0)
+		if boundGain < 0 {
+			boundGain = 0
+		}
+		switch {
+		case !sp.solvedTruncated:
+			gapRel = 0
+		case haveRef:
+			gapRel = (boundGain - ref) / (1 + math.Abs(ref))
+			if gapRel < 0 {
+				gapRel = 0
+			}
+		default:
+			boundGain, gapRel = math.Inf(1), math.Inf(1)
+		}
+	}
+	mkStats := func() *SolverStats {
+		return &SolverStats{
+			Subproblems:       1,
+			Nodes:             totalNodes,
+			SimplexIterations: totalIters,
+			Rounds:            rounds,
+			WarmNodes:         totalWarm,
+			WarmFallbacks:     totalFallbacks,
+			Truncated:         totalTrunc,
+			BestBoundPct:      boundGain,
+			Gap:               gapRel,
+			WallTime:          time.Since(start),
+		}
+	}
+	// mkAttack reports an attack in choked-canonical form; see canonicalDLR
+	// for the canonicalization argument. rawDLR keeps the pre-canonical
+	// ratings for the winner's final rich polish (the choked form can be
+	// dispatch-infeasible as a polish starting point).
+	mkAttack := func(dlr map[int]float64, gain float64, p, flows []float64, isExact bool) *Attack {
+		return &Attack{
+			DLR:            canonicalDLR(k, dlr, flows),
+			rawDLR:         dlr,
+			TargetLine:     target,
+			Direction:      dir,
+			GainPct:        gain,
+			PredictedP:     p,
+			PredictedFlows: flows,
+			PredictedCost:  k.Model.Cost(p),
+			Nodes:          totalNodes,
+			Rounds:         rounds,
+			Exact:          isExact,
+			Stats:          mkStats(),
+		}
+	}
 
 	// Flight recording and round latency. finishRound closes out one
 	// row-generation round; the deferred FlightSubproblem event captures
@@ -671,23 +937,80 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *in
 		totalIters += sp.solvedLPIters
 		totalWarm += sp.solvedWarmNodes
 		totalFallbacks += sp.solvedWarmFwdFall
+		if sp.solvedTruncated {
+			totalTrunc++
+		}
 		prevRound = sp
 		if err != nil {
 			finishRound(sp, 0, "error")
-			return nil, err
+			return nil, mkStats(), err
 		}
 		if res == nil {
+			if sp.solvedTruncated {
+				// The node budget ran out before the search found anything
+				// or proved anything: not a pruning proof, so the caller's
+				// result must not read as exact. The dive attack — when it
+				// found one — is still a realized feasible gain, so return
+				// it rather than nothing.
+				refGain, haveRef := inc.Best()
+				if haveDive && (!haveRef || diveGain > refGain) {
+					refGain, haveRef = diveGain, true
+				}
+				noteBound(sp, refGain, haveRef)
+				outcome = "truncated"
+				if o.Metrics != nil {
+					o.Metrics.Counter("core_subproblems_truncated_total").Inc()
+				}
+				finishRound(sp, 0, "truncated")
+				if haveDive {
+					if boundGain < diveGain {
+						boundGain = diveGain
+					}
+					finalGain = diveGain
+					att := mkAttack(diveDLR, diveGain, diveRes.P, diveRes.Flows, false)
+					return att, att.Stats, nil
+				}
+				return nil, mkStats(), nil
+			}
+			noteBound(sp, 0, false)
 			if hadSeed || sb.sawBound() {
+				// Pruned: the reduced search proved nothing here beats the
+				// shared bound. The dive attack is this subproblem's best
+				// realized gain regardless — return it so the surrounding
+				// merge can still pick it up (offers into the shared bound
+				// carry gains, not attacks).
 				outcome = "pruned"
 				if o.Metrics != nil {
 					o.Metrics.Counter("core_subproblems_pruned_total").Inc()
 				}
 				finishRound(sp, 0, "pruned")
-				return nil, nil // pruned: nothing beats the shared bound here
+				if haveDive {
+					if boundGain < diveGain {
+						boundGain = diveGain
+					}
+					finalGain = diveGain
+					att := mkAttack(diveDLR, diveGain, diveRes.P, diveRes.Flows, true)
+					att.Stats.Pruned = 1
+					return att, att.Stats, nil
+				}
+				st := mkStats()
+				st.Pruned = 1
+				return nil, st, nil // pruned: nothing beats the shared bound here
+			}
+			if haveDive {
+				// The reduced KKT problem is infeasible, but the dive still
+				// realized a positive gain on the true ED.
+				outcome = "optimal"
+				finishRound(sp, 0, "dive")
+				if boundGain < diveGain {
+					boundGain = diveGain
+				}
+				finalGain = diveGain
+				return mkAttack(diveDLR, diveGain, diveRes.P, diveRes.Flows, true), mkStats(), nil
 			}
 			outcome = "infeasible"
 			finishRound(sp, 0, "infeasible")
-			return nil, ErrNoFeasibleAttack
+			return nil, mkStats(), ErrNoFeasibleAttack
 		}
 		exact = exact && res.exact
 
@@ -696,7 +1019,7 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *in
 		// repeat (the master's optimum is then exact for the full ED).
 		flows, err := k.Model.FlowsFor(res.p)
 		if err != nil {
-			return nil, err
+			return nil, mkStats(), err
 		}
 		ratings := k.ratingsUnder(res.dlr)
 		var violated []int
@@ -710,9 +1033,39 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *in
 			}
 		}
 		if len(violated) == 0 {
+			// Converged: polish the accepted attack with a deterministic
+			// coordinate ascent on the true ED. The reduced problem only
+			// models attacks whose binding lines are monitored; the polish
+			// explores the quantized rating band directly and routinely
+			// recovers gains the KKT encoding cannot certify.
+			if !o.NoDive {
+				if pg, pdlr, pres, ok := sp.polish(res.dlr, false); ok && pg > res.gain+gainQuantum/2 {
+					res.gain = pg
+					res.dlr = pdlr
+					res.p = pres.P
+					flows = pres.Flows
+				}
+			}
 			gain := quantize(res.gain, gainQuantum)
 			if gain < 0 {
 				gain = 0
+			}
+			// Prefer the dive on ties: its attack vector is a pure function
+			// of the instance, while an alternate optimum surfaced by the
+			// search can differ per trajectory at equal gain.
+			if haveDive && diveGain >= gain {
+				gain = diveGain
+				res.dlr = diveDLR
+				res.p = diveRes.P
+				flows = diveRes.Flows
+			}
+			noteBound(sp, gain, true)
+			if boundGain < gain {
+				// A polished incumbent can exceed the reduced problem's
+				// certified bound (its KKT certificate may need lines the
+				// monitored set never grew to include); the attained gain
+				// is itself a proof, so the reported bound rises with it.
+				boundGain = gain
 			}
 			outcome = "optimal"
 			if !exact {
@@ -726,49 +1079,8 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *in
 			if o.Metrics != nil {
 				o.Metrics.Counter("core_rowgen_rounds_total").Add(int64(rounds))
 			}
-			// Report the attack in choked-canonical form: each manipulated
-			// rating is lowered to the smallest band value consistent with
-			// the dispatch it induces, so it either rests on the band floor
-			// or sits exactly on the line's flow (the paper's Table I
-			// vectors have exactly this shape). Ratings the solver left
-			// slack are trajectory freedom — alternate optima and truncated
-			// searches place them differently per engine and schedule. The
-			// canonical flows come from a forward dispatch under the raw
-			// manipulated ratings (not from the incumbent's KKT-encoded p,
-			// whose slack coordinates carry the same trajectory freedom):
-			// the dispatch QP is strictly convex, so its flows are a unique
-			// function of the ratings and every engine and worker schedule
-			// reports the same vector for the same optimum.
-			canonFlows := flows
-			if ev, everr := k.EvaluateAttack(res.dlr); everr == nil && ev.Feasible {
-				canonFlows = ev.Dispatch.Flows
-			}
-			canon := make(map[int]float64, len(res.dlr))
-			for li := range res.dlr {
-				l := &net.Lines[li]
-				canon[li] = clampToBand(l, math.Max(l.DLRMin, quantize(math.Abs(canonFlows[li]), ratingQuantum)))
-			}
-			return &Attack{
-				DLR:            canon,
-				TargetLine:     target,
-				Direction:      dir,
-				GainPct:        gain,
-				PredictedP:     res.p,
-				PredictedFlows: flows,
-				PredictedCost:  k.Model.Cost(res.p),
-				Nodes:          totalNodes,
-				Rounds:         rounds,
-				Exact:          exact,
-				Stats: &SolverStats{
-					Subproblems:       1,
-					Nodes:             totalNodes,
-					SimplexIterations: totalIters,
-					Rounds:            rounds,
-					WarmNodes:         totalWarm,
-					WarmFallbacks:     totalFallbacks,
-					WallTime:          time.Since(start),
-				},
-			}, nil
+			att := mkAttack(res.dlr, gain, res.p, flows, exact)
+			return att, att.Stats, nil
 		}
 		finishRound(sp, len(violated), "grow")
 		for _, li := range violated {
@@ -776,8 +1088,34 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *in
 			monitored = append(monitored, li)
 		}
 	}
-	return nil, fmt.Errorf("core: row generation did not converge after %d rounds for line %d dir %+d",
+	return nil, mkStats(), fmt.Errorf("core: row generation did not converge after %d rounds for line %d dir %+d",
 		o.MaxRounds, target, dir)
+}
+
+// canonicalDLR reports an attack's manipulated ratings in choked-canonical
+// form: each rating is lowered to the smallest band value consistent with
+// the dispatch it induces, so it either rests on the band floor or sits
+// exactly on the line's flow (the paper's Table I vectors have exactly this
+// shape). Ratings the solver left slack are trajectory freedom — alternate
+// optima and truncated searches place them differently per engine and
+// schedule. The canonical flows come from a forward dispatch under the raw
+// manipulated ratings (not from an incumbent's KKT-encoded p, whose slack
+// coordinates carry the same trajectory freedom): the dispatch QP is
+// strictly convex, so its flows are a unique function of the ratings and
+// every engine and worker schedule reports the same vector for the same
+// optimum.
+func canonicalDLR(k *Knowledge, dlr map[int]float64, flows []float64) map[int]float64 {
+	net := k.Model.Net
+	canonFlows := flows
+	if ev, err := k.EvaluateAttack(dlr); err == nil && ev.Feasible {
+		canonFlows = ev.Dispatch.Flows
+	}
+	canon := make(map[int]float64, len(dlr))
+	for li := range dlr {
+		l := &net.Lines[li]
+		canon[li] = clampToBand(l, math.Max(l.DLRMin, quantize(math.Abs(canonFlows[li]), ratingQuantum)))
+	}
+	return canon
 }
 
 // initialMonitoredSet seeds row generation: all DLR lines plus any line

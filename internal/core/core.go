@@ -19,14 +19,17 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
 	"time"
 
 	"github.com/edsec/edattack/internal/dispatch"
 	"github.com/edsec/edattack/internal/grid"
+	"github.com/edsec/edattack/internal/milp"
 	"github.com/edsec/edattack/internal/telemetry"
 )
 
@@ -48,6 +51,13 @@ type Knowledge struct {
 	// TrueDLR maps DLR line index → the actual dynamic rating u^d the
 	// attacker will overwrite (and against which violations are scored).
 	TrueDLR map[int]float64
+	// memo caches dive/polish dispatch evaluations keyed by the manipulated
+	// rating vector. The dispatch solution is a unique pure function of the
+	// ratings (the QP is strictly convex, and results are warm-state- and
+	// engine-schedule-independent by the repo's determinism invariant), so
+	// the cache changes speed only, never results. Shared across workers;
+	// cached Results are treated as immutable.
+	memo *edMemo
 }
 
 // NewKnowledge validates and bundles attacker knowledge. TrueDLR must have
@@ -74,7 +84,59 @@ func NewKnowledge(m *dispatch.Model, trueDLR map[int]float64) (*Knowledge, error
 			return nil, fmt.Errorf("core: TrueDLR entry for non-DLR line %d", li)
 		}
 	}
-	return &Knowledge{Model: m, TrueDLR: trueDLR}, nil
+	return &Knowledge{Model: m, TrueDLR: trueDLR, memo: newEDMemo()}, nil
+}
+
+// edMemoCap bounds the dispatch memo: past this many entries lookups still
+// hit but new results are no longer inserted, so a long scenario sweep
+// cannot grow the cache without bound.
+const edMemoCap = 1 << 17
+
+// edMemo is a concurrency-safe memo of dispatch solves keyed by the packed
+// manipulated-rating vector; a nil stored Result records infeasibility.
+type edMemo struct {
+	mu sync.Mutex
+	m  map[string]*dispatch.Result
+}
+
+func newEDMemo() *edMemo {
+	return &edMemo{m: make(map[string]*dispatch.Result)}
+}
+
+// memoKey packs the manipulated ratings (in the fixed DLR-line order) into
+// a byte string; float bits keep the key exact.
+func memoKey(order []int, dlr map[int]float64) string {
+	b := make([]byte, 8*len(order))
+	for i, li := range order {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(dlr[li]))
+	}
+	return string(b)
+}
+
+// solveMemo runs (or recalls) the operator's dispatch under a manipulation.
+// The boolean reports feasibility; the returned Result must not be mutated.
+func (k *Knowledge) solveMemo(order []int, dlr map[int]float64) (*dispatch.Result, bool) {
+	if k.memo == nil {
+		res, err := k.Model.Solve(k.ratingsUnder(dlr))
+		return res, err == nil
+	}
+	key := memoKey(order, dlr)
+	k.memo.mu.Lock()
+	res, hit := k.memo.m[key]
+	k.memo.mu.Unlock()
+	if hit {
+		return res, res != nil
+	}
+	res, err := k.Model.Solve(k.ratingsUnder(dlr))
+	if err != nil {
+		res = nil
+	}
+	k.memo.mu.Lock()
+	if len(k.memo.m) < edMemoCap {
+		k.memo.m[key] = res
+	}
+	k.memo.mu.Unlock()
+	return res, res != nil
 }
 
 // trueRatings returns the rating vector with DLR lines at their true
@@ -87,6 +149,10 @@ func (k *Knowledge) trueRatings() []float64 {
 type Attack struct {
 	// DLR maps DLR line index → manipulated rating uᵃ.
 	DLR map[int]float64
+	// rawDLR preserves the pre-canonicalization manipulated ratings; the
+	// winner's final rich polish restarts from these (the choked-canonical
+	// DLR can be dispatch-infeasible as a starting point).
+	rawDLR map[int]float64
 	// TargetLine and Direction identify the subproblem that produced the
 	// attack: the DLR line whose capacity violation is maximized, and the
 	// flow direction (+1 From→To, −1 To→From).
@@ -135,11 +201,28 @@ type SolverStats struct {
 	// WarmFallbacks counts nodes where the warm path handed off to a cold
 	// solve. WarmNodes/Nodes is the warm-start hit rate.
 	WarmNodes, WarmFallbacks int
+	// Truncated counts branch-and-bound searches cut off by the node
+	// budget before proving their verdict — including searches that found
+	// no incumbent at all, which earlier versions silently folded into
+	// Pruned. Zero means every verdict in this result is proven.
+	Truncated int
+	// BestBoundPct is the proven dual bound on the attack gain, in the
+	// same percentage units as Attack.GainPct: for exact results it equals
+	// the gain; for truncated results it is the largest surviving
+	// relaxation bound across subproblems (at their final row-generation
+	// round). +Inf means a search was truncated before proving any bound.
+	BestBoundPct float64
+	// Gap is the relative distance (BestBoundPct − gain)/(1 + gain)
+	// between the proven bound and the best found gain: zero for exact
+	// results.
+	Gap float64
 	// WallTime is the elapsed time of the producing call.
 	WallTime time.Duration
 }
 
-// add accumulates another stats block (nil-safe on the argument).
+// add accumulates another stats block (nil-safe on the argument). Counters
+// sum; the bound fields merge by worst case (largest bound, largest gap), so
+// an aggregate's BestBoundPct/Gap stay valid proofs for the merged whole.
 func (s *SolverStats) add(o *SolverStats) {
 	if o == nil {
 		return
@@ -151,6 +234,13 @@ func (s *SolverStats) add(o *SolverStats) {
 	s.Rounds += o.Rounds
 	s.WarmNodes += o.WarmNodes
 	s.WarmFallbacks += o.WarmFallbacks
+	s.Truncated += o.Truncated
+	if o.BestBoundPct > s.BestBoundPct {
+		s.BestBoundPct = o.BestBoundPct
+	}
+	if o.Gap > s.Gap {
+		s.Gap = o.Gap
+	}
 }
 
 // Method selects the single-level reformulation.
@@ -206,6 +296,13 @@ type Options struct {
 	// Results are certified-identical either way; this exists for A/B
 	// measurement and as an escape hatch.
 	NoWarmStart bool
+	// NoDive disables the deterministic discovery layer around the KKT
+	// search: the per-subproblem dives (coordinate-ascent attacks polished
+	// on the true ED before branch-and-bound), the converged-attack polish,
+	// and the winner's rich refinement. Attacks then come from the reduced
+	// search alone — machinery gates and search benchmarks use this to
+	// exercise branch-and-bound directly; production runs leave it off.
+	NoDive bool
 	// DenseSolver forces every LP relaxation onto the dense tableau engine
 	// instead of letting the solver pick the sparse revised simplex by
 	// problem size and density. Verdicts are certified either way; this
@@ -218,6 +315,26 @@ type Options struct {
 	// DenseSolver, this is an A/B hook: the engine gates compare the two
 	// engines' attacks on cases small enough to route dense by default.
 	ForceSparse bool
+	// NodeOrder selects the branch-and-bound node-selection strategy for
+	// every inner MILP search (default milp.OrderDFS). Exact attacks are
+	// identical under every strategy; node counts and wall time differ —
+	// best-first and hybrid close the proven gap faster on hard cases at
+	// the price of warm-basis locality.
+	NodeOrder milp.NodeOrder
+	// Presolve enables the MILP tightening pass before each search: bound
+	// propagation over the KKT rows, per-row big-M coefficient reduction
+	// to the propagated multiplier bounds (which keeps MethodBigM away
+	// from the saturation watchdog), and binary probing/fixing.
+	Presolve bool
+	// Cuts enables complementarity bound cuts and probing clique cuts,
+	// generated at the root and at plunge leaves of each search. Under
+	// MethodBigM this also registers the λ/s complementarity pairs with
+	// the MILP (for cut generation only — binaries still drive all
+	// branching, so the explored tree is unchanged when no cut fires).
+	Cuts bool
+	// PseudoCost enables pseudo-cost branching, seeded at each root from
+	// complementarity-violation magnitudes.
+	PseudoCost bool
 	// Workers is the number of goroutines solving bilevel subproblems
 	// concurrently (0 = one per CPU core, 1 = sequential). The attack
 	// returned is identical for every worker count when subproblems solve
@@ -267,7 +384,7 @@ func (o Options) withDefaults() Options {
 // warm-start memory — so a solver worker can run dispatches without racing
 // its siblings. TrueDLR is shared: it is read-only throughout the solve.
 func (k *Knowledge) forWorker() *Knowledge {
-	return &Knowledge{Model: k.Model.ShallowClone(), TrueDLR: k.TrueDLR}
+	return &Knowledge{Model: k.Model.ShallowClone(), TrueDLR: k.TrueDLR, memo: k.memo}
 }
 
 // ratingsUnder builds the full effective rating vector for a manipulation.

@@ -1,0 +1,282 @@
+package cases
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/edsec/edattack/internal/grid"
+)
+
+// GrowOptions parameterize the tiled synthetic-grid generator. Grow stitches
+// case118-style districts into one interconnection, which is how the
+// budgeted-attack benchmarks reach 300 and 1000+ buses without abandoning
+// the calibrated congestion structure of the base case.
+type GrowOptions struct {
+	// Name labels the generated network (default "growN").
+	Name string
+	// Buses is the exact total bus count (≥ 6).
+	Buses int
+	// Seed makes generation deterministic.
+	Seed int64
+	// DLRLines is how many of the most-loaded lines get DLR devices
+	// (default Buses/24, minimum 4). Each DLR line is two bilevel
+	// subproblems, so this is also the attack-search fan-out.
+	DLRLines int
+	// TileSize is the target district size (default 100; the last tile
+	// absorbs the remainder so the total is exactly Buses).
+	TileSize int
+	// LoadFactor, RatingMargin, DLRTightness mirror SyntheticOptions.
+	LoadFactor   float64
+	RatingMargin float64
+	DLRTightness float64
+}
+
+func (o GrowOptions) withDefaults() GrowOptions {
+	if o.Name == "" {
+		o.Name = fmt.Sprintf("grow%d", o.Buses)
+	}
+	if o.DLRLines == 0 {
+		o.DLRLines = o.Buses / 24
+		if o.DLRLines < 4 {
+			o.DLRLines = 4
+		}
+	}
+	if o.TileSize <= 0 {
+		o.TileSize = 100
+	}
+	if o.LoadFactor == 0 {
+		o.LoadFactor = 0.55
+	}
+	if o.RatingMargin == 0 {
+		o.RatingMargin = 1.45
+	}
+	if o.DLRTightness == 0 {
+		o.DLRTightness = 1.08
+	}
+	return o
+}
+
+// Grow builds a deterministic synthetic interconnection of the requested
+// size by tiling case118-style districts and stitching them with tie lines:
+//
+//   - each district is a connectivity ring plus preferential-attachment
+//     chords, so bus degrees follow the heavy-tailed distribution of real
+//     transmission grids (most buses degree 2–3, a few regional hubs);
+//   - each district draws its own fuel-price multiplier, giving the
+//     cross-district cost spread that pushes economic flow onto the tie
+//     lines (the congestion the paper's attacker exploits);
+//   - tie lines connect adjacent districts (two per border, plus a long
+//     chord to a random earlier district from the third tile on) so the
+//     interconnection is meshed, not a chain;
+//   - ratings and the DLR set are then calibrated globally by the same
+//     economic-dispatch pass Synthetic uses, so congestion-prone tie and
+//     trunk lines receive the DLR devices.
+//
+// The result is ED-feasible at nominal demand and bit-reproducible for a
+// given GrowOptions value.
+func Grow(opts GrowOptions) (*grid.Network, error) {
+	o := opts.withDefaults()
+	if o.Buses < 6 {
+		return nil, fmt.Errorf("cases: grown network needs ≥ 6 buses, got %d", o.Buses)
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	n := &grid.Network{Name: o.Name, BaseMVA: 100}
+
+	// District sizes: as many TileSize districts as fit, remainder spread
+	// over the first districts so every size is within one bus of even.
+	nTiles := o.Buses / o.TileSize
+	if nTiles < 1 {
+		nTiles = 1
+	}
+	sizes := make([]int, nTiles)
+	base, rem := o.Buses/nTiles, o.Buses%nTiles
+	for i := range sizes {
+		sizes[i] = base
+		if i < rem {
+			sizes[i]++
+		}
+	}
+
+	type edge struct{ f, t int }
+	seen := make(map[edge]bool)
+	degree := make(map[int]int)
+	addLine := func(f, t int, long bool) bool {
+		if f == t {
+			return false
+		}
+		if f > t {
+			f, t = t, f
+		}
+		e := edge{f, t}
+		if seen[e] {
+			return false
+		}
+		seen[e] = true
+		x := 0.02 + 0.13*rng.Float64()
+		if long {
+			// Tie lines span districts: longer, so higher impedance.
+			x = 0.08 + 0.18*rng.Float64()
+		}
+		n.Lines = append(n.Lines, grid.Line{
+			ID: len(n.Lines) + 1, From: f, To: t,
+			R: x / 10, X: x, B: 0.02 + 0.05*rng.Float64(),
+		})
+		degree[f]++
+		degree[t]++
+		return true
+	}
+
+	// prefPick draws a bus from [lo, hi] with probability proportional to
+	// degree+1, the preferential-attachment rule that produces hubs.
+	prefPick := func(lo, hi int) int {
+		total := 0
+		for b := lo; b <= hi; b++ {
+			total += degree[b] + 1
+		}
+		r := rng.Intn(total)
+		for b := lo; b <= hi; b++ {
+			r -= degree[b] + 1
+			if r < 0 {
+				return b
+			}
+		}
+		return hi
+	}
+
+	var totalCap float64
+	first := 1 // first bus ID of the current district
+	starts := make([]int, nTiles)
+	for ti, size := range sizes {
+		starts[ti] = first
+		last := first + size - 1
+		// Districts have the case118 generator density (54/118 ≈ 0.46)
+		// and share one regional fuel-price multiplier.
+		nGens := size * 46 / 100
+		if nGens < 2 {
+			nGens = 2
+		}
+		fuel := 0.8 + 0.5*rng.Float64()
+		genBuses := pickDistinct(rng, size, nGens)
+		isGenBus := make(map[int]bool, nGens)
+		for _, b := range genBuses {
+			isGenBus[first+b-1] = true
+		}
+		for id := first; id <= last; id++ {
+			typ := grid.PQ
+			if ti == 0 && id == first {
+				typ = grid.Slack
+			} else if isGenBus[id] {
+				typ = grid.PV
+			}
+			n.Buses = append(n.Buses, grid.Bus{
+				ID: id, Type: typ, VnomKV: 138, Vmin: 0.94, Vmax: 1.06, Vset: 1.0,
+			})
+		}
+		for _, b := range genBuses {
+			bus := first + b - 1
+			pmax := 100 + 350*rng.Float64()
+			totalCap += pmax
+			n.Gens = append(n.Gens, grid.Generator{
+				ID: len(n.Gens) + 1, Bus: bus,
+				Pmin: 0, Pmax: pmax,
+				Qmin: -0.6 * pmax, Qmax: 0.6 * pmax,
+				CostA: fuel * (0.004 + 0.045*rng.Float64()),
+				CostB: fuel * (5 + 30*rng.Float64()),
+				CostC: 50 + 400*rng.Float64(),
+			})
+		}
+		// Guarantee the slack bus can balance losses.
+		if ti == 0 && !isGenBus[first] {
+			pmax := 250.0
+			totalCap += pmax
+			n.Gens = append(n.Gens, grid.Generator{
+				ID: len(n.Gens) + 1, Bus: first,
+				Pmin: 0, Pmax: pmax, Qmin: -150, Qmax: 150,
+				CostA: fuel * 0.02, CostB: fuel * 18, CostC: 100,
+			})
+		}
+		// District topology: ring for connectivity, then chords whose
+		// endpoints are degree-biased (case118 density: 68/118 ≈ 0.58
+		// chords per bus).
+		for id := first; id <= last; id++ {
+			next := id + 1
+			if next > last {
+				next = first
+			}
+			addLine(id, next, false)
+		}
+		chords := size * 58 / 100
+		added, attempts := 0, 0
+		for added < chords && attempts < 50*(chords+1) {
+			attempts++
+			if addLine(prefPick(first, last), prefPick(first, last), false) {
+				added++
+			}
+		}
+		first = last + 1
+	}
+
+	// Stitch: two ties to the previous district, plus (from the third
+	// district on) one long chord to a uniformly chosen earlier district.
+	for ti := 1; ti < nTiles; ti++ {
+		lo, hi := starts[ti], starts[ti]+sizes[ti]-1
+		plo, phi := starts[ti-1], starts[ti-1]+sizes[ti-1]-1
+		for k := 0; k < 2; k++ {
+			for attempts := 0; attempts < 50; attempts++ {
+				if addLine(prefPick(lo, hi), prefPick(plo, phi), true) {
+					break
+				}
+			}
+		}
+		if ti >= 2 {
+			back := rng.Intn(ti - 1)
+			blo, bhi := starts[back], starts[back]+sizes[back]-1
+			for attempts := 0; attempts < 50; attempts++ {
+				if addLine(prefPick(lo, hi), prefPick(blo, bhi), true) {
+					break
+				}
+			}
+		}
+	}
+
+	// Loads: every non-generator bus plus roughly a third of generator
+	// buses, scaled to LoadFactor × capacity (same rule as Synthetic).
+	isGen := make(map[int]bool, len(n.Gens))
+	for _, g := range n.Gens {
+		isGen[g.Bus] = true
+	}
+	weights := make([]float64, len(n.Buses))
+	var wsum float64
+	for i := range n.Buses {
+		if !isGen[n.Buses[i].ID] || rng.Float64() < 0.35 {
+			weights[i] = 0.3 + rng.Float64()
+			wsum += weights[i]
+		}
+	}
+	totalLoad := o.LoadFactor * totalCap
+	for i := range n.Buses {
+		if weights[i] == 0 {
+			continue
+		}
+		pd := totalLoad * weights[i] / wsum
+		n.Buses[i].Pd = pd
+		n.Buses[i].Qd = pd * (0.25 + 0.15*rng.Float64())
+	}
+
+	if err := calibrateRatings(n, o.DLRLines, o.RatingMargin, o.DLRTightness); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Grow300 builds the 300-bus tiled interconnection used by the MILP scaling
+// benchmarks: three ~100-bus districts, 12 DLR lines.
+func Grow300() (*grid.Network, error) {
+	return Grow(GrowOptions{Buses: 300, Seed: 300})
+}
+
+// Grow1000 builds the 1000-bus tiled interconnection: ten districts, 41 DLR
+// lines.
+func Grow1000() (*grid.Network, error) {
+	return Grow(GrowOptions{Buses: 1000, Seed: 1000})
+}

@@ -1,0 +1,72 @@
+package cases
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/edsec/edattack/internal/grid"
+)
+
+// TestGrowDeterministic pins the growgrid generator's reproducibility: the
+// same GrowOptions must yield a bit-identical network on every call (the
+// MILP scaling baselines in BENCH_milp.json assume grow300 is a fixed
+// instance), and a different seed must yield a different one.
+func TestGrowDeterministic(t *testing.T) {
+	opts := GrowOptions{Buses: 300, Seed: 300}
+	a, err := Grow(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Grow(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two Grow calls with identical options produced different networks")
+	}
+	c, err := Grow(GrowOptions{Buses: 300, Seed: 301})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Lines, c.Lines) {
+		t.Error("different seeds produced identical line sets")
+	}
+}
+
+// TestGrowShapes pins the exact shapes of the named scaling instances:
+// the benchmarks and gates reference grow300/grow1000 by name, so a
+// change in the generator that moves these counts silently invalidates
+// every recorded baseline.
+func TestGrowShapes(t *testing.T) {
+	for _, tc := range []struct {
+		name                    string
+		build                   func() (*grid.Network, error)
+		buses, lines, gens, dlr int
+	}{
+		{"grow300", Grow300, 300, 479, 138, 12},
+		{"grow1000", Grow1000, 1000, 1606, 461, 41},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			net, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(net.Buses); got != tc.buses {
+				t.Errorf("buses = %d, want %d", got, tc.buses)
+			}
+			if got := len(net.Lines); got != tc.lines {
+				t.Errorf("lines = %d, want %d", got, tc.lines)
+			}
+			if got := len(net.Gens); got != tc.gens {
+				t.Errorf("generators = %d, want %d", got, tc.gens)
+			}
+			if got := len(net.DLRLines()); got != tc.dlr {
+				t.Errorf("DLR lines = %d, want %d", got, tc.dlr)
+			}
+			if net.Name != tc.name {
+				t.Errorf("name = %q, want %q", net.Name, tc.name)
+			}
+		})
+	}
+}

@@ -173,23 +173,34 @@ func Synthetic(opts SyntheticOptions) (*grid.Network, error) {
 		}
 	}
 
+	if err := calibrateRatings(n, o.DLRLines, o.RatingMargin, o.DLRTightness); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// calibrateRatings sizes every line rating against the flow-unconstrained
+// economic dispatch so the network is ED-feasible at nominal demand, and
+// places DLR devices on the dlrLines most-loaded lines: "These lines will be
+// the ones that are routinely prone to congestion and hence receive priority
+// DLR implementation" (Section II-B). Shared by Synthetic and Grow.
+func calibrateRatings(n *grid.Network, dlrLines int, ratingMargin, dlrTightness float64) error {
 	// Temporarily unlimited ratings for calibration.
 	for i := range n.Lines {
 		n.Lines[i].RateMVA = 0
 	}
 	if err := n.Validate(); err != nil {
-		return nil, fmt.Errorf("cases: synthetic network invalid before calibration: %w", err)
+		return fmt.Errorf("cases: synthetic network invalid before calibration: %w", err)
 	}
 
-	// Calibrate ratings against the flow-unconstrained economic dispatch.
 	dispatch := meritOrderDispatch(n.Gens, n.TotalDemand())
 	inj, err := dcflow.InjectionsFromDispatch(n, dispatch)
 	if err != nil {
-		return nil, fmt.Errorf("cases: calibration injections: %w", err)
+		return fmt.Errorf("cases: calibration injections: %w", err)
 	}
 	res, err := dcflow.Solve(n, inj)
 	if err != nil {
-		return nil, fmt.Errorf("cases: calibration power flow: %w", err)
+		return fmt.Errorf("cases: calibration power flow: %w", err)
 	}
 	absFlows := make([]float64, len(res.Flows))
 	var maxFlow float64
@@ -201,22 +212,19 @@ func Synthetic(opts SyntheticOptions) (*grid.Network, error) {
 	}
 	floor := 0.12 * maxFlow
 
-	// The DLR set is the most-loaded lines: "These lines will be the ones
-	// that are routinely prone to congestion and hence receive priority
-	// DLR implementation" (Section II-B).
 	order := make([]int, len(n.Lines))
 	for i := range order {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool { return absFlows[order[a]] > absFlows[order[b]] })
-	dlrSet := make(map[int]bool, o.DLRLines)
-	for k := 0; k < o.DLRLines && k < len(order); k++ {
+	dlrSet := make(map[int]bool, dlrLines)
+	for k := 0; k < dlrLines && k < len(order); k++ {
 		dlrSet[order[k]] = true
 	}
 	for i := range n.Lines {
-		base := math.Max(absFlows[i]*o.RatingMargin, floor)
+		base := math.Max(absFlows[i]*ratingMargin, floor)
 		if dlrSet[i] {
-			base = math.Max(absFlows[i]*o.DLRTightness, floor)
+			base = math.Max(absFlows[i]*dlrTightness, floor)
 			n.Lines[i].HasDLR = true
 			n.Lines[i].DLRMin = 0.75 * base
 			n.Lines[i].DLRMax = 1.6 * base
@@ -224,9 +232,9 @@ func Synthetic(opts SyntheticOptions) (*grid.Network, error) {
 		n.Lines[i].RateMVA = base
 	}
 	if err := n.Validate(); err != nil {
-		return nil, fmt.Errorf("cases: synthetic network invalid after calibration: %w", err)
+		return fmt.Errorf("cases: synthetic network invalid after calibration: %w", err)
 	}
-	return n, nil
+	return nil
 }
 
 // pickDistinct returns count distinct bus IDs in [1, nBuses], deterministic

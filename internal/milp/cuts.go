@@ -1,0 +1,103 @@
+package milp
+
+import (
+	"math"
+
+	"github.com/edsec/edattack/internal/lp"
+)
+
+// cutViolTol is the minimum violation at which a cut is worth appending.
+const cutViolTol = 1e-4
+
+// cutter generates globally valid cut rows and appends them to the live
+// problem through the ordinary row path:
+//
+//   - complementarity bound cuts x_a/U_a + x_b/U_b ≤ 1 for pairs whose
+//     upper bounds are finite and positive — a feasible point has one side
+//     at zero and the other at most its bound, so the sum never exceeds 1.
+//     In the big-M reformulation presolve derives U_λ from the indicator
+//     rows, which is what makes these cuts fire there;
+//   - binary clique cuts μ_a + μ_b ≤ 1 from probing-discovered conflicts.
+//
+// Pair bounds are snapshotted at construction (after presolve, before any
+// branch fix touches the problem), so every generated row is valid for the
+// whole tree even when it is separated at a plunge leaf deep in the search.
+// restore truncates all appended rows, returning the caller's problem to its
+// original shape.
+type cutter struct {
+	baseRows  int
+	pairs     [][2]int
+	ua, ub    []float64
+	pairCut   []bool
+	cliques   [][2]int
+	cliqueCut []bool
+	added     int
+	maxCuts   int
+}
+
+func newCutter(p *Problem, pre *presolveResult, maxCuts int) *cutter {
+	ct := &cutter{baseRows: p.Base.NumConstraints(), maxCuts: maxCuts}
+	for _, pr := range p.pairs {
+		a, b := pr[0], pr[1]
+		var ua, ub float64
+		if pre != nil {
+			ua, ub = pre.hi[a], pre.hi[b]
+		} else {
+			_, ua = p.Base.Bounds(a)
+			_, ub = p.Base.Bounds(b)
+		}
+		if math.IsInf(ua, 1) || math.IsInf(ub, 1) || ua <= cutViolTol || ub <= cutViolTol {
+			continue
+		}
+		ct.pairs = append(ct.pairs, pr)
+		ct.ua = append(ct.ua, ua)
+		ct.ub = append(ct.ub, ub)
+	}
+	ct.pairCut = make([]bool, len(ct.pairs))
+	if pre != nil {
+		ct.cliques = pre.cliques
+	}
+	ct.cliqueCut = make([]bool, len(ct.cliques))
+	return ct
+}
+
+// generate appends every not-yet-added cut violated at x, up to the cut
+// budget, and returns how many rows it appended.
+func (ct *cutter) generate(base *lp.Problem, x []float64) int {
+	added := 0
+	for i, pr := range ct.pairs {
+		if ct.added+added >= ct.maxCuts {
+			break
+		}
+		if ct.pairCut[i] || x[pr[0]]/ct.ua[i]+x[pr[1]]/ct.ub[i] <= 1+cutViolTol {
+			continue
+		}
+		if _, err := base.AddSparseConstraint(
+			[]int{pr[0], pr[1]}, []float64{1 / ct.ua[i], 1 / ct.ub[i]}, lp.LE, 1); err != nil {
+			continue
+		}
+		ct.pairCut[i] = true
+		added++
+	}
+	for i, cl := range ct.cliques {
+		if ct.added+added >= ct.maxCuts {
+			break
+		}
+		if ct.cliqueCut[i] || x[cl[0]]+x[cl[1]] <= 1+cutViolTol {
+			continue
+		}
+		if _, err := base.AddSparseConstraint(
+			[]int{cl[0], cl[1]}, []float64{1, 1}, lp.LE, 1); err != nil {
+			continue
+		}
+		ct.cliqueCut[i] = true
+		added++
+	}
+	ct.added += added
+	return added
+}
+
+// restore truncates every appended cut row.
+func (ct *cutter) restore(base *lp.Problem) {
+	_ = base.TruncateRows(ct.baseRows)
+}

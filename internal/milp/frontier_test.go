@@ -1,0 +1,315 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/edsec/edattack/internal/lp"
+)
+
+// randKnapsack builds a random binary knapsack and its brute-force optimum.
+func randKnapsack(r *rand.Rand) (*Problem, float64) {
+	n := 4 + r.Intn(7)
+	c := make([]float64, n)
+	w := make([]float64, n)
+	for j := 0; j < n; j++ {
+		c[j] = 1 + 9*r.Float64()
+		w[j] = 1 + 9*r.Float64()
+	}
+	capacity := 0.4 * float64(n) * 5
+	base := lp.NewProblem(n)
+	_ = base.SetObjective(c, true)
+	_, _ = base.AddConstraint(w, lp.LE, capacity)
+	p := NewProblem(base)
+	for j := 0; j < n; j++ {
+		_ = p.SetBinary(j)
+	}
+	return p, bruteKnapsack(c, w, capacity)
+}
+
+// TestNodeOrderEquivalence is the strategy-independence contract: an exact
+// solve must reach the same optimal objective under every node-selection
+// order, with and without the presolve/cut/pseudo-cost machinery.
+func TestNodeOrderEquivalence(t *testing.T) {
+	orders := []NodeOrder{OrderDFS, OrderBestFirst, OrderHybrid}
+	r := rand.New(rand.NewSource(7))
+	for inst := 0; inst < 25; inst++ {
+		seed := r.Int63()
+		for _, order := range orders {
+			for _, full := range []bool{false, true} {
+				p, want := randKnapsack(rand.New(rand.NewSource(seed)))
+				o := Options{NodeOrder: order, Presolve: full, Cuts: full, PseudoCost: full}
+				sol, err := SolveWith(p, o)
+				if err != nil {
+					t.Fatalf("inst %d order %v full=%v: %v", inst, order, full, err)
+				}
+				if sol.Status != Optimal {
+					t.Fatalf("inst %d order %v full=%v: status %v", inst, order, full, sol.Status)
+				}
+				if math.Abs(sol.Objective-want) > 1e-5*(1+want) {
+					t.Fatalf("inst %d order %v full=%v: objective %v, want %v",
+						inst, order, full, sol.Objective, want)
+				}
+				if sol.Status == Optimal && (sol.Gap != 0 || sol.BestBound != sol.Objective) {
+					t.Fatalf("inst %d order %v: optimal solve reports bound %v gap %v",
+						inst, order, sol.BestBound, sol.Gap)
+				}
+			}
+		}
+	}
+}
+
+// randKKTBigM builds a random big-M instance shaped like the bilevel KKT
+// reformulation: per pair i, a dual λ_i ≥ 0 and a slack s_i ∈ [0, U_i] with
+// indicator rows λ_i ≤ M·μ_i and s_i ≤ M·(1 − μ_i) for binary μ_i, plus a
+// stationarity-style equality coupling the duals. M is deliberately huge so
+// presolve has real coefficients to shrink.
+func randKKTBigM(r *rand.Rand) (*Problem, int) {
+	n := 2 + r.Intn(5)
+	const M = 1e5
+	// Vars: λ_0..λ_{n-1}, s_0..s_{n-1}, μ_0..μ_{n-1}.
+	base := lp.NewProblem(3 * n)
+	obj := make([]float64, 3*n)
+	for i := 0; i < n; i++ {
+		obj[i] = 1 + 4*r.Float64()     // reward λ
+		obj[n+i] = 0.5 + 2*r.Float64() // reward s
+		_ = base.SetBounds(i, 0, math.Inf(1))
+		_ = base.SetBounds(n+i, 0, 2+6*r.Float64())
+	}
+	_ = base.SetObjective(obj, true)
+	// Stationarity-style coupling: Σ a_i λ_i = b bounds every λ.
+	av := make([]float64, n)
+	ai := make([]int, n)
+	var amin float64 = math.Inf(1)
+	for i := 0; i < n; i++ {
+		av[i] = 0.5 + r.Float64()
+		ai[i] = i
+		amin = math.Min(amin, av[i])
+	}
+	b := (1 + 3*r.Float64()) * amin
+	_, _ = base.AddSparseConstraint(ai, av, lp.EQ, b)
+	for i := 0; i < n; i++ {
+		// λ_i − M μ_i ≤ 0 and s_i + M μ_i ≤ M.
+		_, _ = base.AddSparseConstraint([]int{i, 2*n + i}, []float64{1, -M}, lp.LE, 0)
+		_, _ = base.AddSparseConstraint([]int{n + i, 2*n + i}, []float64{1, M}, lp.LE, M)
+	}
+	p := NewProblem(base)
+	for i := 0; i < n; i++ {
+		_ = p.SetBinary(2*n + i)
+	}
+	return p, n
+}
+
+// TestPropertyPresolveBigMEquivalence: on random KKT-shaped big-M instances,
+// the presolve-tightened solve must reach the same optimum as the untouched
+// one, and the caller's problem must come back bit-identical (coefficients,
+// RHS, bounds) so row-generation reuse stays sound.
+func TestPropertyPresolveBigMEquivalence(t *testing.T) {
+	sawTightening := false
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		plain, _ := randKKTBigM(rand.New(rand.NewSource(seed)))
+		tight, _ := randKKTBigM(rand.New(rand.NewSource(seed)))
+		_ = r
+		ps, err := Solve(plain)
+		if err != nil {
+			return false
+		}
+		ts, err := SolveWith(tight, Options{Presolve: true, Cuts: true, PseudoCost: true})
+		if err != nil {
+			return false
+		}
+		if ps.Status != ts.Status {
+			return false
+		}
+		if ts.Presolve.BigMTightened > 0 {
+			sawTightening = true
+		}
+		if ps.Status != Optimal {
+			return true
+		}
+		if math.Abs(ps.Objective-ts.Objective) > 1e-5*(1+math.Abs(ps.Objective)) {
+			return false
+		}
+		// The tightened problem must be restored: re-solving it plain must
+		// reproduce the plain optimum.
+		rs, err := Solve(tight)
+		if err != nil || rs.Status != Optimal {
+			return false
+		}
+		return math.Abs(rs.Objective-ps.Objective) <= 1e-5*(1+math.Abs(ps.Objective))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+	if !sawTightening {
+		t.Fatal("no instance exercised big-M tightening — the presolve pattern matcher is dead")
+	}
+}
+
+// TestPresolveRestoresProblem checks the restore path directly on one
+// instance: row count, coefficients, RHS, and bounds all return to their
+// pre-solve values even when presolve patched them and cuts appended rows.
+func TestPresolveRestoresProblem(t *testing.T) {
+	p, _ := randKKTBigM(rand.New(rand.NewSource(42)))
+	type rowSnap struct {
+		rel lp.Relation
+		rhs float64
+		ind []int
+		val []float64
+	}
+	snap := func() (int, []rowSnap, [][2]float64) {
+		m := p.Base.NumConstraints()
+		rows := make([]rowSnap, m)
+		for i := 0; i < m; i++ {
+			rel, rhs, _ := p.Base.RowInfo(i)
+			rs := rowSnap{rel: rel, rhs: rhs}
+			p.Base.VisitRow(i, func(j int, v float64) {
+				rs.ind = append(rs.ind, j)
+				rs.val = append(rs.val, v)
+			})
+			rows[i] = rs
+		}
+		nb := p.Base.NumVars()
+		bounds := make([][2]float64, nb)
+		for j := 0; j < nb; j++ {
+			lo, hi := p.Base.Bounds(j)
+			bounds[j] = [2]float64{lo, hi}
+		}
+		return m, rows, bounds
+	}
+	m0, rows0, bounds0 := snap()
+	if _, err := SolveWith(p, Options{Presolve: true, Cuts: true}); err != nil {
+		t.Fatal(err)
+	}
+	m1, rows1, bounds1 := snap()
+	if m0 != m1 {
+		t.Fatalf("row count %d → %d: cut rows leaked", m0, m1)
+	}
+	for i := range rows0 {
+		a, b := rows0[i], rows1[i]
+		if a.rel != b.rel || a.rhs != b.rhs || len(a.ind) != len(b.ind) {
+			t.Fatalf("row %d changed: %+v vs %+v", i, a, b)
+		}
+		for k := range a.ind {
+			if a.ind[k] != b.ind[k] || a.val[k] != b.val[k] {
+				t.Fatalf("row %d entry %d changed: (%d,%g) vs (%d,%g)",
+					i, k, a.ind[k], a.val[k], b.ind[k], b.val[k])
+			}
+		}
+	}
+	for j := range bounds0 {
+		if bounds0[j] != bounds1[j] {
+			t.Fatalf("bounds of var %d changed: %v vs %v", j, bounds0[j], bounds1[j])
+		}
+	}
+}
+
+// TestFrontierBestFirstOrder pins the heap discipline: best-first pops the
+// highest inherited bound first in a maximization, breaking ties by push
+// order.
+func TestFrontierBestFirstOrder(t *testing.T) {
+	f := newFrontier(OrderBestFirst, true)
+	f.push(node{score: 1})
+	f.push(node{score: 5})
+	f.push(node{score: 3})
+	f.push(node{score: 5})
+	want := []float64{5, 5, 3, 1}
+	var prevSeq int
+	for i, w := range want {
+		n, ok := f.pop()
+		if !ok || n.score != w {
+			t.Fatalf("pop %d: got %v ok=%v, want %v", i, n.score, ok, w)
+		}
+		if n.score == 5 {
+			if prevSeq != 0 && n.seq < prevSeq {
+				t.Fatalf("tie broken against push order: seq %d after %d", n.seq, prevSeq)
+			}
+			prevSeq = n.seq
+		}
+	}
+	if _, ok := f.pop(); ok {
+		t.Fatal("pop on empty frontier returned a node")
+	}
+}
+
+// TestFrontierHybridPlunges pins the hybrid discipline: the preferred child
+// goes to the dive stack and pops before anything on the heap; when the
+// stack drains, the search restarts from the best heap bound.
+func TestFrontierHybridPlunges(t *testing.T) {
+	f := newFrontier(OrderHybrid, true)
+	f.push(node{score: 10}) // root
+	root, _ := f.pop()
+	_ = root
+	f.pushChildren(node{score: 4}, node{score: 9})
+	// Preferred child (score 4) must pop before the better-bound sibling.
+	n, _ := f.pop()
+	if n.score != 4 {
+		t.Fatalf("hybrid popped %v first, want the plunge child 4", n.score)
+	}
+	f.pushChildren(node{score: 2}, node{score: 8})
+	if n, _ = f.pop(); n.score != 2 {
+		t.Fatalf("hybrid popped %v, want plunge continuation 2", n.score)
+	}
+	// Plunge ends (no children pushed): next pops come best-first.
+	if n, _ = f.pop(); n.score != 9 {
+		t.Fatalf("hybrid popped %v after plunge, want best sibling 9", n.score)
+	}
+	if n, _ = f.pop(); n.score != 8 {
+		t.Fatalf("hybrid popped %v, want 8", n.score)
+	}
+}
+
+// TestFrontierBestBound checks the truncation bound over a mixed frontier.
+func TestFrontierBestBound(t *testing.T) {
+	f := newFrontier(OrderHybrid, true)
+	f.pushChildren(node{score: 3}, node{score: 7})
+	if b := f.bestBound(); b != 7 {
+		t.Fatalf("bestBound = %v, want 7", b)
+	}
+	fmin := newFrontier(OrderBestFirst, false)
+	fmin.push(node{score: 3})
+	fmin.push(node{score: -2})
+	if b := fmin.bestBound(); b != -2 {
+		t.Fatalf("min-sense bestBound = %v, want -2", b)
+	}
+}
+
+// TestNodeLimitBestBound: a truncated knapsack must report a finite bound at
+// least as good as the true optimum and a non-negative gap.
+func TestNodeLimitBestBound(t *testing.T) {
+	p, want := randKnapsack(rand.New(rand.NewSource(99)))
+	sol, err := SolveWith(p, Options{MaxNodes: 2, NodeOrder: OrderBestFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != NodeLimit {
+		t.Fatalf("status %v, want node-limit", sol.Status)
+	}
+	if math.IsInf(sol.BestBound, 0) || sol.BestBound < want-1e-9 {
+		t.Fatalf("BestBound %v does not dominate the optimum %v", sol.BestBound, want)
+	}
+	if sol.Gap < 0 {
+		t.Fatalf("negative gap %v", sol.Gap)
+	}
+}
+
+// TestPseudoCostKnapsack: pseudo-cost branching must preserve exactness.
+func TestPseudoCostKnapsack(t *testing.T) {
+	base := lp.NewProblem(3)
+	_ = base.SetObjective([]float64{10, 13, 7}, true)
+	_, _ = base.AddConstraint([]float64{3, 4, 2}, lp.LE, 6)
+	p := NewProblem(base)
+	for j := 0; j < 3; j++ {
+		_ = p.SetBinary(j)
+	}
+	sol, err := SolveWith(p, Options{PseudoCost: true, NodeOrder: OrderHybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-20) > tol {
+		t.Fatalf("got %v / %v, want optimal 20", sol.Status, sol.Objective)
+	}
+}

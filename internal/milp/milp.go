@@ -8,8 +8,15 @@
 //     direct complementarity branching, which avoids big-M constants and
 //     their numeric pitfalls.
 //
-// The search is depth-first with best-incumbent pruning; branching picks the
-// most fractional binary or the most violated complementarity pair.
+// The search explores a frontier of open nodes under a pluggable selection
+// strategy (Options.NodeOrder): depth-first (default), best-first on the
+// inherited relaxation bound, or a hybrid that plunges depth-first and
+// restarts from the best bound. Branching picks the most fractional binary
+// or the most violated complementarity pair, optionally weighted by learned
+// pseudo-costs. A presolve pass (Options.Presolve) propagates bounds over
+// the rows, shrinks big-M coefficients to the implied variable bounds, and
+// fixes binaries by probing; a cut pass (Options.Cuts) appends
+// complementarity bound cuts at the root and at plunge leaves.
 package milp
 
 import (
@@ -130,7 +137,38 @@ type Solution struct {
 	// RootBasis is the optimal basis of the root relaxation, captured when
 	// warm starts are enabled. Row-generation callers remap it onto the
 	// next round's grown problem to keep basis reuse flowing across rounds.
+	// It is captured before any cut rows are appended, so its shape always
+	// matches the caller's problem layout.
 	RootBasis *lp.Basis
+	// BestBound is the proven bound on the optimum in the problem's own
+	// sense: equal to Objective when Status is Optimal, the best inherited
+	// relaxation bound over the surviving frontier when a node limit
+	// truncated the search, and the pruning seed when a seeded search
+	// proved nothing beats it (Status Infeasible with Options.Incumbent
+	// set). A truncated search that never solved the root reports ±Inf.
+	BestBound float64
+	// Gap is the relative distance between BestBound and the incumbent,
+	// normalized as |BestBound − Objective| / (1 + |Objective|): zero for
+	// proven-optimal results, +Inf when truncation left no incumbent.
+	Gap float64
+	// Cuts is the number of cut rows appended during the solve (all are
+	// removed from the problem before returning).
+	Cuts int
+	// Presolve summarizes the tightening pass (zero when disabled).
+	Presolve PresolveStats
+}
+
+// PresolveStats tallies the work of the presolve/tightening pass.
+type PresolveStats struct {
+	// Rounds is the number of outer propagate/tighten iterations run.
+	Rounds int
+	// BoundsTightened counts variable-bound improvements applied.
+	BoundsTightened int
+	// BigMTightened counts big-M row coefficients shrunk to implied
+	// variable bounds.
+	BigMTightened int
+	// BinariesFixed counts binaries fixed by propagation or probing.
+	BinariesFixed int
 }
 
 // Options tune the search.
@@ -155,12 +193,38 @@ type Options struct {
 	// returned solution may still be worse than the final bound — callers
 	// arbitrate across searches themselves.
 	Bound BoundSource
-	// Heuristic, when non-nil, is invoked with each node relaxation's
-	// point and may return a feasible objective and point to update the
-	// incumbent even though the relaxation point itself is fractional or
-	// non-complementary. The returned point is trusted to be feasible
-	// for the caller's problem semantics.
+	// Heuristic, when non-nil, is invoked with the root relaxation's point
+	// (after any root cut rounds) and may return a feasible objective and
+	// point to update the incumbent even though the relaxation point
+	// itself is fractional or non-complementary. The returned point is
+	// trusted to be feasible for the caller's problem semantics. The root
+	// point is a pure function of the instance, so the offer — unlike a
+	// per-node sweep — is identical under every NodeOrder and worker
+	// schedule, which keeps exact solves bit-identical across strategies.
 	Heuristic func(relaxX []float64) (obj float64, point []float64, ok bool)
+	// NodeOrder selects the node-selection strategy (default OrderDFS).
+	// Exact results are identical under every strategy; node counts, work,
+	// and which of several equal-quality optima is reported first differ.
+	NodeOrder NodeOrder
+	// PseudoCost enables pseudo-cost branching: entities are scored by
+	// fractionality/violation weighted with the average relaxation-bound
+	// degradation observed when branching them, seeded at the root from
+	// complementarity-violation magnitudes.
+	PseudoCost bool
+	// Presolve enables the tightening pass before the search: interval
+	// bound propagation over the rows, per-row big-M coefficient reduction
+	// to the propagated variable bounds, and binary probing/fixing. All
+	// mutations are restored on return.
+	Presolve bool
+	// Cuts enables complementarity bound cuts (x_a/U_a + x_b/U_b ≤ 1 for
+	// pairs with finite upper bounds, plus binary clique cuts discovered by
+	// probing) at the root and at plunge leaves. Cut rows are appended to
+	// the problem during the search and truncated away before returning.
+	Cuts bool
+	// MaxCutRounds caps root cut-generation rounds (default 4).
+	MaxCutRounds int
+	// MaxCuts caps total cut rows per solve (default 200).
+	MaxCuts int
 	// LP are the options for each relaxation solve.
 	LP lp.Options
 	// WarmBasis, when non-nil, seeds the root relaxation with a basis from
@@ -198,6 +262,12 @@ func (o Options) withDefaults() Options {
 	if o.Gap <= 0 {
 		o.Gap = 1e-9
 	}
+	if o.MaxCutRounds <= 0 {
+		o.MaxCutRounds = 4
+	}
+	if o.MaxCuts <= 0 {
+		o.MaxCuts = 200
+	}
 	return o
 }
 
@@ -216,7 +286,9 @@ type boundFix struct {
 // root, plus the parent relaxation's optimal basis. The basis is shared
 // read-only between siblings (lp.Basis is immutable), so each child's
 // relaxation warm-starts from the parent — the bound fix leaves that basis
-// dual-feasible, which is what makes the dual simplex re-solve cheap.
+// dual-feasible, which is what makes the dual simplex re-solve cheap. When
+// cut rows were appended after the basis was captured, the pop path extends
+// it onto the grown problem with Basis.Extend.
 type node struct {
 	fixes []boundFix
 	basis *lp.Basis
@@ -224,6 +296,19 @@ type node struct {
 	// (0 for the root), recorded for the flight recorder's search-tree
 	// export. Ids are assigned in pop order, matching the node count.
 	parent int
+	// score is the parent relaxation's objective — a proven bound on this
+	// subtree (±Inf for the root). Best-first ordering, frontier pruning,
+	// the truncated-search BestBound, and pseudo-cost degradations all read
+	// it.
+	score float64
+	// seq is the frontier push sequence number, the deterministic heap
+	// tie-break.
+	seq int
+	// entity is the branching entity that created this node (binary
+	// position, or binary count + pair position; −1 for the root) and up
+	// its branch side, feeding pseudo-cost observations.
+	entity int
+	up     bool
 }
 
 // SolveWith runs branch and bound with explicit options.
@@ -246,6 +331,8 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 
 	var lpIters, incumbents, pruned, heurHits int
 	var warmNodes, warmFallbacks int
+	var cutsAdded int
+	var preStats PresolveStats
 	var rootBasis *lp.Basis
 	span := telemetry.StartSpan(nil, o.Span, "milp.solve")
 	finish := func(sol *Solution, err error) (*Solution, error) {
@@ -257,6 +344,8 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 			sol.WarmNodes = warmNodes
 			sol.WarmFallbacks = warmFallbacks
 			sol.RootBasis = rootBasis
+			sol.Cuts = cutsAdded
+			sol.Presolve = preStats
 		}
 		if m := o.Metrics; m != nil {
 			m.Counter("milp_solves_total").Inc()
@@ -264,6 +353,10 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 			m.Counter("milp_incumbents_total").Add(int64(incumbents))
 			m.Counter("milp_pruned_total").Add(int64(pruned))
 			m.Counter("milp_heuristic_hits_total").Add(int64(heurHits))
+			m.Counter("milp_cuts_total").Add(int64(cutsAdded))
+			m.Counter("milp_presolve_bounds_total").Add(int64(preStats.BoundsTightened))
+			m.Counter("milp_presolve_bigm_total").Add(int64(preStats.BigMTightened))
+			m.Counter("milp_presolve_fixed_total").Add(int64(preStats.BinariesFixed))
 			if sol != nil {
 				m.Counter("milp_nodes_total").Add(int64(sol.Nodes))
 				m.Histogram("milp_nodes", telemetry.NodeBuckets).Observe(float64(sol.Nodes))
@@ -333,7 +426,45 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 		incObj = *o.Incumbent
 	}
 
-	stack := []node{{basis: o.WarmBasis}}
+	// Presolve: bound propagation, big-M reduction, and binary probing on
+	// the live problem. Variable-bound tightenings restore through the
+	// touched map above; coefficient/RHS patches restore through their own
+	// deferred unpatch, so the caller's problem survives unchanged.
+	var pre *presolveResult
+	if o.Presolve {
+		pre = runPresolve(p, &o, touch)
+		preStats = pre.stats
+		defer pre.unpatch(p.Base)
+		if pre.infeasible {
+			sol := &Solution{Status: Infeasible}
+			if o.Incumbent != nil {
+				sol.BestBound = incObj
+			}
+			return finish(sol, nil)
+		}
+	}
+
+	// Cut state: candidate complementarity pairs with their post-presolve
+	// bound snapshot plus probing-discovered binary cliques. Appended cut
+	// rows are truncated away on every return path.
+	var ct *cutter
+	if o.Cuts {
+		ct = newCutter(p, pre, o.MaxCuts)
+		defer ct.restore(p.Base)
+	}
+
+	var pcosts *pseudoCosts
+	if o.PseudoCost {
+		pcosts = newPseudoCosts(len(p.binaries) + len(p.pairs))
+	}
+
+	rootScore := math.Inf(1)
+	if !maximize {
+		rootScore = math.Inf(-1)
+	}
+	f := newFrontier(o.NodeOrder, maximize)
+	f.push(node{basis: o.WarmBasis, score: rootScore, entity: -1})
+	strategy := o.NodeOrder.String()
 	nodes := 0
 	// Per-node flight/timing state. finishNode is called at every exit
 	// point of a node's iteration with the node's disposition; when both
@@ -359,6 +490,8 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 		ev.Parent = nodeParent
 		ev.Depth = nodeDepth
 		ev.Label = label
+		ev.Strategy = strategy
+		ev.Frontier = f.len()
 		ev.DurUS = dur.Microseconds()
 		if rel != nil {
 			ev.Bound = rel.Objective
@@ -388,25 +521,73 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 	// whole touched set from a map in nondeterministic order.
 	var applied []boundFix
 	undoApplied := func() error {
-		for _, f := range applied {
-			s := touched[f.j]
-			if err := p.Base.SetBounds(f.j, s.lo, s.hi); err != nil {
+		for _, fx := range applied {
+			s := touched[fx.j]
+			if err := p.Base.SetBounds(fx.j, s.lo, s.hi); err != nil {
 				return fmt.Errorf("milp: restoring bounds: %w", err)
 			}
 		}
 		applied = applied[:0]
 		return nil
 	}
-	for len(stack) > 0 {
-		if nodes >= o.MaxNodes {
-			return finish(truncated(incumbent, incObj, nodes), nil)
+	// pruneRef is the tighter of the local incumbent and the shared
+	// external bound; relGapTo normalizes a proven bound against the
+	// incumbent the way prune tolerances are normalized.
+	pruneRef := func() (float64, bool) {
+		ref, have := incObj, incumbent != nil || o.Incumbent != nil
+		if o.Bound != nil {
+			if b, ok := o.Bound.Bound(); ok && (!have || better(b, ref)) {
+				ref, have = b, true
+			}
 		}
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+		return ref, have
+	}
+	relGapTo := func(bound float64) float64 {
+		if incumbent == nil && o.Incumbent == nil {
+			return math.Inf(1)
+		}
+		g := bound - incObj
+		if !maximize {
+			g = incObj - bound
+		}
+		if g < 0 {
+			g = 0
+		}
+		return g / (1 + math.Abs(incObj))
+	}
+	for f.len() > 0 {
+		if nodes >= o.MaxNodes {
+			bound := f.bestBound()
+			if (incumbent != nil || o.Incumbent != nil) && better(incObj, bound) {
+				bound = incObj
+			}
+			sol := &Solution{Status: NodeLimit, Nodes: nodes, BestBound: bound, Gap: relGapTo(bound)}
+			if incumbent != nil {
+				sol.X = incumbent
+				sol.Objective = incObj
+			}
+			return finish(sol, nil)
+		}
+		cur, _ := f.pop()
 		nodes++
 		nodeID, nodeParent, nodeDepth = nodes, cur.parent, len(cur.fixes)
 		if timedNodes {
 			nodeStart = time.Now()
+		}
+
+		// Frontier prune: under bound-aware orders a popped node whose
+		// inherited bound cannot beat the incumbent (or the shared
+		// external bound) is discarded before any LP work. DFS keeps the
+		// historical solve-then-prune accounting.
+		if o.NodeOrder != OrderDFS {
+			if ref, have := pruneRef(); have {
+				gapTol := o.Gap * (1 + math.Abs(ref))
+				if maximize && cur.score <= ref+gapTol || !maximize && cur.score >= ref-gapTol {
+					pruned++
+					finishNode("pruned", nil)
+					continue
+				}
+			}
 		}
 
 		// Undo the previous node's fixes, then apply this node's.
@@ -430,7 +611,14 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 		}
 		nodeLP := o.LP
 		if warm {
-			nodeLP.WarmBasis = cur.basis
+			basis := cur.basis
+			if basis != nil && ct != nil {
+				// Cut rows may have been appended after this basis was
+				// captured; extend it onto the grown problem (nil on a
+				// shape mismatch → cold solve).
+				basis = basis.Extend(p.Base)
+			}
+			nodeLP.WarmBasis = basis
 		}
 		rel, err := lp.SolveWith(p.Base, nodeLP)
 		if rel != nil {
@@ -460,69 +648,135 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 			// bounded.
 			return finish(nil, fmt.Errorf("milp: node %d relaxation unbounded", nodes))
 		}
-		// Primal heuristic: let the caller round the relaxation point
-		// into a known-feasible incumbent.
-		if o.Heuristic != nil {
-			if hObj, hPoint, ok := o.Heuristic(rel.X); ok {
-				if incumbent == nil && o.Incumbent == nil || better(hObj, incObj) {
-					incObj = hObj
-					incumbent = append([]float64(nil), hPoint...)
-					incumbents++
-					heurHits++
-					recordIncumbent(hObj, "heuristic")
+
+		// Pseudo-cost learning: record the realized bound degradation
+		// from the parent relaxation to this one.
+		if pcosts != nil && cur.entity >= 0 && !math.IsInf(cur.score, 0) {
+			degr := cur.score - rel.Objective
+			if !maximize {
+				degr = -degr
+			}
+			if degr < 0 {
+				degr = 0
+			}
+			pcosts.observe(cur.entity, cur.up, degr)
+		}
+
+		if nodes == 1 {
+			// Root work: seed pair pseudo-costs from the root relaxation's
+			// complementarity-violation magnitudes, then run the root cut
+			// loop — generate violated cuts, re-solve the strengthened
+			// relaxation warm-started from the previous root basis, repeat
+			// until no cut fires or the round cap hits.
+			if pcosts != nil {
+				for pi, pr := range p.pairs {
+					if v := math.Min(rel.X[pr[0]], rel.X[pr[1]]); v > o.IntTol {
+						pcosts.seed(len(p.binaries)+pi, v)
+					}
+				}
+			}
+			if ct != nil {
+				infeasibleRoot := false
+				for r := 0; r < o.MaxCutRounds; r++ {
+					added := ct.generate(p.Base, rel.X)
+					if added == 0 {
+						break
+					}
+					cutsAdded += added
+					cutLP := o.LP
+					if warm {
+						cutLP.WarmBasis = rel.Basis.Extend(p.Base)
+					}
+					crel, cerr := lp.SolveWith(p.Base, cutLP)
+					if crel != nil {
+						lpIters += crel.Iterations
+					}
+					if cerr != nil {
+						return finish(nil, fmt.Errorf("milp: root cut round %d: %w", r+1, cerr))
+					}
+					if crel.Status == lp.Infeasible {
+						// Cuts hold for every feasible point, so a cut
+						// round proving infeasibility is conclusive.
+						infeasibleRoot = true
+						rel = crel
+						break
+					}
+					if crel.Status == lp.Unbounded {
+						return finish(nil, errors.New("milp: root relaxation unbounded after cuts"))
+					}
+					rel = crel
+				}
+				if infeasibleRoot {
+					finishNode("infeasible", rel)
+					continue
+				}
+			}
+
+			// Root primal heuristic: let the caller round the (cut-
+			// strengthened) root relaxation point into a known-feasible
+			// incumbent. Root-only on purpose: a per-node sweep would make
+			// the best offer depend on which nodes the chosen NodeOrder
+			// happens to visit before pruning, and with it the returned
+			// solution — the root point is the same under every strategy.
+			if o.Heuristic != nil {
+				if hObj, hPoint, ok := o.Heuristic(rel.X); ok {
+					if incumbent == nil && o.Incumbent == nil || better(hObj, incObj) {
+						incObj = hObj
+						incumbent = append([]float64(nil), hPoint...)
+						incumbents++
+						heurHits++
+						recordIncumbent(hObj, "heuristic")
+					}
 				}
 			}
 		}
 
 		// Bound pruning against the tighter of the local incumbent and
 		// the external shared bound (if any).
-		pruneRef, havePrune := incObj, incumbent != nil || o.Incumbent != nil
-		if o.Bound != nil {
-			if b, ok := o.Bound.Bound(); ok && (!havePrune || better(b, pruneRef)) {
-				pruneRef, havePrune = b, true
-			}
-		}
-		if havePrune {
-			gapTol := o.Gap * (1 + math.Abs(pruneRef))
-			if maximize && rel.Objective <= pruneRef+gapTol {
+		if ref, have := pruneRef(); have {
+			gapTol := o.Gap * (1 + math.Abs(ref))
+			if maximize && rel.Objective <= ref+gapTol || !maximize && rel.Objective >= ref-gapTol {
 				pruned++
-				finishNode("pruned", rel)
-				continue
-			}
-			if !maximize && rel.Objective >= pruneRef-gapTol {
-				pruned++
+				// A pruned node under DFS/hybrid ends a plunge on a
+				// fractional point — the cutter's second harvest site
+				// after the root.
+				if ct != nil && o.NodeOrder != OrderBestFirst && nodes > 1 {
+					cutsAdded += ct.generate(p.Base, rel.X)
+				}
 				finishNode("pruned", rel)
 				continue
 			}
 		}
 
-		// Pick a branching target.
-		bj := p.mostFractionalBinary(rel.X, o.IntTol)
-		pa, pb := p.mostViolatedPair(rel.X, o.IntTol)
-		switch {
-		case bj >= 0:
+		// Pick a branching entity: the most fractional binary first, else
+		// the most violated complementarity pair; pseudo-cost branching
+		// weights both by learned bound degradations.
+		be, bkind := p.selectBranch(rel.X, o.IntTol, pcosts)
+		switch bkind {
+		case branchBinary:
 			// Branch on the binary: floor child and ceil child, each
-			// warm-started from this node's optimal basis.
-			// Push the "round toward relaxation value" child last so
-			// DFS explores it first.
-			lo := cur.child(nodeID, rel.Basis, boundFix{bj, 0, 0})
-			hi := cur.child(nodeID, rel.Basis, boundFix{bj, 1, 1})
+			// warm-started from this node's optimal basis. The child that
+			// rounds toward the relaxation value is preferred (explored
+			// first under DFS, continues the plunge under hybrid).
+			bj := p.binaries[be]
+			lo := cur.child(nodeID, rel.Basis, boundFix{bj, 0, 0}, rel.Objective, be, false)
+			hi := cur.child(nodeID, rel.Basis, boundFix{bj, 1, 1}, rel.Objective, be, true)
 			if rel.X[bj] >= 0.5 {
-				stack = append(stack, lo, hi)
+				f.pushChildren(hi, lo)
 			} else {
-				stack = append(stack, hi, lo)
+				f.pushChildren(lo, hi)
 			}
 			finishNode("branch", rel)
-		case pa >= 0:
-			// Branch on the complementarity pair: fix one side to
-			// zero. Explore first the child that zeroes the smaller
-			// value.
-			ca := cur.child(nodeID, rel.Basis, boundFix{pa, 0, 0})
-			cb := cur.child(nodeID, rel.Basis, boundFix{pb, 0, 0})
-			if rel.X[pa] <= rel.X[pb] {
-				stack = append(stack, cb, ca)
+		case branchPair:
+			// Branch on the complementarity pair: fix one side to zero,
+			// preferring the child that zeroes the smaller value.
+			pr := p.pairs[be-len(p.binaries)]
+			ca := cur.child(nodeID, rel.Basis, boundFix{pr[0], 0, 0}, rel.Objective, be, false)
+			cb := cur.child(nodeID, rel.Basis, boundFix{pr[1], 0, 0}, rel.Objective, be, true)
+			if rel.X[pr[0]] <= rel.X[pr[1]] {
+				f.pushChildren(ca, cb)
 			} else {
-				stack = append(stack, ca, cb)
+				f.pushChildren(cb, ca)
 			}
 			finishNode("branch", rel)
 		default:
@@ -539,55 +793,81 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 		}
 	}
 	if incumbent == nil {
-		return finish(&Solution{Status: Infeasible, Nodes: nodes}, nil)
+		// Exhausted frontier with no incumbent: with a pruning seed that is
+		// a proof that nothing beats the seed, and the seed itself is the
+		// proven bound.
+		sol := &Solution{Status: Infeasible, Nodes: nodes}
+		if o.Incumbent != nil {
+			sol.BestBound = incObj
+		}
+		return finish(sol, nil)
 	}
-	return finish(&Solution{Status: Optimal, X: incumbent, Objective: incObj, Nodes: nodes}, nil)
-}
-
-// truncated builds the node-limit result.
-func truncated(x []float64, obj float64, nodes int) *Solution {
-	s := &Solution{Status: NodeLimit, Nodes: nodes}
-	if x != nil {
-		s.X = x
-		s.Objective = obj
-	}
-	return s
+	return finish(&Solution{
+		Status: Optimal, X: incumbent, Objective: incObj, Nodes: nodes,
+		BestBound: incObj, Gap: 0,
+	}, nil)
 }
 
 // child extends the fix list functionally (copy-on-write so siblings don't
-// alias) and records the parent relaxation's basis as the child's warm seed.
-func (n node) child(parent int, basis *lp.Basis, f boundFix) node {
+// alias), records the parent relaxation's basis as the child's warm seed, and
+// inherits the parent relaxation objective as the child's proven bound.
+func (n node) child(parent int, basis *lp.Basis, f boundFix, score float64, entity int, up bool) node {
 	fixes := make([]boundFix, len(n.fixes)+1)
 	copy(fixes, n.fixes)
 	fixes[len(n.fixes)] = f
-	return node{fixes: fixes, basis: basis, parent: parent}
+	return node{fixes: fixes, basis: basis, parent: parent, score: score, entity: entity, up: up}
 }
 
-// mostFractionalBinary returns the binary variable farthest from
-// integrality, or -1 when all are integral.
-func (p *Problem) mostFractionalBinary(x []float64, tol float64) int {
-	best, bestFrac := -1, tol
-	for _, j := range p.binaries {
+// Branch entity kinds returned by selectBranch.
+const (
+	branchNone = iota
+	branchBinary
+	branchPair
+)
+
+// selectBranch picks the branching entity for a relaxation point: binaries
+// (most fractional) take precedence over complementarity pairs (most
+// violated); with pseudo-costs the raw fractionality/violation is weighted by
+// the entity's learned degradation averages. Returns the entity index
+// (binary position, or binary count + pair position) and its kind, or
+// (-1, branchNone) when the point is integral and complementary.
+func (p *Problem) selectBranch(x []float64, tol float64, pc *pseudoCosts) (int, int) {
+	best, bestScore := -1, tol
+	for bi, j := range p.binaries {
 		frac := math.Abs(x[j] - math.Round(x[j]))
-		if frac > bestFrac {
-			best, bestFrac = j, frac
+		if frac <= tol {
+			continue
+		}
+		score := frac
+		if pc != nil {
+			score = pc.score(bi, frac)
+		}
+		if score > bestScore {
+			best, bestScore = bi, score
 		}
 	}
-	return best
-}
-
-// mostViolatedPair returns the complementarity pair with the largest
-// violation x_a·x_b, or (-1, -1) when all pairs are complementary.
-func (p *Problem) mostViolatedPair(x []float64, tol float64) (int, int) {
-	bestA, bestB := -1, -1
-	bestViol := tol
-	for _, pr := range p.pairs {
+	if best >= 0 {
+		return best, branchBinary
+	}
+	bestScore = tol
+	for pi, pr := range p.pairs {
 		v := math.Min(x[pr[0]], x[pr[1]])
-		if v > bestViol {
-			bestA, bestB, bestViol = pr[0], pr[1], v
+		if v <= tol {
+			continue
+		}
+		e := len(p.binaries) + pi
+		score := v
+		if pc != nil {
+			score = pc.score(e, v)
+		}
+		if score > bestScore {
+			best, bestScore = e, score
 		}
 	}
-	return bestA, bestB
+	if best >= 0 {
+		return best, branchPair
+	}
+	return -1, branchNone
 }
 
 func (p *Problem) isMaximize() bool {

@@ -1,0 +1,473 @@
+package milp
+
+import (
+	"math"
+
+	"github.com/edsec/edattack/internal/lp"
+)
+
+// Presolve tuning knobs. The pass is feasibility-based throughout — every
+// tightening preserves the full set of mixed-integer feasible points — so
+// these only trade work against tightening strength, never correctness.
+const (
+	// maxPresolveRounds caps the outer propagate→shrink-big-M iterations.
+	maxPresolveRounds = 4
+	// propagationRounds caps one propagation pass's sweeps to a fixpoint.
+	propagationRounds = 10
+	// probePropagationRounds caps the shallow propagation inside a probe.
+	probePropagationRounds = 3
+	// maxProbeBinaries disables probing on problems with more binaries than
+	// this (probing is quadratic-ish in the binary count).
+	maxProbeBinaries = 256
+	// presolveFeasTol is the relative slack below which a row proves
+	// infeasible under the current bounds.
+	presolveFeasTol = 1e-9
+	// presolveTightenTol is the minimum relative improvement worth keeping.
+	presolveTightenTol = 1e-7
+	// presolveMargin relaxes every accepted bound outward, so accumulated
+	// floating-point error in activity sums can never cut off a feasible
+	// vertex.
+	presolveMargin = 1e-9
+	// bigMPatternTol recognizes the rhs patterns of big-M indicator rows.
+	bigMPatternTol = 1e-9
+)
+
+// coeffPatch/rhsPatch record a big-M shrink applied to the live problem so
+// unpatch can restore the caller's coefficients exactly.
+type coeffPatch struct {
+	row, col int
+	old      float64
+}
+
+type rhsPatch struct {
+	row int
+	old float64
+}
+
+// presolveResult carries everything the search needs from the tightening
+// pass: the propagated variable bounds (globally valid, read by the cutter),
+// probing-discovered binary conflict cliques, an infeasibility proof if one
+// surfaced, and the patch log for restoring the problem on exit.
+type presolveResult struct {
+	stats      PresolveStats
+	infeasible bool
+	lo, hi     []float64
+	cliques    [][2]int
+	coeffs     []coeffPatch
+	rhss       []rhsPatch
+}
+
+// unpatch restores every big-M coefficient and rhs shrink, newest first.
+func (pr *presolveResult) unpatch(base *lp.Problem) {
+	for i := len(pr.coeffs) - 1; i >= 0; i-- {
+		c := pr.coeffs[i]
+		_ = base.SetConstraintCoeff(c.row, c.col, c.old)
+	}
+	for i := len(pr.rhss) - 1; i >= 0; i-- {
+		r := pr.rhss[i]
+		_ = base.SetConstraintRHS(r.row, r.old)
+	}
+}
+
+// prow is a presolve-local snapshot of one constraint row.
+type prow struct {
+	rel lp.Relation
+	rhs float64
+	ind []int
+	val []float64
+}
+
+func snapshotRows(base *lp.Problem) []prow {
+	rows := make([]prow, base.NumConstraints())
+	for i := range rows {
+		rel, rhs, nnz := base.RowInfo(i)
+		r := prow{rel: rel, rhs: rhs, ind: make([]int, 0, nnz), val: make([]float64, 0, nnz)}
+		base.VisitRow(i, func(j int, v float64) {
+			r.ind = append(r.ind, j)
+			r.val = append(r.val, v)
+		})
+		rows[i] = r
+	}
+	return rows
+}
+
+// runPresolve tightens the live problem before the search:
+//
+//  1. interval bound propagation over all rows (equalities propagate in
+//     both directions), with binaries clamped to integrality;
+//  2. per-row big-M coefficient reduction — indicator rows of the forms
+//     c·x − M·μ ≤ 0 (x ≤ (M/c)·μ) and c·x + M·μ ≤ M (x ≤ (M/c)(1−μ))
+//     shrink M to c·U once propagation proves x ≤ U < M/c, which is what
+//     keeps the big-M route away from the saturation watchdog;
+//  3. binary probing: each side of every binary is tentatively fixed and
+//     shallowly propagated — an infeasible side fixes the binary the other
+//     way, two infeasible sides prove the problem infeasible, and a probe
+//     that forces another binary to zero records a conflict clique for the
+//     cut generator.
+//
+// Variable-bound tightenings are applied to the live problem through the
+// caller's touch hook (restored by the caller's bound-restore defer);
+// coefficient and rhs patches restore through unpatch.
+func runPresolve(p *Problem, o *Options, touch func(int)) *presolveResult {
+	base := p.Base
+	n := base.NumVars()
+	pr := &presolveResult{lo: make([]float64, n), hi: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		pr.lo[j], pr.hi[j] = base.Bounds(j)
+	}
+	binSet := make([]bool, n)
+	for _, j := range p.binaries {
+		binSet[j] = true
+	}
+	rows := snapshotRows(base)
+
+	for round := 0; round < maxPresolveRounds; round++ {
+		pr.stats.Rounds++
+		t, infeas := propagate(rows, pr.lo, pr.hi, binSet, propagationRounds)
+		pr.stats.BoundsTightened += t
+		if infeas {
+			pr.infeasible = true
+			return pr
+		}
+		patched := tightenBigM(base, rows, pr, binSet)
+		pr.stats.BigMTightened += patched
+		if patched == 0 {
+			break
+		}
+	}
+
+	probeBinaries(p, rows, pr, binSet)
+	if pr.infeasible {
+		return pr
+	}
+	if pr.stats.BinariesFixed > 0 {
+		t, infeas := propagate(rows, pr.lo, pr.hi, binSet, propagationRounds)
+		pr.stats.BoundsTightened += t
+		if infeas {
+			pr.infeasible = true
+			return pr
+		}
+	}
+
+	for j := 0; j < n; j++ {
+		lo0, hi0 := base.Bounds(j)
+		if pr.lo[j] > pr.hi[j] {
+			// Crossed within tolerance (a larger crossing would have
+			// reported infeasible): collapse to a point.
+			pr.lo[j] = pr.hi[j]
+		}
+		if pr.lo[j] > lo0 || pr.hi[j] < hi0 {
+			touch(j)
+			_ = base.SetBounds(j, pr.lo[j], pr.hi[j])
+		}
+	}
+	return pr
+}
+
+// propagate sweeps interval bound propagation over the rows until a fixpoint
+// or maxRounds, tightening lo/hi in place. Returns the number of bound
+// improvements and whether some row proved infeasible under current bounds.
+func propagate(rows []prow, lo, hi []float64, binSet []bool, maxRounds int) (int, bool) {
+	tightened := 0
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for i := range rows {
+			r := &rows[i]
+			// Activity bounds with infinity counting: minAct/maxAct sum
+			// the finite contributions; the counters track how many
+			// entries contribute ±Inf and where the single one sits.
+			var minAct, maxAct float64
+			nMinInf, nMaxInf := 0, 0
+			minInfAt, maxInfAt := -1, -1
+			for k, j := range r.ind {
+				v := r.val[k]
+				cmin, cmax := v*lo[j], v*hi[j]
+				if v < 0 {
+					cmin, cmax = cmax, cmin
+				}
+				if math.IsInf(cmin, -1) {
+					nMinInf++
+					minInfAt = k
+				} else {
+					minAct += cmin
+				}
+				if math.IsInf(cmax, 1) {
+					nMaxInf++
+					maxInfAt = k
+				} else {
+					maxAct += cmax
+				}
+			}
+			if r.rel == lp.LE || r.rel == lp.EQ { // ax ≤ rhs direction
+				if nMinInf == 0 && minAct > r.rhs+presolveFeasTol*(1+math.Abs(r.rhs)) {
+					return tightened, true
+				}
+				for k, j := range r.ind {
+					v := r.val[k]
+					var others float64
+					switch nMinInf {
+					case 0:
+						cmin := v * lo[j]
+						if v < 0 {
+							cmin = v * hi[j]
+						}
+						others = minAct - cmin
+					case 1:
+						if minInfAt != k {
+							continue
+						}
+						others = minAct
+					default:
+						continue
+					}
+					b := (r.rhs - others) / v
+					var ch, inf bool
+					if v > 0 {
+						ch, inf = tightenHi(j, b, lo, hi, binSet)
+					} else {
+						ch, inf = tightenLo(j, b, lo, hi, binSet)
+					}
+					if inf {
+						return tightened, true
+					}
+					if ch {
+						tightened++
+						changed = true
+					}
+				}
+			}
+			if r.rel == lp.GE || r.rel == lp.EQ { // ax ≥ rhs direction
+				if nMaxInf == 0 && maxAct < r.rhs-presolveFeasTol*(1+math.Abs(r.rhs)) {
+					return tightened, true
+				}
+				for k, j := range r.ind {
+					v := r.val[k]
+					var others float64
+					switch nMaxInf {
+					case 0:
+						cmax := v * hi[j]
+						if v < 0 {
+							cmax = v * lo[j]
+						}
+						others = maxAct - cmax
+					case 1:
+						if maxInfAt != k {
+							continue
+						}
+						others = maxAct
+					default:
+						continue
+					}
+					b := (r.rhs - others) / v
+					var ch, inf bool
+					if v > 0 {
+						ch, inf = tightenLo(j, b, lo, hi, binSet)
+					} else {
+						ch, inf = tightenHi(j, b, lo, hi, binSet)
+					}
+					if inf {
+						return tightened, true
+					}
+					if ch {
+						tightened++
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return tightened, false
+}
+
+// tightenHi lowers hi[j] to b when that is a meaningful improvement,
+// clamping binaries to integrality and relaxing continuous bounds outward by
+// presolveMargin. Reports (improved, infeasible-crossing).
+func tightenHi(j int, b float64, lo, hi []float64, binSet []bool) (bool, bool) {
+	if math.IsInf(b, 1) || math.IsNaN(b) {
+		return false, false
+	}
+	if binSet[j] {
+		if b >= 1-1e-6 || hi[j] < 0.5 {
+			return false, false
+		}
+		if b < -1e-6 {
+			return false, true
+		}
+		hi[j] = 0
+		return true, false
+	}
+	b += presolveMargin * (1 + math.Abs(b))
+	if b >= hi[j]-presolveTightenTol*(1+math.Abs(hi[j])) {
+		return false, false
+	}
+	if b < lo[j]-presolveFeasTol*(1+math.Abs(lo[j])) {
+		return false, true
+	}
+	if b < lo[j] {
+		b = lo[j]
+	}
+	hi[j] = b
+	return true, false
+}
+
+// tightenLo raises lo[j] to b; mirror of tightenHi.
+func tightenLo(j int, b float64, lo, hi []float64, binSet []bool) (bool, bool) {
+	if math.IsInf(b, -1) || math.IsNaN(b) {
+		return false, false
+	}
+	if binSet[j] {
+		if b <= 1e-6 || lo[j] > 0.5 {
+			return false, false
+		}
+		if b > 1+1e-6 {
+			return false, true
+		}
+		lo[j] = 1
+		return true, false
+	}
+	b -= presolveMargin * (1 + math.Abs(b))
+	if b <= lo[j]+presolveTightenTol*(1+math.Abs(lo[j])) {
+		return false, false
+	}
+	if b > hi[j]+presolveFeasTol*(1+math.Abs(hi[j])) {
+		return false, true
+	}
+	if b > hi[j] {
+		b = hi[j]
+	}
+	lo[j] = b
+	return true, false
+}
+
+// tightenBigM shrinks big-M indicator coefficients to the propagated
+// variable bounds, patching both the local row snapshot and the live
+// problem. Two-nonzero LE rows coupling one continuous variable x (coeff
+// c > 0) with one binary μ match either
+//
+//	c·x − M·μ ≤ 0   (x ≤ (M/c)·μ)      → M shrinks to c·U, or
+//	c·x + M·μ ≤ M   (x ≤ (M/c)(1−μ))   → M and rhs shrink to c·U,
+//
+// where U is x's propagated upper bound. Both rewrites keep the exact same
+// mixed-integer feasible set: at μ = 1 (resp. μ = 0) the row relaxes to
+// x ≤ U, already implied by the variable bound, and on the other side it is
+// unchanged.
+func tightenBigM(base *lp.Problem, rows []prow, pr *presolveResult, binSet []bool) int {
+	patched := 0
+	for i := range rows {
+		r := &rows[i]
+		if r.rel != lp.LE || len(r.ind) != 2 {
+			continue
+		}
+		xi, bi := -1, -1
+		for k, j := range r.ind {
+			if binSet[j] {
+				bi = k
+			} else {
+				xi = k
+			}
+		}
+		if xi < 0 || bi < 0 {
+			continue
+		}
+		c, d := r.val[xi], r.val[bi]
+		x, b := r.ind[xi], r.ind[bi]
+		if c <= 0 {
+			continue
+		}
+		U := pr.hi[x]
+		if math.IsInf(U, 1) || U < 0 {
+			continue
+		}
+		const shrink = 1 - 1e-9
+		switch {
+		case d < 0 && math.Abs(r.rhs) <= bigMPatternTol:
+			if c*U >= -d*shrink {
+				continue
+			}
+			if base.SetConstraintCoeff(i, b, -c*U) != nil {
+				continue
+			}
+			pr.coeffs = append(pr.coeffs, coeffPatch{i, b, d})
+			r.val[bi] = -c * U
+			patched++
+		case d > 0 && math.Abs(r.rhs-d) <= bigMPatternTol*(1+math.Abs(d)):
+			if c*U >= d*shrink {
+				continue
+			}
+			if base.SetConstraintCoeff(i, b, c*U) != nil {
+				continue
+			}
+			pr.coeffs = append(pr.coeffs, coeffPatch{i, b, d})
+			pr.rhss = append(pr.rhss, rhsPatch{i, r.rhs})
+			_ = base.SetConstraintRHS(i, c*U)
+			r.val[bi] = c * U
+			r.rhs = c * U
+			patched++
+		}
+	}
+	return patched
+}
+
+// probeBinaries tentatively fixes each side of every unfixed binary and
+// propagates shallowly. An infeasible side fixes the binary the other way;
+// two infeasible sides prove the problem infeasible; a 1-probe that forces
+// another binary to zero records a conflict clique (μ_a + μ_b ≤ 1) for the
+// cut generator.
+func probeBinaries(p *Problem, rows []prow, pr *presolveResult, binSet []bool) {
+	if len(p.binaries) == 0 || len(p.binaries) > maxProbeBinaries {
+		return
+	}
+	n := len(pr.lo)
+	sLo, sHi := make([]float64, n), make([]float64, n)
+	probe := func(j int, v float64) (bool, []int) {
+		copy(sLo, pr.lo)
+		copy(sHi, pr.hi)
+		sLo[j], sHi[j] = v, v
+		if _, infeas := propagate(rows, sLo, sHi, binSet, probePropagationRounds); infeas {
+			return true, nil
+		}
+		var forcedZero []int
+		if v == 1 {
+			for _, ob := range p.binaries {
+				if ob != j && sHi[ob] < 0.5 && pr.hi[ob] >= 0.5 {
+					forcedZero = append(forcedZero, ob)
+				}
+			}
+		}
+		return false, forcedZero
+	}
+	seen := make(map[[2]int]bool)
+	for _, j := range p.binaries {
+		if pr.lo[j] >= pr.hi[j] {
+			continue // already fixed
+		}
+		inf0, _ := probe(j, 0)
+		inf1, forced := probe(j, 1)
+		switch {
+		case inf0 && inf1:
+			pr.infeasible = true
+			return
+		case inf0:
+			pr.lo[j], pr.hi[j] = 1, 1
+			pr.stats.BinariesFixed++
+		case inf1:
+			pr.lo[j], pr.hi[j] = 0, 0
+			pr.stats.BinariesFixed++
+		default:
+			for _, ob := range forced {
+				a, b := j, ob
+				if a > b {
+					a, b = b, a
+				}
+				key := [2]int{a, b}
+				if !seen[key] {
+					seen[key] = true
+					pr.cliques = append(pr.cliques, key)
+				}
+			}
+		}
+	}
+}

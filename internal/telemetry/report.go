@@ -97,12 +97,31 @@ func (r *Report) LargestTree() *SearchTree {
 }
 
 func (t *SearchTree) title() string {
-	return fmt.Sprintf("target %d dir %+d round %d — %d nodes", t.Target, t.Dir, t.Round, len(t.Nodes))
+	s := fmt.Sprintf("target %d dir %+d round %d — %d nodes", t.Target, t.Dir, t.Round, len(t.Nodes))
+	if st := t.Strategy(); st != "" {
+		s += " (" + st + ")"
+	}
+	return s
+}
+
+// Strategy returns the node-selection strategy the solve ran under, taken
+// from the first node event that recorded one ("" for pre-strategy dumps).
+func (t *SearchTree) Strategy() string {
+	for _, ev := range t.Nodes {
+		if ev.Strategy != "" {
+			return ev.Strategy
+		}
+	}
+	return ""
 }
 
 // WriteDOT renders the tree in Graphviz DOT: one box per node with its
-// bound, pivot count, and warm/cold marker, colored by disposition
-// (incumbents green, pruned gray, infeasible red).
+// bound, pivot count, warm/cold marker, and open-frontier size, colored by
+// disposition (incumbents green, pruned gray, infeasible red). Edges where
+// the child was popped immediately after its parent (a continuing plunge)
+// are solid; edges where the search later hopped back to the child from the
+// frontier are dashed — under best-first and hybrid orders this makes the
+// pop schedule readable from the drawing.
 func (t *SearchTree) WriteDOT(w io.Writer) error {
 	var err error
 	p := func(format string, args ...any) {
@@ -120,6 +139,9 @@ func (t *SearchTree) WriteDOT(w io.Writer) error {
 		}
 		label := fmt.Sprintf("#%d d%d %s\\nbound %.4g\\n%d pivots %s",
 			ev.Node, ev.Depth, ev.Label, ev.Bound, ev.Pivots, start)
+		if ev.Strategy != "" {
+			label += fmt.Sprintf("\\nfrontier %d", ev.Frontier)
+		}
 		color := "black"
 		switch ev.Label {
 		case "incumbent", "integral":
@@ -131,7 +153,11 @@ func (t *SearchTree) WriteDOT(w io.Writer) error {
 		}
 		p("  n%d [label=\"%s\", color=%s];\n", ev.Node, label, color)
 		if ev.Parent > 0 {
-			p("  n%d -> n%d;\n", ev.Parent, ev.Node)
+			style := ""
+			if ev.Node != ev.Parent+1 {
+				style = " [style=dashed]"
+			}
+			p("  n%d -> n%d%s;\n", ev.Parent, ev.Node, style)
 		}
 	}
 	p("}\n")

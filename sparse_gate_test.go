@@ -11,10 +11,12 @@ import (
 // sparseGateOpts mirrors warmGateOpts' budgets but leaves engine selection
 // to the default heuristic: the case118 KKT relaxations (~180 rows) land on
 // the sparse revised simplex, while the tiny case9/30/57 systems (≲40 rows)
-// stay on the dense tableau, which is faster at that size. Run via
-// make bench-sparse (part of make check).
+// stay on the dense tableau, which is faster at that size. NoDive keeps the
+// A/B on the engines' KKT searches (the dive/polish layer would add
+// identical dispatch work to both sides and swamp the wall comparison). Run
+// via make bench-sparse (part of make check).
 func sparseGateOpts() edattack.AttackOptions {
-	return edattack.AttackOptions{MaxNodes: 40, RelGap: 1e-3}
+	return edattack.AttackOptions{MaxNodes: 40, RelGap: 1e-3, NoDive: true}
 }
 
 // TestSparseGateIdenticalAttacks is the sparse-engine correctness gate on
@@ -164,8 +166,12 @@ func TestSparseGateCase118(t *testing.T) {
 		t.Errorf("sparse wall %.0fms did not beat the recorded dense sequential wall %.0fms",
 			wallMs, rec.WallMsSequential)
 	}
-	if rec.SparseSpeedup < 2 {
-		t.Errorf("recorded sparse speedup %.2f× < 2× over the dense baseline — rerun BENCH_SOLVER=1 go test -run TestRecordSolverBaseline",
+	// 1.5× floor: since the incumbent heuristic moved to the root node the
+	// dense baseline no longer pays a per-node true-dispatch solve, so the
+	// engines are compared on raw KKT pivoting alone and the honest gap on
+	// this machine is ~1.6×.
+	if rec.SparseSpeedup < 1.5 {
+		t.Errorf("recorded sparse speedup %.2f× < 1.5× over the dense baseline — rerun BENCH_SOLVER=1 go test -run TestRecordSolverBaseline",
 			rec.SparseSpeedup)
 	}
 	t.Logf("case118 budgeted sparse: %d iterations, %d FTRAN, %d BTRAN, %d refactorizations, gain %.6f%%, %.0fms live (recorded %.2f× vs dense)",
