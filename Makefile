@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: check vet build test race telemetry parallel bench bench-workers bench-baseline bench-warmstart bench-sparse bench-flight bench-sweep bench-sweep-baseline bench-milp bench-milp-baseline clean
+.PHONY: check vet build test race telemetry parallel bench bench-workers bench-baseline bench-warmstart bench-sparse bench-flight bench-sweep bench-sweep-baseline bench-milp bench-milp-baseline bench-serve bench-serve-baseline clean
 
 ## check: full PR gate — vet, build, race-enabled tests, a doubled run of
 ## the telemetry suite (span/journal determinism under repetition), the
 ## concurrency-path determinism tests under the race detector, and the
-## warm-start, sparse-engine, flight-recorder, scenario-sweep, and MILP
-## scaling regression gates.
-check: vet build race telemetry parallel bench-warmstart bench-sparse bench-flight bench-sweep bench-milp
+## warm-start, sparse-engine, flight-recorder, scenario-sweep, MILP
+## scaling, and serving regression gates.
+check: vet build race telemetry parallel bench-warmstart bench-sparse bench-flight bench-sweep bench-milp bench-serve
 
 vet:
 	$(GO) vet ./...
@@ -29,7 +29,7 @@ telemetry:
 ## parallel: the worker-pool and worker-count-determinism tests under the
 ## race detector (short mode keeps the 118-bus sweep out of the gate).
 parallel:
-	$(GO) test -race -short -run 'TestEach|TestResolve|TestFindOptimalAttackDeterministicAcrossWorkers|TestGreedyAndRandomDeterministicAcrossWorkers|TestScreenParallel|TestRunTimeSeriesWorkers' ./internal/par/ ./internal/core/ ./internal/contingency/ .
+	$(GO) test -race -short -run 'TestEach|TestResolve|TestFindOptimalAttackDeterministicAcrossWorkers|TestGreedyAndRandomDeterministicAcrossWorkers|TestScreenParallel|TestRunTimeSeriesWorkers|TestCacheConcurrentGet|TestServeConcurrentSameTopology' ./internal/par/ ./internal/core/ ./internal/contingency/ ./internal/sweep/ ./internal/serve/ .
 
 ## bench: the paper-experiment and substrate benchmarks.
 bench:
@@ -93,6 +93,20 @@ bench-milp:
 ## (BENCH_milp.json) across case9..grow300.
 bench-milp-baseline:
 	BENCH_MILP=1 $(GO) test -run TestRecordMILPBaseline -timeout 30m .
+
+## bench-serve: the attack-as-a-service gate — the recorded case118
+## warm-cache repeat attack must be ≥2× faster than the cold first request
+## (live asserted at a noise-tolerant backstop), served attacks must be
+## bit-identical to the one-shot library path, deadline-cancelled requests
+## must answer within 100ms of their deadline, and Close must reclaim the
+## worker pool with no goroutine leak.
+bench-serve:
+	$(GO) test -run 'TestServeGate|TestServeEvaluateMissingDLRBoundsGate' -count=1 -timeout 20m -v .
+
+## bench-serve-baseline: re-record the serving-layer latency baseline
+## (BENCH_serve.json) on case118.
+bench-serve-baseline:
+	BENCH_SERVE=1 $(GO) test -run TestRecordServeBaseline -timeout 20m .
 
 clean:
 	$(GO) clean ./...

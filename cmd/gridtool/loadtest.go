@@ -1,0 +1,307 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	edattack "github.com/edsec/edattack"
+)
+
+// loadtestCmd drives an edserve daemon with an open-loop arrival process: a
+// fixed request schedule fired regardless of completions, so the daemon's
+// admission control — not the client — absorbs overload. The mix weights
+// pick each arrival's request kind from a seeded stream, making a run
+// reproducible end to end.
+func loadtestCmd(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ContinueOnError)
+	url := fs.String("url", "http://localhost:8787", "edserve base URL")
+	caseName := fs.String("case", "case9", "benchmark case the requests target")
+	rps := fs.Float64("rps", 10, "open-loop arrival rate, requests/second")
+	duration := fs.Duration("duration", 10*time.Second, "generation window")
+	mix := fs.String("mix", "evaluate=8,sweep=1,attack=1", "request-kind weights")
+	draws := fs.Int("draws", 16, "Monte-Carlo draws per sweep request")
+	deadlineMS := fs.Int("deadline-ms", 0, "per-request deadline (0 = server default)")
+	seed := fs.Int64("seed", 1, "mix and payload sampling seed")
+	out := fs.String("o", "", "also write the report as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	weights, err := parseMix(*mix)
+	if err != nil {
+		return err
+	}
+	bodies, err := loadtestBodies(*caseName, *draws, *deadlineMS)
+	if err != nil {
+		return err
+	}
+
+	n := int(*rps * duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	interval := time.Duration(float64(time.Second) / *rps)
+	rng := rand.New(rand.NewSource(*seed))
+	kinds := make([]string, n)
+	for i := range kinds {
+		kinds[i] = pickKind(rng, weights)
+	}
+
+	fmt.Printf("loadtest: %d requests at %.1f rps against %s (%s, mix %s)\n",
+		n, *rps, *url, *caseName, *mix)
+	client := &http.Client{}
+	results := make([]shotResult, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		// Open loop: sleep to the schedule, never await completions.
+		if wait := time.Until(start.Add(time.Duration(i) * interval)); wait > 0 {
+			time.Sleep(wait)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = fire(client, *url, kinds[i], bodies[kinds[i]])
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := summarize(results, elapsed)
+	printLoadReport(rep)
+	if *out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+// parseMix parses "evaluate=8,sweep=1,attack=1" into ordered weights.
+func parseMix(s string) ([]kindWeight, error) {
+	var out []kindWeight
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad mix entry %q (want kind=weight)", part)
+		}
+		switch kv[0] {
+		case "attack", "evaluate", "sweep":
+		default:
+			return nil, fmt.Errorf("unknown request kind %q in mix", kv[0])
+		}
+		w, err := strconv.Atoi(kv[1])
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", kv[1])
+		}
+		if w > 0 {
+			out = append(out, kindWeight{kv[0], w})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mix %q selects no requests", s)
+	}
+	return out, nil
+}
+
+type kindWeight struct {
+	kind   string
+	weight int
+}
+
+func pickKind(rng *rand.Rand, weights []kindWeight) string {
+	total := 0
+	for _, w := range weights {
+		total += w.weight
+	}
+	r := rng.Intn(total)
+	for _, w := range weights {
+		if r < w.weight {
+			return w.kind
+		}
+		r -= w.weight
+	}
+	return weights[len(weights)-1].kind
+}
+
+// loadtestBodies builds one request body per kind. The evaluate payload
+// inflates every DLR line's static rating 5% — in band for all benchmark
+// cases — so the request exercises the full dispatch path.
+func loadtestBodies(caseName string, draws, deadlineMS int) (map[string][]byte, error) {
+	net, err := edattack.LoadCase(caseName)
+	if err != nil {
+		return nil, err
+	}
+	dlr := map[string]float64{}
+	for _, li := range net.DLRLines() {
+		dlr[strconv.Itoa(li)] = net.Lines[li].RateMVA * 1.05
+	}
+	mk := func(m map[string]any) []byte {
+		if deadlineMS > 0 {
+			m["deadline_ms"] = deadlineMS
+		}
+		buf, _ := json.Marshal(m)
+		return buf
+	}
+	return map[string][]byte{
+		"attack":   mk(map[string]any{"case": caseName}),
+		"evaluate": mk(map[string]any{"case": caseName, "dlr": dlr}),
+		"sweep": mk(map[string]any{
+			"case": caseName, "hours": []float64{0, 12}, "magnitudes": []float64{0, 0.2},
+			"draws": draws, "seed": 1,
+		}),
+	}, nil
+}
+
+type shotResult struct {
+	kind     string
+	status   int
+	ok       bool
+	errEvent string
+	wall     time.Duration
+}
+
+// fire posts one request and drains its NDJSON stream to completion; wall
+// time covers the full stream, matching what a real client experiences.
+func fire(client *http.Client, base, kind string, body []byte) shotResult {
+	start := time.Now()
+	res := shotResult{kind: kind}
+	resp, err := client.Post(base+"/v1/"+kind, "application/json", bytes.NewReader(body))
+	if err != nil {
+		res.errEvent = err.Error()
+		return res
+	}
+	defer resp.Body.Close()
+	res.status = resp.StatusCode
+	if resp.StatusCode != http.StatusOK {
+		res.wall = time.Since(start)
+		return res
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Event string `json:"event"`
+			Code  string `json:"code"`
+		}
+		if json.Unmarshal(sc.Bytes(), &ev) == nil {
+			switch ev.Event {
+			case "result":
+				res.ok = true
+			case "error":
+				res.errEvent = ev.Code
+			}
+		}
+	}
+	res.wall = time.Since(start)
+	return res
+}
+
+// LoadReport is the loadtest summary written by -o.
+type LoadReport struct {
+	Requests  int                    `json:"requests"`
+	Succeeded int                    `json:"succeeded"`
+	Rejected  int                    `json:"rejected_429"`
+	Errors    int                    `json:"errors"`
+	Seconds   float64                `json:"seconds"`
+	RPS       float64                `json:"achieved_rps"`
+	Kinds     map[string]KindSummary `json:"kinds"`
+	ErrCodes  map[string]int         `json:"error_codes,omitempty"`
+}
+
+// KindSummary is the per-request-kind latency digest.
+type KindSummary struct {
+	Requests  int     `json:"requests"`
+	Succeeded int     `json:"succeeded"`
+	P50MS     float64 `json:"p50_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	MaxMS     float64 `json:"max_ms"`
+}
+
+func summarize(results []shotResult, elapsed time.Duration) *LoadReport {
+	rep := &LoadReport{
+		Requests: len(results),
+		Seconds:  elapsed.Seconds(),
+		Kinds:    map[string]KindSummary{},
+		ErrCodes: map[string]int{},
+	}
+	byKind := map[string][]shotResult{}
+	for _, r := range results {
+		byKind[r.kind] = append(byKind[r.kind], r)
+		switch {
+		case r.ok:
+			rep.Succeeded++
+		case r.status == http.StatusTooManyRequests:
+			rep.Rejected++
+		default:
+			rep.Errors++
+			if r.errEvent != "" {
+				rep.ErrCodes[r.errEvent]++
+			}
+		}
+	}
+	if rep.Seconds > 0 {
+		rep.RPS = float64(rep.Succeeded) / rep.Seconds
+	}
+	for kind, rs := range byKind {
+		var lat []float64
+		ks := KindSummary{Requests: len(rs)}
+		for _, r := range rs {
+			if r.ok {
+				ks.Succeeded++
+				lat = append(lat, r.wall.Seconds()*1e3)
+			}
+		}
+		sort.Float64s(lat)
+		ks.P50MS = percentile(lat, 0.50)
+		ks.P99MS = percentile(lat, 0.99)
+		if len(lat) > 0 {
+			ks.MaxMS = lat[len(lat)-1]
+		}
+		rep.Kinds[kind] = ks
+	}
+	return rep
+}
+
+// percentile reads a sorted sample with the nearest-rank rule.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func printLoadReport(rep *LoadReport) {
+	fmt.Printf("done in %.1fs: %d ok, %d rejected (429), %d errors — %.1f successful rps\n",
+		rep.Seconds, rep.Succeeded, rep.Rejected, rep.Errors, rep.RPS)
+	kinds := make([]string, 0, len(rep.Kinds))
+	for k := range rep.Kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		ks := rep.Kinds[k]
+		fmt.Printf("  %-8s %4d sent, %4d ok: p50 %.1f ms, p99 %.1f ms, max %.1f ms\n",
+			k, ks.Requests, ks.Succeeded, ks.P50MS, ks.P99MS, ks.MaxMS)
+	}
+	for code, n := range rep.ErrCodes {
+		fmt.Printf("  error %q ×%d\n", code, n)
+	}
+}

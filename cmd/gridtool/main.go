@@ -7,9 +7,10 @@
 //	gridtool -case case9 [-exp info|dcpf|acpf|ed|robust] [-margin 0.05]
 //	gridtool report [-case case118] [-nodes 40] [-flight flight.json] [-html] [-o report.md]
 //	gridtool tree [-case case118] [-target L -dir ±1] [-json] [-o tree.dot]
-//	gridtool benchdiff [-tol 10] [-bench solver|sweep|milp] old.json new.json
+//	gridtool benchdiff [-tol 10] [-bench solver|sweep|milp|serve] old.json new.json
 //	gridtool sweep [-case case118] [-draws 64] [-mag-max 0.4] [-seed 1] [-format json|csv] [-o surface.json]
 //	gridtool growgrid [-buses 300] [-seed 300] [-dlr 12] [-format info|matpower] [-o case.m]
+//	gridtool loadtest [-url http://localhost:8787] [-rps 10] [-duration 10s] [-mix evaluate=8,sweep=1,attack=1]
 package main
 
 import (
@@ -32,6 +33,7 @@ var subcommands = map[string]func(args []string) error{
 	"benchdiff": benchdiffCmd,
 	"sweep":     sweepCmd,
 	"growgrid":  growgridCmd,
+	"loadtest":  loadtestCmd,
 }
 
 func main() {

@@ -272,6 +272,19 @@ type milpBenchRecord struct {
 	WallMs            float64 `json:"wall_ms"`
 }
 
+// serveBenchRecord mirrors the per-case record of BENCH_serve.json: the
+// attack-as-a-service latency baseline recorded by TestRecordServeBaseline.
+type serveBenchRecord struct {
+	Case            string  `json:"case"`
+	ColdAttackMS    float64 `json:"cold_attack_ms"`
+	WarmAttackP50MS float64 `json:"warm_attack_p50_ms"`
+	WarmSpeedup     float64 `json:"warm_speedup"`
+	WarmHitRate     float64 `json:"warm_hit_rate"`
+	EvaluateP50MS   float64 `json:"evaluate_p50_ms"`
+	EvaluateP99MS   float64 `json:"evaluate_p99_ms"`
+	EvaluateRPS     float64 `json:"evaluate_rps"`
+}
+
 // sweepBenchRecord mirrors the per-case record of BENCH_sweep.json: the
 // batched scenario-evaluation throughput baseline.
 type sweepBenchRecord struct {
@@ -301,7 +314,8 @@ func loadBenchRaw(path string) ([]json.RawMessage, error) {
 
 // benchSchema sniffs which baseline schema a records file carries: sweep
 // baselines carry scenarios_per_sec, MILP scaling baselines carry
-// best_bound_pct, and solver baselines carry neither.
+// best_bound_pct, serving baselines carry warm_attack_p50_ms, and solver
+// baselines carry none of those.
 func benchSchema(records []json.RawMessage) string {
 	for _, r := range records {
 		var probe map[string]json.RawMessage
@@ -313,6 +327,9 @@ func benchSchema(records []json.RawMessage) string {
 		}
 		if _, ok := probe["best_bound_pct"]; ok {
 			return "milp"
+		}
+		if _, ok := probe["warm_attack_p50_ms"]; ok {
+			return "serve"
 		}
 		return "solver"
 	}
@@ -409,12 +426,12 @@ func benchdiffCmd(args []string) error {
 	fs := flag.NewFlagSet("gridtool benchdiff", flag.ContinueOnError)
 	tol := fs.Float64("tol", 10, "regression threshold for work counters, in percent")
 	wallTol := fs.Float64("walltol", 25, "regression threshold for wall-clock numbers, in percent")
-	bench := fs.String("bench", "auto", "baseline schema: auto, solver, sweep, or milp")
+	bench := fs.String("bench", "auto", "baseline schema: auto, solver, sweep, milp, or serve")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: gridtool benchdiff [-tol pct] [-bench solver|sweep|milp] old.json new.json")
+		return fmt.Errorf("usage: gridtool benchdiff [-tol pct] [-bench solver|sweep|milp|serve] old.json new.json")
 	}
 	oldRaw, err := loadBenchRaw(fs.Arg(0))
 	if err != nil {
@@ -502,8 +519,29 @@ func benchdiffCmd(args []string) error {
 			d.check("wall_ms", or.WallMs, nr.WallMs, *wallTol, false, false)
 			d.check("precompute_ms", or.PrecomputeMs, nr.PrecomputeMs, *wallTol, false, false)
 		})
+	case "serve":
+		key := func(r serveBenchRecord) string { return r.Case }
+		oldRecs, _, err := decodeBench(oldRaw, key)
+		if err != nil {
+			return err
+		}
+		newRecs, newOrder, err := decodeBench(newRaw, key)
+		if err != nil {
+			return err
+		}
+		diffCases(d, oldRecs, newRecs, newOrder, func(or, nr serveBenchRecord) {
+			// Latencies regress when they grow; speedup, hit rate, and
+			// throughput regress when they drop.
+			d.check("cold_attack_ms", or.ColdAttackMS, nr.ColdAttackMS, *wallTol, false, false)
+			d.check("warm_attack_p50_ms", or.WarmAttackP50MS, nr.WarmAttackP50MS, *wallTol, false, false)
+			d.check("warm_speedup", or.WarmSpeedup, nr.WarmSpeedup, *wallTol, false, true)
+			d.check("warm_hit_rate", or.WarmHitRate, nr.WarmHitRate, *tol, false, true)
+			d.check("evaluate_p50_ms", or.EvaluateP50MS, nr.EvaluateP50MS, *wallTol, false, false)
+			d.check("evaluate_p99_ms", or.EvaluateP99MS, nr.EvaluateP99MS, *wallTol, false, false)
+			d.check("evaluate_rps", or.EvaluateRPS, nr.EvaluateRPS, *wallTol, false, true)
+		})
 	default:
-		return fmt.Errorf("unknown -bench schema %q (want auto, solver, sweep, or milp)", schema)
+		return fmt.Errorf("unknown -bench schema %q (want auto, solver, sweep, or milp, or serve)", schema)
 	}
 	if d.regressions > 0 {
 		return fmt.Errorf("%d regression(s) against %s", d.regressions, fs.Arg(0))

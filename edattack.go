@@ -26,7 +26,6 @@ package edattack
 
 import (
 	"fmt"
-	"strings"
 
 	"github.com/edsec/edattack/internal/core"
 	"github.com/edsec/edattack/internal/dispatch"
@@ -98,33 +97,16 @@ var (
 // MILP scaling benchmarks (see internal/grid/cases for provenance). Names
 // are case-insensitive and surrounding whitespace is ignored.
 func LoadCase(name string) (*Network, error) {
-	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "case3":
-		return cases.Case3(cases.Case3Options{})
-	case "case3-fig8":
-		// The Fig. 8 case study: 150 MVA ratings with enough real and
-		// reactive headroom that the pre-attack AC state is safe.
-		return cases.Case3(cases.Case3Options{Rating: 150, Demand: 280, QdRatio: 0.15})
-	case "case9":
-		return cases.Case9()
-	case "case30":
-		return cases.Case30()
-	case "case57":
-		return cases.Case57()
-	case "case118":
-		return cases.Case118()
-	case "grow300":
-		return cases.Grow300()
-	case "grow1000":
-		return cases.Grow1000()
-	default:
-		return nil, fmt.Errorf("edattack: unknown case %q (want one of %s)", name, strings.Join(CaseNames(), ", "))
+	net, err := cases.Load(name)
+	if err != nil {
+		return nil, fmt.Errorf("edattack: %w", err)
 	}
+	return net, nil
 }
 
 // CaseNames lists the loadable benchmark cases.
 func CaseNames() []string {
-	return []string{"case3", "case3-fig8", "case9", "case30", "case57", "case118", "grow300", "grow1000"}
+	return cases.Names()
 }
 
 // GrowGrid builds a deterministic tiled synthetic interconnection of the

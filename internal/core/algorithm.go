@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -11,6 +12,19 @@ import (
 	"github.com/edsec/edattack/internal/par"
 	"github.com/edsec/edattack/internal/telemetry"
 )
+
+// ctxErr reports a wrapped context error when ctx is non-nil and done, nil
+// otherwise. Every cancellation exit in this package funnels through it so
+// errors.Is(err, context.Canceled/DeadlineExceeded) works uniformly.
+func ctxErr(ctx context.Context, what string) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %s aborted: %w", what, err)
+	}
+	return nil
+}
 
 // betterAttack reports whether a should replace b as the incumbent winner:
 // larger gain first, then lower target line, then positive before negative
@@ -41,6 +55,9 @@ func betterAttack(a, b *Attack) bool {
 // seedSlackFactor for the argument.
 func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 	o = o.withDefaults()
+	if err := ctxErr(o.Ctx, "run"); err != nil {
+		return nil, err
+	}
 	if o.DenseSolver && !k.Model.DenseSolver {
 		// Run the whole attack — dispatch evaluations included — on the
 		// dense engines, without mutating the caller's model.
@@ -76,7 +93,7 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 	var best *Attack
 	if !o.NoSeed {
 		seedSpan := telemetry.StartSpan(nil, root, "core.greedy_seed")
-		grd, err := greedyVertexAttack(k, o.Workers)
+		grd, err := greedyVertexAttack(k, o.Workers, o.Ctx)
 		if err == nil {
 			grd.Exact = false // a seed, not a proven optimum
 			best = grd
@@ -119,6 +136,10 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 		saved = k.Model.WarmStartState()
 	}
 	par.Each(o.Workers, len(tasks), func(i int) {
+		if err := ctxErr(o.Ctx, "subproblem fan-out"); err != nil {
+			errs[i] = err
+			return
+		}
 		kw := k
 		if seq {
 			kw.Model.ResetWarmStart()
@@ -184,6 +205,13 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 	if !anyFeasible || best == nil {
 		return nil, ErrNoFeasibleAttack
 	}
+	// A context that expires anywhere in the run must surface as an error,
+	// never as a result: the rich polish below stops early under a done
+	// context, and a half-polished winner would differ from the canonical
+	// attack. (Mid-fan-out cancellations were already caught per task.)
+	if err := ctxErr(o.Ctx, "run"); err != nil {
+		return nil, err
+	}
 	// Rich refinement: one deeper deterministic polish of the single winner
 	// (wider candidate set than the per-subproblem dives — paying it 2·|E_D|
 	// times would dominate the run). The winner and its raw ratings are
@@ -241,6 +269,12 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 		DurUS:     stats.WallTime.Microseconds(),
 		Label:     resultLabel,
 	})
+	if err := ctxErr(o.Ctx, "run"); err != nil {
+		// The context fired during the winner's rich polish: the polish
+		// stopped at an arbitrary candidate, so the refined attack is not
+		// the canonical one. Error out rather than return it.
+		return nil, err
+	}
 	return best, nil
 }
 
@@ -251,14 +285,15 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 // vertex candidates through the operator's actual dispatch and keeps the
 // best stealthy-feasible one.
 func GreedyVertexAttack(k *Knowledge) (*Attack, error) {
-	return greedyVertexAttack(k, 0)
+	return greedyVertexAttack(k, 0, nil)
 }
 
 // greedyVertexAttack evaluates the vertex candidates over a worker pool.
 // Candidates are independent dispatch solves; each runs against its own
 // shallow model clone and results merge in candidate order (strict
 // improvement), so the outcome matches the sequential sweep exactly.
-func greedyVertexAttack(k *Knowledge, workers int) (*Attack, error) {
+// A non-nil ctx is checked per candidate; a done context errors the sweep.
+func greedyVertexAttack(k *Knowledge, workers int, ctx context.Context) (*Attack, error) {
 	net := k.Model.Net
 	dlrLines := net.DLRLines()
 	if len(dlrLines) == 0 {
@@ -272,6 +307,10 @@ func greedyVertexAttack(k *Knowledge, workers int) (*Attack, error) {
 	cands := make([]*Attack, len(dlrLines))
 	errs := make([]error, len(dlrLines))
 	par.Each(workers, len(dlrLines), func(i int) {
+		if err := ctxErr(ctx, "greedy candidate"); err != nil {
+			errs[i] = err
+			return
+		}
 		target := dlrLines[i]
 		dlr := make(map[int]float64, len(dlrLines))
 		for _, li := range dlrLines {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -92,6 +93,7 @@ type subproblem struct {
 	lastX                []float64 // heuristic memoization of the last attack vector
 
 	metrics *telemetry.Registry
+	ctx     context.Context // bounds dive/polish candidate evaluation
 	span    *telemetry.Span // parents the inner MILP solve spans
 	// round is the 1-based row-generation round this instance solves,
 	// stamped onto flight events so search trees attribute to the right
@@ -114,6 +116,11 @@ type subproblem struct {
 	// remapped onto the grown problem (old rows are a prefix of new rows).
 	solvedBase      *lp.Problem
 	solvedRootBasis *lp.Basis
+
+	// warmSeed, when non-nil, seeds the first round's root relaxation from
+	// a prior run's basis (WarmCache); later rounds warm-start from the
+	// previous round instead.
+	warmSeed *lp.Basis
 }
 
 // newSubproblem assembles the index bookkeeping for a monitored line set.
@@ -128,6 +135,7 @@ func newSubproblem(k *Knowledge, target int, dir float64, monitored []int, o Opt
 		bigM:      o.BigM,
 		cuts:      o.Cuts,
 		metrics:   o.Metrics,
+		ctx:       o.Ctx,
 	}
 	ng := len(k.Model.Net.Gens)
 	if pre != nil {
@@ -489,6 +497,12 @@ func (s *subproblem) polish(dlr map[int]float64, rich bool) (float64, map[int]fl
 	net := s.k.Model.Net
 	ud := s.k.TrueDLR[s.target]
 	eval := func(cand map[int]float64) (float64, *dispatch.Result, bool) {
+		// A canceled context stops the coordinate ascent at the next
+		// candidate — the surrounding round/run checks then surface the
+		// context error, so a cut-short polish never escapes as a result.
+		if s.ctx != nil && s.ctx.Err() != nil {
+			return 0, nil, false
+		}
 		res, ok := s.k.solveMemo(s.dlrOrder, cand)
 		if !ok {
 			return 0, nil, false
@@ -613,6 +627,8 @@ func (s *subproblem) solveOnce(o Options, incumbent *float64, bound milp.BoundSo
 	var warmRoot *lp.Basis
 	if prev != nil && !o.NoWarmStart {
 		warmRoot = prev.remapRootBasis(s, prob.Base)
+	} else if s.warmSeed != nil && !o.NoWarmStart {
+		warmRoot = s.warmSeed
 	}
 	sol, err := milp.SolveWith(prob, milp.Options{
 		MaxNodes:         o.MaxNodes,
@@ -627,6 +643,7 @@ func (s *subproblem) solveOnce(o Options, incumbent *float64, bound milp.BoundSo
 		WarmBasis:        warmRoot,
 		DisableWarmStart: o.NoWarmStart,
 		LP:               lp.Options{DenseSolver: o.DenseSolver, ForceSparse: o.ForceSparse},
+		Ctx:              o.Ctx,
 		Metrics:          s.metrics,
 		Span:             s.span,
 		Flight:           o.Flight,
@@ -781,6 +798,11 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *in
 		diveRes  *dispatch.Result
 		haveDive bool
 	)
+	if o.Ctx != nil {
+		if err := o.Ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("core: subproblem line %d dir %+d aborted: %w", target, dir, err)
+		}
+	}
 	if !o.NoDive {
 		diveSP := newSubproblem(k, target, float64(dir), monitored, o, pre)
 		diveGain, diveDLR, diveRes, haveDive = diveSP.dive()
@@ -915,6 +937,11 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *in
 	}
 
 	for round := 0; round < o.MaxRounds; round++ {
+		if o.Ctx != nil {
+			if err := o.Ctx.Err(); err != nil {
+				return nil, mkStats(), fmt.Errorf("core: subproblem line %d dir %+d aborted: %w", target, dir, err)
+			}
+		}
 		rounds = round + 1
 		if roundTimed {
 			roundStart = time.Now()
@@ -922,6 +949,9 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *in
 		sp := newSubproblem(k, target, float64(dir), monitored, o, pre)
 		sp.span = span
 		sp.round = rounds
+		if round == 0 && o.Warm != nil && !o.NoWarmStart {
+			sp.warmSeed = o.Warm.lookup(target, dir, sp)
+		}
 		var seed *float64
 		if g, ok := inc.Best(); ok {
 			v := pruneSeed(sp.masterObj(g), o.RelGap)
@@ -933,6 +963,9 @@ func solveSubproblemSeeded(k *Knowledge, target int, dir int, o Options, inc *in
 			bound = sb
 		}
 		res, err := sp.solveOnce(o, seed, bound, prevRound)
+		if round == 0 && o.Warm != nil && !o.NoWarmStart {
+			o.Warm.store(target, dir, sp)
+		}
 		totalNodes += sp.solvedNodes
 		totalIters += sp.solvedLPIters
 		totalWarm += sp.solvedWarmNodes

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -358,6 +359,21 @@ type Options struct {
 	// observational: the computed attack is bit-identical with the
 	// recorder on or off.
 	Flight *telemetry.Flight
+	// Ctx, when non-nil, bounds the attack search: it is checked at run
+	// entry, per fanned-out subproblem, per row-generation round, per
+	// branch-and-bound node (via milp.Options.Ctx), and per dive/polish
+	// candidate evaluation. A canceled or expired context makes the run
+	// return the context's error (wrapped, errors.Is-compatible) — never a
+	// partial attack, since which incumbent a cut-off search holds is
+	// schedule-dependent and would break the determinism contract. The
+	// check cadence bounds cancellation latency by one LP solve.
+	Ctx context.Context
+	// Warm, when non-nil, carries round-1 root-relaxation bases across
+	// runs on the same grid (see WarmCache). Results are bit-identical
+	// with or without it — the warm path certifies or falls back cold —
+	// so it is purely a latency lever for repeat attacks. Ignored under
+	// NoWarmStart.
+	Warm *WarmCache
 }
 
 func (o Options) withDefaults() Options {

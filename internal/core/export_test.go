@@ -4,7 +4,7 @@ package core
 // external test package can pin their worker-count independence.
 
 func GreedyVertexAttackWorkers(k *Knowledge, workers int) (*Attack, error) {
-	return greedyVertexAttack(k, workers)
+	return greedyVertexAttack(k, workers, nil)
 }
 
 func RandomAttackWorkers(k *Knowledge, samples int, seed int64, workers int) (*Attack, error) {

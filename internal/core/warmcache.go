@@ -1,0 +1,132 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/edsec/edattack/internal/lp"
+	"github.com/edsec/edattack/internal/telemetry"
+)
+
+// WarmCache carries round-1 root-relaxation bases across FindOptimalAttack
+// runs on the same grid. A one-shot run pays a cold phase-I simplex for the
+// first row-generation round of every subproblem; a repeat run on the same
+// topology re-solves the exact same KKT systems, so seeding each round-1
+// search from the previous run's root basis skips phase I the same way
+// later rounds already skip it via remapRootBasis. The basis is a hint, not
+// an assumption: the warm-started dual simplex certifies every result and
+// falls back to the cold two-phase solve whenever it cannot, so attacks are
+// bit-identical with the cache hot, cold, or absent.
+//
+// Entries are keyed by (target line, direction) — one per subproblem of
+// Algorithm 1's fan-out — and validated against the requesting subproblem's
+// exact shape (method, variable counts, inequality-row layout) before use;
+// any mismatch is a miss. lp.Basis values are immutable, so one entry may
+// seed concurrent runs. A WarmCache is safe for concurrent use; the
+// zero-value-with-nil-receiver pattern is supported (a nil *WarmCache never
+// hits and never stores), so callers thread it unconditionally.
+type WarmCache struct {
+	// Metrics, when non-nil, receives core_warmcache_hits_total,
+	// core_warmcache_misses_total, and core_warmcache_stores_total, plus
+	// the core_warmcache_entries gauge.
+	Metrics *telemetry.Registry
+
+	mu      sync.Mutex
+	entries map[warmKey]*warmEntry
+}
+
+type warmKey struct {
+	target int
+	dir    int
+}
+
+// warmEntry snapshots one subproblem's solved round-1 root basis together
+// with the shape it was captured on. The shape fields mirror what
+// remapRootBasis validates between row-generation rounds; here the layouts
+// must match exactly (no extension), since the basis crosses runs rather
+// than rounds.
+type warmEntry struct {
+	basis      *lp.Basis
+	method     Method
+	np, nx, ni int
+	rows       []ineqRow
+}
+
+// NewWarmCache returns an empty cache.
+func NewWarmCache() *WarmCache {
+	return &WarmCache{entries: make(map[warmKey]*warmEntry)}
+}
+
+// Len reports the number of stored bases.
+func (w *WarmCache) Len() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.entries)
+}
+
+func (w *WarmCache) count(name string) {
+	if w.Metrics != nil {
+		w.Metrics.Counter(name).Inc()
+	}
+}
+
+// lookup returns the stored basis for (target, dir) when its captured shape
+// matches sp exactly, nil otherwise. Shape can drift between requests — a
+// different initial monitored set (demand-dependent) changes the row layout
+// — so every field remapRootBasis would check across rounds is checked here
+// across runs, plus ni equality since no extension is possible.
+func (w *WarmCache) lookup(target, dir int, sp *subproblem) *lp.Basis {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	e := w.entries[warmKey{target, dir}]
+	w.mu.Unlock()
+	if e == nil {
+		w.count("core_warmcache_misses_total")
+		return nil
+	}
+	if e.method != sp.method || e.np != sp.np || e.nx != sp.nx || e.ni != sp.ni {
+		w.count("core_warmcache_misses_total")
+		return nil
+	}
+	for j := range e.rows {
+		if e.rows[j] != sp.rows[j] {
+			w.count("core_warmcache_misses_total")
+			return nil
+		}
+	}
+	w.count("core_warmcache_hits_total")
+	return e.basis
+}
+
+// store records sp's solved round-1 root basis, replacing any previous
+// entry for (target, dir). Later runs overwrite earlier ones — the most
+// recent basis reflects the most recent demand profile, which is the best
+// guess for the next request.
+func (w *WarmCache) store(target, dir int, sp *subproblem) {
+	if w == nil || sp.solvedRootBasis == nil {
+		return
+	}
+	e := &warmEntry{
+		basis:  sp.solvedRootBasis,
+		method: sp.method,
+		np:     sp.np,
+		nx:     sp.nx,
+		ni:     sp.ni,
+		rows:   append([]ineqRow(nil), sp.rows...),
+	}
+	w.mu.Lock()
+	if w.entries == nil {
+		w.entries = make(map[warmKey]*warmEntry)
+	}
+	w.entries[warmKey{target, dir}] = e
+	n := len(w.entries)
+	w.mu.Unlock()
+	w.count("core_warmcache_stores_total")
+	if w.Metrics != nil {
+		w.Metrics.Gauge("core_warmcache_entries").Set(float64(n))
+	}
+}

@@ -1,0 +1,42 @@
+package cases
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/edsec/edattack/internal/grid"
+)
+
+// Load returns the named benchmark case. Names are case-insensitive and
+// trimmed; Names lists the valid ones. This is the one name-to-network
+// mapping in the repository — the root facade and the serving layer both
+// delegate here, so a new case registers once.
+func Load(name string) (*grid.Network, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "case3":
+		return Case3(Case3Options{})
+	case "case3-fig8":
+		// The Fig. 8 case study: 150 MVA ratings with enough real and
+		// reactive headroom that the pre-attack AC state is safe.
+		return Case3(Case3Options{Rating: 150, Demand: 280, QdRatio: 0.15})
+	case "case9":
+		return Case9()
+	case "case30":
+		return Case30()
+	case "case57":
+		return Case57()
+	case "case118":
+		return Case118()
+	case "grow300":
+		return Grow300()
+	case "grow1000":
+		return Grow1000()
+	default:
+		return nil, fmt.Errorf("cases: unknown case %q (want one of %s)", name, strings.Join(Names(), ", "))
+	}
+}
+
+// Names lists the loadable benchmark cases.
+func Names() []string {
+	return []string{"case3", "case3-fig8", "case9", "case30", "case57", "case118", "grow300", "grow1000"}
+}

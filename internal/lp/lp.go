@@ -18,6 +18,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -455,6 +456,13 @@ type Options struct {
 	// warm/cold, pivots, status, duration). Recording is observational
 	// only and never alters the solve.
 	Flight *telemetry.Flight
+	// Ctx, when non-nil, is checked once at solve entry; a canceled or
+	// expired context makes SolveWith return the context's error (wrapped,
+	// so errors.Is(err, context.Canceled / context.DeadlineExceeded)
+	// works) without touching the problem. Individual solves are short —
+	// per-node/per-round granularity lives in the milp and core callers —
+	// so there is no mid-pivot polling.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -507,6 +515,11 @@ func Solve(p *Problem) (*Solution, error) {
 // SolveWith solves the problem with explicit options.
 func SolveWith(p *Problem, opts Options) (*Solution, error) {
 	opts = opts.withDefaults()
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, fmt.Errorf("lp: solve aborted: %w", err)
+		}
+	}
 	sparseEng := useSparseEngine(p, opts)
 	span := telemetry.StartSpan(nil, opts.Span, "lp.solve")
 	span.SetAttr("sparse", sparseEng)

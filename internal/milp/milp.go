@@ -20,6 +20,7 @@
 package milp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -250,6 +251,13 @@ type Options struct {
 	// every event this solve records, so a caller running many MILPs can
 	// attribute nodes to its own work items.
 	FlightTemplate telemetry.FlightEvent
+	// Ctx, when non-nil, is polled once per branch-and-bound node (before
+	// the node's LP solve) and forwarded to the relaxation LPs unless
+	// LP.Ctx is already set. A canceled or expired context aborts the
+	// search with the context's error (wrapped, errors.Is-compatible);
+	// no partial Solution is returned, since a schedule-dependent
+	// truncation point would break the solver's determinism contract.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -319,6 +327,9 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 	}
 	if o.LP.Flight == nil {
 		o.LP.Flight = o.Flight
+	}
+	if o.LP.Ctx == nil {
+		o.LP.Ctx = o.Ctx
 	}
 	maximize := p.isMaximize()
 	warm := !o.DisableWarmStart
@@ -556,6 +567,11 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 		return g / (1 + math.Abs(incObj))
 	}
 	for f.len() > 0 {
+		if o.Ctx != nil {
+			if err := o.Ctx.Err(); err != nil {
+				return finish(nil, fmt.Errorf("milp: search aborted after %d nodes: %w", nodes, err))
+			}
+		}
 		if nodes >= o.MaxNodes {
 			bound := f.bestBound()
 			if (incumbent != nil || o.Incumbent != nil) && better(incObj, bound) {

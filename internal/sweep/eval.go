@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -78,6 +79,10 @@ type Options struct {
 	Metrics *telemetry.Registry
 	// Flight, when set, records one event per batch plus a summary.
 	Flight *telemetry.Flight
+	// Ctx, when non-nil, is checked once per batch; a canceled or expired
+	// context makes Eval return the context's error (wrapped,
+	// errors.Is-compatible) instead of a partial outcome slice.
+	Ctx context.Context
 }
 
 // DefaultBatchSize is the packed-batch width when Options.BatchSize is
@@ -111,6 +116,12 @@ func Eval(pc *Precomp, scs []Scenario, o Options) ([]Outcome, error) {
 	nBatches := (len(scs) + bs - 1) / bs
 	errs := make([]error, nBatches)
 	par.Each(o.Workers, nBatches, func(bi int) {
+		if o.Ctx != nil {
+			if err := o.Ctx.Err(); err != nil {
+				errs[bi] = fmt.Errorf("sweep: batch %d aborted: %w", bi, err)
+				return
+			}
+		}
 		lo := bi * bs
 		hi := lo + bs
 		if hi > len(scs) {

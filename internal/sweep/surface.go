@@ -126,13 +126,17 @@ func defaultDispatch(pc *Precomp) DispatchFn {
 	}
 }
 
-// RunSurface sweeps the (hour × magnitude) grid. Scenario generation is
-// sequential and seeded — a pure function of (network, config) — then the
-// whole surface's scenarios go through one batched Eval call, so results
-// are independent of batch size and worker count.
-func RunSurface(pc *Precomp, cfg SurfaceConfig) (*Surface, error) {
+// GenScenarios materializes the surface's seeded scenario set without
+// evaluating it. Generation is sequential and a pure function of (network,
+// config) — the same scenarios regenerate exactly for any consumer. The
+// returned cells carry the (hour, magnitude, draws) labels in generation
+// order; scenarios are cell-major, Draws per cell. RunSurface is
+// GenScenarios + one batched Eval; the serving layer calls GenScenarios
+// directly so it can concatenate several requests' scenarios into a single
+// Eval pass over the shared Precomp.
+func GenScenarios(pc *Precomp, cfg SurfaceConfig) ([]Scenario, []SurfaceCell, error) {
 	if len(cfg.Hours) == 0 || len(cfg.Magnitudes) == 0 {
-		return nil, fmt.Errorf("sweep: surface needs hours and magnitudes")
+		return nil, nil, fmt.Errorf("sweep: surface needs hours and magnitudes")
 	}
 	draws := cfg.Draws
 	if draws <= 0 {
@@ -144,10 +148,10 @@ func RunSurface(pc *Precomp, cfg SurfaceConfig) (*Surface, error) {
 	}
 	for _, li := range attack {
 		if li < 0 || li >= len(pc.Net.Lines) {
-			return nil, fmt.Errorf("sweep: attack line %d out of range", li)
+			return nil, nil, fmt.Errorf("sweep: attack line %d out of range", li)
 		}
 		if !pc.Net.Lines[li].HasDLR {
-			return nil, fmt.Errorf("sweep: attack line %d has no DLR feed to falsify", li)
+			return nil, nil, fmt.Errorf("sweep: attack line %d has no DLR feed to falsify", li)
 		}
 	}
 	dispatch := cfg.Dispatch
@@ -166,7 +170,7 @@ func RunSurface(pc *Precomp, cfg SurfaceConfig) (*Surface, error) {
 				RatingNoisePct: cfg.RatingNoisePct,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("sweep: %w", err)
+				return nil, nil, fmt.Errorf("sweep: %w", err)
 			}
 			for d := 0; d < draws; d++ {
 				demand, trueR := mc.Draw(hour)
@@ -185,7 +189,7 @@ func RunSurface(pc *Precomp, cfg SurfaceConfig) (*Surface, error) {
 				}
 				disp, err := dispatch(demand, seenR)
 				if err != nil {
-					return nil, fmt.Errorf("sweep: dispatch at hour %g mag %g: %w", hour, mag, err)
+					return nil, nil, fmt.Errorf("sweep: dispatch at hour %g mag %g: %w", hour, mag, err)
 				}
 				scenarios = append(scenarios, Scenario{
 					Demand: demand, Dispatch: disp,
@@ -194,6 +198,22 @@ func RunSurface(pc *Precomp, cfg SurfaceConfig) (*Surface, error) {
 			}
 			cells = append(cells, SurfaceCell{Hour: hour, Magnitude: mag, Draws: draws})
 		}
+	}
+	return scenarios, cells, nil
+}
+
+// RunSurface sweeps the (hour × magnitude) grid. Scenario generation is
+// sequential and seeded — a pure function of (network, config) — then the
+// whole surface's scenarios go through one batched Eval call, so results
+// are independent of batch size and worker count.
+func RunSurface(pc *Precomp, cfg SurfaceConfig) (*Surface, error) {
+	scenarios, cells, err := GenScenarios(pc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	draws := cfg.Draws
+	if draws <= 0 {
+		draws = 64
 	}
 
 	start := time.Now()

@@ -20,6 +20,7 @@
 package sweep
 
 import (
+	"container/list"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -186,23 +187,57 @@ func TopologyKey(net *grid.Network) (uint64, error) {
 	return h.Sum64(), nil
 }
 
+// DefaultCacheCap is the topology capacity of a NewCache. A Precomp holds
+// dense PTDF/LODF matrices — O(lines × buses) each — so an unbounded cache
+// in a long-running daemon is a slow memory leak under topology churn; 64
+// grids is far above any workload we serve while keeping the worst case
+// bounded.
+const DefaultCacheCap = 64
+
 // Cache memoizes Precomp bundles by topology key, so repeated sweeps over
-// the same wires — and eventually a long-running service handling many
-// requests per grid — pay for PTDF/LODF construction once. Safe for
-// concurrent use.
+// the same wires — and a long-running service handling many requests per
+// grid — pay for PTDF/LODF construction once. Capacity is bounded: when a
+// store would exceed the cap, the least-recently-used topology is evicted
+// (Get counts as use). Safe for concurrent use.
 type Cache struct {
-	// Metrics, when set, receives sweep_cache_hits_total and
-	// sweep_cache_misses_total counters.
+	// Metrics, when set, receives sweep_cache_hits_total,
+	// sweep_cache_misses_total, and sweep_cache_evictions_total counters.
 	Metrics *telemetry.Registry
 
 	mu      sync.Mutex
-	entries map[uint64]*Precomp
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[uint64]*list.Element
 }
 
-// NewCache returns an empty topology-keyed cache.
-func NewCache() *Cache {
-	return &Cache{entries: make(map[uint64]*Precomp)}
+// cacheEntry is one resident topology, stored in the recency list.
+type cacheEntry struct {
+	key uint64
+	pc  *Precomp
 }
+
+// NewCache returns an empty topology-keyed cache holding at most
+// DefaultCacheCap topologies.
+func NewCache() *Cache {
+	return NewCacheCap(DefaultCacheCap)
+}
+
+// NewCacheCap returns an empty cache holding at most capacity topologies
+// (values < 1 are clamped to 1 — a cache that can hold nothing would turn
+// every Get into a recompute, silently).
+func NewCacheCap(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[uint64]*list.Element),
+	}
+}
+
+// Cap reports the cache's topology capacity.
+func (c *Cache) Cap() int { return c.cap }
 
 // Get returns the cached Precomp for the network's topology, computing and
 // storing it on first sight. Networks that share a topology key share the
@@ -216,7 +251,12 @@ func (c *Cache) Get(net *grid.Network) (*Precomp, error) {
 		return nil, err
 	}
 	c.mu.Lock()
-	pc, ok := c.entries[key]
+	var pc *Precomp
+	el, ok := c.entries[key]
+	if ok {
+		c.order.MoveToFront(el)
+		pc = el.Value.(*cacheEntry).pc
+	}
 	c.mu.Unlock()
 	if ok && pc.sameGens(net) {
 		c.Metrics.Counter("sweep_cache_hits_total").Inc()
@@ -230,9 +270,7 @@ func (c *Cache) Get(net *grid.Network) (*Precomp, error) {
 			return nil, err
 		}
 		c.Metrics.Counter("sweep_cache_hits_total").Inc()
-		c.mu.Lock()
-		c.entries[key] = fresh
-		c.mu.Unlock()
+		c.put(key, fresh)
 		return fresh, nil
 	}
 	c.Metrics.Counter("sweep_cache_misses_total").Inc()
@@ -240,10 +278,33 @@ func (c *Cache) Get(net *grid.Network) (*Precomp, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	c.entries[key] = fresh
-	c.mu.Unlock()
+	c.put(key, fresh)
 	return fresh, nil
+}
+
+// put stores (or refreshes) one topology at the recency front, evicting
+// from the back past the cap. The precompute runs outside the lock, so two
+// goroutines can race the same first-sight key; the second put refreshes
+// the entry in place rather than double-inserting.
+func (c *Cache) put(key uint64, pc *Precomp) {
+	evicted := 0
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).pc = pc
+		c.order.MoveToFront(el)
+	} else {
+		c.entries[key] = c.order.PushFront(&cacheEntry{key: key, pc: pc})
+		for len(c.entries) > c.cap {
+			back := c.order.Back()
+			c.order.Remove(back)
+			delete(c.entries, back.Value.(*cacheEntry).key)
+			evicted++
+		}
+	}
+	c.mu.Unlock()
+	if evicted > 0 {
+		c.Metrics.Counter("sweep_cache_evictions_total").Add(int64(evicted))
+	}
 }
 
 // sameGens reports whether the network's generator-to-bus layout matches
@@ -269,4 +330,16 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// Keys returns the resident topology keys from most to least recently
+// used — test and debug introspection for the eviction order.
+func (c *Cache) Keys() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]uint64, 0, len(c.entries))
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).key)
+	}
+	return out
 }

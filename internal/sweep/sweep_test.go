@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -224,6 +226,99 @@ func TestCache(t *testing.T) {
 	}
 	if misses := snap.Counters["sweep_cache_misses_total"]; misses != 2 {
 		t.Fatalf("misses = %d, want 2", misses)
+	}
+}
+
+// TestCacheEviction: the LRU bound — Get refreshes recency, overflow
+// evicts the least-recently-used topology (counted), and an evicted
+// topology misses again on re-entry.
+func TestCacheEviction(t *testing.T) {
+	c := NewCacheCap(2)
+	c.Metrics = telemetry.NewRegistry()
+	mk := func(scale float64) *grid.Network {
+		n, err := cases.Case9()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Lines[0].X *= scale // distinct reactance → distinct topology key
+		return n
+	}
+	a, b, d := mk(1), mk(2), mk(3)
+	keyOf := func(n *grid.Network) uint64 {
+		k, err := TopologyKey(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	get := func(n *grid.Network) {
+		if _, err := c.Get(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	get(a) // miss: [a]
+	get(b) // miss: [b a]
+	get(a) // hit, refreshes a: [a b]
+	get(d) // miss, evicts b (LRU): [d a]
+	if got, want := c.Keys(), []uint64{keyOf(d), keyOf(a)}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("recency order %v, want %v", got, want)
+	}
+	get(b) // miss again (was evicted), evicts a: [b d]
+	if got, want := c.Keys(), []uint64{keyOf(b), keyOf(d)}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("recency order after re-entry %v, want %v", got, want)
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("cache holds %d topologies, want cap 2", got)
+	}
+
+	snap := c.Metrics.Snapshot()
+	if hits := snap.Counters["sweep_cache_hits_total"]; hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+	if misses := snap.Counters["sweep_cache_misses_total"]; misses != 4 {
+		t.Fatalf("misses = %d, want 4", misses)
+	}
+	if ev := snap.Counters["sweep_cache_evictions_total"]; ev != 2 {
+		t.Fatalf("evictions = %d, want 2", ev)
+	}
+}
+
+// TestEvalContextCanceled: a done context aborts Eval with a wrapped
+// context error instead of a partial outcome slice.
+func TestEvalContextCanceled(t *testing.T) {
+	net, err := cases.Case9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := Precompute(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := testScenarios(t, pc, 8, 11)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := Eval(pc, scs, Options{Workers: 1, Ctx: ctx})
+	if out != nil {
+		t.Fatal("canceled Eval returned outcomes")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+
+	// An open context must not perturb results.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	got, err := Eval(pc, scs, Options{Workers: 1, Ctx: ctx2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Eval(pc, scs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("open context changed Eval outcomes")
 	}
 }
 

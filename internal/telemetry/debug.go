@@ -25,12 +25,27 @@ var expvarOnce sync.Once
 // registry and flight recorder may be nil; the endpoints then export empty
 // data (tree.dot answers 404 until a tree has been recorded).
 func ServeDebug(addr string, reg *Registry, flight *Flight) (string, func() error, error) {
+	mux := http.NewServeMux()
+	MountDebug(mux, reg, flight)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// MountDebug registers the debug/metrics endpoints on an existing mux, so a
+// server with its own listener (edserve) exposes the same ops surface as
+// the standalone debug listener. The registry and flight recorder may be
+// nil, with the same empty-data semantics as ServeDebug.
+func MountDebug(mux *http.ServeMux, reg *Registry, flight *Flight) {
 	expvarOnce.Do(func() {
 		expvar.Publish("edattack_metrics", expvar.Func(func() any {
 			return reg.Snapshot()
 		}))
 	})
-	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -58,11 +73,4 @@ func ServeDebug(addr string, reg *Registry, flight *Flight) (string, func() erro
 		w.Header().Set("Content-Type", "text/vnd.graphviz")
 		_ = trees[0].WriteDOT(w)
 	})
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, fmt.Errorf("telemetry: debug listener: %w", err)
-	}
-	srv := &http.Server{Handler: mux}
-	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), srv.Close, nil
 }
