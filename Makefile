@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: check vet build test race telemetry parallel bench bench-workers bench-baseline bench-warmstart bench-sparse bench-flight bench-sweep bench-sweep-baseline bench-milp bench-milp-baseline bench-serve bench-serve-baseline clean
+.PHONY: check vet build test race telemetry parallel bench bench-workers bench-baseline bench-warmstart bench-sparse bench-flight bench-sweep bench-sweep-baseline bench-milp bench-milp-baseline bench-serve bench-serve-baseline bench-alloc clean
 
 ## check: full PR gate — vet, build, race-enabled tests, a doubled run of
 ## the telemetry suite (span/journal determinism under repetition), the
 ## concurrency-path determinism tests under the race detector, and the
 ## warm-start, sparse-engine, flight-recorder, scenario-sweep, MILP
-## scaling, and serving regression gates.
-check: vet build race telemetry parallel bench-warmstart bench-sparse bench-flight bench-sweep bench-milp bench-serve
+## scaling, serving, and allocation regression gates.
+check: vet build race telemetry parallel bench-warmstart bench-sparse bench-flight bench-sweep bench-milp bench-serve bench-alloc
 
 vet:
 	$(GO) vet ./...
@@ -97,16 +97,28 @@ bench-milp-baseline:
 ## bench-serve: the attack-as-a-service gate — the recorded case118
 ## warm-cache repeat attack must be ≥2× faster than the cold first request
 ## (live asserted at a noise-tolerant backstop), served attacks must be
-## bit-identical to the one-shot library path, deadline-cancelled requests
-## must answer within 100ms of their deadline, and Close must reclaim the
-## worker pool with no goroutine leak.
+## bit-identical to the one-shot library path (including under the
+## concurrent attack burst), deadline-cancelled requests must answer within
+## 100ms of their deadline, Close must reclaim the worker pool with no
+## goroutine leak, and the recorded allocation/attack-RPS fields must pass
+## the alloc gate's floors.
 bench-serve:
-	$(GO) test -run 'TestServeGate|TestServeEvaluateMissingDLRBoundsGate' -count=1 -timeout 20m -v .
+	$(GO) test -run 'TestServeGate|TestServeEvaluateMissingDLRBoundsGate|TestAllocGate' -count=1 -timeout 20m -v .
 
-## bench-serve-baseline: re-record the serving-layer latency baseline
-## (BENCH_serve.json) on case118.
+## bench-serve-baseline: re-record the serving-layer latency and allocation
+## baseline (BENCH_serve.json) on case118.
 bench-serve-baseline:
-	BENCH_SERVE=1 $(GO) test -run TestRecordServeBaseline -timeout 20m .
+	BENCH_SERVE=1 $(GO) test -run TestRecordServeBaseline -timeout 30m .
+
+## bench-alloc: the allocation regression gate — the zero-allocation pins on
+## the solver hot kernels (CSR·dense batch, blocked GEMM, FTRAN/BTRAN, warm
+## workspace re-solve, via testing.AllocsPerRun and -benchmem discipline),
+## the pooled-vs-DisablePooling bit-identity gate across worker counts, and
+## the ≥5× per-node allocation saving pinned live and against the recorded
+## BENCH_serve.json figures.
+bench-alloc:
+	$(GO) test -run 'TestMulDenseIntoZeroAlloc|TestLUSolveZeroAlloc|TestMulBlockedIntoZeroAlloc|TestFTRANBTRANZeroAlloc|TestWarmResolveZeroAlloc' -count=1 -v ./internal/sparse/ ./internal/mat/ ./internal/lp/
+	$(GO) test -run 'TestPoolingIdentityGate|TestAllocGate' -count=1 -timeout 20m -v .
 
 clean:
 	$(GO) clean ./...

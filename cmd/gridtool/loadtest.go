@@ -13,22 +13,30 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	edattack "github.com/edsec/edattack"
 )
 
-// loadtestCmd drives an edserve daemon with an open-loop arrival process: a
-// fixed request schedule fired regardless of completions, so the daemon's
-// admission control — not the client — absorbs overload. The mix weights
-// pick each arrival's request kind from a seeded stream, making a run
+// loadtestCmd drives an edserve daemon in one of two shapes. The default is
+// an open-loop arrival process: a fixed request schedule fired regardless of
+// completions, so the daemon's admission control — not the client — absorbs
+// overload. With -closed the client switches to a closed loop: -concurrency
+// workers each fire the next scheduled request the moment the previous one
+// finishes, which measures saturation throughput (an attack-heavy run is
+// `-closed -mix attack=1`, reported as sustained attack rps). Either way the
+// mix weights pick each request's kind from a seeded stream, making a run
 // reproducible end to end.
 func loadtestCmd(args []string) error {
 	fs := flag.NewFlagSet("loadtest", flag.ContinueOnError)
 	url := fs.String("url", "http://localhost:8787", "edserve base URL")
 	caseName := fs.String("case", "case9", "benchmark case the requests target")
 	rps := fs.Float64("rps", 10, "open-loop arrival rate, requests/second")
-	duration := fs.Duration("duration", 10*time.Second, "generation window")
+	duration := fs.Duration("duration", 10*time.Second, "generation window (open loop)")
+	closed := fs.Bool("closed", false, "closed-loop mode: workers fire back to back instead of to a schedule")
+	concurrency := fs.Int("concurrency", 4, "closed-loop worker count")
+	count := fs.Int("n", 64, "closed-loop total request count")
 	mix := fs.String("mix", "evaluate=8,sweep=1,attack=1", "request-kind weights")
 	draws := fs.Int("draws", 16, "Monte-Carlo draws per sweep request")
 	deadlineMS := fs.Int("deadline-ms", 0, "per-request deadline (0 = server default)")
@@ -48,37 +56,69 @@ func loadtestCmd(args []string) error {
 	}
 
 	n := int(*rps * duration.Seconds())
+	if *closed {
+		n = *count
+	}
 	if n < 1 {
 		n = 1
 	}
-	interval := time.Duration(float64(time.Second) / *rps)
 	rng := rand.New(rand.NewSource(*seed))
 	kinds := make([]string, n)
 	for i := range kinds {
 		kinds[i] = pickKind(rng, weights)
 	}
 
-	fmt.Printf("loadtest: %d requests at %.1f rps against %s (%s, mix %s)\n",
-		n, *rps, *url, *caseName, *mix)
 	client := &http.Client{}
 	results := make([]shotResult, n)
 	var wg sync.WaitGroup
-	start := time.Now()
-	for i := 0; i < n; i++ {
-		// Open loop: sleep to the schedule, never await completions.
-		if wait := time.Until(start.Add(time.Duration(i) * interval)); wait > 0 {
-			time.Sleep(wait)
+	var start time.Time
+	if *closed {
+		if *concurrency < 1 {
+			return fmt.Errorf("closed-loop concurrency must be ≥1, got %d", *concurrency)
 		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			results[i] = fire(client, *url, kinds[i], bodies[kinds[i]])
-		}(i)
+		fmt.Printf("loadtest: %d closed-loop requests over %d workers against %s (%s, mix %s)\n",
+			n, *concurrency, *url, *caseName, *mix)
+		var next atomic.Int64
+		start = time.Now()
+		for w := 0; w < *concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					results[i] = fire(client, *url, kinds[i], bodies[kinds[i]])
+				}
+			}()
+		}
+	} else {
+		interval := time.Duration(float64(time.Second) / *rps)
+		fmt.Printf("loadtest: %d requests at %.1f rps against %s (%s, mix %s)\n",
+			n, *rps, *url, *caseName, *mix)
+		start = time.Now()
+		for i := 0; i < n; i++ {
+			// Open loop: sleep to the schedule, never await completions.
+			if wait := time.Until(start.Add(time.Duration(i) * interval)); wait > 0 {
+				time.Sleep(wait)
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i] = fire(client, *url, kinds[i], bodies[kinds[i]])
+			}(i)
+		}
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	rep := summarize(results, elapsed)
+	if *closed {
+		rep.Mode, rep.Concurrency = "closed", *concurrency
+	} else {
+		rep.Mode = "open"
+	}
 	printLoadReport(rep)
 	if *out != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
@@ -213,16 +253,20 @@ func fire(client *http.Client, base, kind string, body []byte) shotResult {
 	return res
 }
 
-// LoadReport is the loadtest summary written by -o.
+// LoadReport is the loadtest summary written by -o. Mode records whether the
+// run was the open-loop schedule or the closed-loop saturation shape; in
+// closed mode RPS is sustained completion throughput at Concurrency workers.
 type LoadReport struct {
-	Requests  int                    `json:"requests"`
-	Succeeded int                    `json:"succeeded"`
-	Rejected  int                    `json:"rejected_429"`
-	Errors    int                    `json:"errors"`
-	Seconds   float64                `json:"seconds"`
-	RPS       float64                `json:"achieved_rps"`
-	Kinds     map[string]KindSummary `json:"kinds"`
-	ErrCodes  map[string]int         `json:"error_codes,omitempty"`
+	Mode        string                 `json:"mode"`
+	Concurrency int                    `json:"concurrency,omitempty"`
+	Requests    int                    `json:"requests"`
+	Succeeded   int                    `json:"succeeded"`
+	Rejected    int                    `json:"rejected_429"`
+	Errors      int                    `json:"errors"`
+	Seconds     float64                `json:"seconds"`
+	RPS         float64                `json:"achieved_rps"`
+	Kinds       map[string]KindSummary `json:"kinds"`
+	ErrCodes    map[string]int         `json:"error_codes,omitempty"`
 }
 
 // KindSummary is the per-request-kind latency digest.

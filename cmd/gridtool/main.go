@@ -11,6 +11,7 @@
 //	gridtool sweep [-case case118] [-draws 64] [-mag-max 0.4] [-seed 1] [-format json|csv] [-o surface.json]
 //	gridtool growgrid [-buses 300] [-seed 300] [-dlr 12] [-format info|matpower] [-o case.m]
 //	gridtool loadtest [-url http://localhost:8787] [-rps 10] [-duration 10s] [-mix evaluate=8,sweep=1,attack=1]
+//	gridtool loadtest -closed [-concurrency 4] [-n 64] [-mix attack=1]   (saturation / attack-heavy shape)
 package main
 
 import (

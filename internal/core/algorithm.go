@@ -93,7 +93,7 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 	var best *Attack
 	if !o.NoSeed {
 		seedSpan := telemetry.StartSpan(nil, root, "core.greedy_seed")
-		grd, err := greedyVertexAttack(k, o.Workers, o.Ctx)
+		grd, err := greedyVertexAttack(k, o.Workers, o.Ctx, o.DisablePooling)
 		if err == nil {
 			grd.Exact = false // a seed, not a proven optimum
 			best = grd
@@ -146,7 +146,10 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 		} else {
 			kw = k.forWorker()
 		}
-		att, st, err := solveSubproblemSeeded(kw, tasks[i].line, tasks[i].dir, o, inc, pre, root)
+		ot := o
+		release := ot.checkoutWorkspaces(kw.Model)
+		att, st, err := solveSubproblemSeeded(kw, tasks[i].line, tasks[i].dir, ot, inc, pre, root)
+		release()
 		// Publish only positive gains. A zero-gain result (a clamped
 		// non-violating optimum) prunes nothing a sibling could not already
 		// rule out, but publishing it mid-flight would SET an otherwise
@@ -224,7 +227,10 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 			raw = best.DLR
 		}
 		kw := k.forWorker()
-		sp := newSubproblem(kw, best.TargetLine, float64(best.Direction), pre.monitored, o, pre)
+		ot := o
+		release := ot.checkoutWorkspaces(kw.Model)
+		defer release()
+		sp := newSubproblem(kw, best.TargetLine, float64(best.Direction), pre.monitored, ot, pre)
 		if rg, rdlr, rres, ok := sp.polish(raw, true); ok {
 			if rg = quantize(rg, gainQuantum); rg > best.GainPct {
 				nb := *best
@@ -285,7 +291,7 @@ func FindOptimalAttack(k *Knowledge, o Options) (*Attack, error) {
 // vertex candidates through the operator's actual dispatch and keeps the
 // best stealthy-feasible one.
 func GreedyVertexAttack(k *Knowledge) (*Attack, error) {
-	return greedyVertexAttack(k, 0, nil)
+	return greedyVertexAttack(k, 0, nil, false)
 }
 
 // greedyVertexAttack evaluates the vertex candidates over a worker pool.
@@ -293,7 +299,7 @@ func GreedyVertexAttack(k *Knowledge) (*Attack, error) {
 // shallow model clone and results merge in candidate order (strict
 // improvement), so the outcome matches the sequential sweep exactly.
 // A non-nil ctx is checked per candidate; a done context errors the sweep.
-func greedyVertexAttack(k *Knowledge, workers int, ctx context.Context) (*Attack, error) {
+func greedyVertexAttack(k *Knowledge, workers int, ctx context.Context, noPool bool) (*Attack, error) {
 	net := k.Model.Net
 	dlrLines := net.DLRLines()
 	if len(dlrLines) == 0 {
@@ -326,7 +332,9 @@ func greedyVertexAttack(k *Knowledge, workers int, ctx context.Context) (*Attack
 		} else {
 			kw = k.forWorker()
 		}
+		release := checkoutModelWorkspace(kw.Model, noPool)
 		ev, err := kw.EvaluateAttack(dlr)
+		release()
 		if err != nil {
 			errs[i] = fmt.Errorf("core: greedy candidate for line %d: %w", target, err)
 			return
@@ -369,14 +377,14 @@ func greedyVertexAttack(k *Knowledge, workers int, ctx context.Context) (*Attack
 // keeps the best stealthy-feasible one — the weakest baseline, quantifying
 // how much the physics-aware optimization buys the attacker.
 func RandomAttack(k *Knowledge, samples int, seed int64) (*Attack, error) {
-	return randomAttack(k, samples, seed, 0)
+	return randomAttack(k, samples, seed, 0, false)
 }
 
 // randomAttack draws every sample from the seeded rng sequentially — so the
 // sample sequence is a pure function of the seed regardless of worker count
 // — then evaluates the candidates over a worker pool and merges in sample
 // order.
-func randomAttack(k *Knowledge, samples int, seed int64, workers int) (*Attack, error) {
+func randomAttack(k *Knowledge, samples int, seed int64, workers int, noPool bool) (*Attack, error) {
 	net := k.Model.Net
 	dlrLines := net.DLRLines()
 	if len(dlrLines) == 0 {
@@ -409,7 +417,9 @@ func randomAttack(k *Knowledge, samples int, seed int64, workers int) (*Attack, 
 		} else {
 			kw = k.forWorker()
 		}
+		release := checkoutModelWorkspace(kw.Model, noPool)
 		ev, err := kw.EvaluateAttack(dlrs[s])
+		release()
 		if err != nil {
 			errs[s] = fmt.Errorf("core: random candidate %d: %w", s, err)
 			return

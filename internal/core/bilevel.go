@@ -642,7 +642,7 @@ func (s *subproblem) solveOnce(o Options, incumbent *float64, bound milp.BoundSo
 		Cuts:             o.Cuts,
 		WarmBasis:        warmRoot,
 		DisableWarmStart: o.NoWarmStart,
-		LP:               lp.Options{DenseSolver: o.DenseSolver, ForceSparse: o.ForceSparse},
+		LP:               lp.Options{DenseSolver: o.DenseSolver, ForceSparse: o.ForceSparse, Workspace: o.ws},
 		Ctx:              o.Ctx,
 		Metrics:          s.metrics,
 		Span:             s.span,
@@ -718,7 +718,9 @@ func (s *subproblem) solveOnce(o Options, incumbent *float64, bound milp.BoundSo
 // growing the monitored line set by row generation until the predicted
 // dispatch is feasible for the operator's full constraint set.
 func SolveSubproblem(k *Knowledge, target int, dir int, o Options) (*Attack, error) {
+	release := o.checkoutWorkspaces(k.Model)
 	att, _, err := solveSubproblemSeeded(k, target, dir, o, nil, nil, nil)
+	release()
 	return att, err
 }
 

@@ -30,9 +30,59 @@ import (
 
 	"github.com/edsec/edattack/internal/dispatch"
 	"github.com/edsec/edattack/internal/grid"
+	"github.com/edsec/edattack/internal/lp"
 	"github.com/edsec/edattack/internal/milp"
 	"github.com/edsec/edattack/internal/telemetry"
 )
+
+// wsPool recycles solver workspaces (internal/lp.Workspace) across tasks,
+// runs, and callers. A workspace only moves where the solver's arrays live —
+// never what they compute — so sharing one pool process-wide is safe; each
+// Get hands a workspace to exactly one goroutine until the matching release.
+var wsPool = sync.Pool{New: func() any { return lp.NewWorkspace() }}
+
+// checkoutModelWorkspace attaches a pooled workspace to the model's LP/QP
+// solver stack and returns the release function that restores the model's
+// prior workspace and recycles the pooled one. No-op when disabled.
+func checkoutModelWorkspace(m *dispatch.Model, disable bool) func() {
+	if disable {
+		return func() {}
+	}
+	prior := m.Workspace
+	ws := wsPool.Get().(*lp.Workspace)
+	ws.Reset()
+	m.Workspace = ws
+	return func() {
+		m.Workspace = prior
+		wsPool.Put(ws)
+	}
+}
+
+// checkoutWorkspaces equips one bilevel task: a pooled workspace on the
+// model (dispatch and QP solves) and a second on o.ws (the inner MILP's LP
+// relaxations, threaded to milp.Options.LP). The two are deliberately
+// distinct — the MILP's dive/polish heuristics run dispatch solves
+// mid-search, and sharing one workspace would evict the branch-and-bound
+// engine's retained factorization between nodes, demoting warm node solves
+// to cold ones. The receiver must be a per-task copy of the caller's
+// Options (o.ws is written). Sequential (Workers==1) runs share the
+// caller's model across tasks; saving and restoring the model's prior
+// workspace keeps that path on the identical checkout discipline as the
+// clone-per-task one. No-op under DisablePooling.
+func (o *Options) checkoutWorkspaces(m *dispatch.Model) func() {
+	if o.DisablePooling {
+		return func() {}
+	}
+	releaseModel := checkoutModelWorkspace(m, false)
+	ws := wsPool.Get().(*lp.Workspace)
+	ws.Reset()
+	o.ws = ws
+	return func() {
+		o.ws = nil
+		releaseModel()
+		wsPool.Put(ws)
+	}
+}
 
 // ErrNoDLRLines is returned when the network has no DLR-equipped lines to
 // attack.
@@ -374,6 +424,17 @@ type Options struct {
 	// so it is purely a latency lever for repeat attacks. Ignored under
 	// NoWarmStart.
 	Warm *WarmCache
+	// DisablePooling turns off the per-task solver-workspace checkout, so
+	// every LP/QP solve allocates its working storage fresh, as the code
+	// did before workspaces existed. Attacks are bit-identical either way
+	// (pooling only moves where arrays live); this is the A/B hook the
+	// identity gates and allocation benchmarks compare against.
+	DisablePooling bool
+
+	// ws is the pooled workspace for this task's inner-MILP LP relaxations,
+	// set per fan-out task by checkoutWorkspaces (never by callers). The
+	// dispatch model carries its own workspace separately.
+	ws *lp.Workspace
 }
 
 func (o Options) withDefaults() Options {

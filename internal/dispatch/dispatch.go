@@ -65,6 +65,13 @@ type Model struct {
 	// engines (tableau simplex, dense KKT factorization) instead of the
 	// sparse ones; used for A/B measurement against dense baselines.
 	DenseSolver bool
+	// Workspace, when non-nil, supplies the inner LP/QP solvers' working
+	// storage, reused across rowgen rounds and solves. Like lastBinding it
+	// is per-clone mutable state: a workspace belongs to exactly one worker
+	// at a time and is never shared concurrently. ShallowClone deliberately
+	// leaves it nil — each worker attaches its own. Results are bit-identical
+	// with and without one.
+	Workspace *lp.Workspace
 }
 
 // BuildModel assembles the affine model for the network's nominal demand.
@@ -350,7 +357,7 @@ func (m *Model) solveLP(ratings []float64, included []int) (*Result, error) {
 		}
 		refs = append(refs, rowRef{li, -1, r2})
 	}
-	sol, err := lp.SolveWith(prob, lp.Options{Metrics: m.Metrics, DenseSolver: m.DenseSolver})
+	sol, err := lp.SolveWith(prob, lp.Options{Metrics: m.Metrics, DenseSolver: m.DenseSolver, Workspace: m.Workspace})
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: %w", err)
 	}
@@ -435,10 +442,11 @@ func (m *Model) solveQP(ratings []float64, included []int) (*Result, error) {
 	// only ratings and demand do. That is exactly the contract qp.KKTCache
 	// requires, so repeated dispatch solves share base factorizations.
 	sol, err := qp.SolveWith(prob, qp.Options{
-		Metrics:  m.Metrics,
-		DenseKKT: m.DenseSolver,
-		Cache:    &m.kkt,
-		RowKeys:  rowKeys,
+		Metrics:   m.Metrics,
+		DenseKKT:  m.DenseSolver,
+		Cache:     &m.kkt,
+		RowKeys:   rowKeys,
+		Workspace: m.Workspace,
 	})
 	if err != nil {
 		if errors.Is(err, qp.ErrInfeasible) {

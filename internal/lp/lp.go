@@ -463,6 +463,14 @@ type Options struct {
 	// per-node/per-round granularity lives in the milp and core callers —
 	// so there is no mid-pivot polling.
 	Ctx context.Context
+	// Workspace, when non-nil, supplies (and between solves retains) the
+	// sparse engine's working storage, so steady-state re-solves touch the
+	// allocator only on problem-size growth. The returned Solution's vectors
+	// then alias the workspace and are valid only until its next solve.
+	// Results are bit-identical with and without a workspace; the dense
+	// engine ignores it (it has its own arena pool). A workspace must not be
+	// used by two goroutines at once.
+	Workspace *Workspace
 }
 
 func (o Options) withDefaults() Options {

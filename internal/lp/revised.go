@@ -64,6 +64,13 @@ type rmatrix struct {
 // sign flips exactly like the dense engine does at tableau setup (so a cold
 // sparse solve and a cold dense solve start from identical internal data).
 func buildRMatrix(p *Problem) *rmatrix {
+	return buildRMatrixInto(p, nil, nil)
+}
+
+// buildRMatrixInto is buildRMatrix writing into mt's existing arrays (grown
+// as needed) with build temporaries drawn from ws. Either may be nil; all
+// four combinations compute the identical matrix.
+func buildRMatrixInto(p *Problem, mt *rmatrix, ws *Workspace) *rmatrix {
 	m, n := len(p.rows), p.nvars
 	nslack := 0
 	for _, r := range p.rows {
@@ -71,17 +78,33 @@ func buildRMatrix(p *Problem) *rmatrix {
 			nslack++
 		}
 	}
-	mt := &rmatrix{
-		m: m, n: n, nslack: nslack,
-		total:   n + nslack + m,
-		artOff:  n + nslack,
-		rhsFlip: make([]bool, m),
-		rhs:     make([]float64, m),
+	if mt == nil {
+		mt = &rmatrix{}
 	}
+	mt.m, mt.n, mt.nslack = m, n, nslack
+	mt.total = n + nslack + m
+	mt.artOff = n + nslack
+	mt.rhsFlip = growBool(mt.rhsFlip, m)
+	mt.rhs = growFloat(mt.rhs, m)
 	// Initial nonbasic placement of structural variables (slacks start at
 	// zero), needed only to reproduce the dense engine's flip decision.
-	x0 := make([]float64, n)
+	var x0 []float64
+	var cnt, next []int
+	if ws != nil {
+		ws.bx0 = growFloat(ws.bx0, n)
+		ws.bcnt = growInt(ws.bcnt, mt.artOff)
+		ws.bnext = growInt(ws.bnext, mt.artOff)
+		x0, cnt, next = ws.bx0, ws.bcnt, ws.bnext
+		for i := range cnt {
+			cnt[i] = 0
+		}
+	} else {
+		x0 = make([]float64, n)
+		cnt = make([]int, mt.artOff)
+		next = make([]int, mt.artOff)
+	}
 	for j := 0; j < n; j++ {
+		x0[j] = 0
 		switch {
 		case !math.IsInf(p.lower[j], -1):
 			x0[j] = p.lower[j]
@@ -89,7 +112,6 @@ func buildRMatrix(p *Problem) *rmatrix {
 			x0[j] = p.upper[j]
 		}
 	}
-	cnt := make([]int, mt.artOff)
 	for _, r := range p.rows {
 		for _, j := range r.ind {
 			cnt[j]++
@@ -98,14 +120,14 @@ func buildRMatrix(p *Problem) *rmatrix {
 	for j := n; j < mt.artOff; j++ {
 		cnt[j] = 1
 	}
-	mt.colPtr = make([]int, mt.artOff+1)
+	mt.colPtr = growInt(mt.colPtr, mt.artOff+1)
+	mt.colPtr[0] = 0
 	for j := 0; j < mt.artOff; j++ {
 		mt.colPtr[j+1] = mt.colPtr[j] + cnt[j]
 	}
 	nnz := mt.colPtr[mt.artOff]
-	mt.rowInd = make([]int, nnz)
-	mt.colVal = make([]float64, nnz)
-	next := make([]int, mt.artOff)
+	mt.rowInd = growInt(mt.rowInd, nnz)
+	mt.colVal = growFloat(mt.colVal, nnz)
 	copy(next, mt.colPtr[:mt.artOff])
 
 	slackAt := n
@@ -190,19 +212,69 @@ type revised struct {
 	dv   []float64 // row-space accumulator for dual bound flips
 
 	// cacheRev records Problem.rev when the finished engine was retained as
-	// the next warm solve's starting state (see Problem.storeRCache).
+	// the next warm solve's starting state (see Problem.storeRCache and
+	// Workspace.retain).
 	cacheRev int
+
+	// ws, when non-nil, is the workspace this engine draws factorization
+	// scratch and solution buffers from (and is retained on between solves).
+	ws *Workspace
+
+	// Per-engine reusable scratch: phase-I cost vector, refactorization
+	// column pointers, unit artificial columns (artRow[i:i+1]/artOne[i:i+1]
+	// is column i of the identity), and the dual ratio-test candidate and
+	// flip lists with their sorter.
+	costI      []float64
+	refInd     [][]int
+	refVal     [][]float64
+	artRow     []int
+	artOne     []float64
+	cands      []dualCand
+	flips      []int
+	candSorter dualCandSorter
 }
 
-// newRevised builds a cold-start engine: fresh matrix, artificial basis,
-// identity LU.
+// dualCandSorter orders dual ratio-test candidates by (ratio asc, |alpha|
+// desc, j asc) — a strict total order (j is unique), so the sorted sequence
+// is independent of the sort algorithm; the pointer receiver keeps sort.Sort
+// allocation-free.
+type dualCandSorter struct{ c []dualCand }
+
+func (s *dualCandSorter) Len() int { return len(s.c) }
+func (s *dualCandSorter) Less(a, b int) bool {
+	ca, cb := s.c[a], s.c[b]
+	if ca.ratio != cb.ratio {
+		return ca.ratio < cb.ratio
+	}
+	aa, ab := math.Abs(ca.alpha), math.Abs(cb.alpha)
+	if aa != ab {
+		return aa > ab
+	}
+	return ca.j < cb.j
+}
+func (s *dualCandSorter) Swap(a, b int) { s.c[a], s.c[b] = s.c[b], s.c[a] }
+
+// newRevised builds a cold-start engine: matrix rebuilt from the problem's
+// current state, artificial basis, identity LU. With a workspace the
+// retained engine's allocations are reused; the matrix is still rebuilt so a
+// cold solve never depends on retained state (bound edits change the flip
+// pattern without bumping rev).
 func newRevised(p *Problem, opts Options) (*revised, error) {
 	for j := 0; j < p.nvars; j++ {
 		if p.lower[j] > p.upper[j] {
 			return nil, fmt.Errorf("lp: variable %d has inconsistent bounds [%g, %g]", j, p.lower[j], p.upper[j])
 		}
 	}
-	e := newRevisedSkeleton(p, buildRMatrix(p), opts)
+	var e *revised
+	if ws := opts.Workspace; ws != nil {
+		e = ws.detach()
+		if e == nil {
+			e = &revised{ws: ws}
+		}
+		e.reinit(p, buildRMatrixInto(p, e.mat, ws), opts)
+	} else {
+		e = newRevisedSkeleton(p, buildRMatrix(p), opts)
+	}
 
 	// Initial nonbasic placement, exactly as the dense engine.
 	for j := 0; j < e.total; j++ {
@@ -252,32 +324,67 @@ func newRevised(p *Problem, opts Options) (*revised, error) {
 // newRevisedSkeleton allocates an engine around a built matrix, with bounds
 // and costs loaded but no basis state yet.
 func newRevisedSkeleton(p *Problem, mt *rmatrix, opts Options) *revised {
-	e := &revised{
-		opts:     opts,
-		m:        mt.m,
-		n:        mt.n,
-		nslack:   mt.nslack,
-		total:    mt.total,
-		artOff:   mt.artOff,
-		mat:      mt,
-		maximize: p.maximize,
-		userC:    p.c,
-		lower:    make([]float64, mt.total),
-		upper:    make([]float64, mt.total),
-		costII:   make([]float64, mt.total),
-		z:        make([]float64, mt.total),
-		basis:    make([]int, mt.m),
-		status:   make([]varStatus, mt.total),
-		xB:       make([]float64, mt.m),
-		xN:       make([]float64, mt.total),
-		etaPtr:   make([]int, 1, etaRefactorLimit+1),
-		col:      make([]float64, mt.m),
-		rho:      make([]float64, mt.m),
-		arow:     make([]float64, mt.total),
-		dv:       make([]float64, mt.m),
-	}
-	e.loadBoundsAndCost(p)
+	e := &revised{}
+	e.reinit(p, mt, opts)
 	return e
+}
+
+// reinit (re)initializes an engine around a built matrix, growing (or on a
+// fresh engine, allocating) every working array, resetting counters and eta
+// state, and recycling the previous LU's arrays into the workspace's
+// factorization scratch. After reinit the engine is indistinguishable from a
+// freshly constructed skeleton: no stale array content is ever read before
+// being rewritten (the cold and warm setup paths write every slot they use).
+func (e *revised) reinit(p *Problem, mt *rmatrix, opts Options) {
+	e.opts = opts
+	e.m, e.n, e.nslack = mt.m, mt.n, mt.nslack
+	e.total, e.artOff = mt.total, mt.artOff
+	e.mat = mt
+	e.maximize, e.userC = p.maximize, p.c
+	e.lower = growFloat(e.lower, mt.total)
+	e.upper = growFloat(e.upper, mt.total)
+	e.costII = growFloat(e.costII, mt.total)
+	e.z = growFloat(e.z, mt.total)
+	e.basis = growInt(e.basis, mt.m)
+	if cap(e.status) < mt.total {
+		e.status = make([]varStatus, mt.total)
+	} else {
+		e.status = e.status[:mt.total]
+	}
+	e.xB = growFloat(e.xB, mt.m)
+	e.xN = growFloat(e.xN, mt.total)
+	if cap(e.etaPtr) < etaRefactorLimit+1 {
+		e.etaPtr = make([]int, 1, etaRefactorLimit+1)
+	} else {
+		e.etaPtr = e.etaPtr[:1]
+	}
+	e.etaPtr[0] = 0
+	e.etaPos = e.etaPos[:0]
+	e.etaVal = e.etaVal[:0]
+	e.etaPiv = e.etaPiv[:0]
+	e.etaDiag = e.etaDiag[:0]
+	e.netas = 0
+	if e.lu != nil {
+		if e.ws != nil {
+			e.ws.fact.Recycle(e.lu)
+		}
+		e.lu = nil
+	}
+	e.col = growFloat(e.col, mt.m)
+	e.rho = growFloat(e.rho, mt.m)
+	e.arow = growFloat(e.arow, mt.total)
+	e.dv = growFloat(e.dv, mt.m)
+	e.artRow = growInt(e.artRow, mt.m)
+	e.artOne = growFloat(e.artOne, mt.m)
+	for i := 0; i < mt.m; i++ {
+		e.artRow[i] = i
+		e.artOne[i] = 1
+	}
+	e.iters, e.phase1Iters, e.degenPivots, e.boundFlips, e.dualPivots = 0, 0, 0, 0, 0
+	e.ftran, e.btran, e.etaApps, e.refactors = 0, 0, 0, 0
+	e.bland, e.stall = false, 0
+	e.cacheRev = 0
+	e.loadBoundsAndCost(p)
 }
 
 // loadBoundsAndCost refreshes the per-variable bound and cost vectors from
@@ -315,9 +422,12 @@ func (e *revised) scatterCol(j int, out []float64) {
 }
 
 // colEntries returns column j as (rows, values) slices for LU assembly.
+// Artificial columns are served from the precomputed identity arrays so the
+// hot refactorization path allocates nothing.
 func (e *revised) colEntries(j int) ([]int, []float64) {
 	if j >= e.artOff {
-		return []int{j - e.artOff}, []float64{1}
+		i := j - e.artOff
+		return e.artRow[i : i+1], e.artOne[i : i+1]
 	}
 	mt := e.mat
 	return mt.rowInd[mt.colPtr[j]:mt.colPtr[j+1]], mt.colVal[mt.colPtr[j]:mt.colPtr[j+1]]
@@ -403,16 +513,31 @@ func (e *revised) appendEta(r int) {
 }
 
 // refactor rebuilds the LU from the current basis columns and clears the
-// eta file.
+// eta file. The column-pointer tables live on the engine and the Markowitz
+// working set (plus the retired LU's arrays) on the workspace, so steady-
+// state refactorizations allocate nothing.
 func (e *revised) refactor() error {
-	ind := make([][]int, e.m)
-	val := make([][]float64, e.m)
+	if cap(e.refInd) < e.m {
+		e.refInd = make([][]int, e.m)
+		e.refVal = make([][]float64, e.m)
+	}
+	ind := e.refInd[:e.m]
+	val := e.refVal[:e.m]
 	for pos, v := range e.basis {
 		ind[pos], val[pos] = e.colEntries(v)
 	}
-	lu, err := sparse.FactorColumns(e.m, ind, val)
+	var fs *sparse.FactorScratch
+	if e.ws != nil {
+		fs = &e.ws.fact
+	}
+	lu, err := sparse.FactorColumnsWith(e.m, ind, val, fs)
 	if err != nil {
 		return err
+	}
+	// Recycle only after success: a failed factorization must leave the
+	// current LU untouched (callers may keep pivoting on it or report).
+	if fs != nil && e.lu != nil {
+		fs.Recycle(e.lu)
 	}
 	e.lu = lu
 	e.etaPtr = e.etaPtr[:1]
@@ -450,7 +575,11 @@ func (e *revised) refreshZ(cost []float64) {
 
 // run executes both phases and assembles the solution (cold path).
 func (e *revised) run() (*Solution, error) {
-	costI := make([]float64, e.total)
+	e.costI = growFloat(e.costI, e.total)
+	costI := e.costI
+	for j := 0; j < e.artOff; j++ {
+		costI[j] = 0
+	}
 	for j := e.artOff; j < e.total; j++ {
 		costI[j] = 1
 	}
@@ -731,9 +860,27 @@ func (e *revised) step(j int, dir, tol float64) (unbounded bool, err error) {
 
 // assemble builds the user-facing solution after a phase-II optimum, with
 // the same dual extraction as the dense engine (the artificial column of
-// row i carries B⁻¹e_i).
+// row i carries B⁻¹e_i). Workspace-carrying solves write into the
+// workspace's solution storage — valid until that workspace's next solve —
+// instead of allocating; the numbers are identical either way.
 func (e *revised) assemble() *Solution {
-	x := make([]float64, e.n)
+	var (
+		sol         *Solution
+		x, dual, rc []float64
+	)
+	if ws := e.ws; ws != nil {
+		ws.solX = growFloat(ws.solX, e.n)
+		ws.solDual = growFloat(ws.solDual, e.m)
+		ws.solRC = growFloat(ws.solRC, e.n)
+		x, dual, rc = ws.solX, ws.solDual, ws.solRC
+		ws.sol = Solution{}
+		sol = &ws.sol
+	} else {
+		x = make([]float64, e.n)
+		dual = make([]float64, e.m)
+		rc = make([]float64, e.n)
+		sol = &Solution{}
+	}
 	copy(x, e.xN[:e.n])
 	var obj float64
 	for j := 0; j < e.n; j++ {
@@ -743,7 +890,6 @@ func (e *revised) assemble() *Solution {
 	if e.maximize {
 		sign = -1
 	}
-	dual := make([]float64, e.m)
 	for i := 0; i < e.m; i++ {
 		y := -e.z[e.artOff+i]
 		if e.mat.rhsFlip[i] {
@@ -751,18 +897,16 @@ func (e *revised) assemble() *Solution {
 		}
 		dual[i] = sign * y
 	}
-	rc := make([]float64, e.n)
 	for j := 0; j < e.n; j++ {
 		rc[j] = sign * e.z[j]
 	}
-	return &Solution{
-		Status:      Optimal,
-		X:           x,
-		Objective:   obj,
-		Dual:        dual,
-		ReducedCost: rc,
-		Iterations:  e.iters,
-	}
+	sol.Status = Optimal
+	sol.X = x
+	sol.Objective = obj
+	sol.Dual = dual
+	sol.ReducedCost = rc
+	sol.Iterations = e.iters
+	return sol
 }
 
 // captureBasisRevised snapshots the final basis of a solved engine.
@@ -818,6 +962,11 @@ func solveSparse(p *Problem, opts Options, stats *solveStats) (*Solution, error)
 		}
 		if wsol != nil {
 			sol, e, stats.warmUsed = wsol, we, true
+		} else if we != nil && opts.Workspace != nil {
+			// Failed warm attempt: hand the engine's allocations back so the
+			// cold fallback below reuses them (uncertified — the cold path
+			// rebuilds the matrix and refactorizes regardless).
+			opts.Workspace.retain(p, we, false)
 		}
 	}
 	if sol == nil {
@@ -835,8 +984,15 @@ func solveSparse(p *Problem, opts Options, stats *solveStats) (*Solution, error)
 	if sol != nil && opts.CaptureBasis && sol.Status == Optimal {
 		sol.Basis = captureBasisRevised(e)
 	}
-	if err == nil && opts.CaptureBasis && e != nil {
-		p.storeRCache(e)
+	if err == nil && e != nil {
+		if ws := opts.Workspace; ws != nil {
+			// The workspace, not the Problem, is the engine's home between
+			// solves; certification (matrix/LU reuse next time) follows the
+			// same CaptureBasis discipline as the rcache path.
+			ws.retain(p, e, opts.CaptureBasis)
+		} else if opts.CaptureBasis {
+			p.storeRCache(e)
+		}
 	}
 	return sol, err
 }
@@ -863,32 +1019,64 @@ func trySolveWarmSparse(p *Problem, opts Options, b *Basis) (*revised, *Solution
 			return nil, nil // cold path reports the inconsistent bounds
 		}
 	}
-	wanted := make([]int, 0, m)
+	var wanted []int
+	if opts.Workspace != nil {
+		wanted = opts.Workspace.wanted[:0]
+	} else {
+		wanted = make([]int, 0, m)
+	}
 	for j, st := range b.status {
 		if st == basic {
 			wanted = append(wanted, j)
 		}
 	}
+	if opts.Workspace != nil {
+		opts.Workspace.wanted = wanted
+	}
 	if len(wanted) != m {
 		return nil, nil
 	}
 
-	e := p.takeRCache(m, n, nslack)
-	if e != nil {
+	// Engine acquisition: the workspace-retained engine when its matrix and
+	// LU are certified for p's current state (same condition takeRCache
+	// enforces), the Problem's own rcache otherwise. Both hits reuse the
+	// factorization under the identical sameBasisSet test, so pooled and
+	// unpooled solves pivot through the same numbers.
+	var e *revised
+	luValid := false
+	if ws := opts.Workspace; ws != nil {
+		e = ws.detach()
+		if e != nil {
+			luValid = ws.engProb == p && e.cacheRev == p.rev &&
+				e.m == m && e.n == n && e.nslack == nslack
+			ws.engProb = nil
+		}
+	} else {
+		e = p.takeRCache(m, n, nslack)
+		luValid = e != nil
+	}
+	if e != nil && luValid {
 		e.opts = opts
 		e.maximize, e.userC = p.maximize, p.c
 		e.loadBoundsAndCost(p)
 		// Reuse the retained factorization only when the wanted basis is
 		// exactly the one it factors (the branch-and-bound fast path:
 		// the child's warm basis is the parent's final basis).
-		if !sameBasisSet(e.basis, wanted) {
+		if !sameBasisSet(e, e.basis, wanted) {
 			copy(e.basis, wanted)
 			if err := e.refactor(); err != nil {
 				return e, nil
 			}
 		}
 	} else {
-		e = newRevisedSkeleton(p, buildRMatrix(p), opts)
+		if e != nil {
+			e.reinit(p, buildRMatrixInto(p, e.mat, opts.Workspace), opts)
+		} else if ws := opts.Workspace; ws != nil {
+			e = &revised{ws: ws}
+			e.reinit(p, buildRMatrixInto(p, nil, ws), opts)
+		} else {
+			e = newRevisedSkeleton(p, buildRMatrix(p), opts)
+		}
 		copy(e.basis, wanted)
 		if err := e.refactor(); err != nil {
 			return e, nil
@@ -917,12 +1105,19 @@ func trySolveWarmSparse(p *Problem, opts Options, b *Basis) (*revised, *Solution
 }
 
 // sameBasisSet reports whether cur (in position order) and wanted (sorted
-// ascending) contain the same variables.
-func sameBasisSet(cur, wanted []int) bool {
+// ascending) contain the same variables; e supplies sort scratch when it
+// carries a workspace.
+func sameBasisSet(e *revised, cur, wanted []int) bool {
 	if len(cur) != len(wanted) {
 		return false
 	}
-	tmp := make([]int, len(cur))
+	var tmp []int
+	if e != nil && e.ws != nil {
+		e.ws.tmp = growInt(e.ws.tmp, len(cur))
+		tmp = e.ws.tmp
+	} else {
+		tmp = make([]int, len(cur))
+	}
 	copy(tmp, cur)
 	sort.Ints(tmp)
 	for i, v := range tmp {
@@ -1041,8 +1236,12 @@ func (e *revised) warmPrimalFeasible() bool {
 func (e *revised) dualSimplex() bool {
 	tol := e.opts.Tol
 	sinceRefresh := 0
-	var cands []dualCand
-	var flips []int
+	cands := e.cands
+	flips := e.flips
+	defer func() {
+		e.cands = cands[:0]
+		e.flips = flips[:0]
+	}()
 	for {
 		if e.iters >= e.opts.MaxIter {
 			return false
@@ -1123,17 +1322,9 @@ func (e *revised) dualSimplex() bool {
 				}
 			}
 		} else {
-			sort.Slice(cands, func(a, b int) bool {
-				ca, cb := cands[a], cands[b]
-				if ca.ratio != cb.ratio {
-					return ca.ratio < cb.ratio
-				}
-				aa, ab := math.Abs(ca.alpha), math.Abs(cb.alpha)
-				if aa != ab {
-					return aa > ab
-				}
-				return ca.j < cb.j
-			})
+			e.candSorter.c = cands
+			sort.Sort(&e.candSorter)
+			e.candSorter.c = nil
 			remain := viol
 			for i, c := range cands {
 				if isPosInf(c.span) || remain-math.Abs(c.alpha)*c.span <= tol {

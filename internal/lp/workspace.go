@@ -1,0 +1,114 @@
+package lp
+
+import "github.com/edsec/edattack/internal/sparse"
+
+// Workspace owns the allocation-heavy scratch one solver worker reuses
+// across sparse revised-simplex solves: the retained engine (dense vectors,
+// eta file, pivot-row and pricing arrays, the compressed-column matrix), the
+// Markowitz factorization working set (internal/sparse.FactorScratch,
+// including a recycled spare LU), matrix-build temporaries, warm-basis
+// scratch, and the solution vectors of workspace-owned solves. The QP layer
+// parks its Schur scratch in QP (typed in internal/qp; `any` here avoids the
+// import cycle).
+//
+// Ownership rules: a Workspace belongs to exactly one goroutine at a time —
+// core's worker pool checks one out per task and returns it when the task
+// ends; edserve's topology cache pins one per cached model under the entry
+// lock. It is never shared concurrently, so no field needs synchronization.
+//
+// A Solution returned from a workspace-carrying solve aliases the
+// workspace's buffers and is valid only until the next solve that uses the
+// same workspace; callers that retain vectors (incumbents, heuristic points,
+// captured bases) must copy, which every current caller already does.
+// Pooling only moves where arrays live: every solve runs the identical code
+// path with identical inputs, so results are bit-for-bit independent of
+// whether a Workspace is attached.
+type Workspace struct {
+	// eng is the engine retained by the last sparse solve. engProb is non-nil
+	// only when that solve ran with CaptureBasis — the same discipline as the
+	// per-Problem rcache — and marks the engine's matrix, LU, and eta file as
+	// still describing engProb (checked against Problem.rev at reuse time).
+	// An uncertified retention reuses allocations only: the next solve
+	// rebuilds the matrix and refactorizes, exactly like an unpooled solve.
+	eng     *revised
+	engProb *Problem
+
+	fact sparse.FactorScratch
+
+	// buildRMatrixInto temporaries.
+	bx0   []float64
+	bcnt  []int
+	bnext []int
+
+	// Warm-start scratch.
+	wanted []int
+	tmp    []int
+
+	// Workspace-owned solution storage (see type comment for lifetime).
+	sol     Solution
+	solX    []float64
+	solDual []float64
+	solRC   []float64
+
+	// QP is the qp package's Schur/active-set scratch slot.
+	QP any
+}
+
+// NewWorkspace returns an empty workspace; all storage grows on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Reset drops the retained engine's association with its problem, so the
+// next solve rebuilds from the problem's current state (allocations are
+// kept). Useful when a caller knows the retained state can no longer be
+// trusted, e.g. after handing the problem to unknown code.
+func (ws *Workspace) Reset() {
+	if ws == nil {
+		return
+	}
+	ws.engProb = nil
+}
+
+// detach takes the retained engine (allocation reuse); nil when none.
+func (ws *Workspace) detach() *revised {
+	e := ws.eng
+	ws.eng = nil
+	return e
+}
+
+// retain stores a finished engine. certified marks the engine's matrix, LU,
+// and eta file as valid for p's current rev — only CaptureBasis solves earn
+// it, mirroring when an unpooled solve would populate p.rcache, so pooled
+// and unpooled runs take the LU-reuse fast path under identical conditions.
+func (ws *Workspace) retain(p *Problem, e *revised, certified bool) {
+	ws.eng = e
+	if certified {
+		ws.engProb = p
+		e.cacheRev = p.rev
+	} else {
+		ws.engProb = nil
+	}
+}
+
+// growFloat/growInt/growBool reslice s to length n, reallocating only when
+// capacity is insufficient. Contents are unspecified; callers write before
+// reading (or clear explicitly).
+func growFloat(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}

@@ -52,11 +52,26 @@ type activeSet struct {
 	// working set (the iterate moves neither the matrix nor the right-hand
 	// side), and run() solves each candidate set twice — once probing
 	// independence in tryKKT, once for the step in the next iteration — so
-	// remembering the last result halves the work.
+	// remembering the last result halves the work. memoOK gates validity so
+	// the buffers themselves can persist in a qpScratch across solves.
+	memoOK   bool
 	memoWork []int
 	memoX    []float64
 	memoNu   []float64
 	memoLam  []float64
+
+	// Reused per-call buffers (scratch-backed under a Workspace): the
+	// bordered solution vector, Schur right-hand side, memo hand-out copies,
+	// step direction, and candidate working set. A KKT solution handed out
+	// from uBuf/ret* is valid until the next solveKKT call, which is how
+	// run() already consumes it.
+	uBuf   []float64
+	rhsBuf []float64
+	retX   []float64
+	retNu  []float64
+	retLam []float64
+	dBuf   []float64
+	cand   []int
 }
 
 // KKTCache carries factorization work reusable across solves of structurally
@@ -122,7 +137,9 @@ func (s *activeSet) run() (*Solution, error) {
 			return // keep the working set small enough for independence
 		}
 		if s.rows[i].h-s.rows[i].value(s.x) < tol {
-			if s.tryKKT(append(append([]int{}, s.work...), i)) {
+			cand := append(append(s.cand[:0], s.work...), i)
+			s.cand = cand
+			if s.tryKKT(cand) {
 				s.work = append(s.work, i)
 			}
 		}
@@ -146,7 +163,11 @@ func (s *activeSet) run() (*Solution, error) {
 			s.work = s.work[:len(s.work)-1]
 			continue
 		}
-		d := mat.Sub(xStar, s.x)
+		d := growFloat(s.dBuf, len(s.x))
+		s.dBuf = d
+		for j := range d {
+			d[j] = xStar[j] - s.x[j]
+		}
 		if mat.NormInf(d) < tol {
 			// Candidate optimum: check multiplier signs.
 			minIdx, minVal := -1, -tol
@@ -185,7 +206,8 @@ func (s *activeSet) run() (*Solution, error) {
 			s.x[j] += alpha * d[j]
 		}
 		if blocking >= 0 {
-			cand := append(append([]int{}, s.work...), blocking)
+			cand := append(append(s.cand[:0], s.work...), blocking)
+			s.cand = cand
 			if s.tryKKT(cand) {
 				s.work = append(s.work, blocking)
 			} else if len(s.work) > 0 {
@@ -285,7 +307,7 @@ func (s *activeSet) stableKeys() bool {
 	if len(s.p.gin) > 0 && len(rk) != len(s.p.gin) {
 		return false
 	}
-	keys := make([]int64, len(s.rows))
+	keys := growInt64(s.keys, len(s.rows))
 	for i := range s.rows {
 		r := &s.rows[i]
 		switch r.kind {
@@ -307,7 +329,7 @@ func (s *activeSet) stableKeys() bool {
 
 // positionalKeys identifies rows by position, valid within one solve only.
 func (s *activeSet) positionalKeys() {
-	s.keys = make([]int64, len(s.rows))
+	s.keys = growInt64(s.keys, len(s.rows))
 	for i := range s.keys {
 		s.keys[i] = int64(i)<<2 | 3
 	}
@@ -371,17 +393,23 @@ func (s *activeSet) buildSchur() *kktSchur {
 // right-hand-side dot cache.
 func (s *activeSet) initW0() {
 	n := s.p.n
-	w0 := make([]float64, s.schur.dim0)
+	w0 := growFloat(s.w0, s.schur.dim0)
 	for i := 0; i < n; i++ {
 		w0[i] = -s.p.c[i]
 	}
 	for e := 0; e < len(s.p.aeq); e++ {
 		w0[n+e] = s.p.beq[e]
 	}
+	for i := n + len(s.p.aeq); i < len(w0); i++ {
+		w0[i] = 0
+	}
 	s.schur.base.Solve(w0)
 	s.w0 = w0
-	s.rw0 = make([]float64, len(s.rows))
-	s.rw0ok = make([]bool, len(s.rows))
+	s.rw0 = growFloat(s.rw0, len(s.rows))
+	s.rw0ok = growBool(s.rw0ok, len(s.rows))
+	for i := range s.rw0ok {
+		s.rw0ok[i] = false
+	}
 }
 
 // borderCol returns B⁻¹·ĝ_w, computing and caching it on first use. The
@@ -462,14 +490,18 @@ func rowDot(r *ineqRow, v []float64) float64 {
 // are dependent (given the nonsingular base), exactly the condition the
 // dense path reports as ErrSingular.
 func (s *activeSet) solveKKTSchur(work []int) (x, nu, lam []float64, err error) {
-	if s.memoX != nil && sameWorkSet(s.memoWork, work) {
-		return mat.CloneVec(s.memoX), mat.CloneVec(s.memoNu), mat.CloneVec(s.memoLam), nil
+	if s.memoOK && sameWorkSet(s.memoWork, work) {
+		s.retX = cloneInto(s.retX, s.memoX)
+		s.retNu = cloneInto(s.retNu, s.memoNu)
+		s.retLam = cloneInto(s.retLam, s.memoLam)
+		return s.retX, s.retNu, s.retLam, nil
 	}
 	n := s.p.n
 	k := s.schur
 	mw := len(work)
-	u := mat.CloneVec(s.w0)
-	lmb := make([]float64, mw)
+	u := cloneInto(s.uBuf, s.w0)
+	s.uBuf = u
+	var lmb []float64
 	if mw > 0 {
 		wk := s.workKey(work)
 		if k.sbad[wk] {
@@ -501,7 +533,8 @@ func (s *activeSet) solveKKTSchur(work []int) (x, nu, lam []float64, err error) 
 			}
 			k.sfact[wk] = f
 		}
-		rhs := make([]float64, mw)
+		rhs := growFloat(s.rhsBuf, mw)
+		s.rhsBuf = rhs
 		for i, w := range work {
 			rhs[i] = s.rhsDot(w) - s.rows[w].h
 		}
@@ -521,9 +554,10 @@ func (s *activeSet) solveKKTSchur(work []int) (x, nu, lam []float64, err error) 
 		}
 	}
 	s.memoWork = append(s.memoWork[:0], work...)
-	s.memoX = mat.CloneVec(u[:n])
-	s.memoNu = mat.CloneVec(u[n:])
-	s.memoLam = mat.CloneVec(lmb)
+	s.memoX = cloneInto(s.memoX, u[:n])
+	s.memoNu = cloneInto(s.memoNu, u[n:])
+	s.memoLam = cloneInto(s.memoLam, lmb)
+	s.memoOK = true
 	return u[:n], u[n:], lmb, nil
 }
 

@@ -175,6 +175,15 @@ type Options struct {
 	// recognize the same constraint across solves even when the row set
 	// (and hence row positions) changes.
 	RowKeys []int64
+	// Workspace, when non-nil, supplies the active-set iteration's working
+	// storage (row list, Schur right-hand-side and memo buffers, step
+	// direction), reused across solves so a steady-state QP re-solve under a
+	// warm KKTCache stays off the allocator. The feasibility LP deliberately
+	// does not use it: its solution vector becomes the iterate and is
+	// mutated in place, so it must own its storage. Results are
+	// bit-identical with and without a workspace. Not safe for concurrent
+	// use.
+	Workspace *lp.Workspace
 }
 
 func (o Options) withDefaults() Options {
@@ -230,16 +239,32 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 	if m != nil {
 		m.Counter("qp_solves_total").Inc()
 	}
-	rows := gatherIneqs(p)
+	sc := scratchFrom(opts.Workspace)
+	var rowBuf []ineqRow
+	if sc != nil {
+		rowBuf = sc.rows
+	}
+	rows := gatherIneqsInto(p, rowBuf)
 	x, err := feasibleStart(p, opts)
 	if err != nil {
+		if sc != nil {
+			sc.rows = rows
+		}
 		if m != nil && errors.Is(err, ErrInfeasible) {
 			m.Counter("qp_infeasible_total").Inc()
 		}
 		return nil, err
 	}
-	s := &activeSet{p: p, rows: rows, x: x, opts: opts}
+	var s *activeSet
+	if sc != nil {
+		s = sc.attach(p, rows, x, opts)
+	} else {
+		s = &activeSet{p: p, rows: rows, x: x, opts: opts}
+	}
 	sol, err := s.run()
+	if sc != nil {
+		sc.reclaim(s)
+	}
 	if m != nil {
 		if sol != nil {
 			m.Counter("qp_iterations_total").Add(int64(sol.Iterations))
@@ -253,8 +278,14 @@ func SolveWith(p *Problem, opts Options) (*Solution, error) {
 }
 
 // gatherIneqs folds user inequalities and finite bounds into one row list.
-func gatherIneqs(p *Problem) []ineqRow {
-	rows := make([]ineqRow, 0, len(p.gin)+2*p.n)
+func gatherIneqs(p *Problem) []ineqRow { return gatherIneqsInto(p, nil) }
+
+// gatherIneqsInto is gatherIneqs appending into buf's backing array.
+func gatherIneqsInto(p *Problem, buf []ineqRow) []ineqRow {
+	rows := buf[:0]
+	if cap(rows) == 0 {
+		rows = make([]ineqRow, 0, len(p.gin)+2*p.n)
+	}
 	for i, g := range p.gin {
 		rows = append(rows, ineqRow{g: g, h: p.hin[i], kind: kindUser, idx: i})
 	}

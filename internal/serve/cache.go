@@ -8,6 +8,7 @@ import (
 	"github.com/edsec/edattack/internal/dispatch"
 	"github.com/edsec/edattack/internal/grid"
 	"github.com/edsec/edattack/internal/grid/cases"
+	"github.com/edsec/edattack/internal/lp"
 	"github.com/edsec/edattack/internal/sweep"
 	"github.com/edsec/edattack/internal/telemetry"
 )
@@ -117,6 +118,13 @@ func buildTopoEntry(name string, metrics *telemetry.Registry) (*topoEntry, error
 	if err != nil {
 		return nil, err
 	}
+	// Pin a workspace to the resident model for its whole cache lifetime:
+	// evaluation jobs (and the sequential phases of attack jobs) then reuse
+	// one set of solver buffers across every request that hits this
+	// topology. The entry lock already serializes model-touching solves, so
+	// single-owner workspace discipline holds; core's per-task checkouts
+	// save and restore this workspace around their own.
+	model.Workspace = lp.NewWorkspace()
 	ud := map[int]float64{}
 	for _, li := range net.DLRLines() {
 		ud[li] = net.Lines[li].RateMVA

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/edsec/edattack/internal/core"
@@ -107,6 +108,20 @@ type job struct {
 	out      chan streamEvent
 }
 
+// jobPool recycles job structs across requests. The out channel is the one
+// field that cannot be reused (it is closed per job), so each checkout gets
+// a fresh channel; putJob zeroes the struct so a pooled job never pins a
+// finished request's maps or context.
+var jobPool = sync.Pool{New: func() any { return new(job) }}
+
+// putJob returns a drained job to the pool. Callers must be past the
+// executor's close(j.out): the handler only calls this after the range over
+// out ends, at which point no other goroutine holds the job.
+func putJob(j *job) {
+	*j = job{}
+	jobPool.Put(j)
+}
+
 // newJob parses and validates a request body into an admitted-ready job.
 // The returned int is the HTTP status for a rejection.
 func (s *Server) newJob(kind jobKind, r *http.Request) (*job, int, error) {
@@ -130,7 +145,8 @@ func (s *Server) newJob(kind jobKind, r *http.Request) (*job, int, error) {
 		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
-	return &job{
+	j := jobPool.Get().(*job)
+	*j = job{
 		id:       s.nextID(),
 		kind:     kind,
 		req:      req,
@@ -138,7 +154,8 @@ func (s *Server) newJob(kind jobKind, r *http.Request) (*job, int, error) {
 		cancel:   cancel,
 		accepted: time.Now(),
 		out:      make(chan streamEvent, 4),
-	}, 0, nil
+	}
+	return j, 0, nil
 }
 
 // fail emits one error event and closes the job's stream.

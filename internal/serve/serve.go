@@ -18,6 +18,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -28,6 +29,11 @@ import (
 	"github.com/edsec/edattack/internal/sweep"
 	"github.com/edsec/edattack/internal/telemetry"
 )
+
+// lineBufPool recycles the NDJSON line-encoding buffers across requests, so
+// a saturated stream of small responses does not allocate a fresh buffer
+// (and encoder backing) per request.
+var lineBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // Config tunes a Server. The zero value serves with the defaults below.
 type Config struct {
@@ -182,16 +188,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// statsDoc is the /v1/stats response.
+// statsDoc is the /v1/stats response. Mem is a fresh runtime.MemStats
+// reading (heap live, GC pause p99, GC cycles), also published as mem_*
+// gauges on the metrics export.
 type statsDoc struct {
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	Workers       int     `json:"workers"`
-	QueueDepth    int     `json:"queue_depth"`
-	QueueCap      int     `json:"queue_cap"`
-	Topologies    int     `json:"topologies"`
-	SweepCacheLen int     `json:"sweep_cache_len"`
-	SweepCacheCap int     `json:"sweep_cache_cap"`
-	WarmBases     int     `json:"warm_bases"`
+	UptimeSeconds float64               `json:"uptime_seconds"`
+	Workers       int                   `json:"workers"`
+	QueueDepth    int                   `json:"queue_depth"`
+	QueueCap      int                   `json:"queue_cap"`
+	Topologies    int                   `json:"topologies"`
+	SweepCacheLen int                   `json:"sweep_cache_len"`
+	SweepCacheCap int                   `json:"sweep_cache_cap"`
+	WarmBases     int                   `json:"warm_bases"`
+	Mem           telemetry.MemSnapshot `json:"mem"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -204,6 +213,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		SweepCacheLen: s.sweepCache.Len(),
 		SweepCacheCap: s.sweepCache.Cap(),
 		WarmBases:     s.topos.warmBases(),
+		Mem:           telemetry.CaptureMemStats(s.cfg.Metrics),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -236,6 +246,9 @@ func (s *Server) handleJob(kind jobKind) http.HandlerFunc {
 			return
 		}
 		defer j.cancel()
+		// LIFO with the cancel above: the job recycles first, then the
+		// captured cancel func (which outlives the struct) fires.
+		defer putJob(j)
 		select {
 		case s.admit <- j:
 			s.counter("serve_requests_total")
@@ -248,11 +261,15 @@ func (s *Server) handleJob(kind jobKind) http.HandlerFunc {
 		}
 
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		enc := json.NewEncoder(w)
+		buf := lineBufPool.Get().(*bytes.Buffer)
+		defer lineBufPool.Put(buf)
+		enc := json.NewEncoder(buf)
 		flusher, _ := w.(http.Flusher)
 		write := func(ev streamEvent) {
 			ev.Job = j.id
+			buf.Reset()
 			_ = enc.Encode(ev)
+			_, _ = w.Write(buf.Bytes())
 			if flusher != nil {
 				flusher.Flush()
 			}

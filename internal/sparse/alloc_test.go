@@ -1,0 +1,62 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMulDenseIntoZeroAlloc pins the CSR·dense-batch kernel at zero
+// steady-state allocations: every buffer is caller-owned, so a sweep engine
+// calling it per batch must not grow the heap.
+func TestMulDenseIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomCSR(rng, 40, 60, 0.2)
+	const xcols = 300
+	x := make([]float64, a.Cols*xcols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, a.Rows*xcols)
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := a.MulDenseInto(y, x, xcols); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("MulDenseInto allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestLUSolveZeroAlloc pins the factorization's FTRAN/BTRAN primitives —
+// LU.Solve and LU.SolveT operate strictly in place on the caller's vector.
+func TestLUSolveZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 30
+	ind := make([][]int, n)
+	val := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		ind[j] = append(ind[j], j)
+		val[j] = append(val[j], 2+rng.Float64())
+		for i := 0; i < n; i++ {
+			if i != j && rng.Float64() < 0.1 {
+				ind[j] = append(ind[j], i)
+				val[j] = append(val[j], rng.NormFloat64()*0.1)
+			}
+		}
+	}
+	lu, err := FactorColumns(n, ind, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		lu.Solve(b)
+		lu.SolveT(b)
+	})
+	if allocs != 0 {
+		t.Fatalf("LU Solve+SolveT allocate %.1f objects per call, want 0", allocs)
+	}
+}

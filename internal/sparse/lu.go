@@ -59,25 +59,117 @@ type luEnt struct {
 	val float64
 }
 
+// entSorter orders one row's entries by column. A pointer receiver keeps
+// sort.Sort allocation-free (the interface value wraps the existing pointer),
+// and pdqsort under sort.Sort visits the same comparison/swap sequence as the
+// sort.Slice it replaces, so the summation order of duplicates — and with it
+// the factorization — is bit-identical.
+type entSorter struct{ r []luEnt }
+
+func (s *entSorter) Len() int           { return len(s.r) }
+func (s *entSorter) Less(a, b int) bool { return s.r[a].col < s.r[b].col }
+func (s *entSorter) Swap(a, b int)      { s.r[a], s.r[b] = s.r[b], s.r[a] }
+
+// FactorScratch pools every working array a Markowitz factorization needs —
+// the active-submatrix rows, column occupancy lists, scatter/gather SPA, and
+// a recycled spare LU whose backing arrays the next factorization reuses.
+// A scratch belongs to exactly one solver engine at a time (it is not safe
+// for concurrent use); a nil *FactorScratch is valid everywhere and means
+// "allocate fresh", so pooled and unpooled callers share one code path.
+type FactorScratch struct {
+	rows      [][]luEnt
+	colCount  []int
+	colRows   [][]int
+	rowActive []bool
+	spa       []float64
+	inSpa     []bool
+	pattern   []int
+	sorter    entSorter
+	spare     *LU
+}
+
+// Recycle hands a dead factorization's backing arrays to the next
+// FactorColumnsWith call on this scratch. Only recycle an LU nothing else
+// retains (the lp engine's previous basis factorization qualifies; a
+// factorization cached across solves, like the QP KKT base, does not).
+func (s *FactorScratch) Recycle(lu *LU) {
+	if s != nil && lu != nil {
+		s.spare = lu
+	}
+}
+
+// takeLU returns an LU sized for n, reusing the recycled spare's arrays when
+// present. Valid on a nil receiver (always allocates fresh).
+func (s *FactorScratch) takeLU(n int) *LU {
+	if s == nil || s.spare == nil {
+		return &LU{
+			n:         n,
+			rowOfStep: make([]int, n),
+			colOfStep: make([]int, n),
+			stepOfRow: make([]int, n),
+			stepOfCol: make([]int, n),
+			lptr:      make([]int, 1, n+1),
+			uptr:      make([]int, 1, n+1),
+			piv:       make([]float64, 0, n),
+			work:      make([]float64, n),
+		}
+	}
+	lu := s.spare
+	s.spare = nil
+	lu.n = n
+	lu.rowOfStep = growInts(lu.rowOfStep, n)
+	lu.colOfStep = growInts(lu.colOfStep, n)
+	lu.stepOfRow = growInts(lu.stepOfRow, n)
+	lu.stepOfCol = growInts(lu.stepOfCol, n)
+	lu.lptr = append(lu.lptr[:0], 0)
+	lu.lrow = lu.lrow[:0]
+	lu.lval = lu.lval[:0]
+	lu.uptr = append(lu.uptr[:0], 0)
+	lu.ucol = lu.ucol[:0]
+	lu.uval = lu.uval[:0]
+	lu.piv = lu.piv[:0]
+	lu.work = growFloats(lu.work, n)
+	return lu
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
 // FactorColumns factors the n×n matrix whose j-th column has entries
 // val[j][k] in rows ind[j][k]. Row indices within a column need not be
 // sorted; duplicates are summed. Returns ErrSingular when no numerically
 // acceptable pivot exists at some elimination step.
 func FactorColumns(n int, ind [][]int, val [][]float64) (*LU, error) {
+	return FactorColumnsWith(n, ind, val, nil)
+}
+
+// FactorColumnsWith is FactorColumns drawing all working storage — and the
+// returned LU's arrays, when a spare was recycled — from s. A nil s allocates
+// everything fresh; both paths run the identical elimination, so the computed
+// factorization does not depend on pooling.
+func FactorColumnsWith(n int, ind [][]int, val [][]float64, s *FactorScratch) (*LU, error) {
 	if len(ind) != n || len(val) != n {
 		return nil, fmt.Errorf("FactorColumns: %d columns, want %d: %w", len(ind), n, ErrShape)
 	}
-	lu := &LU{
-		n:         n,
-		rowOfStep: make([]int, n),
-		colOfStep: make([]int, n),
-		stepOfRow: make([]int, n),
-		stepOfCol: make([]int, n),
-		lptr:      make([]int, 1, n+1),
-		uptr:      make([]int, 1, n+1),
-		piv:       make([]float64, 0, n),
-		work:      make([]float64, n),
-	}
+	lu := s.takeLU(n)
 	if n == 0 {
 		return lu, nil
 	}
@@ -85,9 +177,36 @@ func FactorColumns(n int, ind [][]int, val [][]float64) (*LU, error) {
 	// Active submatrix, row-major with sorted column indices. Rows only ever
 	// hold active columns: every elimination step strips the pivot column
 	// from all rows that touch it.
-	rows := make([][]luEnt, n)
-	colCount := make([]int, n)  // exact active-entry count per column
-	colRows := make([][]int, n) // rows touching each column; entries may be stale
+	var (
+		rows     [][]luEnt
+		colCount []int
+		colRows  [][]int // rows touching each column; entries may be stale
+		srt      *entSorter
+	)
+	if s != nil {
+		if cap(s.rows) < n {
+			s.rows = make([][]luEnt, n)
+		}
+		if cap(s.colRows) < n {
+			s.colRows = make([][]int, n)
+		}
+		rows, colRows = s.rows[:n], s.colRows[:n]
+		for i := 0; i < n; i++ {
+			rows[i] = rows[i][:0]
+			colRows[i] = colRows[i][:0]
+		}
+		s.colCount = growInts(s.colCount, n)
+		colCount = s.colCount
+		for i := range colCount {
+			colCount[i] = 0
+		}
+		srt = &s.sorter
+	} else {
+		rows = make([][]luEnt, n)
+		colRows = make([][]int, n)
+		colCount = make([]int, n) // exact active-entry count per column
+		srt = &entSorter{}
+	}
 	maxAbs := 0.0
 	for j := 0; j < n; j++ {
 		if len(ind[j]) != len(val[j]) {
@@ -107,7 +226,8 @@ func FactorColumns(n int, ind [][]int, val [][]float64) (*LU, error) {
 	}
 	for i := 0; i < n; i++ {
 		r := rows[i]
-		sort.Slice(r, func(a, b int) bool { return r[a].col < r[b].col })
+		srt.r = r
+		sort.Sort(srt)
 		// Sum duplicates in place.
 		w := 0
 		for k := 0; k < len(r); k++ {
@@ -129,13 +249,34 @@ func FactorColumns(n int, ind [][]int, val [][]float64) (*LU, error) {
 	}
 	singTol := 1e-13 * math.Max(1, maxAbs)
 
-	rowActive := make([]bool, n)
+	var (
+		rowActive []bool
+		spa       []float64
+		inSpa     []bool
+		pattern   []int
+	)
+	if s != nil {
+		s.rowActive = growBools(s.rowActive, n)
+		s.spa = growFloats(s.spa, n)
+		s.inSpa = growBools(s.inSpa, n)
+		rowActive, spa, inSpa = s.rowActive, s.spa, s.inSpa
+		for i := 0; i < n; i++ {
+			spa[i] = 0
+			inSpa[i] = false
+		}
+		if cap(s.pattern) < n {
+			s.pattern = make([]int, 0, n)
+		}
+		pattern = s.pattern[:0]
+	} else {
+		rowActive = make([]bool, n)
+		spa = make([]float64, n)
+		inSpa = make([]bool, n)
+		pattern = make([]int, 0, n)
+	}
 	for i := range rowActive {
 		rowActive[i] = true
 	}
-	spa := make([]float64, n)
-	inSpa := make([]bool, n)
-	pattern := make([]int, 0, n)
 
 	for step := 0; step < n; step++ {
 		// Markowitz pivot search: minimize (rowCount−1)(colCount−1) over
@@ -257,12 +398,16 @@ func FactorColumns(n int, ind [][]int, val [][]float64) (*LU, error) {
 			colCount[pc]--
 		}
 		lu.lptr = append(lu.lptr, len(lu.lrow))
-		colRows[pc] = nil
+		colRows[pc] = colRows[pc][:0]
 	}
 
 	for k := 0; k < n; k++ {
 		lu.stepOfRow[lu.rowOfStep[k]] = k
 		lu.stepOfCol[lu.colOfStep[k]] = k
+	}
+	if s != nil {
+		s.pattern = pattern[:0]
+		s.sorter.r = nil
 	}
 	return lu, nil
 }

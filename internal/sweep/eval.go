@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"github.com/edsec/edattack/internal/contingency"
@@ -255,6 +256,46 @@ func finishOutcome(out *Outcome) {
 	out.Success = out.Dangerous && !out.Detected
 }
 
+// batchScratch holds one batch's packed blocks — injections, flows, ratings,
+// extrema, view pointers — recycled through batchPool so a steady-state sweep
+// allocates only the per-scenario Outcome vectors it hands to the caller.
+// Every block is fully overwritten before use, so no clearing is needed on
+// checkout; view pointers are dropped on release so the pool never pins a
+// finished batch's outcomes.
+type batchScratch struct {
+	inj        []float64
+	col        []float64
+	flows      []float64
+	ratings    []float64
+	maxAbs     []float64
+	minU       []float64
+	views      []*RatingView
+	lastOutage []int
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func (sc *batchScratch) release() {
+	for i := range sc.views {
+		sc.views[i] = nil
+	}
+	batchPool.Put(sc)
+}
+
+func growFloat(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
 // evalBatch evaluates one packed batch of scenarios in place.
 //
 // The batch pipeline: scatter per-scenario injections into a buses×S
@@ -264,15 +305,20 @@ func finishOutcome(out *Outcome) {
 // both rating sets.
 func evalBatch(pc *Precomp, scs []Scenario, outcomes []Outcome) error {
 	nb, nl, S := len(pc.Net.Buses), len(pc.Net.Lines), len(scs)
-	inj := make([]float64, nb*S)
-	col := make([]float64, nb)
+	sc := batchPool.Get().(*batchScratch)
+	defer sc.release()
+	sc.inj = growFloat(sc.inj, nb*S)
+	sc.col = growFloat(sc.col, nb)
+	inj := sc.inj
+	col := sc.col
 	for j := range scs {
 		pc.injections(&scs[j], col)
 		for i, v := range col {
 			inj[i*S+j] = v
 		}
 	}
-	flows := make([]float64, nl*S)
+	sc.flows = growFloat(sc.flows, nl*S)
+	flows := sc.flows
 	if pc.PTDFSparse != nil {
 		if err := pc.PTDFSparse.MulDenseInto(flows, inj, S); err != nil {
 			return fmt.Errorf("sweep: %w", err)
@@ -306,8 +352,8 @@ func evalBatch(pc *Precomp, scs []Scenario, outcomes []Outcome) error {
 		out.True.Violations, out.True.WorstPct = baseViolations(f, scs[j].TrueRatings)
 		out.Seen.Violations, out.Seen.WorstPct = baseViolations(f, scs[j].SeenRatings)
 	}
-	screenBatch(pc, flows, scs, outcomes, true)
-	screenBatch(pc, flows, scs, outcomes, false)
+	screenBatch(pc, sc, flows, scs, outcomes, true)
+	screenBatch(pc, sc, flows, scs, outcomes, false)
 	for j := range outcomes {
 		finishOutcome(&outcomes[j])
 	}
@@ -331,12 +377,13 @@ func evalBatch(pc *Precomp, scs []Scenario, outcomes []Outcome) error {
 // factors from the precomputed outage-major LODF transpose, so the
 // bound-scan over l streams contiguous memory instead of striding a
 // column per factor.
-func screenBatch(pc *Precomp, flows []float64, scs []Scenario, outcomes []Outcome, trueView bool) {
+func screenBatch(pc *Precomp, sc *batchScratch, flows []float64, scs []Scenario, outcomes []Outcome, trueView bool) {
 	nl, S := len(pc.Net.Lines), len(scs)
 
 	// Pack the per-scenario rating vectors into a line-major block and
 	// fold per-line batch extrema.
-	ratings := make([]float64, nl*S)
+	sc.ratings = growFloat(sc.ratings, nl*S)
+	ratings := sc.ratings
 	for j := range scs {
 		r := scs[j].TrueRatings
 		if !trueView {
@@ -346,8 +393,10 @@ func screenBatch(pc *Precomp, flows []float64, scs []Scenario, outcomes []Outcom
 			ratings[l*S+j] = r[l]
 		}
 	}
-	maxAbs := make([]float64, nl)
-	minU := make([]float64, nl)
+	sc.maxAbs = growFloat(sc.maxAbs, nl)
+	sc.minU = growFloat(sc.minU, nl)
+	maxAbs := sc.maxAbs
+	minU := sc.minU
 	for l := 0; l < nl; l++ {
 		row := flows[l*S : (l+1)*S]
 		m := 0.0
@@ -366,7 +415,11 @@ func screenBatch(pc *Precomp, flows []float64, scs []Scenario, outcomes []Outcom
 		minU[l] = mu
 	}
 
-	views := make([]*RatingView, S)
+	if cap(sc.views) < S {
+		sc.views = make([]*RatingView, S)
+	}
+	sc.views = sc.views[:S]
+	views := sc.views
 	for j := range outcomes {
 		if trueView {
 			views[j] = &outcomes[j].True
@@ -375,7 +428,8 @@ func screenBatch(pc *Precomp, flows []float64, scs []Scenario, outcomes []Outcom
 		}
 		views[j].N1.IslandingOutages = pc.Islanding
 	}
-	lastOutage := make([]int, S)
+	sc.lastOutage = growInt(sc.lastOutage, S)
+	lastOutage := sc.lastOutage
 	for j := range lastOutage {
 		lastOutage[j] = -1
 	}

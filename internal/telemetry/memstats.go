@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"runtime"
+	"sort"
+)
+
+// MemSnapshot is one runtime.MemStats reading reduced to the memory-health
+// signals the serving and benchmark layers track: how much heap is live, how
+// hard the collector is working, and the tail pause cost the GC imposes on
+// request latency.
+type MemSnapshot struct {
+	// HeapLiveBytes is the heap occupied by reachable-or-unswept objects
+	// (runtime HeapAlloc) — the figure allocation pooling is meant to hold
+	// flat under load.
+	HeapLiveBytes uint64 `json:"heap_live_bytes"`
+	// HeapSysBytes is the heap address space obtained from the OS.
+	HeapSysBytes uint64 `json:"heap_sys_bytes"`
+	// GCCycles is the cumulative completed GC cycle count.
+	GCCycles uint32 `json:"gc_cycles"`
+	// GCPauseP99Seconds is the 99th-percentile stop-the-world pause over the
+	// runtime's recent-pause ring (up to the last 256 cycles).
+	GCPauseP99Seconds float64 `json:"gc_pause_p99_seconds"`
+	// Mallocs is the cumulative count of heap objects allocated; deltas per
+	// unit of work are the allocation-rate metric the bench gates pin.
+	Mallocs uint64 `json:"mallocs"`
+}
+
+// CaptureMemStats reads runtime.MemStats once, publishes the derived gauges
+// (mem_heap_live_bytes, mem_heap_sys_bytes, mem_gc_cycles,
+// mem_gc_pause_p99_seconds) on the registry, and returns the snapshot. A nil
+// registry just returns the snapshot. ReadMemStats briefly stops the world,
+// so call this at reporting cadence (stats endpoints, bench epilogues), not
+// on solve hot paths.
+func CaptureMemStats(r *Registry) MemSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	snap := MemSnapshot{
+		HeapLiveBytes:     ms.HeapAlloc,
+		HeapSysBytes:      ms.HeapSys,
+		GCCycles:          ms.NumGC,
+		GCPauseP99Seconds: pauseP99Seconds(&ms),
+		Mallocs:           ms.Mallocs,
+	}
+	if r != nil {
+		r.Gauge("mem_heap_live_bytes").Set(float64(snap.HeapLiveBytes))
+		r.Gauge("mem_heap_sys_bytes").Set(float64(snap.HeapSysBytes))
+		r.Gauge("mem_gc_cycles").Set(float64(snap.GCCycles))
+		r.Gauge("mem_gc_pause_p99_seconds").Set(snap.GCPauseP99Seconds)
+	}
+	return snap
+}
+
+// pauseP99Seconds computes the 99th-percentile pause from the MemStats
+// PauseNs ring, which holds the most recent min(NumGC, 256) cycle pauses.
+func pauseP99Seconds(ms *runtime.MemStats) float64 {
+	n := int(ms.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	buf := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		buf[i] = ms.PauseNs[(int(ms.NumGC)-1-i+2*len(ms.PauseNs))%len(ms.PauseNs)]
+	}
+	sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+	idx := (99*n+99)/100 - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return float64(buf[idx]) / 1e9
+}

@@ -11,6 +11,8 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -18,16 +20,26 @@ import (
 	"github.com/edsec/edattack/internal/telemetry"
 )
 
-// serveBaselineRecord mirrors one BENCH_serve.json record.
+// serveBaselineRecord mirrors one BENCH_serve.json record. The allocation
+// fields are the memory half of the baseline: attack_rps is closed-loop
+// concurrent attack throughput on the warm topology, allocs_per_solve is
+// heap objects per warm workspace-backed evaluate, allocs_per_node (and its
+// _nopool twin) is the marginal heap cost of one branch-and-bound node with
+// pooling on and off, and heap_live_bytes is the post-burst live heap.
 type serveBaselineRecord struct {
-	Case            string  `json:"case"`
-	ColdAttackMS    float64 `json:"cold_attack_ms"`
-	WarmAttackP50MS float64 `json:"warm_attack_p50_ms"`
-	WarmSpeedup     float64 `json:"warm_speedup"`
-	WarmHitRate     float64 `json:"warm_hit_rate"`
-	EvaluateP50MS   float64 `json:"evaluate_p50_ms"`
-	EvaluateP99MS   float64 `json:"evaluate_p99_ms"`
-	EvaluateRPS     float64 `json:"evaluate_rps"`
+	Case                string  `json:"case"`
+	ColdAttackMS        float64 `json:"cold_attack_ms"`
+	WarmAttackP50MS     float64 `json:"warm_attack_p50_ms"`
+	WarmSpeedup         float64 `json:"warm_speedup"`
+	WarmHitRate         float64 `json:"warm_hit_rate"`
+	EvaluateP50MS       float64 `json:"evaluate_p50_ms"`
+	EvaluateP99MS       float64 `json:"evaluate_p99_ms"`
+	EvaluateRPS         float64 `json:"evaluate_rps"`
+	AttackRPS           float64 `json:"attack_rps"`
+	AllocsPerSolve      float64 `json:"allocs_per_solve"`
+	AllocsPerNode       float64 `json:"allocs_per_node"`
+	AllocsPerNodeNoPool float64 `json:"allocs_per_node_nopool"`
+	HeapLiveBytes       uint64  `json:"heap_live_bytes"`
 }
 
 func loadServeBaseline() (map[string]serveBaselineRecord, error) {
@@ -117,6 +129,8 @@ type serveBenchMeasurements struct {
 	evalP50    time.Duration
 	evalP99    time.Duration
 	evalRPS    float64
+	attackRPS  float64
+	heapLive   uint64
 	gain       float64
 	dlr        map[int]float64
 	targetLine int
@@ -128,9 +142,12 @@ func attackBody(caseName string) map[string]any {
 	return map[string]any{"case": caseName, "max_nodes": 40, "rel_gap": 1e-3}
 }
 
-// measureServe runs the cold request, warm repeats, and an evaluate burst
-// against one fresh daemon.
-func measureServe(tb testing.TB, caseName string, warmRepeats, evalBurst int) serveBenchMeasurements {
+// measureServe runs the cold request, warm repeats, a closed-loop
+// concurrent attack burst, and an evaluate burst against one fresh daemon.
+// The attack burst is attackConc clients each firing attackPerClient warm
+// attack requests back to back — saturation throughput, since same-topology
+// jobs serialize on the entry lock while admission and streaming overlap.
+func measureServe(tb testing.TB, caseName string, warmRepeats, evalBurst, attackConc, attackPerClient int) serveBenchMeasurements {
 	tb.Helper()
 	reg := telemetry.NewRegistry()
 	s := edattack.NewServer(edattack.ServeConfig{Metrics: reg})
@@ -177,6 +194,31 @@ func measureServe(tb testing.TB, caseName string, warmRepeats, evalBurst int) se
 		m.warmHit = hits / (hits + misses)
 	}
 
+	// Concurrent attack burst: closed loop, every answer must still match
+	// the cold one — concurrency may reorder jobs, never change results.
+	var burstWG sync.WaitGroup
+	var diverged atomic.Bool
+	total := attackConc * attackPerClient
+	burstStart := time.Now()
+	for c := 0; c < attackConc; c++ {
+		burstWG.Add(1)
+		go func() {
+			defer burstWG.Done()
+			for i := 0; i < attackPerClient; i++ {
+				rep := serveResult(tb, servePost(tb, ts.URL, "/v1/attack", attackBody(caseName)))
+				if rep.Attack.GainPct != m.gain || rep.Attack.TargetLine != m.targetLine {
+					diverged.Store(true)
+				}
+			}
+		}()
+	}
+	burstWG.Wait()
+	m.attackRPS = float64(total) / time.Since(burstStart).Seconds()
+	if diverged.Load() {
+		tb.Fatalf("concurrent attack burst diverged from the cold answer (gain %.17g target %d)",
+			m.gain, m.targetLine)
+	}
+
 	// Evaluate burst: sequential requests against the warm topology — the
 	// daemon's high-rate request class.
 	net, err := edattack.LoadCase(caseName)
@@ -189,7 +231,7 @@ func measureServe(tb testing.TB, caseName string, warmRepeats, evalBurst int) se
 	}
 	evalReq := map[string]any{"case": caseName, "dlr": dlr}
 	lats := make([]time.Duration, evalBurst)
-	burstStart := time.Now()
+	burstStart = time.Now()
 	for i := range lats {
 		start = time.Now()
 		serveResult(tb, servePost(tb, ts.URL, "/v1/evaluate", evalReq))
@@ -200,6 +242,9 @@ func measureServe(tb testing.TB, caseName string, warmRepeats, evalBurst int) se
 	m.evalP50 = lats[len(lats)/2]
 	m.evalP99 = lats[(len(lats)-1)*99/100]
 	m.evalRPS = float64(evalBurst) / burstWall.Seconds()
+	// Post-burst live heap: what the daemon holds after serving the whole
+	// measurement load — the figure the workspace/pool design keeps flat.
+	m.heapLive = telemetry.CaptureMemStats(nil).HeapLiveBytes
 	return m
 }
 
@@ -233,7 +278,7 @@ func TestServeGate(t *testing.T) {
 	}
 
 	before := runtime.NumGoroutine()
-	m := measureServe(t, "case118", 3, 32)
+	m := measureServe(t, "case118", 3, 32, 2, 2)
 
 	// Bit-identical to the one-shot library path with the same budgets —
 	// what the edattack CLI runs.
@@ -266,9 +311,13 @@ func TestServeGate(t *testing.T) {
 	if m.warmHit == 0 {
 		t.Error("warm repeats hit no cached bases")
 	}
-	t.Logf("case118: cold %.0fms, warm p50 %.0fms (%.1f×), warm hit rate %.2f, evaluate p50 %.2fms p99 %.2fms (%.0f rps)",
+	if m.attackRPS <= 0 {
+		t.Error("concurrent attack burst measured no throughput")
+	}
+	t.Logf("case118: cold %.0fms, warm p50 %.0fms (%.1f×), warm hit rate %.2f, evaluate p50 %.2fms p99 %.2fms (%.0f rps), attack %.2f rps concurrent, %.1f MiB live heap",
 		float64(m.cold.Milliseconds()), float64(m.warmP50.Milliseconds()), speedup,
-		m.warmHit, float64(m.evalP50.Microseconds())/1000, float64(m.evalP99.Microseconds())/1000, m.evalRPS)
+		m.warmHit, float64(m.evalP50.Microseconds())/1000, float64(m.evalP99.Microseconds())/1000, m.evalRPS,
+		m.attackRPS, float64(m.heapLive)/(1<<20))
 
 	testServeDeadline(t)
 	testServeGoroutines(t, before)
@@ -361,20 +410,25 @@ func TestRecordServeBaseline(t *testing.T) {
 	}
 	var records []serveBaselineRecord
 	for _, name := range []string{"case118"} {
-		m := measureServe(t, name, 5, 64)
+		m := measureServe(t, name, 5, 64, 4, 2)
 		records = append(records, serveBaselineRecord{
-			Case:            name,
-			ColdAttackMS:    float64(m.cold.Microseconds()) / 1000,
-			WarmAttackP50MS: float64(m.warmP50.Microseconds()) / 1000,
-			WarmSpeedup:     m.cold.Seconds() / m.warmP50.Seconds(),
-			WarmHitRate:     m.warmHit,
-			EvaluateP50MS:   float64(m.evalP50.Microseconds()) / 1000,
-			EvaluateP99MS:   float64(m.evalP99.Microseconds()) / 1000,
-			EvaluateRPS:     m.evalRPS,
+			Case:                name,
+			ColdAttackMS:        float64(m.cold.Microseconds()) / 1000,
+			WarmAttackP50MS:     float64(m.warmP50.Microseconds()) / 1000,
+			WarmSpeedup:         m.cold.Seconds() / m.warmP50.Seconds(),
+			WarmHitRate:         m.warmHit,
+			EvaluateP50MS:       float64(m.evalP50.Microseconds()) / 1000,
+			EvaluateP99MS:       float64(m.evalP99.Microseconds()) / 1000,
+			EvaluateRPS:         m.evalRPS,
+			AttackRPS:           m.attackRPS,
+			AllocsPerSolve:      measureEvaluateAllocs(t, name, 32),
+			AllocsPerNode:       perNodeAllocs(t, name, 40, false),
+			AllocsPerNodeNoPool: perNodeAllocs(t, name, 40, true),
+			HeapLiveBytes:       m.heapLive,
 		})
 	}
 	out, err := json.MarshalIndent(map[string]any{
-		"note":    "attack-as-a-service latency baseline (budgeted case118 attack cold vs warm-cache repeats, p50 of 5 repeats, plus a 64-request evaluate burst on the warm topology); wall numbers machine-dependent; regenerate with BENCH_SERVE=1 go test -run TestRecordServeBaseline",
+		"note":    "attack-as-a-service latency and allocation baseline (budgeted case118 attack cold vs warm-cache repeats, p50 of 5 repeats, a 4×2 closed-loop concurrent attack burst, a 64-request evaluate burst on the warm topology, allocs per warm workspace-backed evaluate, and marginal allocs per branch-and-bound node with pooling on/off); wall numbers machine-dependent, allocation counts are not; regenerate with BENCH_SERVE=1 go test -run TestRecordServeBaseline",
 		"cpus":    runtime.GOMAXPROCS(0),
 		"records": records,
 	}, "", "  ")
